@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the substrate kernels and the GCoDE
+//! pipeline stages: the costs that determine how fast the reproduction's
+//! own machinery runs (search iterations, simulation, predictor features,
+//! compression, GNN kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcode_baselines::models;
+use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::estimate::estimate_latency;
+use gcode_core::predictor::{abstract_architecture, FeatureMode};
+use gcode_core::search::{random_search, SearchConfig};
+use gcode_core::space::DesignSpace;
+use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode_graph::datasets::PointCloudDataset;
+use gcode_graph::knn::knn_graph;
+use gcode_hardware::SystemConfig;
+use gcode_nn::agg::{aggregate, AggMode};
+use gcode_sim::{simulate, SimConfig, SimEvaluator};
+use gcode_tensor::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_graph");
+    for &n in &[128usize, 512, 1024] {
+        let ds = PointCloudDataset::generate(1, n, 4, 1);
+        let pts = &ds.samples()[0].features;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| knn_graph(black_box(pts), 20));
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let ds = PointCloudDataset::generate(1, 1024, 4, 2);
+    let pts = &ds.samples()[0].features;
+    let g = knn_graph(pts, 20);
+    let x = Matrix::full(1024, 64, 0.5);
+    let mut group = c.benchmark_group("aggregate_1024x64_k20");
+    for mode in AggMode::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &m| {
+            b.iter(|| aggregate(black_box(&g), black_box(&x), m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::full(1024, 64, 0.25);
+    let w = Matrix::full(64, 128, 0.5);
+    c.bench_function("matmul_1024x64x128", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&w)));
+    });
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let values: Vec<f32> = (0..1024 * 64).map(|i| (i as f32 * 0.001).sin()).collect();
+    c.bench_function("compress_floats_256KiB", |b| {
+        b.iter(|| gcode_compress::compress_floats(black_box(&values)));
+    });
+    let packed = gcode_compress::compress_floats(&values);
+    c.bench_function("decompress_floats_256KiB", |b| {
+        b.iter(|| gcode_compress::decompress_floats(black_box(&packed)).expect("valid"));
+    });
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let profile = WorkloadProfile::modelnet40();
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let dgcnn = models::dgcnn().arch;
+    c.bench_function("estimate_latency_dgcnn", |b| {
+        b.iter(|| estimate_latency(black_box(&dgcnn), &profile, &sys));
+    });
+    let sim = SimConfig::single_frame();
+    c.bench_function("simulate_dgcnn_single_frame", |b| {
+        b.iter(|| simulate(black_box(&dgcnn), &profile, &sys, &sim));
+    });
+    let sim64 = SimConfig { frames: 64, ..SimConfig::default() };
+    c.bench_function("simulate_dgcnn_64_frames", |b| {
+        b.iter(|| simulate(black_box(&dgcnn), &profile, &sys, &sim64));
+    });
+}
+
+fn bench_predictor_features(c: &mut Criterion) {
+    let profile = WorkloadProfile::modelnet40();
+    let sys = SystemConfig::pi_to_1060(40.0);
+    let space = DesignSpace::paper(profile);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let (arch, _) = space.sample_valid(&mut rng, 100_000);
+    c.bench_function("abstract_architecture_enhanced", |b| {
+        b.iter(|| abstract_architecture(black_box(&arch), &profile, &sys, FeatureMode::Enhanced));
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let profile = WorkloadProfile::modelnet40();
+    let space = DesignSpace::paper(profile);
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    c.bench_function("random_search_100_trials", |b| {
+        b.iter(|| {
+            let mut eval = SimEvaluator {
+                profile,
+                sys: SystemConfig::tx2_to_i7(40.0),
+                sim: SimConfig::single_frame(),
+                accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+            };
+            let cfg = SearchConfig {
+                iterations: 100,
+                latency_constraint_s: 0.15,
+                energy_constraint_j: 1.0,
+                seed: 5,
+                ..SearchConfig::default()
+            };
+            random_search(black_box(&space), &cfg, &mut eval)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_knn,
+    bench_aggregate,
+    bench_matmul,
+    bench_compress,
+    bench_cost_models,
+    bench_predictor_features,
+    bench_search
+);
+criterion_main!(benches);

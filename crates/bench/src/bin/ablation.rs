@@ -1,0 +1,127 @@
+//! Ablations beyond the paper's figures (DESIGN.md §5 extension hooks):
+//!
+//! 1. pipelined engine vs frame-serial execution (throughput);
+//! 2. transfer compression on/off (latency of split designs);
+//! 3. λ sweep quantified by Pareto hypervolume (Fig. 8's knob, scalarized);
+//! 4. adaptive runtime dispatch vs a pinned design under a fluctuating link.
+
+use gcode_baselines::models;
+use gcode_bench::{header, print_row, run_gcode_search, table_search_config};
+use gcode_core::arch::WorkloadProfile;
+use gcode_core::pareto::{front_of, hypervolume};
+use gcode_core::surrogate::SurrogateTask;
+use gcode_core::zoo::ArchitectureZoo;
+use gcode_hardware::SystemConfig;
+use gcode_sim::{simulate, simulate_adaptive, BandwidthTrace, SimConfig};
+
+fn main() {
+    let profile = WorkloadProfile::modelnet40();
+
+    // ——— 1. Pipelining ———
+    header("Ablation 1 — pipelined engine vs frame-serial (64-frame stream)");
+    let widths = [26usize, 14, 14, 10];
+    print_row(
+        ["architecture", "serial fps", "pipelined fps", "gain"]
+            .map(String::from).as_ref(),
+        &widths,
+    );
+    for b in [models::branchy_gnn(), models::dgcnn()] {
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let arch = if b.arch.num_communicates() == 0 {
+            models::as_edge_only(&b.arch)
+        } else {
+            b.arch.clone()
+        };
+        let serial = simulate(
+            &arch,
+            &profile,
+            &sys,
+            &SimConfig { frames: 64, pipelined: false, ..SimConfig::default() },
+        );
+        let piped = simulate(
+            &arch,
+            &profile,
+            &sys,
+            &SimConfig { frames: 64, ..SimConfig::default() },
+        );
+        print_row(
+            &[
+                b.name.clone(),
+                format!("{:8.1}", serial.fps),
+                format!("{:8.1}", piped.fps),
+                format!("{:5.2}x", piped.fps / serial.fps),
+            ],
+            &widths,
+        );
+    }
+
+    // ——— 2. Compression ———
+    header("Ablation 2 — link compression on/off (BRANCHY split, 10 Mbps)");
+    let b = models::branchy_gnn();
+    for (label, ratio) in [("zlib-like on (1.6x)", 1.6), ("off (1.0x)", 1.0)] {
+        let mut sys = SystemConfig::tx2_to_i7(10.0);
+        sys.link.compression_ratio = ratio;
+        let r = simulate(&b.arch, &profile, &sys, &SimConfig::single_frame());
+        println!(
+            "  {label:<22} latency {:7.1} ms  (comm {:5.1} ms)",
+            r.frame_latency_s * 1e3,
+            r.comm_s * 1e3
+        );
+    }
+
+    // ——— 3. λ sweep, hypervolume ———
+    header("Ablation 3 — λ sweep: Pareto hypervolume of the searched zoo");
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let dgcnn_anchor = simulate(&models::dgcnn().arch, &profile, &sys, &SimConfig::single_frame());
+    for lambda in [0.05, 0.25, 1.0] {
+        let mut cfg = table_search_config(
+            dgcnn_anchor.frame_latency_s,
+            dgcnn_anchor.device_energy_j,
+            13,
+        );
+        cfg.lambda = lambda;
+        let result = run_gcode_search(profile, SurrogateTask::ModelNet40, &sys, &cfg);
+        let front = front_of(&result.zoo);
+        let hv = hypervolume(&front, 0.85, dgcnn_anchor.frame_latency_s);
+        let best_acc = front.iter().map(|p| p.accuracy).fold(0.0, f64::max);
+        let best_lat = front
+            .iter()
+            .map(|p| p.latency_s)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  λ={lambda:<5} front size {:2}  best acc {:5.2}%  best latency {:6.1} ms  hypervolume {hv:.5}",
+            front.len(),
+            best_acc * 100.0,
+            best_lat * 1e3
+        );
+    }
+
+    // ——— 4. Adaptive dispatch ———
+    header("Ablation 4 — runtime dispatcher under a fluctuating link (40↔2 Mbps)");
+    // The zoo pairs the winners of two searches run for the two link
+    // regimes — the dispatcher's job is to pick per-frame between them.
+    let cfg40 = table_search_config(dgcnn_anchor.frame_latency_s, dgcnn_anchor.device_energy_j, 19);
+    let win40 = run_gcode_search(profile, SurrogateTask::ModelNet40, &sys, &cfg40);
+    let mut congested = sys.clone();
+    congested.link.bandwidth_mbps = 2.0;
+    let cfg2 = table_search_config(dgcnn_anchor.frame_latency_s, dgcnn_anchor.device_energy_j, 23);
+    let win2 = run_gcode_search(profile, SurrogateTask::ModelNet40, &congested, &cfg2);
+    let mut entries: Vec<_> = win40.zoo.iter().take(3).cloned().collect();
+    entries.extend(win2.zoo.iter().take(3).cloned());
+    let zoo = ArchitectureZoo::new(entries);
+    let trace = BandwidthTrace::square_wave(40.0, 2.0, 0.25, 120.0);
+    let slo = 0.020;
+    let adaptive = simulate_adaptive(&zoo, &profile, &sys, &trace, 64, slo, false);
+    let pinned = simulate_adaptive(&zoo, &profile, &sys, &trace, 64, slo, true);
+    println!(
+        "  adaptive: SLO hit {:5.1}%  mean {:5.1} ms  switches {}",
+        adaptive.slo_hit_rate * 100.0,
+        adaptive.mean_latency_s * 1e3,
+        adaptive.switches
+    );
+    println!(
+        "  pinned:   SLO hit {:5.1}%  mean {:5.1} ms",
+        pinned.slo_hit_rate * 100.0,
+        pinned.mean_latency_s * 1e3
+    );
+}

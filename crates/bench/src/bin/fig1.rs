@@ -1,0 +1,55 @@
+//! Figure 1: inference speed (fps) vs on-device energy (J) scatter for
+//! DGCNN, BRANCHY-GNN, HGNAS and GCoDE on the Raspberry Pi 4B and Jetson
+//! TX2 devices (Intel i7 / Nvidia 1060 as edge, 40 Mbps).
+
+use gcode_baselines::models;
+use gcode_bench::{best_gcode, header, measure, measure_fps, print_row};
+use gcode_core::arch::WorkloadProfile;
+use gcode_core::surrogate::SurrogateTask;
+use gcode_hardware::SystemConfig;
+
+fn main() {
+    let profile = WorkloadProfile::modelnet40();
+    let widths = [16usize, 12, 12];
+    for (device_label, systems) in [
+        ("Raspberry Pi 4B", [SystemConfig::pi_to_i7(40.0), SystemConfig::pi_to_1060(40.0)]),
+        ("Jetson TX2", [SystemConfig::tx2_to_i7(40.0), SystemConfig::tx2_to_1060(40.0)]),
+    ] {
+        header(&format!("Fig. 1 — {device_label} (speed vs energy)"));
+        print_row(["method", "fps", "energy (J)"].map(String::from).as_ref(), &widths);
+        // Baselines run device-only (their published deployment); the best
+        // edge choice is reflected in GCoDE's point, which picks its own
+        // mapping. Use the i7-edge system for baseline energy bookkeeping.
+        let sys = &systems[0];
+        for b in [models::dgcnn(), models::branchy_gnn(), models::hgnas()] {
+            let fps = measure_fps(&b.arch, &profile, sys);
+            let (_, j) = measure(&b.arch, &profile, sys);
+            print_row(
+                &[b.name.clone(), format!("{fps:8.1}"), format!("{j:8.2}")],
+                &widths,
+            );
+        }
+        // GCoDE: best of the two edge options for this device.
+        let mut best_point = (0.0f64, f64::INFINITY);
+        for sys in &systems {
+            let best = best_gcode(profile, SurrogateTask::ModelNet40, sys, 5);
+            let fps = measure_fps(&best.arch, &profile, sys);
+            let (_, j) = measure(&best.arch, &profile, sys);
+            if fps > best_point.0 {
+                best_point = (fps, j);
+            }
+        }
+        print_row(
+            &[
+                "GCoDE".to_string(),
+                format!("{:8.1}", best_point.0),
+                format!("{:8.2}", best_point.1),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nShape checks: GCoDE sits top-left (fast, frugal); DGCNN bottom-right; \
+         the paper reports 44.9x speed and 98.2% energy gaps on the Pi."
+    );
+}

@@ -1,0 +1,305 @@
+//! Cost estimation and on-device energy estimation (Sec. 3.5), plus the
+//! evaluator abstraction the search strategies consume.
+
+use crate::arch::{Architecture, WorkloadProfile};
+use crate::cost::{trace, TracedOp};
+use crate::op::{OpKind, Placement};
+use gcode_hardware::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-op latency attribution of one architecture on one system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Seconds spent computing on the device.
+    pub device_s: f64,
+    /// Seconds spent computing on the edge.
+    pub edge_s: f64,
+    /// Seconds spent transferring (all `Communicate` ops + output return).
+    pub comm_s: f64,
+    /// Per-op `(label, placement, seconds)` rows in execution order.
+    pub per_op: Vec<(String, Placement, f64)>,
+}
+
+impl LatencyBreakdown {
+    /// End-to-end single-frame latency (sequential, no pipelining).
+    pub fn total_s(&self) -> f64 {
+        self.device_s + self.edge_s + self.comm_s
+    }
+}
+
+/// LUT-style cost estimation: accumulate every op's latency on its mapped
+/// processor plus link transfer times.
+///
+/// The paper: "based on the maintained latency LUT, we can easily accumulate
+/// all operation latency in the architecture graph... this estimation may
+/// not include potential runtime overheads" — those overheads (pipeline
+/// interactions, queueing, per-frame sync) are exactly what `gcode-sim`
+/// adds on top.
+///
+/// # Example
+///
+/// ```
+/// use gcode_core::arch::{Architecture, WorkloadProfile};
+/// use gcode_core::estimate::estimate_latency;
+/// use gcode_core::op::{Op, SampleFn};
+/// use gcode_hardware::SystemConfig;
+/// use gcode_nn::{agg::AggMode, pool::PoolMode};
+///
+/// let arch = Architecture::new(vec![
+///     Op::Sample(SampleFn::Knn { k: 20 }),
+///     Op::Aggregate(AggMode::Max),
+///     Op::GlobalPool(PoolMode::Max),
+/// ]);
+/// let b = estimate_latency(&arch, &WorkloadProfile::modelnet40(),
+///                          &SystemConfig::tx2_to_i7(40.0));
+/// assert!(b.total_s() > 0.0);
+/// ```
+pub fn estimate_latency(
+    arch: &Architecture,
+    profile: &WorkloadProfile,
+    sys: &SystemConfig,
+) -> LatencyBreakdown {
+    breakdown_from_trace(&trace(arch, profile), arch, sys)
+}
+
+/// Cost estimation over a pre-computed trace (lets callers reuse traces).
+pub fn breakdown_from_trace(
+    traced: &[TracedOp],
+    arch: &Architecture,
+    sys: &SystemConfig,
+) -> LatencyBreakdown {
+    let mut device_s = 0.0;
+    let mut edge_s = 0.0;
+    let mut comm_s = 0.0;
+    let mut per_op = Vec::with_capacity(traced.len() + 1);
+    for t in traced {
+        let seconds = if t.op.kind() == OpKind::Communicate {
+            let s = sys.link.transfer_time(t.transfer_bytes);
+            comm_s += s;
+            s
+        } else {
+            let proc = match t.placement {
+                Placement::Device => &sys.device,
+                Placement::Edge => &sys.edge,
+            };
+            let s = proc.latency(&t.cost);
+            match t.placement {
+                Placement::Device => device_s += s,
+                Placement::Edge => edge_s += s,
+            }
+            s
+        };
+        per_op.push((t.op.to_string(), t.placement, seconds));
+    }
+    // If the classifier output lands on the edge, the (tiny) result returns
+    // to the device.
+    if arch.output_placement() == Placement::Edge {
+        let s = sys.link.transfer_time(16);
+        comm_s += s;
+        per_op.push(("ReturnOutput".to_string(), Placement::Edge, s));
+    }
+    LatencyBreakdown { device_s, edge_s, comm_s, per_op }
+}
+
+/// On-device energy estimate per frame (Sec. 3.5):
+/// `E_total = E_idle + E_run + E_comm`.
+///
+/// * `E_run`: device active power × device compute time.
+/// * `E_idle`: device idle power × time the device waits on the edge.
+/// * `E_comm`: radio energy over all transfers, using the Huang et al.
+///   power model (device pays tx power for device→edge transfers and rx
+///   power for edge→device transfers).
+pub fn estimate_device_energy(
+    arch: &Architecture,
+    profile: &WorkloadProfile,
+    sys: &SystemConfig,
+) -> f64 {
+    let traced = trace(arch, profile);
+    let b = breakdown_from_trace(&traced, arch, sys);
+    let e_run = sys.device.run_power_w * b.device_s;
+    let e_idle = sys.device.idle_power_w * (b.edge_s + b.comm_s);
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    for t in &traced {
+        if t.op.kind() == OpKind::Communicate {
+            match t.placement {
+                Placement::Device => sent += t.transfer_bytes,
+                Placement::Edge => received += t.transfer_bytes,
+            }
+        }
+    }
+    if arch.output_placement() == Placement::Edge {
+        received += 16;
+    }
+    let e_comm = sys.power.device_comm_energy(&sys.link, sent, received);
+    e_run + e_idle + e_comm
+}
+
+/// Everything the constraint-based search needs to score one candidate.
+pub trait CandidateEvaluator {
+    /// End-to-end system latency in seconds.
+    fn latency_s(&mut self, arch: &Architecture) -> f64;
+    /// On-device energy per inference in joules.
+    fn device_energy_j(&mut self, arch: &Architecture) -> f64;
+    /// Validation accuracy in `[0, 1]`. Only called for candidates that
+    /// already passed the performance constraints (Alg. 1 line 9).
+    fn accuracy(&mut self, arch: &Architecture) -> f64;
+}
+
+/// Evaluator backed by the analytic cost/energy estimators plus a
+/// user-supplied accuracy function (surrogate model or supernet query).
+pub struct AnalyticEvaluator<F: FnMut(&Architecture) -> f64> {
+    /// Workload being optimized for.
+    pub profile: WorkloadProfile,
+    /// Target system.
+    pub sys: SystemConfig,
+    /// Accuracy callback.
+    pub accuracy_fn: F,
+}
+
+impl<F: FnMut(&Architecture) -> f64> CandidateEvaluator for AnalyticEvaluator<F> {
+    fn latency_s(&mut self, arch: &Architecture) -> f64 {
+        estimate_latency(arch, &self.profile, &self.sys).total_s()
+    }
+
+    fn device_energy_j(&mut self, arch: &Architecture) -> f64 {
+        estimate_device_energy(arch, &self.profile, &self.sys)
+    }
+
+    fn accuracy(&mut self, arch: &Architecture) -> f64 {
+        (self.accuracy_fn)(arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, SampleFn};
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    fn pc() -> WorkloadProfile {
+        WorkloadProfile::modelnet40()
+    }
+
+    fn device_only() -> Architecture {
+        Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 20 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 64 },
+            Op::GlobalPool(PoolMode::Max),
+        ])
+    }
+
+    fn split_arch() -> Architecture {
+        Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 20 }),
+            Op::Communicate,
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 64 },
+            Op::GlobalPool(PoolMode::Max),
+        ])
+    }
+
+    #[test]
+    fn device_only_has_no_comm_or_edge_time() {
+        let b = estimate_latency(&device_only(), &pc(), &SystemConfig::tx2_to_i7(40.0));
+        assert_eq!(b.edge_s, 0.0);
+        assert_eq!(b.comm_s, 0.0);
+        assert!(b.device_s > 0.0);
+    }
+
+    #[test]
+    fn split_moves_work_to_edge_and_adds_comm() {
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let b = estimate_latency(&split_arch(), &pc(), &sys);
+        assert!(b.edge_s > 0.0);
+        assert!(b.comm_s > 0.0);
+        assert!(b.device_s > 0.0); // the KNN stays on the device
+    }
+
+    #[test]
+    fn slower_link_increases_total() {
+        let fast = estimate_latency(&split_arch(), &pc(), &SystemConfig::tx2_to_i7(40.0));
+        let slow = estimate_latency(&split_arch(), &pc(), &SystemConfig::tx2_to_i7(10.0));
+        assert!(slow.total_s() > fast.total_s());
+        assert_eq!(slow.device_s, fast.device_s);
+    }
+
+    #[test]
+    fn output_on_edge_adds_return_row() {
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let b = estimate_latency(&split_arch(), &pc(), &sys);
+        assert!(b.per_op.iter().any(|(n, _, _)| n == "ReturnOutput"));
+        let b2 = estimate_latency(&device_only(), &pc(), &sys);
+        assert!(!b2.per_op.iter().any(|(n, _, _)| n == "ReturnOutput"));
+    }
+
+    #[test]
+    fn offloading_knn_to_i7_beats_tx2_device_only() {
+        // The Fig. 11(a) insight: feature-space KNN at DGCNN scale (wide
+        // features, recomputed per layer) is inefficient on the TX2 and
+        // cheap on the i7, so communicate-early wins on the TX2⇌i7 system.
+        let heavy_tail = vec![
+            Op::Sample(SampleFn::Knn { k: 20 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 128 },
+            Op::Sample(SampleFn::Knn { k: 20 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 128 },
+            Op::Sample(SampleFn::Knn { k: 20 }),
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ];
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let all_device =
+            estimate_latency(&Architecture::new(heavy_tail.clone()), &pc(), &sys).total_s();
+        let mut offload_ops = vec![Op::Communicate];
+        offload_ops.extend(heavy_tail);
+        let offloaded =
+            estimate_latency(&Architecture::new(offload_ops), &pc(), &sys).total_s();
+        assert!(
+            offloaded < all_device,
+            "offloading should win: {offloaded} vs {all_device}"
+        );
+    }
+
+    #[test]
+    fn energy_split_below_device_only_for_heavy_work() {
+        let sys = SystemConfig::pi_to_1060(40.0);
+        let e_dev = estimate_device_energy(&device_only(), &pc(), &sys);
+        let offload_all = Architecture::new(vec![
+            Op::Communicate,
+            Op::Sample(SampleFn::Knn { k: 20 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 64 },
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let e_off = estimate_device_energy(&offload_all, &pc(), &sys);
+        assert!(
+            e_off < e_dev,
+            "edge-only should save Pi energy: {e_off} vs {e_dev}"
+        );
+    }
+
+    #[test]
+    fn energy_positive_and_finite() {
+        for sys in SystemConfig::paper_systems(10.0) {
+            let e = estimate_device_energy(&split_arch(), &pc(), &sys);
+            assert!(e.is_finite() && e > 0.0);
+        }
+    }
+
+    #[test]
+    fn analytic_evaluator_wires_through() {
+        let mut eval = AnalyticEvaluator {
+            profile: pc(),
+            sys: SystemConfig::tx2_to_1060(40.0),
+            accuracy_fn: |_a: &Architecture| 0.9,
+        };
+        let arch = device_only();
+        assert!(eval.latency_s(&arch) > 0.0);
+        assert!(eval.device_energy_j(&arch) > 0.0);
+        assert_eq!(eval.accuracy(&arch), 0.9);
+    }
+}

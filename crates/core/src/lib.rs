@@ -1,0 +1,50 @@
+//! GCoDE core: the unified architecture+mapping design space, the
+//! constraint-based search, system performance awareness and the
+//! architecture zoo.
+//!
+//! This crate is the paper's primary contribution. The flow mirrors Fig. 5:
+//!
+//! 1. [`space::DesignSpace`] defines the fused co-inference space in which
+//!    [`op::Op::Communicate`] is an ordinary operation;
+//! 2. [`search::random_search`] runs Alg. 1 (with [`ea`] as the ablation
+//!    baseline), scoring candidates through a [`estimate::CandidateEvaluator`](estimate::CandidateEvaluator);
+//! 3. latency comes from [`estimate`] (LUT-style cost estimation) or from
+//!    the trained [`predictor`] (GIN over the architecture graph), energy
+//!    from [`estimate::estimate_device_energy`];
+//! 4. accuracy comes from the one-shot [`supernet`] or the calibrated
+//!    [`surrogate`] model;
+//! 5. winners land in the [`zoo`], from which the runtime dispatcher picks.
+//!
+//! # Example
+//!
+//! ```
+//! use gcode_core::arch::WorkloadProfile;
+//! use gcode_core::estimate::AnalyticEvaluator;
+//! use gcode_core::search::{random_search, SearchConfig};
+//! use gcode_core::space::DesignSpace;
+//! use gcode_hardware::SystemConfig;
+//!
+//! let space = DesignSpace::paper(WorkloadProfile::modelnet40());
+//! let cfg = SearchConfig { iterations: 50, seed: 1, ..SearchConfig::default() };
+//! let mut eval = AnalyticEvaluator {
+//!     profile: space.profile,
+//!     sys: SystemConfig::tx2_to_i7(40.0),
+//!     accuracy_fn: |_| 0.92,
+//! };
+//! let result = random_search(&space, &cfg, &mut eval);
+//! assert!(result.best().is_some());
+//! ```
+
+pub mod arch;
+pub mod cost;
+pub mod ea;
+pub mod estimate;
+pub mod lut;
+pub mod op;
+pub mod pareto;
+pub mod predictor;
+pub mod search;
+pub mod space;
+pub mod supernet;
+pub mod surrogate;
+pub mod zoo;

@@ -1,0 +1,192 @@
+//! Operations of the unified co-inference design space (Fig. 6).
+//!
+//! The decisive idea of the paper lives here: [`Op::Communicate`] is an
+//! ordinary architecture operation. Where it appears in the sequence decides
+//! the device/edge mapping of everything after it, so searching over
+//! architectures *is* searching over mappings.
+
+use gcode_nn::agg::AggMode;
+use gcode_nn::pool::PoolMode;
+use serde::{Deserialize, Serialize};
+
+/// Function setting of the `Sample` operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SampleFn {
+    /// k-nearest-neighbor graph in current feature space.
+    Knn {
+        /// Neighbors per node.
+        k: usize,
+    },
+    /// k uniformly random neighbors per node.
+    Random {
+        /// Neighbors per node.
+        k: usize,
+    },
+}
+
+impl SampleFn {
+    /// Neighbors per node, independent of sampling flavor.
+    pub fn k(&self) -> usize {
+        match *self {
+            SampleFn::Knn { k } | SampleFn::Random { k } => k,
+        }
+    }
+}
+
+/// One operation of a co-inference architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Build/rebuild the neighbor graph.
+    Sample(SampleFn),
+    /// Aggregate neighbor features (add/mean/max).
+    Aggregate(AggMode),
+    /// Transfer current intermediate data between device and edge. The
+    /// paper's "specialized GNN operation" — zero compute, pure transfer.
+    Communicate,
+    /// Per-node linear + ReLU to `dim` features (16/32/64/128).
+    Combine {
+        /// Output feature width.
+        dim: usize,
+    },
+    /// Per-*edge* MLP to `dim` features — DGCNN's EdgeConv transform.
+    /// Not part of the searchable space (GCoDE's `Combine` options are
+    /// node MLPs) but needed to model the DGCNN/BRANCHY baselines whose
+    /// breakdowns Figs. 2–4 profile.
+    EdgeCombine {
+        /// Output feature width.
+        dim: usize,
+    },
+    /// Global readout (sum/mean/max) collapsing nodes to one vector.
+    GlobalPool(PoolMode),
+    /// Pass-through.
+    Identity,
+}
+
+/// Coarse operation kind, used for one-hot predictor features and for
+/// validity rules that only care about the class of an op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `Sample`.
+    Sample,
+    /// `Aggregate`.
+    Aggregate,
+    /// `Communicate`.
+    Communicate,
+    /// `Combine` / `EdgeCombine`.
+    Combine,
+    /// `GlobalPool`.
+    GlobalPool,
+    /// `Identity`.
+    Identity,
+}
+
+impl Op {
+    /// The coarse kind of this op.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Sample(_) => OpKind::Sample,
+            Op::Aggregate(_) => OpKind::Aggregate,
+            Op::Communicate => OpKind::Communicate,
+            Op::Combine { .. } | Op::EdgeCombine { .. } => OpKind::Combine,
+            Op::GlobalPool(_) => OpKind::GlobalPool,
+            Op::Identity => OpKind::Identity,
+        }
+    }
+
+    /// Whether this op requires node-level (pre-pooling) features.
+    pub fn needs_nodes(&self) -> bool {
+        matches!(
+            self,
+            Op::Sample(_) | Op::Aggregate(_) | Op::EdgeCombine { .. } | Op::GlobalPool(_)
+        )
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Sample(SampleFn::Knn { k }) => write!(f, "Sample(knn,k={k})"),
+            Op::Sample(SampleFn::Random { k }) => write!(f, "Sample(rand,k={k})"),
+            Op::Aggregate(m) => write!(f, "Aggregate({m})"),
+            Op::Communicate => write!(f, "Communicate"),
+            Op::Combine { dim } => write!(f, "Combine({dim})"),
+            Op::EdgeCombine { dim } => write!(f, "EdgeCombine({dim})"),
+            Op::GlobalPool(m) => write!(f, "GlobalPool({m})"),
+            Op::Identity => write!(f, "Identity"),
+        }
+    }
+}
+
+/// Which processor executes an op, derived from the `Communicate` positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Runs on the device.
+    Device,
+    /// Runs on the edge server.
+    Edge,
+}
+
+impl Placement {
+    /// The other side.
+    pub fn flipped(self) -> Placement {
+        match self {
+            Placement::Device => Placement::Edge,
+            Placement::Edge => Placement::Device,
+        }
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Placement::Device => write!(f, "device"),
+            Placement::Edge => write!(f, "edge"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_all_ops() {
+        assert_eq!(Op::Sample(SampleFn::Knn { k: 20 }).kind(), OpKind::Sample);
+        assert_eq!(Op::Aggregate(AggMode::Max).kind(), OpKind::Aggregate);
+        assert_eq!(Op::Communicate.kind(), OpKind::Communicate);
+        assert_eq!(Op::Combine { dim: 32 }.kind(), OpKind::Combine);
+        assert_eq!(Op::EdgeCombine { dim: 64 }.kind(), OpKind::Combine);
+        assert_eq!(Op::GlobalPool(PoolMode::Sum).kind(), OpKind::GlobalPool);
+        assert_eq!(Op::Identity.kind(), OpKind::Identity);
+    }
+
+    #[test]
+    fn needs_nodes_classification() {
+        assert!(Op::Sample(SampleFn::Random { k: 5 }).needs_nodes());
+        assert!(Op::GlobalPool(PoolMode::Max).needs_nodes());
+        assert!(!Op::Combine { dim: 16 }.needs_nodes());
+        assert!(!Op::Communicate.needs_nodes());
+        assert!(!Op::Identity.needs_nodes());
+    }
+
+    #[test]
+    fn placement_flips() {
+        assert_eq!(Placement::Device.flipped(), Placement::Edge);
+        assert_eq!(Placement::Edge.flipped(), Placement::Device);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Op::Combine { dim: 64 }.to_string(), "Combine(64)");
+        assert_eq!(
+            Op::Sample(SampleFn::Knn { k: 20 }).to_string(),
+            "Sample(knn,k=20)"
+        );
+    }
+
+    #[test]
+    fn sample_fn_k() {
+        assert_eq!(SampleFn::Knn { k: 9 }.k(), 9);
+        assert_eq!(SampleFn::Random { k: 4 }.k(), 4);
+    }
+}

@@ -1,0 +1,331 @@
+//! Constraint-based random search (Alg. 1) and the architecture scoring it
+//! shares with the EA baseline.
+
+use crate::arch::Architecture;
+use crate::estimate::CandidateEvaluator;
+use crate::space::DesignSpace;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Search hyper-parameters (Alg. 1 inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Stage-1 iterations `T` (paper: 2000).
+    pub iterations: usize,
+    /// Stage-2 tuning iterations `T_f` (paper: 10).
+    pub tuning_iterations: usize,
+    /// Accuracy/efficiency trade-off `λ` (larger = lower latency).
+    pub lambda: f64,
+    /// Latency constraint `C_lat` in seconds.
+    pub latency_constraint_s: f64,
+    /// On-device energy constraint `C_e` in joules.
+    pub energy_constraint_j: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// How many top candidates to keep for the architecture zoo.
+    pub zoo_size: usize,
+    /// Accuracy loss tolerated by stage-2 scale-down (fraction, e.g. 0.003).
+    pub tuning_tolerance: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 2000,
+            tuning_iterations: 10,
+            lambda: 0.1,
+            latency_constraint_s: 0.2,
+            energy_constraint_j: 1.0,
+            seed: 0,
+            zoo_size: 8,
+            tuning_tolerance: 0.003,
+        }
+    }
+}
+
+/// A fully evaluated candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoredArch {
+    /// The architecture.
+    pub arch: Architecture,
+    /// Combined score `acc − λ(P̂_sys + Ê_dev)` (−1 for constraint misses).
+    pub score: f64,
+    /// Validation accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Estimated/simulated system latency in seconds.
+    pub latency_s: f64,
+    /// Estimated on-device energy in joules.
+    pub energy_j: f64,
+}
+
+/// Outcome of a search run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Top candidates by score, best first — the architecture-zoo payload.
+    pub zoo: Vec<ScoredArch>,
+    /// Running best score after each trial (Fig. 10a series).
+    pub history: Vec<f64>,
+    /// Trials that failed the performance constraints.
+    pub constraint_misses: usize,
+    /// Total resampling draws spent inside the validity check.
+    pub validity_draws: usize,
+}
+
+impl SearchResult {
+    /// Best candidate, if any trial passed the constraints.
+    pub fn best(&self) -> Option<&ScoredArch> {
+        self.zoo.first()
+    }
+
+    /// Candidate with the lowest latency in the zoo.
+    pub fn best_latency(&self) -> Option<&ScoredArch> {
+        self.zoo
+            .iter()
+            .min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
+    }
+
+    /// Candidate with the lowest device energy in the zoo.
+    pub fn best_energy(&self) -> Option<&ScoredArch> {
+        self.zoo
+            .iter()
+            .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
+    }
+}
+
+/// Scores a candidate per the paper's objective. Latency and energy are
+/// normalized by their constraints so the magnitudes are comparable
+/// ("P_sys and E_dev are normalized during architecture scoring").
+pub fn score(cfg: &SearchConfig, accuracy: f64, latency_s: f64, energy_j: f64) -> f64 {
+    accuracy
+        - cfg.lambda
+            * (latency_s / cfg.latency_constraint_s + energy_j / cfg.energy_constraint_j)
+}
+
+/// Runs the two-stage constraint-based random search of Alg. 1.
+///
+/// Stage 1 samples valid operation sets, rejects constraint violators
+/// without accuracy evaluation, and keeps a zoo of top scorers. Stage 2
+/// tries function scale-downs on the best candidate, adopting any variant
+/// that stays within `tuning_tolerance` of its accuracy while improving
+/// latency.
+pub fn random_search(
+    space: &DesignSpace,
+    cfg: &SearchConfig,
+    eval: &mut dyn CandidateEvaluator,
+) -> SearchResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut zoo: Vec<ScoredArch> = Vec::new();
+    let mut history = Vec::with_capacity(cfg.iterations);
+    let mut best_so_far = f64::NEG_INFINITY;
+    let mut constraint_misses = 0usize;
+    let mut validity_draws = 0usize;
+
+    // Stage 1: operation search.
+    for _ in 0..cfg.iterations {
+        let (arch, draws) = space.sample_valid(&mut rng, 100_000);
+        validity_draws += draws;
+        let latency_s = eval.latency_s(&arch);
+        let energy_j = eval.device_energy_j(&arch);
+        let scored = if latency_s < cfg.latency_constraint_s
+            && energy_j < cfg.energy_constraint_j
+        {
+            let accuracy = eval.accuracy(&arch);
+            ScoredArch {
+                score: score(cfg, accuracy, latency_s, energy_j),
+                arch,
+                accuracy,
+                latency_s,
+                energy_j,
+            }
+        } else {
+            constraint_misses += 1;
+            ScoredArch { arch, score: -1.0, accuracy: 0.0, latency_s, energy_j }
+        };
+        best_so_far = best_so_far.max(scored.score);
+        history.push(best_so_far);
+        if scored.score > -1.0 {
+            insert_into_zoo(&mut zoo, scored, cfg.zoo_size);
+        }
+    }
+
+    // Stage 2: function scale-down tuning on the best candidate.
+    if let Some(best) = zoo.first().cloned() {
+        let mut current = best;
+        for _ in 0..cfg.tuning_iterations {
+            let Some(candidate) = space.scale_down(&current.arch, &mut rng) else {
+                break;
+            };
+            if candidate.validate(&space.profile).is_err() {
+                continue;
+            }
+            let latency_s = eval.latency_s(&candidate);
+            let energy_j = eval.device_energy_j(&candidate);
+            if latency_s >= cfg.latency_constraint_s || energy_j >= cfg.energy_constraint_j {
+                continue;
+            }
+            let accuracy = eval.accuracy(&candidate);
+            let improves = latency_s < current.latency_s || energy_j < current.energy_j;
+            if improves && accuracy + cfg.tuning_tolerance >= current.accuracy {
+                current = ScoredArch {
+                    score: score(cfg, accuracy, latency_s, energy_j),
+                    arch: candidate,
+                    accuracy,
+                    latency_s,
+                    energy_j,
+                };
+            }
+        }
+        insert_into_zoo(&mut zoo, current, cfg.zoo_size);
+    }
+
+    SearchResult { zoo, history, constraint_misses, validity_draws }
+}
+
+fn insert_into_zoo(zoo: &mut Vec<ScoredArch>, candidate: ScoredArch, cap: usize) {
+    if zoo.iter().any(|z| z.arch == candidate.arch && z.score >= candidate.score) {
+        return;
+    }
+    zoo.retain(|z| z.arch != candidate.arch);
+    zoo.push(candidate);
+    zoo.sort_by(|a, b| b.score.total_cmp(&a.score));
+    zoo.truncate(cap);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::WorkloadProfile;
+    use crate::estimate::AnalyticEvaluator;
+    use gcode_hardware::SystemConfig;
+
+    fn setup() -> (DesignSpace, SearchConfig) {
+        let space = DesignSpace::paper(WorkloadProfile::modelnet40());
+        let cfg = SearchConfig {
+            iterations: 150,
+            tuning_iterations: 5,
+            latency_constraint_s: 0.5,
+            energy_constraint_j: 3.0,
+            seed: 11,
+            ..SearchConfig::default()
+        };
+        (space, cfg)
+    }
+
+    fn evaluator(
+        sys: SystemConfig,
+    ) -> AnalyticEvaluator<impl FnMut(&Architecture) -> f64> {
+        AnalyticEvaluator {
+            profile: WorkloadProfile::modelnet40(),
+            sys,
+            // Accuracy proxy: mildly rewards more Combine capacity.
+            accuracy_fn: |a: &Architecture| {
+                let cap: usize = a
+                    .ops()
+                    .iter()
+                    .map(|o| match o {
+                        crate::op::Op::Combine { dim } => *dim,
+                        crate::op::Op::Aggregate(_) => 8,
+                        _ => 0,
+                    })
+                    .sum();
+                0.85 + 0.10 * (1.0 - (-(cap as f64) / 64.0).exp())
+            },
+        }
+    }
+
+    #[test]
+    fn search_finds_constraint_satisfying_architectures() {
+        let (space, cfg) = setup();
+        let mut eval = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let result = random_search(&space, &cfg, &mut eval);
+        let best = result.best().expect("should find candidates");
+        assert!(best.latency_s < cfg.latency_constraint_s);
+        assert!(best.energy_j < cfg.energy_constraint_j);
+        assert!(best.score > -1.0);
+        assert!(best.arch.validate(&space.profile).is_ok());
+    }
+
+    #[test]
+    fn history_is_monotone_nondecreasing() {
+        let (space, cfg) = setup();
+        let mut eval = evaluator(SystemConfig::tx2_to_1060(40.0));
+        let result = random_search(&space, &cfg, &mut eval);
+        assert_eq!(result.history.len(), cfg.iterations);
+        for w in result.history.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn zoo_sorted_and_bounded() {
+        let (space, cfg) = setup();
+        let mut eval = evaluator(SystemConfig::pi_to_1060(40.0));
+        let result = random_search(&space, &cfg, &mut eval);
+        assert!(result.zoo.len() <= cfg.zoo_size);
+        for w in result.zoo.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // No duplicate architectures in the zoo.
+        for i in 0..result.zoo.len() {
+            for j in i + 1..result.zoo.len() {
+                assert_ne!(result.zoo[i].arch, result.zoo[j].arch);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (space, cfg) = setup();
+        let mut e1 = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let mut e2 = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let r1 = random_search(&space, &cfg, &mut e1);
+        let r2 = random_search(&space, &cfg, &mut e2);
+        assert_eq!(r1.history, r2.history);
+        assert_eq!(r1.best().map(|b| b.arch.clone()), r2.best().map(|b| b.arch.clone()));
+    }
+
+    #[test]
+    fn tight_constraints_produce_misses() {
+        let (space, mut cfg) = setup();
+        cfg.latency_constraint_s = 1e-6; // impossible
+        let mut eval = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let result = random_search(&space, &cfg, &mut eval);
+        assert_eq!(result.constraint_misses, cfg.iterations);
+        assert!(result.zoo.is_empty());
+        assert!(result.history.iter().all(|&s| s == -1.0));
+    }
+
+    #[test]
+    fn best_latency_and_energy_selectors() {
+        let (space, cfg) = setup();
+        let mut eval = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let result = random_search(&space, &cfg, &mut eval);
+        let bl = result.best_latency().expect("non-empty zoo");
+        for z in &result.zoo {
+            assert!(bl.latency_s <= z.latency_s);
+        }
+        let be = result.best_energy().expect("non-empty zoo");
+        for z in &result.zoo {
+            assert!(be.energy_j <= z.energy_j);
+        }
+    }
+
+    #[test]
+    fn lambda_tradeoff_moves_selection_toward_speed() {
+        let (space, mut cfg) = setup();
+        cfg.iterations = 300;
+        let mut eval = evaluator(SystemConfig::tx2_to_i7(40.0));
+        cfg.lambda = 0.01;
+        let accurate = random_search(&space, &cfg, &mut eval);
+        cfg.lambda = 1.0;
+        let fast = random_search(&space, &cfg, &mut eval);
+        let (a, f) = (accurate.best().unwrap(), fast.best().unwrap());
+        assert!(
+            f.latency_s <= a.latency_s,
+            "large λ should prefer faster archs: {} vs {}",
+            f.latency_s,
+            a.latency_s
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! The searchable co-inference design space: sampling, mutation and
+//! function scale-down.
+
+use crate::arch::{Architecture, WorkloadProfile};
+use crate::op::{Op, SampleFn};
+use gcode_nn::agg::AggMode;
+use gcode_nn::pool::PoolMode;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The GNN co-inference design space `A` (Fig. 6): a supernet of
+/// `num_layers` slots, each choosing one of the six operations with its
+/// function setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// Number of operation slots.
+    pub num_layers: usize,
+    /// Allowed `Combine` widths (paper: 16/32/64/128).
+    pub combine_dims: Vec<usize>,
+    /// Allowed `Sample` neighbor counts.
+    pub sample_ks: Vec<usize>,
+    /// Workload the space targets.
+    pub profile: WorkloadProfile,
+    /// Whether `Communicate` is a sampleable operation. `false` turns this
+    /// into a *single-device* space — the HGNAS-style baseline setting
+    /// where mapping is decided after the fact (Motivation ❸).
+    pub allow_communicate: bool,
+}
+
+impl DesignSpace {
+    /// The paper's space for a workload: 8 layers, dims {16,32,64,128},
+    /// k ∈ {10, 20}.
+    pub fn paper(profile: WorkloadProfile) -> Self {
+        Self {
+            num_layers: 8,
+            combine_dims: vec![16, 32, 64, 128],
+            sample_ks: vec![10, 20],
+            profile,
+            allow_communicate: true,
+        }
+    }
+
+    /// The same space with `Communicate` removed — a single-device NAS
+    /// space (HGNAS-style baseline).
+    pub fn single_device(profile: WorkloadProfile) -> Self {
+        Self { allow_communicate: false, ..Self::paper(profile) }
+    }
+
+    /// Uniformly samples one op for slot construction.
+    pub fn sample_op(&self, rng: &mut impl Rng) -> Op {
+        match rng.gen_range(0..6) {
+            0 => {
+                let k = *self.sample_ks.choose(rng).expect("non-empty ks");
+                if rng.gen_bool(0.5) {
+                    Op::Sample(SampleFn::Knn { k })
+                } else {
+                    Op::Sample(SampleFn::Random { k })
+                }
+            }
+            1 => Op::Aggregate(*AggMode::ALL.choose(rng).expect("non-empty")),
+            2 => {
+                if self.allow_communicate {
+                    Op::Communicate
+                } else {
+                    Op::Identity
+                }
+            }
+            3 => Op::Combine {
+                dim: *self.combine_dims.choose(rng).expect("non-empty dims"),
+            },
+            4 => Op::GlobalPool(*PoolMode::ALL.choose(rng).expect("non-empty")),
+            _ => Op::Identity,
+        }
+    }
+
+    /// Samples an unvalidated op sequence (one op per slot).
+    pub fn sample_ops(&self, rng: &mut impl Rng) -> Architecture {
+        Architecture::new((0..self.num_layers).map(|_| self.sample_op(rng)).collect())
+    }
+
+    /// Samples until the validity check passes — the `while Check(Ops)` loop
+    /// of Alg. 1. Returns the architecture and how many draws it took.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no valid architecture is found within `max_tries` draws
+    /// (with the paper's space this effectively never happens).
+    pub fn sample_valid(&self, rng: &mut impl Rng, max_tries: usize) -> (Architecture, usize) {
+        for attempt in 1..=max_tries {
+            let arch = self.sample_ops(rng);
+            if arch.validate(&self.profile).is_ok() {
+                return (arch, attempt);
+            }
+        }
+        panic!("no valid architecture within {max_tries} draws");
+    }
+
+    /// Mutates one random slot to a random op — the EA baseline's mutation
+    /// operator. The result is *not* validity-checked (that is the point of
+    /// Fig. 10a: plain EA keeps proposing invalid candidates).
+    pub fn mutate(&self, arch: &Architecture, rng: &mut impl Rng) -> Architecture {
+        let mut ops = arch.ops().to_vec();
+        if ops.is_empty() {
+            return self.sample_ops(rng);
+        }
+        let slot = rng.gen_range(0..ops.len());
+        ops[slot] = self.sample_op(rng);
+        Architecture::new(ops)
+    }
+
+    /// Single-point crossover of two parents (EA baseline).
+    pub fn crossover(
+        &self,
+        a: &Architecture,
+        b: &Architecture,
+        rng: &mut impl Rng,
+    ) -> Architecture {
+        let n = a.len().min(b.len());
+        if n == 0 {
+            return a.clone();
+        }
+        let cut = rng.gen_range(0..n);
+        let mut ops: Vec<Op> = a.ops()[..cut].to_vec();
+        ops.extend_from_slice(&b.ops()[cut..]);
+        Architecture::new(ops)
+    }
+
+    /// Proposes a scaled-down function variant: one `Combine` width or
+    /// `Sample` k reduced one notch (Alg. 1 stage 2). Returns `None` if
+    /// nothing can shrink.
+    pub fn scale_down(&self, arch: &Architecture, rng: &mut impl Rng) -> Option<Architecture> {
+        let mut candidates: Vec<usize> = Vec::new();
+        for (i, op) in arch.ops().iter().enumerate() {
+            match op {
+                Op::Combine { dim } | Op::EdgeCombine { dim }
+                    if self.combine_dims.iter().any(|&d| d < *dim) => {
+                        candidates.push(i);
+                    }
+                Op::Sample(f)
+                    if self.sample_ks.iter().any(|&k| k < f.k()) => {
+                        candidates.push(i);
+                    }
+                _ => {}
+            }
+        }
+        let &slot = candidates.choose(rng)?;
+        let mut ops = arch.ops().to_vec();
+        ops[slot] = match ops[slot] {
+            Op::Combine { dim } => Op::Combine { dim: next_smaller(&self.combine_dims, dim)? },
+            Op::EdgeCombine { dim } => {
+                Op::EdgeCombine { dim: next_smaller(&self.combine_dims, dim)? }
+            }
+            Op::Sample(SampleFn::Knn { k }) => {
+                Op::Sample(SampleFn::Knn { k: next_smaller(&self.sample_ks, k)? })
+            }
+            Op::Sample(SampleFn::Random { k }) => {
+                Op::Sample(SampleFn::Random { k: next_smaller(&self.sample_ks, k)? })
+            }
+            other => other,
+        };
+        Some(Architecture::new(ops))
+    }
+}
+
+fn next_smaller(options: &[usize], current: usize) -> Option<usize> {
+    options.iter().copied().filter(|&d| d < current).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn space() -> DesignSpace {
+        DesignSpace::paper(WorkloadProfile::modelnet40())
+    }
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sample_ops_has_layer_count() {
+        let s = space();
+        let arch = s.sample_ops(&mut rng(1));
+        assert_eq!(arch.len(), 8);
+    }
+
+    #[test]
+    fn sample_valid_always_validates() {
+        let s = space();
+        let mut r = rng(2);
+        for _ in 0..50 {
+            let (arch, _) = s.sample_valid(&mut r, 10_000);
+            assert!(arch.validate(&s.profile).is_ok(), "invalid: {arch}");
+        }
+    }
+
+    #[test]
+    fn raw_sampling_often_invalid() {
+        // The motivation for the Check loop: the fused space is littered
+        // with invalid sequences.
+        let s = space();
+        let mut r = rng(3);
+        let invalid = (0..500)
+            .filter(|_| s.sample_ops(&mut r).validate(&s.profile).is_err())
+            .count();
+        assert!(invalid > 200, "expected many invalid draws, got {invalid}/500");
+    }
+
+    #[test]
+    fn mutation_changes_at_most_one_slot() {
+        let s = space();
+        let mut r = rng(4);
+        let (arch, _) = s.sample_valid(&mut r, 10_000);
+        let mutant = s.mutate(&arch, &mut r);
+        let diffs = arch
+            .ops()
+            .iter()
+            .zip(mutant.ops())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(diffs <= 1);
+        assert_eq!(mutant.len(), arch.len());
+    }
+
+    #[test]
+    fn crossover_preserves_length() {
+        let s = space();
+        let mut r = rng(5);
+        let a = s.sample_ops(&mut r);
+        let b = s.sample_ops(&mut r);
+        let c = s.crossover(&a, &b, &mut r);
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn scale_down_shrinks_one_function() {
+        let s = space();
+        let arch = Architecture::new(vec![
+            Op::Combine { dim: 128 },
+            Op::GlobalPool(PoolMode::Sum),
+        ]);
+        let mut r = rng(6);
+        let shrunk = s.scale_down(&arch, &mut r).expect("128 can shrink");
+        match shrunk.ops()[0] {
+            Op::Combine { dim } => assert_eq!(dim, 64),
+            ref other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_down_none_at_minimum() {
+        let s = space();
+        let arch = Architecture::new(vec![
+            Op::Combine { dim: 16 },
+            Op::Sample(SampleFn::Knn { k: 10 }),
+            Op::GlobalPool(PoolMode::Sum),
+        ]);
+        assert!(s.scale_down(&arch, &mut rng(7)).is_none());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = space();
+        let a = s.sample_ops(&mut rng(9));
+        let b = s.sample_ops(&mut rng(9));
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod single_device_tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn single_device_space_never_communicates() {
+        let s = DesignSpace::single_device(WorkloadProfile::modelnet40());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            let (arch, _) = s.sample_valid(&mut rng, 100_000);
+            assert_eq!(arch.num_communicates(), 0, "leaked communicate: {arch}");
+        }
+    }
+
+    #[test]
+    fn paper_space_does_communicate_sometimes() {
+        let s = DesignSpace::paper(WorkloadProfile::modelnet40());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let with_comm = (0..100)
+            .filter(|_| s.sample_valid(&mut rng, 100_000).0.num_communicates() > 0)
+            .count();
+        assert!(with_comm > 20, "expected frequent splits, got {with_comm}/100");
+    }
+}

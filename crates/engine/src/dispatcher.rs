@@ -1,0 +1,110 @@
+//! Engine-level runtime dispatcher: the deployment half of the paper's
+//! "runtime dispatcher" (Sec. 3.6).
+//!
+//! `gcode-core`'s zoo decides *which* architecture fits the current
+//! constraints; this module turns that decision into an [`ExecutionPlan`]
+//! ready to hand to a [`crate::DeviceClient`]/[`crate::EdgeServer`] pair.
+//! Because all zoo members were trained through the shared supernet
+//! [`WeightBank`], one bank serves every dispatched plan — switching
+//! architectures at runtime costs no weight transfer.
+
+use crate::plan::ExecutionPlan;
+use gcode_core::search::ScoredArch;
+use gcode_core::zoo::{ArchitectureZoo, RuntimeConstraint};
+use gcode_nn::seq::WeightBank;
+
+/// A zoo bound to the shared weights that can serve it.
+pub struct EngineDispatcher {
+    zoo: ArchitectureZoo,
+    bank: WeightBank,
+}
+
+impl EngineDispatcher {
+    /// Couples a searched zoo with the supernet weight bank its members
+    /// were trained in.
+    pub fn new(zoo: ArchitectureZoo, bank: WeightBank) -> Self {
+        Self { zoo, bank }
+    }
+
+    /// The underlying zoo.
+    pub fn zoo(&self) -> &ArchitectureZoo {
+        &self.zoo
+    }
+
+    /// A clone of the shared weights (ship this to the edge side).
+    pub fn bank(&self) -> WeightBank {
+        self.bank.clone()
+    }
+
+    /// Picks the architecture for `constraint` and returns its deployment
+    /// plan together with the zoo entry, or `None` for an empty zoo.
+    pub fn dispatch(
+        &self,
+        constraint: RuntimeConstraint,
+    ) -> Option<(ExecutionPlan, &ScoredArch)> {
+        let entry = self.zoo.dispatch(constraint)?;
+        Some((ExecutionPlan::from_architecture(&entry.arch), entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcode_core::arch::Architecture;
+    use gcode_core::op::{Op, SampleFn};
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    fn entry(latency_s: f64, accuracy: f64, split: bool) -> ScoredArch {
+        let mut ops = vec![
+            Op::Sample(SampleFn::Knn { k: 8 }),
+            Op::Aggregate(AggMode::Max),
+        ];
+        if split {
+            ops.push(Op::Communicate);
+        }
+        ops.push(Op::Combine { dim: 16 });
+        ops.push(Op::GlobalPool(PoolMode::Max));
+        ScoredArch {
+            arch: Architecture::new(ops),
+            score: accuracy,
+            accuracy,
+            latency_s,
+            energy_j: latency_s,
+        }
+    }
+
+    fn dispatcher() -> EngineDispatcher {
+        let zoo = ArchitectureZoo::new(vec![
+            entry(0.080, 0.93, true),  // accurate co-inference design
+            entry(0.010, 0.90, false), // fast local design
+        ]);
+        EngineDispatcher::new(zoo, WeightBank::new(4, 1))
+    }
+
+    #[test]
+    fn constraint_switches_the_plan() {
+        let d = dispatcher();
+        let (relaxed_plan, relaxed) = d.dispatch(RuntimeConstraint::none()).expect("entry");
+        assert!(relaxed_plan.offloaded, "accuracy-first pick offloads");
+        assert_eq!(relaxed.accuracy, 0.93);
+        let (tight_plan, tight) = d
+            .dispatch(RuntimeConstraint::latency(0.020))
+            .expect("entry");
+        assert!(!tight_plan.offloaded, "latency-first pick stays local");
+        assert_eq!(tight.accuracy, 0.90);
+    }
+
+    #[test]
+    fn empty_zoo_dispatches_none() {
+        let d = EngineDispatcher::new(ArchitectureZoo::default(), WeightBank::new(2, 0));
+        assert!(d.dispatch(RuntimeConstraint::none()).is_none());
+    }
+
+    #[test]
+    fn bank_is_shared_across_dispatches() {
+        let d = dispatcher();
+        assert_eq!(d.bank().num_classes(), 4);
+        assert_eq!(d.zoo().len(), 2);
+    }
+}

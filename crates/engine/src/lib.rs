@@ -1,0 +1,88 @@
+//! Pipelined co-inference engine over real TCP sockets.
+//!
+//! The paper's deployment layer (Sec. 3.6) rebuilt in Rust: the device
+//! executes its architecture prefix, ships the compressed intermediate
+//! tensor to the edge over a socket, and **immediately begins the next
+//! frame** instead of waiting for the result; sending and receiving run on
+//! separate threads with their own message queues, and every transmitted
+//! payload is compressed (the paper uses zlib; we use `gcode-compress`).
+//!
+//! The loopback deployment here exercises the identical code path as a
+//! LAN deployment — only the socket address differs.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gcode_core::arch::Architecture;
+//! use gcode_core::op::{Op, SampleFn};
+//! use gcode_engine::{EdgeServer, DeviceClient, ExecutionPlan};
+//! use gcode_nn::seq::WeightBank;
+//! use gcode_nn::{agg::AggMode, pool::PoolMode};
+//!
+//! let arch = Architecture::new(vec![
+//!     Op::Sample(SampleFn::Knn { k: 8 }),
+//!     Op::Communicate,
+//!     Op::Aggregate(AggMode::Max),
+//!     Op::GlobalPool(PoolMode::Max),
+//! ]);
+//! let plan = ExecutionPlan::from_architecture(&arch);
+//! let bank = WeightBank::new(4, 0);
+//! let server = EdgeServer::spawn(plan.clone(), bank.clone(), 4)?;
+//! let client = DeviceClient::connect(server.addr(), plan, bank, 4)?;
+//! # Ok::<(), gcode_engine::EngineError>(())
+//! ```
+
+mod dispatcher;
+mod plan;
+mod proto;
+mod runtime;
+mod throttle;
+
+pub use dispatcher::EngineDispatcher;
+pub use plan::ExecutionPlan;
+pub use proto::{decode_state, encode_state, read_message, write_message, WireState};
+pub use runtime::{DeviceClient, EdgeServer, EngineStats};
+pub use throttle::Throttle;
+
+/// Errors surfaced by the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed wire payload.
+    Decode(gcode_compress::DecodeError),
+    /// Protocol violation (unexpected message, lost worker, …).
+    Protocol(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "engine io error: {e}"),
+            EngineError::Decode(e) => write!(f, "engine decode error: {e}"),
+            EngineError::Protocol(m) => write!(f, "engine protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            EngineError::Decode(e) => Some(e),
+            EngineError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+impl From<gcode_compress::DecodeError> for EngineError {
+    fn from(e: gcode_compress::DecodeError) -> Self {
+        EngineError::Decode(e)
+    }
+}

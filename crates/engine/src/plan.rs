@@ -1,0 +1,138 @@
+//! Splitting an architecture into device- and edge-side executable parts.
+
+use gcode_core::arch::Architecture;
+use gcode_core::op::{OpKind, Placement};
+use gcode_nn::seq::LayerSpec;
+
+/// Executable deployment plan: the device runs `device_specs`, ships the
+/// intermediate state, the edge runs `edge_specs` and returns the logits.
+///
+/// The split happens at the *first* `Communicate`; later `Communicate` ops
+/// lower to `Identity` inside the edge part (they are compute-free), which
+/// keeps every op at its original slot index so split execution shares the
+/// exact weights a monolithic forward would use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    /// Layers executed on the device before transmission (slots `0..n`).
+    pub device_specs: Vec<LayerSpec>,
+    /// Layers executed on the edge after reception.
+    pub edge_specs: Vec<LayerSpec>,
+    /// Slot index of `edge_specs[0]` in the full lowered architecture.
+    pub edge_slot_offset: usize,
+    /// Whether anything is offloaded at all.
+    pub offloaded: bool,
+}
+
+impl ExecutionPlan {
+    /// Builds a plan by splitting at the first `Communicate` op.
+    pub fn from_architecture(arch: &Architecture) -> Self {
+        let lowered = arch.lower();
+        let first_comm = arch
+            .ops()
+            .iter()
+            .position(|op| op.kind() == OpKind::Communicate);
+        match first_comm {
+            None => Self {
+                device_specs: lowered,
+                edge_specs: Vec::new(),
+                edge_slot_offset: arch.len(),
+                offloaded: false,
+            },
+            Some(i) => Self {
+                device_specs: lowered[..i].to_vec(),
+                edge_specs: lowered[i + 1..].to_vec(),
+                edge_slot_offset: i + 1,
+                offloaded: true,
+            },
+        }
+    }
+
+    /// Device-only plan for an unsplit architecture.
+    pub fn device_only(arch: &Architecture) -> Self {
+        Self {
+            device_specs: arch.lower(),
+            edge_specs: Vec::new(),
+            edge_slot_offset: arch.len(),
+            offloaded: false,
+        }
+    }
+
+    /// Number of ops on each side, `(device, edge)`.
+    pub fn op_counts(&self) -> (usize, usize) {
+        (self.device_specs.len(), self.edge_specs.len())
+    }
+
+    /// Which side evaluates the classifier (the side holding the last op).
+    pub fn classifier_side(&self) -> Placement {
+        if self.edge_specs.is_empty() {
+            Placement::Device
+        } else {
+            Placement::Edge
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcode_core::op::{Op, SampleFn};
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    fn split_arch() -> Architecture {
+        Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 8 }),
+            Op::Communicate,
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ])
+    }
+
+    #[test]
+    fn split_plan_partitions_ops() {
+        let plan = ExecutionPlan::from_architecture(&split_arch());
+        assert!(plan.offloaded);
+        assert_eq!(plan.op_counts(), (1, 2));
+        assert_eq!(plan.edge_slot_offset, 2);
+        assert_eq!(plan.classifier_side(), Placement::Edge);
+    }
+
+    #[test]
+    fn device_only_plan() {
+        let arch = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 8 }),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let plan = ExecutionPlan::from_architecture(&arch);
+        assert!(!plan.offloaded);
+        assert_eq!(plan.op_counts(), (2, 0));
+        assert_eq!(plan.classifier_side(), Placement::Device);
+    }
+
+    #[test]
+    fn second_communicate_lowers_to_identity_in_edge_part() {
+        let arch = Architecture::new(vec![
+            Op::Combine { dim: 16 },
+            Op::Communicate,
+            Op::Combine { dim: 32 },
+            Op::Communicate,
+            Op::GlobalPool(PoolMode::Sum),
+        ]);
+        let plan = ExecutionPlan::from_architecture(&arch);
+        assert_eq!(plan.op_counts(), (1, 3));
+        assert_eq!(plan.edge_specs[1], LayerSpec::Identity);
+    }
+
+    #[test]
+    fn slots_align_with_monolithic_lowering() {
+        let arch = split_arch();
+        let plan = ExecutionPlan::from_architecture(&arch);
+        let lowered = arch.lower();
+        for (i, spec) in plan.device_specs.iter().enumerate() {
+            assert_eq!(*spec, lowered[i]);
+        }
+        for (i, spec) in plan.edge_specs.iter().enumerate() {
+            assert_eq!(*spec, lowered[plan.edge_slot_offset + i]);
+        }
+    }
+}

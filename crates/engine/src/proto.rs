@@ -1,0 +1,232 @@
+//! Wire protocol: length-prefixed, compressed intermediate states.
+//!
+//! Layout of one message: `[u32 total_len][u64 frame_id][u8 kind][body…]`.
+//! The body of a state message is the compressed feature tensor plus the
+//! optional CSR graph (the paper's Fig. 2 point: splits after KNN must also
+//! ship graph data).
+
+use crate::EngineError;
+use gcode_compress::{compress, compress_floats, decompress, decompress_floats};
+use gcode_graph::CsrGraph;
+use gcode_tensor::Matrix;
+use std::io::{Read, Write};
+
+/// Intermediate execution state crossing the link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireState {
+    /// Monotone frame counter (pipelining keeps results ordered by it).
+    pub frame_id: u64,
+    /// Node/pooled features.
+    pub features: Matrix,
+    /// Live neighbor graph, if one was materialized on the sender side.
+    pub graph: Option<CsrGraph>,
+    /// Ground-truth label piggybacked for end-to-end accuracy accounting
+    /// (not used for inference).
+    pub label: u32,
+}
+
+/// Encodes a state into a framed, compressed message body.
+pub fn encode_state(state: &WireState) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&state.frame_id.to_le_bytes());
+    body.extend_from_slice(&state.label.to_le_bytes());
+    body.extend_from_slice(&(state.features.rows() as u32).to_le_bytes());
+    body.extend_from_slice(&(state.features.cols() as u32).to_le_bytes());
+    let packed_feats = compress_floats(state.features.as_slice());
+    body.extend_from_slice(&(packed_feats.len() as u32).to_le_bytes());
+    body.extend_from_slice(&packed_feats);
+    match &state.graph {
+        None => body.push(0),
+        Some(g) => {
+            body.push(1);
+            let mut graph_bytes = Vec::with_capacity(8 + 4 * (g.num_nodes() + g.num_edges()));
+            graph_bytes.extend_from_slice(&(g.num_nodes() as u32).to_le_bytes());
+            for u in 0..g.num_nodes() {
+                let ns = g.neighbors(u);
+                graph_bytes.extend_from_slice(&(ns.len() as u32).to_le_bytes());
+                for &v in ns {
+                    graph_bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            let packed_graph = compress(&graph_bytes);
+            body.extend_from_slice(&(packed_graph.len() as u32).to_le_bytes());
+            body.extend_from_slice(&packed_graph);
+        }
+    }
+    body
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, EngineError> {
+    let end = *pos + 4;
+    if end > buf.len() {
+        return Err(EngineError::Protocol("truncated u32".to_string()));
+    }
+    let v = u32::from_le_bytes(buf[*pos..end].try_into().expect("4 bytes"));
+    *pos = end;
+    Ok(v)
+}
+
+/// Decodes a message body produced by [`encode_state`].
+///
+/// # Errors
+///
+/// Returns [`EngineError`] on truncation or codec failure.
+pub fn decode_state(body: &[u8]) -> Result<WireState, EngineError> {
+    if body.len() < 12 {
+        return Err(EngineError::Protocol("short body".to_string()));
+    }
+    let frame_id = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    let mut pos = 8usize;
+    let label = read_u32(body, &mut pos)?;
+    let rows = read_u32(body, &mut pos)? as usize;
+    let cols = read_u32(body, &mut pos)? as usize;
+    let feat_len = read_u32(body, &mut pos)? as usize;
+    let end = pos + feat_len;
+    if end > body.len() {
+        return Err(EngineError::Protocol("truncated features".to_string()));
+    }
+    let values = decompress_floats(&body[pos..end])?;
+    if values.len() != rows * cols {
+        return Err(EngineError::Protocol("feature shape mismatch".to_string()));
+    }
+    let features = Matrix::from_vec(rows, cols, values);
+    pos = end;
+    let has_graph = *body
+        .get(pos)
+        .ok_or_else(|| EngineError::Protocol("missing graph flag".to_string()))?;
+    pos += 1;
+    let graph = if has_graph == 1 {
+        let glen = read_u32(body, &mut pos)? as usize;
+        let gend = pos + glen;
+        if gend > body.len() {
+            return Err(EngineError::Protocol("truncated graph".to_string()));
+        }
+        let raw = decompress(&body[pos..gend])?;
+        let mut gpos = 0usize;
+        let n = read_u32(&raw, &mut gpos)? as usize;
+        // Corrupted counts must not drive allocations: every node needs at
+        // least a 4-byte degree field, every neighbor 4 bytes.
+        if n > raw.len() / 4 {
+            return Err(EngineError::Protocol("graph node count exceeds buffer".to_string()));
+        }
+        let mut adj = Vec::with_capacity(n);
+        for _ in 0..n {
+            let deg = read_u32(&raw, &mut gpos)? as usize;
+            if deg > (raw.len() - gpos) / 4 {
+                return Err(EngineError::Protocol("graph degree exceeds buffer".to_string()));
+            }
+            let mut ns = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                let v = read_u32(&raw, &mut gpos)?;
+                if v as usize >= n {
+                    return Err(EngineError::Protocol(
+                        "graph neighbor out of range".to_string(),
+                    ));
+                }
+                ns.push(v);
+            }
+            adj.push(ns);
+        }
+        Some(CsrGraph::from_adjacency(adj))
+    } else {
+        None
+    };
+    Ok(WireState { frame_id, features, graph, label })
+}
+
+/// Writes one length-prefixed message to a stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer. A `&mut TcpStream`
+/// can be passed directly.
+pub fn write_message<W: Write>(mut w: W, body: &[u8]) -> Result<(), EngineError> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed message; `Ok(None)` signals a clean EOF at a
+/// message boundary (peer closed the stream).
+///
+/// # Errors
+///
+/// Propagates I/O errors and mid-message truncation.
+pub fn read_message<R: Read>(mut r: R) -> Result<Option<Vec<u8>>, EngineError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with_graph() -> WireState {
+        WireState {
+            frame_id: 42,
+            features: Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[0.5, -1.0]]),
+            graph: Some(CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])),
+            label: 7,
+        }
+    }
+
+    #[test]
+    fn state_round_trip_with_graph() {
+        let s = state_with_graph();
+        let body = encode_state(&s);
+        let back = decode_state(&body).expect("round trip");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn state_round_trip_without_graph() {
+        let s = WireState { graph: None, ..state_with_graph() };
+        let back = decode_state(&encode_state(&s)).expect("round trip");
+        assert_eq!(back.graph, None);
+        assert_eq!(back.features, s.features);
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let body = encode_state(&state_with_graph());
+        assert!(decode_state(&body[..body.len() - 2]).is_err());
+        assert!(decode_state(&body[..6]).is_err());
+    }
+
+    #[test]
+    fn message_framing_round_trip() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, b"hello").expect("write");
+        write_message(&mut buf, b"").expect("write empty");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_message(&mut cursor).expect("read").expect("some"), b"hello");
+        assert_eq!(read_message(&mut cursor).expect("read").expect("some"), b"");
+        assert!(read_message(&mut cursor).expect("eof").is_none());
+    }
+
+    #[test]
+    fn compression_shrinks_large_smooth_tensor() {
+        let values: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.005).cos()).collect();
+        let s = WireState {
+            frame_id: 0,
+            features: Matrix::from_vec(512, 4, values),
+            graph: None,
+            label: 0,
+        };
+        let body = encode_state(&s);
+        assert!(
+            body.len() < 512 * 4 * 4,
+            "wire size {} should beat raw f32 size",
+            body.len()
+        );
+    }
+}

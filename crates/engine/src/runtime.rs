@@ -1,0 +1,494 @@
+//! Device client and edge server: the running halves of the engine.
+
+use crate::plan::ExecutionPlan;
+use crate::proto::{decode_state, encode_state, read_message, write_message, WireState};
+use crate::EngineError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gcode_graph::datasets::Sample;
+use gcode_nn::seq::{classify, forward_features, GraphInput, WeightBank};
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Throughput/latency statistics from one engine run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// Frames processed.
+    pub frames: usize,
+    /// Wall-clock for the whole stream, seconds.
+    pub wall_s: f64,
+    /// Achieved frames per second.
+    pub fps: f64,
+    /// Application bytes sent device→edge (after compression).
+    pub bytes_sent: usize,
+    /// Fraction of frames whose prediction matched the label.
+    pub accuracy: f64,
+}
+
+/// The edge half: accepts one device connection and serves edge-side
+/// inference for every incoming frame.
+pub struct EdgeServer {
+    addr: SocketAddr,
+    handle: Option<JoinHandle<Result<(), EngineError>>>,
+}
+
+impl EdgeServer {
+    /// Binds to an ephemeral loopback port and spawns the serving thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn(
+        plan: ExecutionPlan,
+        bank: WeightBank,
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let handle = std::thread::spawn(move || -> Result<(), EngineError> {
+            let (stream, _) = listener.accept()?;
+            serve_connection(stream, &plan, bank, seed)
+        });
+        Ok(Self { addr, handle: Some(handle) })
+    }
+
+    /// Binds to an ephemeral loopback port and serves up to `max_clients`
+    /// concurrent device connections, one handler thread each — an edge
+    /// node shared by several devices. The serving thread exits after all
+    /// `max_clients` connections have been accepted and drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn_multi(
+        plan: ExecutionPlan,
+        bank: WeightBank,
+        seed: u64,
+        max_clients: usize,
+    ) -> Result<Self, EngineError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let handle = std::thread::spawn(move || -> Result<(), EngineError> {
+            let mut workers = Vec::with_capacity(max_clients);
+            for client in 0..max_clients {
+                let (stream, _) = listener.accept()?;
+                let plan = plan.clone();
+                let bank = bank.clone();
+                workers.push(std::thread::spawn(move || {
+                    serve_connection(stream, &plan, bank, seed ^ client as u64)
+                }));
+            }
+            for w in workers {
+                w.join()
+                    .map_err(|_| EngineError::Protocol("edge worker panicked".to_string()))??;
+            }
+            Ok(())
+        });
+        Ok(Self { addr, handle: Some(handle) })
+    }
+
+    /// The address the device should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the serving thread to finish (the device closing its
+    /// connection ends the loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error the serving thread hit.
+    pub fn join(mut self) -> Result<(), EngineError> {
+        match self.handle.take() {
+            Some(h) => h
+                .join()
+                .map_err(|_| EngineError::Protocol("edge thread panicked".to_string()))?,
+            None => Ok(()),
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    plan: &ExecutionPlan,
+    mut bank: WeightBank,
+    seed: u64,
+) -> Result<(), EngineError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xED6E);
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let slot_offset = plan.edge_slot_offset;
+    while let Some(body) = read_message(&mut reader)? {
+        let state = decode_state(&body)?;
+        let (h, _) = forward_features(
+            &plan.edge_specs,
+            slot_offset,
+            GraphInput { features: &state.features, graph: state.graph.as_ref() },
+            &mut bank,
+            &mut rng,
+        );
+        let logits = classify(&h, &mut bank);
+        let reply = WireState {
+            frame_id: state.frame_id,
+            features: logits,
+            graph: None,
+            label: state.label,
+        };
+        write_message(&mut writer, &encode_state(&reply))?;
+    }
+    Ok(())
+}
+
+/// The device half: runs prefixes, streams intermediates, collects results.
+pub struct DeviceClient {
+    plan: ExecutionPlan,
+    bank: WeightBank,
+    stream: Option<TcpStream>,
+    seed: u64,
+    throttle: Option<crate::Throttle>,
+}
+
+impl DeviceClient {
+    /// Connects to an [`EdgeServer`]. For a non-offloaded plan the
+    /// connection is still established but unused.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors.
+    pub fn connect(
+        addr: SocketAddr,
+        plan: ExecutionPlan,
+        bank: WeightBank,
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { plan, bank, stream: Some(stream), seed, throttle: None })
+    }
+
+    /// Caps the uplink at `mbps`, emulating the paper's router bandwidth
+    /// limits (10/40 Mbps) on loopback. The pacing runs inside the sender
+    /// thread so device compute stays unthrottled.
+    pub fn with_uplink_mbps(mut self, mbps: f64) -> Self {
+        self.throttle = Some(crate::Throttle::mbps(mbps));
+        self
+    }
+
+    /// Processes `samples` through the co-inference pipeline and returns
+    /// `(predictions, stats)`.
+    ///
+    /// Pipelined mode: the main thread runs device prefixes and hands
+    /// encoded frames to a dedicated sender thread; a dedicated receiver
+    /// thread collects results — the paper's separate send/recv threads
+    /// with message queues. The device never waits for frame `f`'s result
+    /// before starting frame `f+1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol errors from either thread.
+    pub fn run_pipelined(
+        &mut self,
+        samples: &[Sample],
+    ) -> Result<(Vec<usize>, EngineStats), EngineError> {
+        let start = Instant::now();
+        if !self.plan.offloaded {
+            return self.run_local(samples, start);
+        }
+        let stream = self
+            .stream
+            .take()
+            .ok_or_else(|| EngineError::Protocol("client already consumed".to_string()))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = stream;
+
+        let (send_q, send_rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
+        let bytes_sent = Arc::new(Mutex::new(0usize));
+        let sent_counter = Arc::clone(&bytes_sent);
+        let mut throttle = self.throttle.take();
+        let sender = std::thread::spawn(move || -> Result<(), EngineError> {
+            for body in send_rx.iter() {
+                if let Some(t) = throttle.as_mut() {
+                    t.pace(body.len() + 4);
+                }
+                *sent_counter.lock() += body.len() + 4;
+                write_message(&mut writer, &body)?;
+            }
+            // Closing the write half tells the edge the stream is over.
+            Ok(())
+        });
+
+        let expected = samples.len();
+        let receiver = std::thread::spawn(move || -> Result<Vec<(u64, usize, u32)>, EngineError> {
+            let mut results = Vec::with_capacity(expected);
+            while results.len() < expected {
+                let Some(body) = read_message(&mut reader)? else {
+                    return Err(EngineError::Protocol(
+                        "edge closed before all results arrived".to_string(),
+                    ));
+                };
+                let state = decode_state(&body)?;
+                results.push((state.frame_id, state.features.argmax_row(0), state.label));
+            }
+            Ok(results)
+        });
+
+        // Main thread: device prefix per frame; never blocks on results.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xDE71CE);
+        for (frame_id, sample) in samples.iter().enumerate() {
+            let (h, graph) = forward_features(
+                &self.plan.device_specs,
+                0,
+                GraphInput { features: &sample.features, graph: sample.graph.as_ref() },
+                &mut self.bank,
+                &mut rng,
+            );
+            let state = WireState {
+                frame_id: frame_id as u64,
+                features: h,
+                graph,
+                label: sample.label as u32,
+            };
+            send_q
+                .send(encode_state(&state))
+                .map_err(|_| EngineError::Protocol("sender thread died".to_string()))?;
+        }
+        drop(send_q);
+        sender
+            .join()
+            .map_err(|_| EngineError::Protocol("sender panicked".to_string()))??;
+        let mut results = receiver
+            .join()
+            .map_err(|_| EngineError::Protocol("receiver panicked".to_string()))??;
+        results.sort_by_key(|&(frame_id, _, _)| frame_id);
+
+        let predictions: Vec<usize> = results.iter().map(|&(_, p, _)| p).collect();
+        let correct = results.iter().filter(|&&(_, p, l)| p == l as usize).count();
+        let wall_s = start.elapsed().as_secs_f64();
+        let stats = EngineStats {
+            frames: samples.len(),
+            wall_s,
+            fps: samples.len() as f64 / wall_s.max(1e-12),
+            bytes_sent: *bytes_sent.lock(),
+            accuracy: correct as f64 / samples.len().max(1) as f64,
+        };
+        Ok((predictions, stats))
+    }
+
+    fn run_local(
+        &mut self,
+        samples: &[Sample],
+        start: Instant,
+    ) -> Result<(Vec<usize>, EngineStats), EngineError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xDE71CE);
+        let mut predictions = Vec::with_capacity(samples.len());
+        let mut correct = 0usize;
+        for sample in samples {
+            let (h, _) = forward_features(
+                &self.plan.device_specs,
+                0,
+                GraphInput { features: &sample.features, graph: sample.graph.as_ref() },
+                &mut self.bank,
+                &mut rng,
+            );
+            let logits = classify(&h, &mut self.bank);
+            let pred = logits.argmax_row(0);
+            if pred == sample.label {
+                correct += 1;
+            }
+            predictions.push(pred);
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+        Ok((
+            predictions.clone(),
+            EngineStats {
+                frames: samples.len(),
+                wall_s,
+                fps: samples.len() as f64 / wall_s.max(1e-12),
+                bytes_sent: 0,
+                accuracy: correct as f64 / samples.len().max(1) as f64,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcode_core::arch::Architecture;
+    use gcode_core::op::{Op, SampleFn};
+    use gcode_graph::datasets::PointCloudDataset;
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+    use gcode_nn::seq::forward;
+
+    fn split_arch() -> Architecture {
+        Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 6 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 16 },
+            Op::Communicate,
+            Op::Combine { dim: 16 },
+            Op::GlobalPool(PoolMode::Max),
+        ])
+    }
+
+    #[test]
+    fn end_to_end_matches_local_execution() {
+        let arch = split_arch();
+        let ds = PointCloudDataset::generate(6, 20, 3, 17);
+        let bank = WeightBank::new(3, 99);
+        let plan = ExecutionPlan::from_architecture(&arch);
+        let server = EdgeServer::spawn(plan.clone(), bank.clone(), 1).expect("spawn");
+        let mut client =
+            DeviceClient::connect(server.addr(), plan, bank.clone(), 1).expect("connect");
+        let (preds, stats) = client.run_pipelined(ds.samples()).expect("run");
+        server.join().expect("edge clean shutdown");
+
+        // Reference: monolithic local forward with the same shared weights.
+        let mut local_bank = bank;
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let specs = arch.lower();
+        for (i, s) in ds.samples().iter().enumerate() {
+            let logits = forward(
+                &specs,
+                GraphInput { features: &s.features, graph: None },
+                &mut local_bank,
+                &mut rng,
+            );
+            assert_eq!(preds[i], logits.argmax_row(0), "frame {i} diverged");
+        }
+        assert_eq!(stats.frames, 6);
+        assert!(stats.bytes_sent > 0);
+        assert!(stats.fps > 0.0);
+    }
+
+    #[test]
+    fn device_only_plan_runs_without_edge_traffic() {
+        let arch = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 6 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 16 },
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let ds = PointCloudDataset::generate(4, 16, 2, 23);
+        let bank = WeightBank::new(2, 5);
+        let plan = ExecutionPlan::from_architecture(&arch);
+        let server = EdgeServer::spawn(plan.clone(), bank.clone(), 2).expect("spawn");
+        let mut client =
+            DeviceClient::connect(server.addr(), plan, bank, 2).expect("connect");
+        let (preds, stats) = client.run_pipelined(ds.samples()).expect("run");
+        assert_eq!(preds.len(), 4);
+        assert_eq!(stats.bytes_sent, 0);
+        drop(server); // never contacted; dropping aborts the accept thread at process exit
+    }
+
+    #[test]
+    fn results_arrive_in_frame_order() {
+        let arch = split_arch();
+        let ds = PointCloudDataset::generate(12, 16, 4, 31);
+        let bank = WeightBank::new(4, 7);
+        let plan = ExecutionPlan::from_architecture(&arch);
+        let server = EdgeServer::spawn(plan.clone(), bank.clone(), 3).expect("spawn");
+        let mut client =
+            DeviceClient::connect(server.addr(), plan.clone(), bank.clone(), 3).expect("connect");
+        let (preds_a, _) = client.run_pipelined(ds.samples()).expect("run");
+        server.join().expect("clean");
+        // Re-running with a fresh pair must be deterministic.
+        let server = EdgeServer::spawn(plan.clone(), bank.clone(), 3).expect("spawn");
+        let mut client =
+            DeviceClient::connect(server.addr(), plan, bank, 3).expect("connect");
+        let (preds_b, _) = client.run_pipelined(ds.samples()).expect("run");
+        server.join().expect("clean");
+        assert_eq!(preds_a, preds_b);
+    }
+
+    #[test]
+    fn edge_only_plan_ships_raw_input() {
+        let arch = Architecture::new(vec![
+            Op::Communicate,
+            Op::Sample(SampleFn::Knn { k: 6 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 16 },
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let plan = ExecutionPlan::from_architecture(&arch);
+        assert_eq!(plan.op_counts().0, 0, "edge-only: empty device prefix");
+        let ds = PointCloudDataset::generate(3, 16, 2, 41);
+        let bank = WeightBank::new(2, 11);
+        let server = EdgeServer::spawn(plan.clone(), bank.clone(), 4).expect("spawn");
+        let mut client =
+            DeviceClient::connect(server.addr(), plan, bank, 4).expect("connect");
+        let (preds, stats) = client.run_pipelined(ds.samples()).expect("run");
+        server.join().expect("clean");
+        assert_eq!(preds.len(), 3);
+        assert!(stats.bytes_sent > 0);
+    }
+}
+
+#[cfg(test)]
+mod multi_client_tests {
+    use super::*;
+    use gcode_core::arch::Architecture;
+    use gcode_core::op::{Op, SampleFn};
+    use gcode_graph::datasets::PointCloudDataset;
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    #[test]
+    fn two_devices_share_one_edge() {
+        let arch = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 5 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Communicate,
+            Op::Combine { dim: 16 },
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let plan = ExecutionPlan::from_architecture(&arch);
+        let bank = WeightBank::new(3, 77);
+        let server = EdgeServer::spawn_multi(plan.clone(), bank.clone(), 3, 2).expect("edge");
+        let addr = server.addr();
+
+        let mk = |seed: u64, data_seed: u64| {
+            let plan = plan.clone();
+            let bank = bank.clone();
+            std::thread::spawn(move || {
+                let ds = PointCloudDataset::generate(5, 16, 3, data_seed);
+                let mut client = DeviceClient::connect(addr, plan, bank, seed).expect("device");
+                client.run_pipelined(ds.samples()).expect("stream")
+            })
+        };
+        let d1 = mk(1, 100);
+        let d2 = mk(2, 200);
+        let (p1, s1) = d1.join().expect("device 1");
+        let (p2, s2) = d2.join().expect("device 2");
+        server.join().expect("edge clean");
+        assert_eq!(p1.len(), 5);
+        assert_eq!(p2.len(), 5);
+        assert!(s1.bytes_sent > 0 && s2.bytes_sent > 0);
+    }
+
+    #[test]
+    fn throttled_client_still_completes_correctly() {
+        let arch = Architecture::new(vec![
+            Op::Combine { dim: 16 },
+            Op::Communicate,
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let plan = ExecutionPlan::from_architecture(&arch);
+        let bank = WeightBank::new(2, 9);
+        let server = EdgeServer::spawn(plan.clone(), bank.clone(), 4).expect("edge");
+        let ds = PointCloudDataset::generate(4, 12, 2, 5);
+        let mut client = DeviceClient::connect(server.addr(), plan, bank, 4)
+            .expect("device")
+            .with_uplink_mbps(5.0);
+        let (preds, stats) = client.run_pipelined(ds.samples()).expect("stream");
+        server.join().expect("clean");
+        assert_eq!(preds.len(), 4);
+        // 5 Mbps on a few KB: the wall time reflects pacing but finishes.
+        assert!(stats.wall_s < 10.0);
+    }
+}

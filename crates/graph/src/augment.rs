@@ -1,0 +1,184 @@
+//! Point-cloud augmentation for supernet training.
+//!
+//! DGCNN-style training pipelines augment every ModelNet40 batch with
+//! random rotation, jitter, anisotropic scaling and point dropout; the
+//! one-shot supernet benefits from the same diversity. All transforms are
+//! label-preserving and deterministic given the RNG.
+
+use crate::datasets::Sample;
+use gcode_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Augmentation strengths. `Default` matches the common DGCNN recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AugmentConfig {
+    /// Rotate about the up-axis by a uniform angle in `[0, 2π)`.
+    pub rotate: bool,
+    /// Per-coordinate Gaussian-ish jitter amplitude (uniform ±).
+    pub jitter: f32,
+    /// Anisotropic scale range `[1-s, 1+s]` per axis.
+    pub scale: f32,
+    /// Fraction of points dropped (simulates occlusion); the cloud is
+    /// never reduced below 4 points.
+    pub dropout: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        Self { rotate: true, jitter: 0.01, scale: 0.1, dropout: 0.1 }
+    }
+}
+
+/// Applies the configured augmentations to a 3-D point-cloud sample.
+///
+/// # Panics
+///
+/// Panics if the sample's features are not 3-dimensional points.
+///
+/// # Example
+///
+/// ```
+/// use gcode_graph::augment::{augment, AugmentConfig};
+/// use gcode_graph::datasets::PointCloudDataset;
+/// use rand::SeedableRng;
+///
+/// let ds = PointCloudDataset::generate(1, 32, 4, 0);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let out = augment(&ds.samples()[0], &AugmentConfig::default(), &mut rng);
+/// assert_eq!(out.label, ds.samples()[0].label);
+/// ```
+pub fn augment(sample: &Sample, cfg: &AugmentConfig, rng: &mut impl Rng) -> Sample {
+    assert_eq!(sample.features.cols(), 3, "augmentation expects 3-D points");
+    let n = sample.features.rows();
+
+    // Dropout first: select surviving indices.
+    let keep: Vec<usize> = if cfg.dropout > 0.0 && n > 4 {
+        let mut kept: Vec<usize> = (0..n)
+            .filter(|_| rng.gen_range(0.0f32..1.0) >= cfg.dropout)
+            .collect();
+        if kept.len() < 4 {
+            kept = (0..4).collect();
+        }
+        kept
+    } else {
+        (0..n).collect()
+    };
+
+    let theta = if cfg.rotate {
+        rng.gen_range(0.0..std::f32::consts::TAU)
+    } else {
+        0.0
+    };
+    let (s, c) = theta.sin_cos();
+    let scale: [f32; 3] = [
+        1.0 + rng.gen_range(-cfg.scale..=cfg.scale),
+        1.0 + rng.gen_range(-cfg.scale..=cfg.scale),
+        1.0 + rng.gen_range(-cfg.scale..=cfg.scale),
+    ];
+
+    let mut out = Matrix::zeros(keep.len(), 3);
+    for (row, &i) in keep.iter().enumerate() {
+        let p = sample.features.row(i);
+        let (x, y, z) = (p[0], p[1], p[2]);
+        let (rx, ry) = (c * x - s * y, s * x + c * y);
+        let o = out.row_mut(row);
+        o[0] = rx * scale[0] + rng.gen_range(-cfg.jitter..=cfg.jitter);
+        o[1] = ry * scale[1] + rng.gen_range(-cfg.jitter..=cfg.jitter);
+        o[2] = z * scale[2] + rng.gen_range(-cfg.jitter..=cfg.jitter);
+    }
+    Sample { features: out, label: sample.label, graph: None }
+}
+
+/// Expands a dataset `factor`-fold with augmented copies (originals kept).
+pub fn augment_dataset(
+    samples: &[Sample],
+    cfg: &AugmentConfig,
+    factor: usize,
+    rng: &mut impl Rng,
+) -> Vec<Sample> {
+    let mut out = samples.to_vec();
+    for _ in 0..factor {
+        for s in samples {
+            out.push(augment(s, cfg, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::PointCloudDataset;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample() -> Sample {
+        PointCloudDataset::generate(1, 64, 4, 3).samples()[0].clone()
+    }
+
+    #[test]
+    fn label_and_dimensionality_preserved() {
+        let s = sample();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = augment(&s, &AugmentConfig::default(), &mut rng);
+        assert_eq!(a.label, s.label);
+        assert_eq!(a.features.cols(), 3);
+        assert!(a.features.rows() >= 4);
+        assert!(a.features.rows() <= s.features.rows());
+    }
+
+    #[test]
+    fn pure_rotation_preserves_radii() {
+        let s = sample();
+        let cfg = AugmentConfig { rotate: true, jitter: 0.0, scale: 0.0, dropout: 0.0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = augment(&s, &cfg, &mut rng);
+        assert_eq!(a.features.rows(), s.features.rows());
+        for i in 0..s.features.rows() {
+            let p = s.features.row(i);
+            let q = a.features.row(i);
+            let rp = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            let rq = (q[0] * q[0] + q[1] * q[1]).sqrt();
+            assert!((rp - rq).abs() < 1e-4, "xy radius must survive rotation");
+            assert!((p[2] - q[2]).abs() < 1e-6, "z untouched");
+        }
+    }
+
+    #[test]
+    fn dropout_removes_points() {
+        let s = sample();
+        let cfg = AugmentConfig { rotate: false, jitter: 0.0, scale: 0.0, dropout: 0.5 };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = augment(&s, &cfg, &mut rng);
+        assert!(a.features.rows() < s.features.rows());
+        assert!(a.features.rows() >= 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = sample();
+        let cfg = AugmentConfig::default();
+        let a = augment(&s, &cfg, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = augment(&s, &cfg, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn dataset_expansion_factor() {
+        let ds = PointCloudDataset::generate(6, 16, 3, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let big = augment_dataset(ds.samples(), &AugmentConfig::default(), 2, &mut rng);
+        assert_eq!(big.len(), 18);
+        // Originals come first, untouched.
+        assert_eq!(big[0].features, ds.samples()[0].features);
+    }
+
+    #[test]
+    #[should_panic(expected = "3-D points")]
+    fn non_pointcloud_rejected() {
+        let bad = Sample { features: Matrix::zeros(8, 7), label: 0, graph: None };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = augment(&bad, &AugmentConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,190 @@
+//! K-nearest-neighbor graph construction.
+//!
+//! DGCNN rebuilds the neighbor graph *in feature space* before every edge
+//! convolution; this is the `KNN` operation whose cost dominates GPU
+//! execution in the paper's Fig. 3. The brute-force `O(n²·d)` scan here is
+//! faithful to what PyG's `knn_graph` does for these sizes.
+
+use crate::CsrGraph;
+use gcode_tensor::Matrix;
+use rand::Rng;
+
+/// Builds the directed k-NN graph of the rows of `features` under squared
+/// Euclidean distance. Node `u` points to its `k` nearest *other* nodes.
+///
+/// Ties are broken by node index, which keeps the construction fully
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if `k >= features.rows()` and the matrix is non-empty with more
+/// than one row is required; for a graph with `n <= k` nodes every other
+/// node becomes a neighbor.
+///
+/// # Example
+///
+/// ```
+/// use gcode_graph::knn::knn_graph;
+/// use gcode_tensor::Matrix;
+///
+/// let pts = Matrix::from_rows(&[&[0.0], &[1.0], &[10.0]]);
+/// let g = knn_graph(&pts, 1);
+/// assert_eq!(g.neighbors(0), &[1]);
+/// assert_eq!(g.neighbors(2), &[1]);
+/// ```
+pub fn knn_graph(features: &Matrix, k: usize) -> CsrGraph {
+    let n = features.rows();
+    let mut adj = Vec::with_capacity(n);
+    let mut dist: Vec<(f32, u32)> = Vec::with_capacity(n.saturating_sub(1));
+    for u in 0..n {
+        dist.clear();
+        let fu = features.row(u);
+        for v in 0..n {
+            if v == u {
+                continue;
+            }
+            let fv = features.row(v);
+            let mut d = 0.0;
+            for (a, b) in fu.iter().zip(fv) {
+                let t = a - b;
+                d += t * t;
+            }
+            dist.push((d, v as u32));
+        }
+        let kk = k.min(dist.len());
+        if kk == 0 {
+            adj.push(Vec::new());
+            continue;
+        }
+        // Partial selection: only the first k entries need to be ordered.
+        let pivot = kk - 1;
+        dist.select_nth_unstable_by(pivot, |a, b| {
+            a.partial_cmp(b).expect("distances are finite")
+        });
+        let mut chosen: Vec<(f32, u32)> = dist[..kk].to_vec();
+        chosen.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+        adj.push(chosen.into_iter().map(|(_, v)| v).collect());
+    }
+    CsrGraph::from_adjacency(adj)
+}
+
+/// Builds a random directed graph where each node points to `k` distinct
+/// uniformly-sampled other nodes — the `Random` sampling function of the
+/// design space's `Sample` operation (Fig. 6).
+///
+/// With `n <= k` nodes every other node becomes a neighbor.
+pub fn random_graph(n: usize, k: usize, rng: &mut impl Rng) -> CsrGraph {
+    let mut adj = Vec::with_capacity(n);
+    for u in 0..n {
+        let kk = k.min(n.saturating_sub(1));
+        let mut chosen = Vec::with_capacity(kk);
+        // Reservoir-free rejection sampling is fine at these densities.
+        while chosen.len() < kk {
+            let v = rng.gen_range(0..n) as u32;
+            if v as usize != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        adj.push(chosen);
+    }
+    CsrGraph::from_adjacency(adj)
+}
+
+/// Number of multiply-accumulate-equivalent operations a brute-force KNN
+/// over `n` points of dimension `d` performs. Used by the hardware cost
+/// model to price the op.
+pub fn knn_flops(n: usize, d: usize) -> u64 {
+    // n*(n-1) pairwise distances, d mul + d add each, plus selection ~ n log n.
+    let pairs = (n as u64) * (n.saturating_sub(1) as u64);
+    pairs * (2 * d as u64) + (n as u64) * (n as f64).log2().ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn grid_points() -> Matrix {
+        Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[5.0, 5.0],
+            &[5.0, 6.0],
+        ])
+    }
+
+    #[test]
+    fn knn_every_node_has_k_neighbors() {
+        let g = knn_graph(&grid_points(), 2);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn knn_no_self_loops() {
+        let g = knn_graph(&grid_points(), 3);
+        for u in 0..g.num_nodes() {
+            assert!(!g.neighbors(u).contains(&(u as u32)));
+        }
+    }
+
+    #[test]
+    fn knn_finds_true_nearest() {
+        let g = knn_graph(&grid_points(), 1);
+        assert_eq!(g.neighbors(3), &[4]);
+        assert_eq!(g.neighbors(4), &[3]);
+    }
+
+    #[test]
+    fn knn_neighbors_sorted_by_distance() {
+        let pts = Matrix::from_rows(&[&[0.0], &[3.0], &[1.0], &[10.0]]);
+        let g = knn_graph(&pts, 3);
+        assert_eq!(g.neighbors(0), &[2, 1, 3]);
+    }
+
+    #[test]
+    fn knn_k_larger_than_n_saturates() {
+        let pts = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let g = knn_graph(&pts, 10);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn knn_empty_input() {
+        let g = knn_graph(&Matrix::zeros(0, 3), 4);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn random_graph_degree_and_no_self_loops() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = random_graph(20, 4, &mut rng);
+        for u in 0..20 {
+            assert_eq!(g.degree(u), 4);
+            assert!(!g.neighbors(u).contains(&(u as u32)));
+            // neighbors are distinct
+            let mut ns = g.neighbors(u).to_vec();
+            ns.sort_unstable();
+            ns.dedup();
+            assert_eq!(ns.len(), 4);
+        }
+    }
+
+    #[test]
+    fn random_graph_deterministic_per_seed() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(3);
+        let mut r2 = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(random_graph(10, 3, &mut r1), random_graph(10, 3, &mut r2));
+    }
+
+    #[test]
+    fn knn_flops_monotone_in_n_and_d() {
+        assert!(knn_flops(100, 3) < knn_flops(200, 3));
+        assert!(knn_flops(100, 3) < knn_flops(100, 6));
+    }
+}

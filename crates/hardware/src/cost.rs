@@ -1,0 +1,79 @@
+//! Abstract cost of one GNN operation, independent of any processor.
+
+use serde::{Deserialize, Serialize};
+
+/// Memory access pattern of an operation.
+///
+/// The pattern determines which processor-specific penalty applies. The
+/// split encodes Motivation ❷ of the paper directly: *selection*-style
+/// irregularity (KNN's distance ranking) cripples GPUs, while *gather*-style
+/// irregularity (Aggregate's neighbor reads) is what hurts the Intel i7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Streaming/dense access (Combine, Pooling): full throughput.
+    Regular,
+    /// Data-dependent gathers (Aggregate): penalized on CPUs.
+    Gather,
+    /// Ranking/selection over pairwise data (KNN): penalized on GPUs.
+    Selection,
+}
+
+/// Work performed by a single operation: arithmetic, memory traffic and
+/// its access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Multiply-accumulate-equivalent floating point operations.
+    pub flops: u64,
+    /// Bytes moved through the memory hierarchy.
+    pub bytes: u64,
+    /// Access pattern, selecting the processor penalty that applies.
+    pub pattern: AccessPattern,
+}
+
+impl OpCost {
+    /// A zero-cost marker (used by `Identity` and by `Communicate`, whose
+    /// cost is carried by the link, not the processor).
+    pub const ZERO: OpCost = OpCost {
+        flops: 0,
+        bytes: 0,
+        pattern: AccessPattern::Regular,
+    };
+
+    /// Dense/streaming cost.
+    pub fn regular(flops: u64, bytes: u64) -> Self {
+        Self { flops, bytes, pattern: AccessPattern::Regular }
+    }
+
+    /// Gather-bound cost (Aggregate-style).
+    pub fn gather(flops: u64, bytes: u64) -> Self {
+        Self { flops, bytes, pattern: AccessPattern::Gather }
+    }
+
+    /// Selection-bound cost (KNN-style).
+    pub fn selection(flops: u64, bytes: u64) -> Self {
+        Self { flops, bytes, pattern: AccessPattern::Selection }
+    }
+}
+
+impl Default for OpCost {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(OpCost::default(), OpCost::ZERO);
+    }
+
+    #[test]
+    fn constructors_set_pattern() {
+        assert_eq!(OpCost::regular(1, 2).pattern, AccessPattern::Regular);
+        assert_eq!(OpCost::gather(1, 2).pattern, AccessPattern::Gather);
+        assert_eq!(OpCost::selection(1, 2).pattern, AccessPattern::Selection);
+    }
+}

@@ -1,0 +1,123 @@
+//! Device-edge system configuration: the unit every experiment runs on.
+
+use crate::{Link, PowerModel, Processor};
+use serde::{Deserialize, Serialize};
+
+/// A complete device-edge co-inference system: the resource pair the user
+/// specifies in their requirements (Sec. 3.2: device `D`, edge `E`, network
+/// speed `S`).
+///
+/// # Example
+///
+/// ```
+/// use gcode_hardware::SystemConfig;
+///
+/// let sys = SystemConfig::tx2_to_i7(40.0);
+/// assert_eq!(sys.device.name, "Jetson TX2");
+/// assert_eq!(sys.edge.name, "Intel i7-7700");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The resource-constrained device where inference starts.
+    pub device: Processor,
+    /// The more capable edge server.
+    pub edge: Processor,
+    /// The wireless link between them.
+    pub link: Link,
+    /// Radio power model for the device's communication energy.
+    pub power: PowerModel,
+}
+
+impl SystemConfig {
+    /// Builds a system from parts with the default WiFi power model.
+    pub fn new(device: Processor, edge: Processor, link: Link) -> Self {
+        Self { device, edge, link, power: PowerModel::wifi() }
+    }
+
+    /// Jetson TX2 device ⇌ Nvidia GTX 1060 edge.
+    pub fn tx2_to_1060(bandwidth_mbps: f64) -> Self {
+        Self::new(
+            Processor::jetson_tx2(),
+            Processor::nvidia_gtx_1060(),
+            Link::mbps(bandwidth_mbps),
+        )
+    }
+
+    /// Jetson TX2 device ⇌ Intel i7-7700 edge.
+    pub fn tx2_to_i7(bandwidth_mbps: f64) -> Self {
+        Self::new(
+            Processor::jetson_tx2(),
+            Processor::intel_i7_7700(),
+            Link::mbps(bandwidth_mbps),
+        )
+    }
+
+    /// Raspberry Pi 4B device ⇌ Nvidia GTX 1060 edge.
+    pub fn pi_to_1060(bandwidth_mbps: f64) -> Self {
+        Self::new(
+            Processor::raspberry_pi_4b(),
+            Processor::nvidia_gtx_1060(),
+            Link::mbps(bandwidth_mbps),
+        )
+    }
+
+    /// Raspberry Pi 4B device ⇌ Intel i7-7700 edge.
+    pub fn pi_to_i7(bandwidth_mbps: f64) -> Self {
+        Self::new(
+            Processor::raspberry_pi_4b(),
+            Processor::intel_i7_7700(),
+            Link::mbps(bandwidth_mbps),
+        )
+    }
+
+    /// The four system configurations of the paper's evaluation, in the
+    /// column order of Table 2.
+    pub fn paper_systems(bandwidth_mbps: f64) -> Vec<SystemConfig> {
+        vec![
+            Self::tx2_to_1060(bandwidth_mbps),
+            Self::tx2_to_i7(bandwidth_mbps),
+            Self::pi_to_1060(bandwidth_mbps),
+            Self::pi_to_i7(bandwidth_mbps),
+        ]
+    }
+
+    /// Short label like `"Jetson TX2 ⇌ Intel i7-7700 @ 40 Mbps"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} ⇌ {} @ {} Mbps",
+            self.device.name, self.edge.name, self.link.bandwidth_mbps
+        )
+    }
+}
+
+impl std::fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_systems_has_four_entries() {
+        let systems = SystemConfig::paper_systems(40.0);
+        assert_eq!(systems.len(), 4);
+        assert_eq!(systems[0].device.name, "Jetson TX2");
+        assert_eq!(systems[3].edge.name, "Intel i7-7700");
+    }
+
+    #[test]
+    fn label_mentions_both_ends() {
+        let sys = SystemConfig::pi_to_1060(10.0);
+        let l = sys.label();
+        assert!(l.contains("Raspberry Pi 4B") && l.contains("GTX 1060") && l.contains("10"));
+    }
+
+    #[test]
+    fn bandwidth_plumbs_through() {
+        let sys = SystemConfig::tx2_to_i7(10.0);
+        assert_eq!(sys.link.bandwidth_mbps, 10.0);
+    }
+}

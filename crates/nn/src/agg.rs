@@ -1,0 +1,262 @@
+//! Neighborhood aggregation over a CSR graph, with backward pass.
+
+use gcode_graph::CsrGraph;
+use gcode_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Reduction applied over each node's neighborhood — the `Aggregate`
+/// operation's function choices in the design space (Fig. 6: add/mean/max).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AggMode {
+    /// Sum of neighbor features.
+    Add,
+    /// Mean of neighbor features (isolated nodes yield zeros).
+    Mean,
+    /// Elementwise maximum (isolated nodes yield zeros).
+    Max,
+}
+
+impl AggMode {
+    /// All modes, in design-space order.
+    pub const ALL: [AggMode; 3] = [AggMode::Add, AggMode::Mean, AggMode::Max];
+}
+
+impl std::fmt::Display for AggMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AggMode::Add => "add",
+            AggMode::Mean => "mean",
+            AggMode::Max => "max",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Cached state from [`aggregate`] needed by [`aggregate_backward`].
+#[derive(Debug, Clone)]
+pub struct AggCache {
+    mode: AggMode,
+    /// For `Max`: the source node chosen per (node, feature).
+    argmax: Option<Vec<u32>>,
+}
+
+/// Aggregates neighbor features: `out[u] = reduce({ x[v] : v ∈ N(u) })`.
+///
+/// Returns the aggregated features and a cache for the backward pass.
+///
+/// # Panics
+///
+/// Panics if `graph.num_nodes() != x.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use gcode_graph::CsrGraph;
+/// use gcode_nn::agg::{aggregate, AggMode};
+/// use gcode_tensor::Matrix;
+///
+/// let g = CsrGraph::from_edges(2, &[(0, 1)]);
+/// let x = Matrix::from_rows(&[&[1.0], &[5.0]]);
+/// let (out, _) = aggregate(&g, &x, AggMode::Add);
+/// assert_eq!(out[(0, 0)], 5.0); // node 0 sums its neighbor (node 1)
+/// assert_eq!(out[(1, 0)], 0.0); // node 1 has no neighbors
+/// ```
+pub fn aggregate(graph: &CsrGraph, x: &Matrix, mode: AggMode) -> (Matrix, AggCache) {
+    assert_eq!(graph.num_nodes(), x.rows(), "graph/features node count mismatch");
+    let (n, d) = x.shape();
+    let mut out = Matrix::zeros(n, d);
+    let mut argmax = if mode == AggMode::Max {
+        Some(vec![u32::MAX; n * d])
+    } else {
+        None
+    };
+    for u in 0..n {
+        let neighbors = graph.neighbors(u);
+        if neighbors.is_empty() {
+            continue;
+        }
+        match mode {
+            AggMode::Add | AggMode::Mean => {
+                for &v in neighbors {
+                    let src = x.row(v as usize);
+                    let dst = out.row_mut(u);
+                    for (o, s) in dst.iter_mut().zip(src) {
+                        *o += s;
+                    }
+                }
+                if mode == AggMode::Mean {
+                    let inv = 1.0 / neighbors.len() as f32;
+                    for o in out.row_mut(u) {
+                        *o *= inv;
+                    }
+                }
+            }
+            AggMode::Max => {
+                let am = argmax.as_mut().expect("argmax allocated for Max");
+                for (j, o) in out.row_mut(u).iter_mut().enumerate() {
+                    *o = f32::NEG_INFINITY;
+                    for &v in neighbors {
+                        let val = x[(v as usize, j)];
+                        if val > *o {
+                            *o = val;
+                            am[u * d + j] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (out, AggCache { mode, argmax })
+}
+
+/// Backward pass of [`aggregate`]: routes `gout` back to the neighbor
+/// features that produced each output.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the forward call.
+pub fn aggregate_backward(
+    graph: &CsrGraph,
+    cache: &AggCache,
+    gout: &Matrix,
+) -> Matrix {
+    let (n, d) = gout.shape();
+    assert_eq!(graph.num_nodes(), n, "graph/grad node count mismatch");
+    let mut gx = Matrix::zeros(n, d);
+    match cache.mode {
+        AggMode::Add | AggMode::Mean => {
+            for u in 0..n {
+                let neighbors = graph.neighbors(u);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                let scale = if cache.mode == AggMode::Mean {
+                    1.0 / neighbors.len() as f32
+                } else {
+                    1.0
+                };
+                for &v in neighbors {
+                    for j in 0..d {
+                        gx[(v as usize, j)] += gout[(u, j)] * scale;
+                    }
+                }
+            }
+        }
+        AggMode::Max => {
+            let am = cache.argmax.as_ref().expect("Max cache has argmax");
+            assert_eq!(am.len(), n * d, "argmax cache shape mismatch");
+            for u in 0..n {
+                for j in 0..d {
+                    let v = am[u * d + j];
+                    if v != u32::MAX {
+                        gx[(v as usize, j)] += gout[(u, j)];
+                    }
+                }
+            }
+        }
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> CsrGraph {
+        // 0 -> 1, 0 -> 2; 1 -> 2
+        CsrGraph::from_edges(3, &[(0, 1), (0, 2), (1, 2)])
+    }
+
+    fn feats() -> Matrix {
+        Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 3.0], &[4.0, -5.0]])
+    }
+
+    #[test]
+    fn add_aggregation() {
+        let (out, _) = aggregate(&chain3(), &feats(), AggMode::Add);
+        assert_eq!(out.row(0), &[6.0, -2.0]);
+        assert_eq!(out.row(1), &[4.0, -5.0]);
+        assert_eq!(out.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let (out, _) = aggregate(&chain3(), &feats(), AggMode::Mean);
+        assert_eq!(out.row(0), &[3.0, -1.0]);
+    }
+
+    #[test]
+    fn max_aggregation() {
+        let (out, _) = aggregate(&chain3(), &feats(), AggMode::Max);
+        assert_eq!(out.row(0), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn isolated_nodes_output_zero() {
+        let g = CsrGraph::empty(2);
+        let x = Matrix::full(2, 3, 9.0);
+        for mode in AggMode::ALL {
+            let (out, _) = aggregate(&g, &x, mode);
+            assert_eq!(out, Matrix::zeros(2, 3), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn backward_add_routes_to_all_neighbors() {
+        let g = chain3();
+        let x = feats();
+        let (_, cache) = aggregate(&g, &x, AggMode::Add);
+        let gout = Matrix::full(3, 2, 1.0);
+        let gx = aggregate_backward(&g, &cache, &gout);
+        // node1 receives grad from node0; node2 from node0 and node1.
+        assert_eq!(gx.row(0), &[0.0, 0.0]);
+        assert_eq!(gx.row(1), &[1.0, 1.0]);
+        assert_eq!(gx.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_max_routes_to_argmax_only() {
+        let g = chain3();
+        let x = feats();
+        let (_, cache) = aggregate(&g, &x, AggMode::Max);
+        let gout = Matrix::full(3, 2, 1.0);
+        let gx = aggregate_backward(&g, &cache, &gout);
+        // out[0] = max(x1, x2) = [4 (from 2), 3 (from 1)]
+        // out[1] = x2 = [4, -5]
+        assert_eq!(gx.row(1), &[0.0, 1.0]);
+        assert_eq!(gx.row(2), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn finite_difference_mean_backward() {
+        let g = chain3();
+        let x = feats();
+        let (_, cache) = aggregate(&g, &x, AggMode::Mean);
+        let gout = Matrix::full(3, 2, 1.0);
+        let gx = aggregate_backward(&g, &cache, &gout);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut xp = x.clone();
+                xp[(i, j)] += eps;
+                let mut xm = x.clone();
+                xm[(i, j)] -= eps;
+                let fp: f32 = aggregate(&g, &xp, AggMode::Mean).0.as_slice().iter().sum();
+                let fm: f32 = aggregate(&g, &xm, AggMode::Mean).0.as_slice().iter().sum();
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (numeric - gx[(i, j)]).abs() < 1e-2,
+                    "mismatch at ({i},{j}): {numeric} vs {}",
+                    gx[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AggMode::Add.to_string(), "add");
+        assert_eq!(AggMode::Mean.to_string(), "mean");
+        assert_eq!(AggMode::Max.to_string(), "max");
+    }
+}

@@ -1,0 +1,34 @@
+//! From-scratch GNN layers with manual backpropagation.
+//!
+//! Three consumers sit on top of this crate:
+//!
+//! * the **supernet** used by GCoDE's one-shot search ([`seq`] executes a
+//!   sampled operation sequence with weights drawn from a shared
+//!   [`seq::WeightBank`]),
+//! * the **GIN latency predictor** of Sec. 3.5 ([`gin::GinRegressor`]), and
+//! * its **GCN ablation** counterpart from Fig. 10(b) ([`gcn::GcnRegressor`]).
+//!
+//! Everything is dense `f32` on [`gcode_tensor::Matrix`]; graphs are
+//! [`gcode_graph::CsrGraph`]. No autodiff — each layer exposes an explicit
+//! `forward`/`backward` pair, which keeps the substrate small and testable.
+//!
+//! # Example
+//!
+//! ```
+//! use gcode_nn::linear::Linear;
+//! use gcode_tensor::Matrix;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let lin = Linear::new(4, 2, &mut rng);
+//! let x = Matrix::zeros(3, 4);
+//! assert_eq!(lin.forward(&x).shape(), (3, 2));
+//! ```
+
+pub mod agg;
+pub mod gcn;
+pub mod gin;
+pub mod linear;
+pub mod pool;
+pub mod seq;
+pub mod trainer;

@@ -1,0 +1,173 @@
+//! Global graph pooling (readout), with backward pass.
+
+use gcode_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Global readout over all nodes — the `GlobalPooling` operation's function
+/// choices (Fig. 6: sum/mean/max).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PoolMode {
+    /// Sum over nodes.
+    Sum,
+    /// Mean over nodes.
+    Mean,
+    /// Elementwise max over nodes.
+    Max,
+}
+
+impl PoolMode {
+    /// All modes, in design-space order.
+    pub const ALL: [PoolMode; 3] = [PoolMode::Sum, PoolMode::Mean, PoolMode::Max];
+}
+
+impl std::fmt::Display for PoolMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PoolMode::Sum => "sum",
+            PoolMode::Mean => "mean",
+            PoolMode::Max => "max",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Cache for [`global_pool_backward`].
+#[derive(Debug, Clone)]
+pub struct PoolCache {
+    mode: PoolMode,
+    n: usize,
+    /// For `Max`: row index chosen per feature column.
+    argmax: Option<Vec<usize>>,
+}
+
+/// Pools `n × d` node features into a `1 × d` graph feature.
+///
+/// # Example
+///
+/// ```
+/// use gcode_nn::pool::{global_pool, PoolMode};
+/// use gcode_tensor::Matrix;
+///
+/// let x = Matrix::from_rows(&[&[1.0, 4.0], &[3.0, 2.0]]);
+/// let (out, _) = global_pool(&x, PoolMode::Max);
+/// assert_eq!(out.row(0), &[3.0, 4.0]);
+/// ```
+pub fn global_pool(x: &Matrix, mode: PoolMode) -> (Matrix, PoolCache) {
+    let (n, d) = x.shape();
+    let out = match mode {
+        PoolMode::Sum => x.sum_rows(),
+        PoolMode::Mean => x.mean_rows(),
+        PoolMode::Max => x.max_rows(),
+    };
+    let argmax = if mode == PoolMode::Max && n > 0 {
+        let mut idx = vec![0usize; d];
+        for (j, slot) in idx.iter_mut().enumerate() {
+            for i in 1..n {
+                if x[(i, j)] > x[(*slot, j)] {
+                    *slot = i;
+                }
+            }
+        }
+        Some(idx)
+    } else {
+        None
+    };
+    (out, PoolCache { mode, n, argmax })
+}
+
+/// Backward pass of [`global_pool`]; `gout` is `1 × d`.
+pub fn global_pool_backward(cache: &PoolCache, gout: &Matrix) -> Matrix {
+    let d = gout.cols();
+    let n = cache.n;
+    let mut gx = Matrix::zeros(n, d);
+    match cache.mode {
+        PoolMode::Sum => {
+            for i in 0..n {
+                for j in 0..d {
+                    gx[(i, j)] = gout[(0, j)];
+                }
+            }
+        }
+        PoolMode::Mean => {
+            if n > 0 {
+                let inv = 1.0 / n as f32;
+                for i in 0..n {
+                    for j in 0..d {
+                        gx[(i, j)] = gout[(0, j)] * inv;
+                    }
+                }
+            }
+        }
+        PoolMode::Max => {
+            if let Some(idx) = &cache.argmax {
+                for j in 0..d {
+                    gx[(idx[j], j)] = gout[(0, j)];
+                }
+            }
+        }
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Matrix {
+        Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.0], &[-1.0, 5.0]])
+    }
+
+    #[test]
+    fn sum_pool() {
+        let (out, _) = global_pool(&x(), PoolMode::Sum);
+        assert_eq!(out.row(0), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_pool() {
+        let (out, _) = global_pool(&x(), PoolMode::Mean);
+        assert_eq!(out.row(0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn max_pool() {
+        let (out, _) = global_pool(&x(), PoolMode::Max);
+        assert_eq!(out.row(0), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn sum_backward_broadcasts() {
+        let (_, cache) = global_pool(&x(), PoolMode::Sum);
+        let gx = global_pool_backward(&cache, &Matrix::from_rows(&[&[1.0, 2.0]]));
+        for i in 0..3 {
+            assert_eq!(gx.row(i), &[1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn mean_backward_divides() {
+        let (_, cache) = global_pool(&x(), PoolMode::Mean);
+        let gx = global_pool_backward(&cache, &Matrix::from_rows(&[&[3.0, 3.0]]));
+        for i in 0..3 {
+            assert_eq!(gx.row(i), &[1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn max_backward_routes_to_winner() {
+        let (_, cache) = global_pool(&x(), PoolMode::Max);
+        let gx = global_pool_backward(&cache, &Matrix::from_rows(&[&[1.0, 1.0]]));
+        assert_eq!(gx.row(1), &[1.0, 0.0]); // col 0 max is row 1
+        assert_eq!(gx.row(2), &[0.0, 1.0]); // col 1 max is row 2
+        assert_eq!(gx.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn pool_reduces_transfer_size() {
+        // The paper's Fig. 2 notes Pooling shrinks intermediate data; here
+        // pooling 100 nodes to 1 divides wire size by 100.
+        let big = Matrix::zeros(100, 16);
+        let (pooled, _) = global_pool(&big, PoolMode::Mean);
+        assert_eq!(pooled.len() * 100, big.len());
+    }
+}

@@ -1,0 +1,218 @@
+//! Training loop utilities for sequential GNN paths: shuffling, learning
+//! rate decay and early stopping. The supernet and the examples share this
+//! instead of hand-rolling epoch loops.
+
+use crate::seq::{evaluate_accuracy, train_step, GraphInput, LayerSpec, WeightBank};
+use gcode_graph::datasets::Sample;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Multiplicative LR decay per epoch (1.0 disables).
+    pub lr_decay: f32,
+    /// Stop after this many epochs without validation improvement
+    /// (0 disables early stopping).
+    pub patience: usize,
+    /// Shuffle/init seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 60,
+            lr: 0.01,
+            lr_decay: 0.99,
+            patience: 12,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a [`fit`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub train_losses: Vec<f32>,
+    /// Validation accuracy per epoch (empty if `val` was empty).
+    pub val_accuracies: Vec<f64>,
+    /// Best validation accuracy observed.
+    pub best_val_accuracy: f64,
+    /// Epochs actually run (≤ `epochs` with early stopping).
+    pub epochs_run: usize,
+}
+
+/// Trains `specs` on `train`, tracking accuracy on `val`, with per-epoch
+/// shuffling, LR decay and patience-based early stopping.
+///
+/// # Example
+///
+/// ```
+/// use gcode_graph::datasets::TextGraphDataset;
+/// use gcode_nn::agg::AggMode;
+/// use gcode_nn::pool::PoolMode;
+/// use gcode_nn::seq::{LayerSpec, WeightBank};
+/// use gcode_nn::trainer::{fit, TrainConfig};
+///
+/// let ds = TextGraphDataset::generate(20, 10, 16, 1);
+/// let (train, val) = ds.split(0.8);
+/// let specs = vec![
+///     LayerSpec::Combine { out_dim: 16 },
+///     LayerSpec::Aggregate(AggMode::Mean),
+///     LayerSpec::GlobalPool(PoolMode::Mean),
+/// ];
+/// let mut bank = WeightBank::new(2, 7);
+/// let report = fit(&specs, &train, &val, &mut bank, &TrainConfig::default());
+/// assert!(report.epochs_run >= 1);
+/// ```
+pub fn fit(
+    specs: &[LayerSpec],
+    train: &[Sample],
+    val: &[Sample],
+    bank: &mut WeightBank,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x7124_13E5);
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut lr = cfg.lr;
+    let mut train_losses = Vec::new();
+    let mut val_accuracies = Vec::new();
+    let mut best = 0.0f64;
+    let mut since_best = 0usize;
+    let mut epochs_run = 0usize;
+
+    for _ in 0..cfg.epochs {
+        epochs_run += 1;
+        order.shuffle(&mut rng);
+        let mut total = 0.0f32;
+        for &i in &order {
+            let s = &train[i];
+            total += train_step(
+                specs,
+                GraphInput { features: &s.features, graph: s.graph.as_ref() },
+                s.label,
+                bank,
+                lr,
+                &mut rng,
+            );
+        }
+        train_losses.push(total / train.len().max(1) as f32);
+        lr *= cfg.lr_decay;
+
+        if !val.is_empty() {
+            let acc = evaluate_accuracy(specs, val, bank, &mut rng);
+            val_accuracies.push(acc);
+            if acc > best {
+                best = acc;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if cfg.patience > 0 && since_best >= cfg.patience {
+                    break;
+                }
+            }
+        }
+    }
+    TrainReport {
+        train_losses,
+        val_accuracies,
+        best_val_accuracy: best,
+        epochs_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggMode;
+    use crate::pool::PoolMode;
+    use gcode_graph::datasets::{PointCloudDataset, TextGraphDataset};
+
+    fn text_specs() -> Vec<LayerSpec> {
+        vec![
+            LayerSpec::Combine { out_dim: 16 },
+            LayerSpec::Aggregate(AggMode::Mean),
+            LayerSpec::GlobalPool(PoolMode::Mean),
+        ]
+    }
+
+    #[test]
+    fn fit_learns_text_task() {
+        let ds = TextGraphDataset::generate(40, 12, 32, 9);
+        let (train, val) = ds.split(0.75);
+        let mut bank = WeightBank::new(2, 3);
+        let cfg = TrainConfig { epochs: 60, lr: 0.02, ..TrainConfig::default() };
+        let report = fit(&text_specs(), &train, &val, &mut bank, &cfg);
+        assert!(
+            report.best_val_accuracy > 0.8,
+            "got {}",
+            report.best_val_accuracy
+        );
+    }
+
+    #[test]
+    fn loss_trends_downward() {
+        let ds = TextGraphDataset::generate(30, 12, 32, 11);
+        let (train, val) = ds.split(0.8);
+        let mut bank = WeightBank::new(2, 5);
+        let cfg = TrainConfig { epochs: 30, lr: 0.02, patience: 0, ..TrainConfig::default() };
+        let report = fit(&text_specs(), &train, &val, &mut bank, &cfg);
+        let first = report.train_losses[0];
+        let last = *report.train_losses.last().expect("non-empty");
+        assert!(last < first, "loss should drop: {first} -> {last}");
+        assert_eq!(report.epochs_run, 30);
+    }
+
+    #[test]
+    fn early_stopping_cuts_epochs() {
+        // A frozen task where accuracy saturates immediately: patience
+        // should trigger well before the epoch cap.
+        let ds = TextGraphDataset::generate(12, 10, 16, 13);
+        let (train, val) = ds.split(0.5);
+        let mut bank = WeightBank::new(2, 7);
+        let cfg = TrainConfig {
+            epochs: 200,
+            lr: 0.05,
+            patience: 5,
+            ..TrainConfig::default()
+        };
+        let report = fit(&text_specs(), &train, &val, &mut bank, &cfg);
+        assert!(report.epochs_run < 200, "early stop expected, ran {}", report.epochs_run);
+    }
+
+    #[test]
+    fn empty_validation_disables_tracking() {
+        let ds = PointCloudDataset::generate(6, 16, 2, 15);
+        let specs = vec![
+            LayerSpec::BuildKnn { k: 4 },
+            LayerSpec::Aggregate(AggMode::Max),
+            LayerSpec::GlobalPool(PoolMode::Max),
+        ];
+        let mut bank = WeightBank::new(2, 9);
+        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let report = fit(&specs, ds.samples(), &[], &mut bank, &cfg);
+        assert!(report.val_accuracies.is_empty());
+        assert_eq!(report.epochs_run, 3);
+        assert_eq!(report.best_val_accuracy, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = TextGraphDataset::generate(16, 10, 16, 17);
+        let (train, val) = ds.split(0.75);
+        let run = || {
+            let mut bank = WeightBank::new(2, 21);
+            let cfg = TrainConfig { epochs: 10, ..TrainConfig::default() };
+            fit(&text_specs(), &train, &val, &mut bank, &cfg)
+        };
+        assert_eq!(run(), run());
+    }
+}

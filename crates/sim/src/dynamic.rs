@@ -1,0 +1,288 @@
+//! Dynamic-conditions co-simulation: a fluctuating wireless link and the
+//! runtime dispatcher adapting to it.
+//!
+//! Sec. 3.6: "GCoDE dynamically adapts execution architectures via its
+//! runtime dispatcher to meet the fluctuating latency and power consumption
+//! constraints of the device." This module closes that loop in simulation:
+//! a [`BandwidthTrace`] drives the link, and before every frame the
+//! dispatcher re-prices the zoo under current conditions and may switch the
+//! deployed architecture.
+
+use crate::{simulate, SimConfig};
+use gcode_core::arch::WorkloadProfile;
+use gcode_core::zoo::ArchitectureZoo;
+use gcode_hardware::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// Piecewise-constant uplink bandwidth over time.
+///
+/// # Example
+///
+/// ```
+/// use gcode_sim::BandwidthTrace;
+///
+/// let trace = BandwidthTrace::new(vec![(0.0, 40.0), (1.0, 10.0)]);
+/// assert_eq!(trace.at(0.5), 40.0);
+/// assert_eq!(trace.at(2.0), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// `(start_time_s, mbps)` steps, sorted by time.
+    steps: Vec<(f64, f64)>,
+}
+
+impl BandwidthTrace {
+    /// Builds a trace from `(start_time_s, mbps)` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, unsorted, or contains a non-positive
+    /// bandwidth.
+    pub fn new(steps: Vec<(f64, f64)>) -> Self {
+        assert!(!steps.is_empty(), "trace needs at least one step");
+        for w in steps.windows(2) {
+            assert!(w[0].0 <= w[1].0, "trace steps must be time-sorted");
+        }
+        assert!(steps.iter().all(|&(_, b)| b > 0.0), "bandwidth must be positive");
+        Self { steps }
+    }
+
+    /// Constant-bandwidth trace.
+    pub fn constant(mbps: f64) -> Self {
+        Self::new(vec![(0.0, mbps)])
+    }
+
+    /// A square-wave trace alternating between `high` and `low` every
+    /// `period_s` seconds — the classic congestion pattern.
+    pub fn square_wave(high: f64, low: f64, period_s: f64, total_s: f64) -> Self {
+        let mut steps = Vec::new();
+        let mut t = 0.0;
+        let mut hi = true;
+        while t < total_s {
+            steps.push((t, if hi { high } else { low }));
+            hi = !hi;
+            t += period_s;
+        }
+        Self::new(steps)
+    }
+
+    /// Bandwidth at time `t` (clamped to the first/last step).
+    pub fn at(&self, t: f64) -> f64 {
+        let mut current = self.steps[0].1;
+        for &(start, mbps) in &self.steps {
+            if t >= start {
+                current = mbps;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+}
+
+/// Per-frame record of the adaptive run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchedFrame {
+    /// Wall-clock time the frame started.
+    pub start_s: f64,
+    /// Link bandwidth the frame saw.
+    pub bandwidth_mbps: f64,
+    /// Index of the zoo entry that served the frame.
+    pub zoo_index: usize,
+    /// Simulated frame latency.
+    pub latency_s: f64,
+    /// Whether the latency SLO was met.
+    pub met_slo: bool,
+}
+
+/// Outcome of [`simulate_adaptive`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveReport {
+    /// Per-frame records.
+    pub frames: Vec<DispatchedFrame>,
+    /// Number of architecture switches the dispatcher performed.
+    pub switches: usize,
+    /// Fraction of frames meeting the SLO.
+    pub slo_hit_rate: f64,
+    /// Mean frame latency.
+    pub mean_latency_s: f64,
+}
+
+/// Runs `num_frames` frames under a fluctuating link. Before each frame the
+/// dispatcher re-prices every zoo entry at the *current* bandwidth and
+/// serves the most accurate entry whose predicted latency meets `slo_s`,
+/// falling back to the fastest entry when none qualifies (the zoo policy).
+///
+/// `pin_first` disables adaptation (always serve entry 0) — the static
+/// baseline the dispatcher is compared against.
+pub fn simulate_adaptive(
+    zoo: &ArchitectureZoo,
+    profile: &WorkloadProfile,
+    base: &SystemConfig,
+    trace: &BandwidthTrace,
+    num_frames: usize,
+    slo_s: f64,
+    pin_first: bool,
+) -> AdaptiveReport {
+    assert!(!zoo.is_empty(), "cannot dispatch from an empty zoo");
+    let sim = SimConfig::single_frame();
+    let mut t = 0.0;
+    let mut frames = Vec::with_capacity(num_frames);
+    let mut switches = 0usize;
+    let mut last_choice: Option<usize> = None;
+
+    for _ in 0..num_frames {
+        let bandwidth = trace.at(t);
+        let mut sys = base.clone();
+        sys.link.bandwidth_mbps = bandwidth;
+
+        let choice = if pin_first {
+            0
+        } else {
+            // Re-price the zoo at current conditions.
+            let mut best: Option<(usize, f64, f64)> = None; // (idx, acc, lat)
+            let mut fastest: (usize, f64) = (0, f64::INFINITY);
+            for (i, entry) in zoo.entries().iter().enumerate() {
+                let lat = simulate(&entry.arch, profile, &sys, &sim).frame_latency_s;
+                if lat < fastest.1 {
+                    fastest = (i, lat);
+                }
+                if lat <= slo_s {
+                    let better = best.is_none_or(|(_, acc, _)| entry.accuracy > acc);
+                    if better {
+                        best = Some((i, entry.accuracy, lat));
+                    }
+                }
+            }
+            best.map_or(fastest.0, |(i, _, _)| i)
+        };
+
+        if let Some(prev) = last_choice {
+            if prev != choice {
+                switches += 1;
+            }
+        }
+        last_choice = Some(choice);
+
+        let latency = simulate(&zoo.entries()[choice].arch, profile, &sys, &sim).frame_latency_s;
+        frames.push(DispatchedFrame {
+            start_s: t,
+            bandwidth_mbps: bandwidth,
+            zoo_index: choice,
+            latency_s: latency,
+            met_slo: latency <= slo_s,
+        });
+        t += latency;
+    }
+
+    let hits = frames.iter().filter(|f| f.met_slo).count();
+    let mean = frames.iter().map(|f| f.latency_s).sum::<f64>() / frames.len().max(1) as f64;
+    AdaptiveReport {
+        switches,
+        slo_hit_rate: hits as f64 / frames.len().max(1) as f64,
+        mean_latency_s: mean,
+        frames,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcode_core::arch::Architecture;
+    use gcode_core::op::{Op, SampleFn};
+    use gcode_core::search::ScoredArch;
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    fn pc() -> WorkloadProfile {
+        WorkloadProfile::modelnet40()
+    }
+
+    /// Zoo with one accurate-but-chatty design and one frugal local design.
+    fn zoo() -> ArchitectureZoo {
+        let chatty = Architecture::new(vec![
+            Op::Combine { dim: 64 },
+            Op::Communicate, // ships 1024×64 features: bandwidth-sensitive
+            Op::Sample(SampleFn::Knn { k: 10 }),
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let local = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 10 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 16 },
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        ArchitectureZoo::new(vec![
+            ScoredArch { arch: chatty, score: 0.93, accuracy: 0.93, latency_s: 0.05, energy_j: 0.1 },
+            ScoredArch { arch: local, score: 0.91, accuracy: 0.91, latency_s: 0.02, energy_j: 0.2 },
+        ])
+    }
+
+    #[test]
+    fn trace_lookup() {
+        let tr = BandwidthTrace::new(vec![(0.0, 40.0), (2.0, 10.0), (4.0, 40.0)]);
+        assert_eq!(tr.at(0.0), 40.0);
+        assert_eq!(tr.at(1.99), 40.0);
+        assert_eq!(tr.at(2.0), 10.0);
+        assert_eq!(tr.at(5.0), 40.0);
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let tr = BandwidthTrace::square_wave(40.0, 10.0, 1.0, 4.0);
+        assert_eq!(tr.at(0.5), 40.0);
+        assert_eq!(tr.at(1.5), 10.0);
+        assert_eq!(tr.at(2.5), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn unsorted_trace_rejected() {
+        let _ = BandwidthTrace::new(vec![(1.0, 10.0), (0.0, 40.0)]);
+    }
+
+    #[test]
+    fn dispatcher_switches_on_congestion() {
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let trace = BandwidthTrace::square_wave(40.0, 2.0, 0.5, 60.0);
+        let report =
+            simulate_adaptive(&zoo(), &pc(), &sys, &trace, 40, 0.12, false);
+        assert!(report.switches > 0, "congestion should force switches");
+    }
+
+    #[test]
+    fn adaptation_beats_pinning_on_slo() {
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let trace = BandwidthTrace::square_wave(40.0, 2.0, 0.5, 60.0);
+        let adaptive = simulate_adaptive(&zoo(), &pc(), &sys, &trace, 40, 0.12, false);
+        let pinned = simulate_adaptive(&zoo(), &pc(), &sys, &trace, 40, 0.12, true);
+        assert!(
+            adaptive.slo_hit_rate >= pinned.slo_hit_rate,
+            "adaptive {:.2} vs pinned {:.2}",
+            adaptive.slo_hit_rate,
+            pinned.slo_hit_rate
+        );
+        assert!(adaptive.mean_latency_s <= pinned.mean_latency_s + 1e-9);
+    }
+
+    #[test]
+    fn stable_link_needs_no_switches() {
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let trace = BandwidthTrace::constant(40.0);
+        let report = simulate_adaptive(&zoo(), &pc(), &sys, &trace, 20, 0.5, false);
+        assert_eq!(report.switches, 0);
+        assert_eq!(report.slo_hit_rate, 1.0);
+    }
+
+    #[test]
+    fn report_frame_accounting() {
+        let sys = SystemConfig::pi_to_1060(40.0);
+        let trace = BandwidthTrace::constant(40.0);
+        let report = simulate_adaptive(&zoo(), &pc(), &sys, &trace, 7, 0.5, false);
+        assert_eq!(report.frames.len(), 7);
+        for w in report.frames.windows(2) {
+            assert!(w[1].start_s > w[0].start_s, "time must advance");
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Discrete-event simulator of pipelined device-edge co-inference.
+//!
+//! This crate is the reproduction's substitute for the paper's physical
+//! testbed (Jetson/Pi devices + i7/1060 edges behind a bandwidth-capped
+//! router). It executes an architecture's *stage graph* — alternating
+//! device-compute, link-transfer and edge-compute segments — over a stream
+//! of input frames, with the pipeline recurrence the paper's co-inference
+//! engine creates by processing frame `f+1` on the device while the edge
+//! still works on frame `f` (Sec. 3.6).
+//!
+//! Crucially, the simulator charges **runtime overheads that the LUT-style
+//! cost estimation does not see**: per-message framing, (de)serialization,
+//! a platform inefficiency factor and a deterministic per-architecture
+//! perturbation. This gap is what makes the GIN latency predictor worth
+//! training (Sec. 3.5: cost estimation "may not include potential runtime
+//! overheads compared to measured latency").
+//!
+//! # Example
+//!
+//! ```
+//! use gcode_core::arch::{Architecture, WorkloadProfile};
+//! use gcode_core::op::{Op, SampleFn};
+//! use gcode_hardware::SystemConfig;
+//! use gcode_nn::{agg::AggMode, pool::PoolMode};
+//! use gcode_sim::{simulate, SimConfig};
+//!
+//! let arch = Architecture::new(vec![
+//!     Op::Sample(SampleFn::Knn { k: 20 }),
+//!     Op::Communicate,
+//!     Op::Aggregate(AggMode::Max),
+//!     Op::GlobalPool(PoolMode::Max),
+//! ]);
+//! let report = simulate(&arch, &WorkloadProfile::modelnet40(),
+//!                       &SystemConfig::tx2_to_i7(40.0), &SimConfig::default());
+//! assert!(report.frame_latency_s > 0.0);
+//! assert!(report.fps > 0.0);
+//! ```
+
+mod arrivals;
+mod dynamic;
+
+pub use arrivals::{simulate_open_loop, ArrivalProcess, OpenLoopReport};
+pub use dynamic::{simulate_adaptive, AdaptiveReport, BandwidthTrace, DispatchedFrame};
+
+use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::cost::trace;
+use gcode_core::estimate::CandidateEvaluator;
+use gcode_core::op::{OpKind, Placement};
+use gcode_hardware::SystemConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Simulator knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Frames to push through the pipeline.
+    pub frames: usize,
+    /// Whether the engine pipelines frames (paper's engine) or processes
+    /// them strictly one at a time (ablation).
+    pub pipelined: bool,
+    /// Serialization/deserialization throughput at segment boundaries, GB/s.
+    pub serialize_gbps: f64,
+    /// Fixed cost per message handed to the network stack, seconds.
+    pub per_message_overhead_s: f64,
+    /// Multiplicative runtime inefficiency on compute segments
+    /// (framework dispatch, cache pollution between ops).
+    pub runtime_inefficiency: f64,
+    /// Amplitude of the deterministic per-architecture perturbation
+    /// (stands in for measurement-to-measurement system variance).
+    pub noise_frac: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            frames: 32,
+            pipelined: true,
+            serialize_gbps: 1.5,
+            per_message_overhead_s: 1.2e-3,
+            runtime_inefficiency: 0.08,
+            noise_frac: 0.03,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Single-frame, non-pipelined configuration (pure latency probe).
+    pub fn single_frame() -> Self {
+        Self { frames: 1, pipelined: false, ..Self::default() }
+    }
+}
+
+/// Which resource a pipeline stage occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Device compute segment.
+    Device,
+    /// Wireless link transfer.
+    Link,
+    /// Edge compute segment.
+    Edge,
+}
+
+/// One pipeline stage with its deterministic service time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Resource this stage occupies.
+    pub kind: StageKind,
+    /// Service time per frame, seconds.
+    pub service_s: f64,
+}
+
+/// Simulation output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// End-to-end latency of one frame through all stages.
+    pub frame_latency_s: f64,
+    /// Completion time of the last of `frames` frames.
+    pub makespan_s: f64,
+    /// Steady-state throughput, frames per second.
+    pub fps: f64,
+    /// Service time of the slowest stage (the pipeline bottleneck).
+    pub bottleneck_s: f64,
+    /// Device compute time per frame.
+    pub device_compute_s: f64,
+    /// Edge compute time per frame.
+    pub edge_compute_s: f64,
+    /// Link time per frame.
+    pub comm_s: f64,
+    /// On-device energy per frame, joules.
+    pub device_energy_j: f64,
+    /// The stage decomposition used.
+    pub stages: Vec<Stage>,
+}
+
+/// Builds the stage graph of an architecture: maximal runs of same-side ops
+/// become one compute stage; every `Communicate` becomes a link stage whose
+/// service time includes transfer, per-message overhead and serialization
+/// at both ends.
+pub fn build_stages(
+    arch: &Architecture,
+    profile: &WorkloadProfile,
+    sys: &SystemConfig,
+    cfg: &SimConfig,
+) -> Vec<Stage> {
+    let traced = trace(arch, profile);
+    let jitter = 1.0 + cfg.noise_frac * arch_noise(arch);
+    let ineff = (1.0 + cfg.runtime_inefficiency) * jitter;
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut current: Option<Stage> = None;
+
+    for t in &traced {
+        if t.op.kind() == OpKind::Communicate {
+            if let Some(s) = current.take() {
+                stages.push(s);
+            }
+            let serialize = 2.0 * t.transfer_bytes as f64 / (cfg.serialize_gbps * 1e9);
+            let service = sys.link.transfer_time(t.transfer_bytes)
+                + cfg.per_message_overhead_s
+                + serialize;
+            stages.push(Stage { kind: StageKind::Link, service_s: service });
+        } else {
+            let (proc, kind) = match t.placement {
+                Placement::Device => (&sys.device, StageKind::Device),
+                Placement::Edge => (&sys.edge, StageKind::Edge),
+            };
+            let service = proc.latency(&t.cost) * ineff;
+            match &mut current {
+                Some(s) if s.kind == kind => s.service_s += service,
+                _ => {
+                    if let Some(s) = current.take() {
+                        stages.push(s);
+                    }
+                    current = Some(Stage { kind, service_s: service });
+                }
+            }
+        }
+    }
+    if let Some(s) = current.take() {
+        stages.push(s);
+    }
+    // Result return if the classifier output lands on the edge.
+    if arch.output_placement() == Placement::Edge {
+        stages.push(Stage {
+            kind: StageKind::Link,
+            service_s: sys.link.transfer_time(16) + cfg.per_message_overhead_s,
+        });
+    }
+    if stages.is_empty() {
+        stages.push(Stage { kind: StageKind::Device, service_s: 0.0 });
+    }
+    stages
+}
+
+/// Runs the discrete-event pipeline over `cfg.frames` frames.
+///
+/// Pipelined mode uses the classic recurrence
+/// `done[f][s] = max(done[f][s-1], done[f-1][s]) + service[s]` — each stage
+/// is a resource that serves frames in order; non-pipelined mode forces
+/// frame `f` to wait for frame `f-1` to fully finish.
+pub fn simulate(
+    arch: &Architecture,
+    profile: &WorkloadProfile,
+    sys: &SystemConfig,
+    cfg: &SimConfig,
+) -> SimReport {
+    let stages = build_stages(arch, profile, sys, cfg);
+    let frames = cfg.frames.max(1);
+    let num_stages = stages.len();
+
+    let mut prev_frame_done = vec![0.0f64; num_stages];
+    let mut frame_latency = 0.0;
+    let mut makespan = 0.0;
+    for f in 0..frames {
+        let release = if cfg.pipelined {
+            0.0
+        } else {
+            // Strictly serial: wait for the previous frame to fully drain.
+            prev_frame_done.last().copied().unwrap_or(0.0)
+        };
+        let mut t = release;
+        let mut done = vec![0.0f64; num_stages];
+        for (s, stage) in stages.iter().enumerate() {
+            let ready = t;
+            let free = if cfg.pipelined { prev_frame_done[s] } else { ready };
+            t = ready.max(free) + stage.service_s;
+            done[s] = t;
+        }
+        if f == 0 {
+            frame_latency = t;
+        }
+        makespan = t;
+        prev_frame_done = done;
+    }
+
+    let device_compute_s: f64 = stages
+        .iter()
+        .filter(|s| s.kind == StageKind::Device)
+        .map(|s| s.service_s)
+        .sum();
+    let edge_compute_s: f64 = stages
+        .iter()
+        .filter(|s| s.kind == StageKind::Edge)
+        .map(|s| s.service_s)
+        .sum();
+    let comm_s: f64 = stages
+        .iter()
+        .filter(|s| s.kind == StageKind::Link)
+        .map(|s| s.service_s)
+        .sum();
+    let bottleneck_s = stages.iter().map(|s| s.service_s).fold(0.0f64, f64::max);
+
+    // Per-frame device energy with simulated times.
+    let traced = trace(arch, profile);
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    for t in &traced {
+        if t.op.kind() == OpKind::Communicate {
+            match t.placement {
+                Placement::Device => sent += t.transfer_bytes,
+                Placement::Edge => received += t.transfer_bytes,
+            }
+        }
+    }
+    if arch.output_placement() == Placement::Edge {
+        received += 16;
+    }
+    let e_run = sys.device.run_power_w * device_compute_s;
+    let e_idle = sys.device.idle_power_w * (edge_compute_s + comm_s);
+    let e_comm = sys.power.device_comm_energy(&sys.link, sent, received);
+    let device_energy_j = e_run + e_idle + e_comm;
+
+    SimReport {
+        frame_latency_s: frame_latency,
+        makespan_s: makespan,
+        fps: frames as f64 / makespan.max(1e-12),
+        bottleneck_s,
+        device_compute_s,
+        edge_compute_s,
+        comm_s,
+        device_energy_j,
+        stages,
+    }
+}
+
+/// Deterministic per-architecture perturbation in `[-1, 1]`.
+fn arch_noise(arch: &Architecture) -> f64 {
+    let mut h = DefaultHasher::new();
+    arch.hash(&mut h);
+    ((h.finish() % 8192) as f64 / 8192.0) * 2.0 - 1.0
+}
+
+/// [`CandidateEvaluator`] backed by the simulator — the "measured" oracle
+/// used to train the predictor and to fill the paper's tables.
+pub struct SimEvaluator<F: FnMut(&Architecture) -> f64> {
+    /// Workload being optimized.
+    pub profile: WorkloadProfile,
+    /// Target system.
+    pub sys: SystemConfig,
+    /// Simulator settings (single-frame by default for latency scoring).
+    pub sim: SimConfig,
+    /// Accuracy callback (surrogate or supernet).
+    pub accuracy_fn: F,
+}
+
+impl<F: FnMut(&Architecture) -> f64> CandidateEvaluator for SimEvaluator<F> {
+    fn latency_s(&mut self, arch: &Architecture) -> f64 {
+        simulate(arch, &self.profile, &self.sys, &self.sim).frame_latency_s
+    }
+
+    fn device_energy_j(&mut self, arch: &Architecture) -> f64 {
+        simulate(arch, &self.profile, &self.sys, &self.sim).device_energy_j
+    }
+
+    fn accuracy(&mut self, arch: &Architecture) -> f64 {
+        (self.accuracy_fn)(arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcode_core::estimate::estimate_latency;
+    use gcode_core::op::{Op, SampleFn};
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    fn pc() -> WorkloadProfile {
+        WorkloadProfile::modelnet40()
+    }
+
+    fn split_arch() -> Architecture {
+        Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 20 }),
+            Op::Communicate,
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 64 },
+            Op::GlobalPool(PoolMode::Max),
+        ])
+    }
+
+    fn device_only() -> Architecture {
+        Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 20 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 64 },
+            Op::GlobalPool(PoolMode::Max),
+        ])
+    }
+
+    #[test]
+    fn stage_decomposition_alternates() {
+        let stages = build_stages(
+            &split_arch(),
+            &pc(),
+            &SystemConfig::tx2_to_i7(40.0),
+            &SimConfig::default(),
+        );
+        let kinds: Vec<StageKind> = stages.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![StageKind::Device, StageKind::Link, StageKind::Edge, StageKind::Link]
+        );
+    }
+
+    #[test]
+    fn device_only_has_single_stage() {
+        let stages = build_stages(
+            &device_only(),
+            &pc(),
+            &SystemConfig::tx2_to_i7(40.0),
+            &SimConfig::default(),
+        );
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].kind, StageKind::Device);
+    }
+
+    #[test]
+    fn simulated_latency_exceeds_cost_estimate() {
+        // The simulator charges runtime overheads the LUT accumulation
+        // cannot see — the motivation for the learned predictor.
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let est = estimate_latency(&split_arch(), &pc(), &sys).total_s();
+        let sim = simulate(&split_arch(), &pc(), &sys, &SimConfig::single_frame());
+        assert!(
+            sim.frame_latency_s > est,
+            "sim {} should exceed estimate {}",
+            sim.frame_latency_s,
+            est
+        );
+    }
+
+    #[test]
+    fn pipelining_improves_throughput_not_latency() {
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let pipelined = simulate(&split_arch(), &pc(), &sys, &SimConfig::default());
+        let serial = simulate(
+            &split_arch(),
+            &pc(),
+            &sys,
+            &SimConfig { pipelined: false, ..SimConfig::default() },
+        );
+        assert!(pipelined.fps > serial.fps, "pipelining should raise fps");
+        assert!((pipelined.frame_latency_s - serial.frame_latency_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_fps_approaches_bottleneck_rate() {
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let cfg = SimConfig { frames: 400, ..SimConfig::default() };
+        let r = simulate(&split_arch(), &pc(), &sys, &cfg);
+        let ideal = 1.0 / r.bottleneck_s;
+        assert!(r.fps <= ideal + 1e-9);
+        assert!(r.fps > 0.9 * ideal, "fps {} vs ideal {ideal}", r.fps);
+    }
+
+    #[test]
+    fn makespan_matches_pipeline_formula() {
+        let sys = SystemConfig::pi_to_1060(40.0);
+        let cfg = SimConfig { frames: 10, ..SimConfig::default() };
+        let r = simulate(&split_arch(), &pc(), &sys, &cfg);
+        let expected = r.frame_latency_s + 9.0 * r.bottleneck_s;
+        assert!(
+            (r.makespan_s - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            r.makespan_s
+        );
+    }
+
+    #[test]
+    fn slower_link_slows_split_architectures() {
+        let fast = simulate(
+            &split_arch(),
+            &pc(),
+            &SystemConfig::tx2_to_i7(40.0),
+            &SimConfig::single_frame(),
+        );
+        let slow = simulate(
+            &split_arch(),
+            &pc(),
+            &SystemConfig::tx2_to_i7(10.0),
+            &SimConfig::single_frame(),
+        );
+        assert!(slow.frame_latency_s > fast.frame_latency_s);
+        // Device-only is link-independent.
+        let d_fast = simulate(
+            &device_only(),
+            &pc(),
+            &SystemConfig::tx2_to_i7(40.0),
+            &SimConfig::single_frame(),
+        );
+        let d_slow = simulate(
+            &device_only(),
+            &pc(),
+            &SystemConfig::tx2_to_i7(10.0),
+            &SimConfig::single_frame(),
+        );
+        assert!((d_fast.frame_latency_s - d_slow.frame_latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_accounts_idle_and_comm() {
+        let sys = SystemConfig::pi_to_1060(40.0);
+        let r = simulate(&split_arch(), &pc(), &sys, &SimConfig::single_frame());
+        let floor = sys.device.run_power_w * r.device_compute_s;
+        assert!(r.device_energy_j > floor, "must include idle+comm energy");
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let sys = SystemConfig::tx2_to_1060(40.0);
+        let a = simulate(&split_arch(), &pc(), &sys, &SimConfig::default());
+        let b = simulate(&split_arch(), &pc(), &sys, &SimConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluator_interface_works() {
+        let mut eval = SimEvaluator {
+            profile: pc(),
+            sys: SystemConfig::tx2_to_i7(40.0),
+            sim: SimConfig::single_frame(),
+            accuracy_fn: |_: &Architecture| 0.92,
+        };
+        let arch = split_arch();
+        assert!(eval.latency_s(&arch) > 0.0);
+        assert!(eval.device_energy_j(&arch) > 0.0);
+        assert_eq!(eval.accuracy(&arch), 0.92);
+    }
+
+    #[test]
+    fn empty_stage_guard() {
+        // An architecture of only Identity ops still produces a stage list.
+        let arch = Architecture::new(vec![Op::Identity, Op::Identity]);
+        let stages = build_stages(
+            &arch,
+            &pc(),
+            &SystemConfig::tx2_to_i7(40.0),
+            &SimConfig::default(),
+        );
+        assert!(!stages.is_empty());
+    }
+}

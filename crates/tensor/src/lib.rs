@@ -1,0 +1,45 @@
+//! Dense `f32` tensor substrate for the GCoDE reproduction.
+//!
+//! The GNN layers, the supernet trainer and the GIN latency predictor are all
+//! built on the small row-major [`Matrix`] type defined here, together with a
+//! handful of elementwise kernels, losses and first-order optimizers. The
+//! crate is deliberately dependency-light: everything is plain Rust so the
+//! whole reproduction runs on any machine without BLAS.
+//!
+//! # Example
+//!
+//! ```
+//! use gcode_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+mod matrix;
+pub mod init;
+pub mod loss;
+pub mod ops;
+pub mod optim;
+
+pub use matrix::Matrix;
+
+/// Error type for shape mismatches and invalid tensor arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    msg: String,
+}
+
+impl ShapeError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shape error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ShapeError {}

@@ -1,0 +1,198 @@
+//! First-order optimizers operating on flat parameter lists.
+//!
+//! A model exposes its parameters as a `Vec<&mut Matrix>` plus matching
+//! gradients; the optimizers here update them in place. The indices into the
+//! parameter list must stay stable across steps (Adam keeps per-parameter
+//! moment buffers keyed by position).
+
+use crate::Matrix;
+
+/// Plain stochastic gradient descent with optional weight decay.
+///
+/// # Example
+///
+/// ```
+/// use gcode_tensor::{optim::Sgd, Matrix};
+/// let mut w = Matrix::full(1, 1, 1.0);
+/// let g = Matrix::full(1, 1, 0.5);
+/// let sgd = Sgd::new(0.1);
+/// sgd.step(&mut [&mut w], &[&g]);
+/// assert!((w[(0, 0)] - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight decay coefficient (0 disables it).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate and no decay.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    /// Applies one descent step: `p -= lr * (g + wd * p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length or any pair differs
+    /// in shape.
+    pub fn step(&self, params: &mut [&mut Matrix], grads: &[&Matrix]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        for (p, g) in params.iter_mut().zip(grads) {
+            assert_eq!(p.shape(), g.shape(), "param/grad shape mismatch");
+            let wd = self.weight_decay;
+            let lr = self.lr;
+            for (pv, gv) in p.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *pv -= lr * (gv + wd * *pv);
+            }
+        }
+    }
+}
+
+/// Adam optimizer with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one Adam step.
+    ///
+    /// The parameter list must keep a stable order across calls; moment
+    /// buffers are lazily allocated on the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length, any pair differs in
+    /// shape, or the parameter list changed shape since the first step.
+    pub fn step(&mut self, params: &mut [&mut Matrix], grads: &[&Matrix]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed size");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            assert_eq!(params[i].shape(), grads[i].shape(), "param/grad shape mismatch");
+            assert_eq!(params[i].shape(), self.m[i].shape(), "parameter shape changed");
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            let p = params[i].as_mut_slice();
+            let g = grads[i].as_slice();
+            for j in 0..p.len() {
+                let mj = self.beta1 * m.as_slice()[j] + (1.0 - self.beta1) * g[j];
+                let vj = self.beta2 * v.as_slice()[j] + (1.0 - self.beta2) * g[j] * g[j];
+                m.as_mut_slice()[j] = mj;
+                v.as_mut_slice()[j] = vj;
+                let mhat = mj / b1t;
+                let vhat = vj / b2t;
+                p[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// Clips gradients in place so the global L2 norm is at most `max_norm`.
+///
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(grads: &mut [&mut Matrix], max_norm: f32) -> f32 {
+    let total: f32 = grads
+        .iter()
+        .map(|g| g.as_slice().iter().map(|x| x * x).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for g in grads.iter_mut() {
+            g.map_inplace(|x| x * scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        // Minimize f(w) = (w - 3)^2 from w = 0.
+        let mut w = Matrix::zeros(1, 1);
+        let sgd = Sgd::new(0.1);
+        for _ in 0..100 {
+            let g = Matrix::full(1, 1, 2.0 * (w[(0, 0)] - 3.0));
+            sgd.step(&mut [&mut w], &[&g]);
+        }
+        assert!((w[(0, 0)] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params() {
+        let mut w = Matrix::full(1, 1, 1.0);
+        let g = Matrix::zeros(1, 1);
+        let sgd = Sgd { lr: 0.1, weight_decay: 0.5 };
+        sgd.step(&mut [&mut w], &[&g]);
+        assert!((w[(0, 0)] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut w = Matrix::zeros(1, 1);
+        let mut adam = Adam::new(0.1);
+        for _ in 0..300 {
+            let g = Matrix::full(1, 1, 2.0 * (w[(0, 0)] - 3.0));
+            adam.step(&mut [&mut w], &[&g]);
+        }
+        assert!((w[(0, 0)] - 3.0).abs() < 1e-2);
+        assert_eq!(adam.steps(), 300);
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut g = Matrix::full(2, 2, 10.0);
+        let before = clip_grad_norm(&mut [&mut g], 1.0);
+        assert!(before > 1.0);
+        let after: f32 = g.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((after - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_noop_below_threshold() {
+        let mut g = Matrix::full(1, 1, 0.1);
+        clip_grad_norm(&mut [&mut g], 1.0);
+        assert!((g[(0, 0)] - 0.1).abs() < 1e-7);
+    }
+}

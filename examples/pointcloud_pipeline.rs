@@ -1,0 +1,110 @@
+//! End-to-end point-cloud pipeline: pretrain the one-shot supernet on a
+//! synthetic ModelNet40-like dataset, search with *real* supernet accuracy,
+//! then deploy the winner through the TCP co-inference engine and classify
+//! a stream of point clouds.
+//!
+//! ```sh
+//! cargo run --release --example pointcloud_pipeline
+//! ```
+
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::search::{random_search, SearchConfig};
+use gcode::core::space::DesignSpace;
+use gcode::core::supernet::SuperNet;
+use gcode::engine::{DeviceClient, EdgeServer, ExecutionPlan};
+use gcode::graph::datasets::PointCloudDataset;
+use gcode::hardware::SystemConfig;
+use gcode::nn::seq::WeightBank;
+use gcode::sim::{simulate, SimConfig};
+
+fn main() {
+    // Reduced-scale workload so the example runs in seconds: 64-point
+    // clouds, 8 shape classes.
+    let profile = WorkloadProfile::modelnet40_mini(64, 8);
+    let dataset = PointCloudDataset::generate(96, 64, 8, 7);
+    let (train, val) = dataset.split(0.75);
+    let sys = SystemConfig::tx2_to_i7(40.0);
+
+    // Supernet pretraining: shared weights over sampled valid paths.
+    let mut space = DesignSpace::paper(profile);
+    space.num_layers = 6;
+    let mut supernet = SuperNet::new(space.clone(), 3);
+    println!("pretraining supernet ({} weight tensors will materialize)…", 0);
+    supernet.pretrain(&train, 40, 0.01);
+    println!("supernet holds {} shared weight tensors", supernet.num_weights());
+
+    // Search with real one-shot accuracy + simulated system latency.
+    struct SupernetEval<'a> {
+        supernet: &'a mut SuperNet,
+        val: &'a [gcode::graph::datasets::Sample],
+        profile: WorkloadProfile,
+        sys: SystemConfig,
+    }
+    impl gcode::core::estimate::CandidateEvaluator for SupernetEval<'_> {
+        fn latency_s(&mut self, arch: &Architecture) -> f64 {
+            simulate(arch, &self.profile, &self.sys, &SimConfig::single_frame()).frame_latency_s
+        }
+        fn device_energy_j(&mut self, arch: &Architecture) -> f64 {
+            simulate(arch, &self.profile, &self.sys, &SimConfig::single_frame()).device_energy_j
+        }
+        fn accuracy(&mut self, arch: &Architecture) -> f64 {
+            self.supernet.accuracy(arch, self.val)
+        }
+    }
+    let cfg = SearchConfig {
+        iterations: 60,
+        latency_constraint_s: 0.2,
+        energy_constraint_j: 1.0,
+        lambda: 0.2,
+        seed: 5,
+        ..SearchConfig::default()
+    };
+    let mut eval = SupernetEval { supernet: &mut supernet, val: &val, profile, sys };
+    let result = random_search(&space, &cfg, &mut eval);
+    let best = result.best().expect("found a deployable design");
+    println!("\nsearched design (one-shot acc {:.1}%):", best.accuracy * 100.0);
+    println!("{}", best.arch.render());
+
+    // Fine-tune the winner's path, then deploy over TCP loopback.
+    supernet.train_arch(&best.arch, &train, 60, 0.01);
+    let trained_acc = supernet.accuracy(&best.arch, &val);
+    println!("after fine-tuning: validation accuracy {:.1}%", trained_acc * 100.0);
+
+    // NOTE: the engine shares weights by cloning the bank to both sides —
+    // exactly what a real deployment would ship to the edge.
+    let bank = WeightBank::new(8, 3);
+    let mut warm = bank.clone();
+    // Warm a fresh bank by training the deployed path (the supernet's bank
+    // is private; deployment re-trains the final path from scratch).
+    let specs = best.arch.lower();
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(1);
+    for _ in 0..60 {
+        for s in &train {
+            gcode::nn::seq::train_step(
+                &specs,
+                gcode::nn::seq::GraphInput { features: &s.features, graph: s.graph.as_ref() },
+                s.label,
+                &mut warm,
+                0.01,
+                &mut rng,
+            );
+        }
+    }
+
+    let plan = ExecutionPlan::from_architecture(&best.arch);
+    println!(
+        "\ndeploying: {} device ops, {} edge ops",
+        plan.op_counts().0,
+        plan.op_counts().1
+    );
+    let server = EdgeServer::spawn(plan.clone(), warm.clone(), 1).expect("edge up");
+    let mut client = DeviceClient::connect(server.addr(), plan, warm, 1).expect("device up");
+    let (_preds, stats) = client.run_pipelined(&val).expect("stream processed");
+    println!(
+        "engine: {} frames at {:.0} fps, {} bytes sent, stream accuracy {:.1}%",
+        stats.frames,
+        stats.fps,
+        stats.bytes_sent,
+        stats.accuracy * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: search a co-inference architecture for one system and look
+//! at what GCoDE designed.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::search::{random_search, SearchConfig};
+use gcode::core::space::DesignSpace;
+use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode::hardware::SystemConfig;
+use gcode::sim::{SimConfig, SimEvaluator};
+
+fn main() {
+    // 1. User requirements: workload, system, constraints.
+    let profile = WorkloadProfile::modelnet40();
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let cfg = SearchConfig {
+        iterations: 800,
+        latency_constraint_s: 0.100, // 100 ms budget
+        energy_constraint_j: 1.0,
+        lambda: 0.25,
+        seed: 42,
+        ..SearchConfig::default()
+    };
+
+    // 2. The fused design space: Communicate is just another operation.
+    let space = DesignSpace::paper(profile);
+
+    // 3. Evaluate candidates on the co-inference simulator, with the
+    //    calibrated surrogate accuracy model.
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let mut eval = SimEvaluator {
+        profile,
+        sys: sys.clone(),
+        sim: SimConfig::single_frame(),
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    };
+
+    // 4. Constraint-based random search (Alg. 1 of the paper).
+    let result = random_search(&space, &cfg, &mut eval);
+    let best = result.best().expect("constraints are satisfiable");
+
+    println!("searched {} candidates ({} constraint misses)", cfg.iterations, result.constraint_misses);
+    println!("\nbest architecture (score {:.3}):", best.score);
+    println!("{}", best.arch.render());
+    println!(
+        "accuracy {:.1}%   latency {:.1} ms   device energy {:.3} J",
+        best.accuracy * 100.0,
+        best.latency_s * 1e3,
+        best.energy_j
+    );
+    println!("\narchitecture zoo ({} entries):", result.zoo.len());
+    for (i, z) in result.zoo.iter().enumerate() {
+        println!(
+            "  #{i}: {:.1}% acc, {:.1} ms, {:.3} J — {}",
+            z.accuracy * 100.0,
+            z.latency_s * 1e3,
+            z.energy_j,
+            z.arch
+        );
+    }
+}

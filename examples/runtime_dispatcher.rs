@@ -1,0 +1,77 @@
+//! Runtime dispatching from the architecture zoo: one search produces a zoo
+//! of optima; as runtime constraints fluctuate (battery sag, latency SLO
+//! changes, congested link), the dispatcher swaps the deployed design.
+//!
+//! ```sh
+//! cargo run --release --example runtime_dispatcher
+//! ```
+
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::search::{random_search, SearchConfig};
+use gcode::core::space::DesignSpace;
+use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
+use gcode::hardware::SystemConfig;
+use gcode::sim::{SimConfig, SimEvaluator};
+
+fn main() {
+    let profile = WorkloadProfile::modelnet40();
+    let sys = SystemConfig::pi_to_1060(40.0);
+    let space = DesignSpace::paper(profile);
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let mut eval = SimEvaluator {
+        profile,
+        sys,
+        sim: SimConfig::single_frame(),
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    };
+    let cfg = SearchConfig {
+        iterations: 1200,
+        latency_constraint_s: 0.3,
+        energy_constraint_j: 1.5,
+        lambda: 0.15,
+        zoo_size: 10,
+        seed: 31,
+        ..SearchConfig::default()
+    };
+    // One search, many optima: the zoo is free (paper Sec. 3.6).
+    let result = random_search(&space, &cfg, &mut eval);
+    let zoo = ArchitectureZoo::new(result.zoo);
+    println!("architecture zoo after a single search ({} entries):", zoo.len());
+    for z in zoo.entries() {
+        println!(
+            "  {:.1}% acc  {:6.1} ms  {:.3} J  — {}",
+            z.accuracy * 100.0,
+            z.latency_s * 1e3,
+            z.energy_j,
+            z.arch
+        );
+    }
+
+    // The runtime dispatcher reacts to changing conditions.
+    let scenarios = [
+        ("idle dock, accuracy first", RuntimeConstraint::none()),
+        ("interactive use: 40 ms SLO", RuntimeConstraint::latency(0.040)),
+        ("battery saver: 0.06 J/frame", RuntimeConstraint::energy(0.06)),
+        (
+            "both tight",
+            RuntimeConstraint { max_latency_s: Some(0.025), max_energy_j: Some(0.05) },
+        ),
+    ];
+    println!("\ndispatcher decisions:");
+    for (label, constraint) in scenarios {
+        match zoo.dispatch(constraint) {
+            Some(pick) => println!(
+                "  {label:<28} -> {:.1}% acc, {:.1} ms, {:.3} J",
+                pick.accuracy * 100.0,
+                pick.latency_s * 1e3,
+                pick.energy_j
+            ),
+            None => println!("  {label:<28} -> zoo empty"),
+        }
+    }
+
+    // The zoo serializes for deployment next to the engine binaries.
+    let json = zoo.to_json().expect("serializable");
+    println!("\nzoo serializes to {} bytes of JSON for deployment", json.len());
+}

@@ -1,0 +1,10 @@
+//! GCoDE umbrella crate: re-exports the whole workspace public API.
+pub use gcode_baselines as baselines;
+pub use gcode_compress as compress;
+pub use gcode_core as core;
+pub use gcode_engine as engine;
+pub use gcode_graph as graph;
+pub use gcode_hardware as hardware;
+pub use gcode_nn as nn;
+pub use gcode_sim as sim;
+pub use gcode_tensor as tensor;

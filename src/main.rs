@@ -1,0 +1,221 @@
+//! `gcode` command-line interface: run searches, inspect designs and export
+//! architecture zoos without writing Rust.
+//!
+//! ```text
+//! gcode search   --device tx2 --edge i7 --mbps 40 --task modelnet40 \
+//!                [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
+//!                [--seed N] [--zoo-out FILE]
+//! gcode systems                       # list built-in device/edge pairs
+//! gcode describe --zoo FILE [--index N]
+//! gcode dispatch --zoo FILE [--latency-ms F] [--energy-j F]
+//! ```
+
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::search::{random_search, SearchConfig};
+use gcode::core::space::DesignSpace;
+use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
+use gcode::hardware::{Link, Processor, SystemConfig};
+use gcode::sim::{SimConfig, SimEvaluator};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "search" => cmd_search(&opts),
+        "systems" => cmd_systems(),
+        "describe" => cmd_describe(&opts),
+        "dispatch" => cmd_dispatch(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  gcode search   --device <tx2|pi> --edge <i7|1060> [--mbps F] [--task <modelnet40|mr>]
+                 [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
+                 [--seed N] [--zoo-out FILE]
+  gcode systems
+  gcode describe --zoo FILE [--index N]
+  gcode dispatch --zoo FILE [--latency-ms F] [--energy-j F]";
+
+fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{key}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        opts.insert(name.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn device(name: &str) -> Result<Processor, String> {
+    match name {
+        "tx2" => Ok(Processor::jetson_tx2()),
+        "pi" => Ok(Processor::raspberry_pi_4b()),
+        other => Err(format!("unknown device `{other}` (tx2|pi)")),
+    }
+}
+
+fn edge(name: &str) -> Result<Processor, String> {
+    match name {
+        "i7" => Ok(Processor::intel_i7_7700()),
+        "1060" => Ok(Processor::nvidia_gtx_1060()),
+        other => Err(format!("unknown edge `{other}` (i7|1060)")),
+    }
+}
+
+fn get_f64(opts: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    opts.get(key)
+        .map_or(Ok(default), |v| v.parse().map_err(|_| format!("--{key}: bad number `{v}`")))
+}
+
+fn get_usize(opts: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    opts.get(key)
+        .map_or(Ok(default), |v| v.parse().map_err(|_| format!("--{key}: bad number `{v}`")))
+}
+
+fn cmd_systems() -> Result<(), String> {
+    println!("built-in systems (--device ⇌ --edge):");
+    for sys in SystemConfig::paper_systems(40.0) {
+        println!("  {}", sys.label());
+    }
+    Ok(())
+}
+
+fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dev = device(opts.get("device").ok_or("--device is required")?)?;
+    let edg = edge(opts.get("edge").ok_or("--edge is required")?)?;
+    let mbps = get_f64(opts, "mbps", 40.0)?;
+    let sys = SystemConfig::new(dev, edg, Link::mbps(mbps));
+    let (profile, task) = match opts.get("task").map(String::as_str).unwrap_or("modelnet40") {
+        "modelnet40" => (WorkloadProfile::modelnet40(), SurrogateTask::ModelNet40),
+        "mr" => (WorkloadProfile::mr(), SurrogateTask::Mr),
+        other => return Err(format!("unknown task `{other}` (modelnet40|mr)")),
+    };
+    let cfg = SearchConfig {
+        iterations: get_usize(opts, "iterations", 2000)?,
+        lambda: get_f64(opts, "lambda", 0.25)?,
+        latency_constraint_s: get_f64(opts, "latency-ms", 300.0)? / 1e3,
+        energy_constraint_j: get_f64(opts, "energy-j", 3.0)?,
+        seed: get_usize(opts, "seed", 0)? as u64,
+        ..SearchConfig::default()
+    };
+    let space = DesignSpace::paper(profile);
+    let surrogate = SurrogateAccuracy::new(task);
+    let mut eval = SimEvaluator {
+        profile,
+        sys: sys.clone(),
+        sim: SimConfig::single_frame(),
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    };
+    println!("searching {} on {} …", cfg.iterations, sys.label());
+    let result = random_search(&space, &cfg, &mut eval);
+    let Some(best) = result.best() else {
+        return Err("no candidate met the constraints; relax --latency-ms/--energy-j".into());
+    };
+    println!(
+        "\nbest (score {:.3}, accuracy {:.1}%, latency {:.1} ms, energy {:.3} J):",
+        best.score,
+        best.accuracy * 100.0,
+        best.latency_s * 1e3,
+        best.energy_j
+    );
+    println!("{}", best.arch.render());
+    if let Some(path) = opts.get("zoo-out") {
+        let zoo = ArchitectureZoo::new(result.zoo.clone());
+        let json = zoo.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("zoo ({} entries) written to {path}", zoo.len());
+    }
+    Ok(())
+}
+
+fn load_zoo(opts: &HashMap<String, String>) -> Result<ArchitectureZoo, String> {
+    let path = opts.get("zoo").ok_or("--zoo is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    ArchitectureZoo::from_json(&json).map_err(|e| e.to_string())
+}
+
+fn cmd_describe(opts: &HashMap<String, String>) -> Result<(), String> {
+    let zoo = load_zoo(opts)?;
+    match opts.get("index") {
+        Some(i) => {
+            let i: usize = i.parse().map_err(|_| "--index: bad number".to_string())?;
+            let entry = zoo
+                .entries()
+                .get(i)
+                .ok_or_else(|| format!("index {i} out of range (zoo has {})", zoo.len()))?;
+            println!("{}", entry.arch.render());
+            println!(
+                "accuracy {:.1}%  latency {:.1} ms  energy {:.3} J",
+                entry.accuracy * 100.0,
+                entry.latency_s * 1e3,
+                entry.energy_j
+            );
+        }
+        None => {
+            println!("zoo with {} entries:", zoo.len());
+            for (i, z) in zoo.entries().iter().enumerate() {
+                println!(
+                    "  #{i}: {:.1}% acc  {:7.1} ms  {:.3} J  — {}",
+                    z.accuracy * 100.0,
+                    z.latency_s * 1e3,
+                    z.energy_j,
+                    z.arch
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dispatch(opts: &HashMap<String, String>) -> Result<(), String> {
+    let zoo = load_zoo(opts)?;
+    let constraint = RuntimeConstraint {
+        max_latency_s: opts
+            .get("latency-ms")
+            .map(|v| v.parse::<f64>().map(|ms| ms / 1e3))
+            .transpose()
+            .map_err(|_| "--latency-ms: bad number".to_string())?,
+        max_energy_j: opts
+            .get("energy-j")
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| "--energy-j: bad number".to_string())?,
+    };
+    let pick = zoo
+        .dispatch(constraint)
+        .ok_or("zoo is empty; nothing to dispatch")?;
+    println!(
+        "dispatched: {:.1}% acc  {:.1} ms  {:.3} J",
+        pick.accuracy * 100.0,
+        pick.latency_s * 1e3,
+        pick.energy_j
+    );
+    println!("{}", pick.arch.render());
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! Property-based finite-difference gradient checks over the whole manual
+//! backprop stack: for random shapes, random inputs and every mode, the
+//! analytic input gradients must match numerical differentiation. These are
+//! the invariants the supernet trainer and the latency predictor stand on.
+
+use gcode::graph::knn::knn_graph;
+use gcode::graph::CsrGraph;
+use gcode::nn::agg::{aggregate, aggregate_backward, AggMode};
+use gcode::nn::linear::Linear;
+use gcode::nn::pool::{global_pool, global_pool_backward, PoolMode};
+use gcode::tensor::Matrix;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    gcode::tensor::init::uniform(rows, cols, 1.0, &mut rng)
+}
+
+/// Scalar loss = sum of all outputs; its gradient wrt outputs is all-ones.
+fn ones_like(m: &Matrix) -> Matrix {
+    Matrix::full(m.rows(), m.cols(), 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linear_input_gradients_match_finite_differences(
+        rows in 1usize..5,
+        in_dim in 1usize..5,
+        out_dim in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let lin = Linear::new(in_dim, out_dim, &mut rng);
+        let x = rand_matrix(rows, in_dim, seed ^ 1);
+        let grads = lin.backward(&x, &ones_like(&lin.forward(&x)));
+        for i in 0..rows {
+            for j in 0..in_dim {
+                let mut xp = x.clone();
+                xp[(i, j)] += EPS;
+                let mut xm = x.clone();
+                xm[(i, j)] -= EPS;
+                let fp: f32 = lin.forward(&xp).as_slice().iter().sum();
+                let fm: f32 = lin.forward(&xm).as_slice().iter().sum();
+                let numeric = (fp - fm) / (2.0 * EPS);
+                prop_assert!(
+                    (numeric - grads.gx[(i, j)]).abs() < TOL,
+                    "dL/dx[{i},{j}] numeric {numeric} vs analytic {}",
+                    grads.gx[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_weight_gradients_match_finite_differences(
+        rows in 1usize..4,
+        in_dim in 1usize..4,
+        out_dim in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let lin = Linear::new(in_dim, out_dim, &mut rng);
+        let x = rand_matrix(rows, in_dim, seed ^ 2);
+        let grads = lin.backward(&x, &ones_like(&lin.forward(&x)));
+        for a in 0..in_dim {
+            for b in 0..out_dim {
+                let mut lp = lin.clone();
+                lp.w[(a, b)] += EPS;
+                let mut lm = lin.clone();
+                lm.w[(a, b)] -= EPS;
+                let fp: f32 = lp.forward(&x).as_slice().iter().sum();
+                let fm: f32 = lm.forward(&x).as_slice().iter().sum();
+                let numeric = (fp - fm) / (2.0 * EPS);
+                prop_assert!((numeric - grads.gw[(a, b)]).abs() < TOL);
+            }
+        }
+        // Bias gradient: dL/db = column sums of gy = rows (all-ones gy).
+        for b in 0..out_dim {
+            prop_assert!((grads.gb[(0, b)] - rows as f32).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn aggregate_gradients_match_finite_differences(
+        n in 2usize..7,
+        d in 1usize..4,
+        k in 1usize..3,
+        mode_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let mode = AggMode::ALL[mode_idx];
+        let x = rand_matrix(n, d, seed ^ 3);
+        let g: CsrGraph = knn_graph(&x, k.min(n - 1));
+        let (out, cache) = aggregate(&g, &x, mode);
+        let gx = aggregate_backward(&g, &cache, &ones_like(&out));
+        for i in 0..n {
+            for j in 0..d {
+                let mut xp = x.clone();
+                xp[(i, j)] += EPS;
+                let mut xm = x.clone();
+                xm[(i, j)] -= EPS;
+                // Keep the graph fixed (graph construction is treated as
+                // non-differentiable, as in DGCNN training).
+                let fp: f32 = aggregate(&g, &xp, mode).0.as_slice().iter().sum();
+                let fm: f32 = aggregate(&g, &xm, mode).0.as_slice().iter().sum();
+                let numeric = (fp - fm) / (2.0 * EPS);
+                // Max aggregation is only piecewise-smooth; skip points
+                // where the perturbation flips the argmax (numeric lands
+                // between the two branch slopes).
+                let analytic = gx[(i, j)];
+                if mode == AggMode::Max && (numeric - analytic).abs() >= TOL {
+                    continue;
+                }
+                prop_assert!(
+                    (numeric - analytic).abs() < TOL,
+                    "mode {mode}: dL/dx[{i},{j}] numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_gradients_match_finite_differences(
+        n in 1usize..7,
+        d in 1usize..4,
+        mode_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let mode = PoolMode::ALL[mode_idx];
+        let x = rand_matrix(n, d, seed ^ 4);
+        let (out, cache) = global_pool(&x, mode);
+        let gx = global_pool_backward(&cache, &ones_like(&out));
+        for i in 0..n {
+            for j in 0..d {
+                let mut xp = x.clone();
+                xp[(i, j)] += EPS;
+                let mut xm = x.clone();
+                xm[(i, j)] -= EPS;
+                let fp: f32 = global_pool(&xp, mode).0.as_slice().iter().sum();
+                let fm: f32 = global_pool(&xm, mode).0.as_slice().iter().sum();
+                let numeric = (fp - fm) / (2.0 * EPS);
+                let analytic = gx[(i, j)];
+                if mode == PoolMode::Max && (numeric - analytic).abs() >= TOL {
+                    continue; // argmax flip under perturbation
+                }
+                prop_assert!((numeric - analytic).abs() < TOL);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-crate integration: train the GIN predictor on simulator labels,
+//! then run the constraint-based search *guided by the predictor* (the
+//! paper's strict-latency mode) and verify the winners hold up when
+//! re-measured on the simulator.
+
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::predictor::{LatencyPredictor, PredictorConfig, PredictorEvaluator};
+use gcode::core::search::{random_search, SearchConfig};
+use gcode::core::space::DesignSpace;
+use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode::hardware::SystemConfig;
+use gcode::sim::{simulate, SimConfig, SimEvaluator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn train_predictor(sys: &SystemConfig, n: usize) -> LatencyPredictor {
+    let profile = WorkloadProfile::modelnet40();
+    let space = DesignSpace::paper(profile);
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let sim = SimConfig::single_frame();
+    let data: Vec<(Architecture, f64)> = (0..n)
+        .map(|_| {
+            let (arch, _) = space.sample_valid(&mut rng, 100_000);
+            let lat = simulate(&arch, &profile, sys, &sim).frame_latency_s;
+            (arch, lat)
+        })
+        .collect();
+    let cfg = PredictorConfig { hidden: 48, epochs: 80, ..PredictorConfig::default() };
+    LatencyPredictor::train(cfg, profile, sys.clone(), &data)
+}
+
+#[test]
+fn predictor_guided_search_finds_designs_that_hold_up() {
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let predictor = train_predictor(&sys, 300);
+    let profile = WorkloadProfile::modelnet40();
+    let space = DesignSpace::paper(profile);
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let cfg = SearchConfig {
+        iterations: 300,
+        latency_constraint_s: 0.060,
+        energy_constraint_j: 1.0,
+        lambda: 0.25,
+        seed: 3,
+        ..SearchConfig::default()
+    };
+    let mut eval = PredictorEvaluator {
+        predictor,
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    };
+    let result = random_search(&space, &cfg, &mut eval);
+    let best = result.best().expect("predictor-guided search finds candidates");
+
+    // Re-measure the winner on the simulator: it must respect the latency
+    // constraint within the predictor's ±25% error envelope.
+    let measured = simulate(&best.arch, &profile, &sys, &SimConfig::single_frame());
+    assert!(
+        measured.frame_latency_s < cfg.latency_constraint_s * 1.25,
+        "measured {:.1} ms vs constraint {:.1} ms",
+        measured.frame_latency_s * 1e3,
+        cfg.latency_constraint_s * 1e3
+    );
+}
+
+#[test]
+fn predictor_guided_matches_simulator_guided_quality() {
+    let sys = SystemConfig::pi_to_1060(40.0);
+    let predictor = train_predictor(&sys, 300);
+    let profile = WorkloadProfile::modelnet40();
+    let space = DesignSpace::paper(profile);
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let cfg = SearchConfig {
+        iterations: 300,
+        latency_constraint_s: 0.20,
+        energy_constraint_j: 2.0,
+        lambda: 0.25,
+        seed: 9,
+        ..SearchConfig::default()
+    };
+
+    let mut pred_eval = PredictorEvaluator {
+        predictor,
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    };
+    let pred_result = random_search(&space, &cfg, &mut pred_eval);
+    let pred_best = pred_result.best().expect("found").arch.clone();
+
+    let surrogate2 = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let mut sim_eval = SimEvaluator {
+        profile,
+        sys: sys.clone(),
+        sim: SimConfig::single_frame(),
+        accuracy_fn: move |a: &Architecture| surrogate2.overall_accuracy(a),
+    };
+    let sim_result = random_search(&space, &cfg, &mut sim_eval);
+    let sim_best = sim_result.best().expect("found").arch.clone();
+
+    // Both winners, measured by the simulator, should land within 2× of
+    // each other — the predictor is an adequate stand-in for measurement.
+    let s = SimConfig::single_frame();
+    let lp = simulate(&pred_best, &profile, &sys, &s).frame_latency_s;
+    let ls = simulate(&sim_best, &profile, &sys, &s).frame_latency_s;
+    assert!(
+        lp < ls * 2.0 + 0.01,
+        "predictor-guided {lp:.4}s should be near simulator-guided {ls:.4}s"
+    );
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: design space → simulator-backed search →
+//! architecture zoo → runtime dispatch.
+
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::search::{random_search, SearchConfig};
+use gcode::core::space::DesignSpace;
+use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
+use gcode::hardware::SystemConfig;
+use gcode::sim::{simulate, SimConfig, SimEvaluator};
+
+fn evaluator(sys: SystemConfig) -> SimEvaluator<impl FnMut(&Architecture) -> f64> {
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    SimEvaluator {
+        profile: WorkloadProfile::modelnet40(),
+        sys,
+        sim: SimConfig::single_frame(),
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    }
+}
+
+fn run(sys: SystemConfig, seed: u64) -> gcode::core::search::SearchResult {
+    let space = DesignSpace::paper(WorkloadProfile::modelnet40());
+    let cfg = SearchConfig {
+        iterations: 400,
+        latency_constraint_s: 0.15,
+        energy_constraint_j: 1.0,
+        lambda: 0.25,
+        seed,
+        ..SearchConfig::default()
+    };
+    let mut eval = evaluator(sys);
+    random_search(&space, &cfg, &mut eval)
+}
+
+#[test]
+fn search_results_respect_constraints_on_every_system() {
+    for sys in SystemConfig::paper_systems(40.0) {
+        let result = run(sys.clone(), 1);
+        let best = result.best().unwrap_or_else(|| panic!("no result for {}", sys.label()));
+        assert!(best.latency_s < 0.15);
+        assert!(best.energy_j < 1.0);
+        assert!(best.accuracy > 0.9, "{}", sys.label());
+    }
+}
+
+#[test]
+fn zoo_metrics_are_reproducible_by_the_simulator() {
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let result = run(sys.clone(), 2);
+    let profile = WorkloadProfile::modelnet40();
+    for z in &result.zoo {
+        let re = simulate(&z.arch, &profile, &sys, &SimConfig::single_frame());
+        assert!(
+            (re.frame_latency_s - z.latency_s).abs() < 1e-9,
+            "sim must be deterministic: {} vs {}",
+            re.frame_latency_s,
+            z.latency_s
+        );
+    }
+}
+
+#[test]
+fn searched_architectures_adapt_to_the_link() {
+    // At 10 Mbps the search must not pick designs that ship bulky
+    // node-level tensors: the winner's total transferred payload stays
+    // small (wide intermediate transfers run to hundreds of KiB).
+    let result = run(SystemConfig::tx2_to_1060(10.0), 3);
+    let best = result.best().expect("found");
+    let profile = WorkloadProfile::modelnet40();
+    let payload: usize = gcode::core::cost::trace(&best.arch, &profile)
+        .iter()
+        .map(|t| t.transfer_bytes)
+        .sum();
+    assert!(
+        payload < 200_000,
+        "10 Mbps winner should transfer little data, got {payload} bytes ({})",
+        best.arch
+    );
+}
+
+#[test]
+fn dispatcher_serves_the_searched_zoo() {
+    let result = run(SystemConfig::pi_to_1060(40.0), 4);
+    let zoo = ArchitectureZoo::new(result.zoo.clone());
+    assert!(!zoo.is_empty());
+    // Unconstrained pick = most accurate entry.
+    let free = zoo.dispatch(RuntimeConstraint::none()).expect("entry");
+    for z in zoo.entries() {
+        assert!(free.accuracy >= z.accuracy);
+    }
+    // A tight latency budget yields an entry within that budget when any
+    // zoo member qualifies.
+    let fastest = zoo
+        .entries()
+        .iter()
+        .map(|z| z.latency_s)
+        .fold(f64::INFINITY, f64::min);
+    let pick = zoo
+        .dispatch(RuntimeConstraint::latency(fastest * 1.01))
+        .expect("entry");
+    assert!(pick.latency_s <= fastest * 1.01);
+}
+
+#[test]
+fn zoo_survives_json_round_trip_with_dispatchable_entries() {
+    let result = run(SystemConfig::tx2_to_i7(40.0), 5);
+    let zoo = ArchitectureZoo::new(result.zoo);
+    let json = zoo.to_json().expect("serialize");
+    let restored = ArchitectureZoo::from_json(&json).expect("deserialize");
+    assert_eq!(restored.len(), zoo.len());
+    let a = restored.dispatch(RuntimeConstraint::none()).expect("entry");
+    let b = zoo.dispatch(RuntimeConstraint::none()).expect("entry");
+    assert_eq!(a.arch, b.arch);
+}
