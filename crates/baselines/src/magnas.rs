@@ -17,6 +17,7 @@
 
 use gcode_core::arch::{Architecture, WorkloadProfile};
 use gcode_core::cost::{apply_op, ShapeState};
+use gcode_core::eval::Objective;
 use gcode_core::op::{Op, Placement};
 use gcode_core::search::SearchConfig;
 use gcode_hardware::SystemConfig;
@@ -53,11 +54,7 @@ pub fn magnas_map(
     profile: &WorkloadProfile,
     sys: &SystemConfig,
 ) -> MagnasResult {
-    assert_eq!(
-        arch.num_communicates(),
-        0,
-        "MaGNAS maps a mapping-free architecture"
-    );
+    assert_eq!(arch.num_communicates(), 0, "MaGNAS maps a mapping-free architecture");
     let n = arch.len();
     // Enumerate mappings with up to 2 side changes (device→edge→device…),
     // the practical segment granularity; full 2^n is intractable and
@@ -98,13 +95,7 @@ pub fn magnas_map(
     let (mapping, believed_latency_s) = best.expect("at least all-device considered");
     let deployed = insert_communicates(arch, &mapping);
     let report = simulate(&deployed, profile, sys, &SimConfig::single_frame());
-    MagnasResult {
-        arch: arch.clone(),
-        mapping,
-        deployed,
-        believed_latency_s,
-        report,
-    }
+    MagnasResult { arch: arch.clone(), mapping, deployed, believed_latency_s, report }
 }
 
 /// Compute-only latency of `arch` under `mapping`: per-op LUT accumulation
@@ -151,9 +142,10 @@ pub fn magnas_pipeline(
     profile: WorkloadProfile,
     sys: &SystemConfig,
     cfg: &SearchConfig,
-    accuracy_fn: impl FnMut(&Architecture) -> f64,
+    objective: &Objective,
+    accuracy_fn: impl Fn(&Architecture) -> f64,
 ) -> Option<MagnasResult> {
-    let result = crate::nas::hgnas_search(profile, sys.device.clone(), cfg, accuracy_fn);
+    let result = crate::nas::hgnas_search(profile, sys.device.clone(), cfg, objective, accuracy_fn);
     let best = result.best()?;
     Some(magnas_map(&best.arch, &profile, sys))
 }
@@ -182,9 +174,8 @@ mod tests {
     #[test]
     fn insert_communicates_round_trips_placements() {
         let h = models::hgnas().arch;
-        let mapping: Mapping = (0..h.len())
-            .map(|i| if i < 2 { Placement::Device } else { Placement::Edge })
-            .collect();
+        let mapping: Mapping =
+            (0..h.len()).map(|i| if i < 2 { Placement::Device } else { Placement::Edge }).collect();
         let deployed = insert_communicates(&h, &mapping);
         assert_eq!(deployed.num_communicates(), 1);
         let placements = deployed.placements();
@@ -222,38 +213,31 @@ mod tests {
         let h = models::hgnas().arch;
         let sys = SystemConfig::pi_to_1060(40.0);
         let r = magnas_map(&h, &pc(), &sys);
-        assert!(
-            r.mapping.iter().any(|&p| p == Placement::Edge),
-            "expected some offloading on Pi⇌1060"
-        );
+        assert!(r.mapping.contains(&Placement::Edge), "expected some offloading on Pi⇌1060");
     }
 
     #[test]
     fn gcode_beats_the_magnas_pipeline() {
-        // Fused search with real transfer pricing vs two-stage LUT mapping.
+        // Fused search with real transfer pricing vs two-stage LUT mapping,
+        // at the paper-scale trial budget.
         let profile = pc();
         let sys = SystemConfig::tx2_to_i7(40.0);
-        let cfg = SearchConfig {
-            iterations: 300,
-            latency_constraint_s: 1.5,
-            energy_constraint_j: 8.0,
-            lambda: 0.25,
-            seed: 7,
-            ..SearchConfig::default()
-        };
+        let cfg = SearchConfig { iterations: 800, seed: 7, ..SearchConfig::default() };
+        let objective = Objective::new(0.25, 1.5, 8.0);
         let s = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-        let magnas = magnas_pipeline(profile, &sys, &cfg, move |a| s.overall_accuracy(a))
-            .expect("pipeline result");
+        let magnas =
+            magnas_pipeline(profile, &sys, &cfg, &objective, move |a| s.overall_accuracy(a))
+                .expect("pipeline result");
 
         let space = DesignSpace::paper(profile);
         let s2 = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-        let mut eval = gcode_sim::SimEvaluator {
+        let eval = gcode_sim::SimEvaluator {
             profile,
             sys: sys.clone(),
             sim: SimConfig::single_frame(),
             accuracy_fn: move |a: &Architecture| s2.overall_accuracy(a),
         };
-        let fused = gcode_core::search::random_search(&space, &cfg, &mut eval);
+        let fused = gcode_core::search::random_search(&space, &cfg, &objective, &eval);
         let fused_latency = fused.best_latency().expect("found").latency_s;
         assert!(
             fused_latency <= magnas.report.frame_latency_s * 1.05,

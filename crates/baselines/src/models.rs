@@ -227,7 +227,8 @@ mod tests {
     fn dgcnn_ms_on(proc: Processor) -> f64 {
         // Build a degenerate "system" whose device is the platform under
         // test; device-only execution never touches edge or link.
-        let sys = SystemConfig::new(proc, Processor::intel_i7_7700(), gcode_hardware::Link::mbps(40.0));
+        let sys =
+            SystemConfig::new(proc, Processor::intel_i7_7700(), gcode_hardware::Link::mbps(40.0));
         estimate_latency(&dgcnn().arch, &pc(), &sys).total_s() * 1e3
     }
 
@@ -262,15 +263,12 @@ mod tests {
 
     /// Share of DGCNN latency attributable to a kind of op on a platform.
     fn op_share(proc: Processor, needle: &str) -> f64 {
-        let sys = SystemConfig::new(proc, Processor::intel_i7_7700(), gcode_hardware::Link::mbps(40.0));
+        let sys =
+            SystemConfig::new(proc, Processor::intel_i7_7700(), gcode_hardware::Link::mbps(40.0));
         let b = estimate_latency(&dgcnn().arch, &pc(), &sys);
         let total = b.total_s();
-        let part: f64 = b
-            .per_op
-            .iter()
-            .filter(|(name, _, _)| name.contains(needle))
-            .map(|&(_, _, s)| s)
-            .sum();
+        let part: f64 =
+            b.per_op.iter().filter(|(name, _, _)| name.contains(needle)).map(|&(_, _, s)| s).sum();
         part / total
     }
 
@@ -314,15 +312,14 @@ mod tests {
             Processor::intel_i7_7700(),
             Processor::nvidia_gtx_1060(),
         ] {
-            let sys = SystemConfig::new(proc.clone(), Processor::intel_i7_7700(), gcode_hardware::Link::mbps(40.0));
+            let sys = SystemConfig::new(
+                proc.clone(),
+                Processor::intel_i7_7700(),
+                gcode_hardware::Link::mbps(40.0),
+            );
             let full = estimate_latency(&dgcnn().arch, &pc(), &sys).total_s();
             let h = estimate_latency(&hgnas().arch, &pc(), &sys).total_s();
-            assert!(
-                full / h > 2.0,
-                "{}: HGNAS speedup {:.2} too small",
-                proc.name,
-                full / h
-            );
+            assert!(full / h > 2.0, "{}: HGNAS speedup {:.2} too small", proc.name, full / h);
         }
     }
 
@@ -332,10 +329,7 @@ mod tests {
         // splitting at the same point without compression.
         use gcode_core::cost::trace;
         let traced = trace(&branchy_gnn().arch, &pc());
-        let comm = traced
-            .iter()
-            .find(|t| t.op == Op::Communicate)
-            .expect("branchy has a split");
+        let comm = traced.iter().find(|t| t.op == Op::Communicate).expect("branchy has a split");
         // 1024 nodes × 16 dims × 4 B = 64 KiB + graph; far below the
         // uncompressed 64-dim transfer (256 KiB + graph).
         assert!(comm.transfer_bytes < 200_000, "got {}", comm.transfer_bytes);

@@ -6,19 +6,21 @@
 //! The contrast with GCoDE is the whole point of Motivation ❸: the same
 //! search machinery over the same space, minus the fused `Communicate`
 //! operation, followed by post-hoc splitting, leaves performance on the
-//! table relative to joint optimization.
+//! table relative to joint optimization. Both pipelines run through the
+//! same [`SearchSession`] driver, so the comparison isolates the space and
+//! the evaluator, not the plumbing.
 
 use crate::partition::{best_partition, PartitionObjective, PartitionResult};
 use gcode_core::arch::{Architecture, WorkloadProfile};
-use gcode_core::estimate::CandidateEvaluator;
-use gcode_core::search::{random_search, SearchConfig, SearchResult};
+use gcode_core::eval::{Evaluator, Metrics, Objective, SearchSession, SearchStrategy};
+use gcode_core::search::{RandomSearch, SearchConfig, SearchResult};
 use gcode_core::space::DesignSpace;
 use gcode_hardware::{Link, Processor, SystemConfig};
 use gcode_sim::{simulate, SimConfig};
 
-/// Evaluator pricing candidates on a *single device* — how a
+/// [`Evaluator`] pricing candidates on a *single device* — how a
 /// device-focused NAS like HGNAS sees the world (no edge, no link).
-pub struct SingleDeviceEvaluator<F: FnMut(&Architecture) -> f64> {
+pub struct SingleDeviceEvaluator<F: Fn(&Architecture) -> f64> {
     /// Workload being optimized.
     pub profile: WorkloadProfile,
     /// The device everything runs on.
@@ -27,31 +29,46 @@ pub struct SingleDeviceEvaluator<F: FnMut(&Architecture) -> f64> {
     pub accuracy_fn: F,
 }
 
-impl<F: FnMut(&Architecture) -> f64> SingleDeviceEvaluator<F> {
+impl<F: Fn(&Architecture) -> f64> SingleDeviceEvaluator<F> {
     fn device_system(&self) -> SystemConfig {
         // The edge/link are placeholders; a single-device architecture
         // never touches them.
-        SystemConfig::new(
-            self.device.clone(),
-            Processor::intel_i7_7700(),
-            Link::mbps(40.0),
-        )
+        SystemConfig::new(self.device.clone(), Processor::intel_i7_7700(), Link::mbps(40.0))
     }
 }
 
-impl<F: FnMut(&Architecture) -> f64> CandidateEvaluator for SingleDeviceEvaluator<F> {
-    fn latency_s(&mut self, arch: &Architecture) -> f64 {
-        simulate(arch, &self.profile, &self.device_system(), &SimConfig::single_frame())
-            .frame_latency_s
+impl<F: Fn(&Architecture) -> f64> Evaluator for SingleDeviceEvaluator<F> {
+    fn evaluate(&self, arch: &Architecture) -> Metrics {
+        let report =
+            simulate(arch, &self.profile, &self.device_system(), &SimConfig::single_frame());
+        Metrics {
+            accuracy: (self.accuracy_fn)(arch),
+            latency_s: report.frame_latency_s,
+            energy_j: report.device_energy_j,
+        }
     }
+}
 
-    fn device_energy_j(&mut self, arch: &Architecture) -> f64 {
-        simulate(arch, &self.profile, &self.device_system(), &SimConfig::single_frame())
-            .device_energy_j
+/// The single-device NAS baseline as a [`SearchStrategy`]: identical
+/// search machinery to GCoDE's Alg. 1, expected to run against a
+/// mapping-free ([`DesignSpace::single_device`]) space and a
+/// [`SingleDeviceEvaluator`].
+#[derive(Debug, Clone, Copy)]
+pub struct SingleDeviceNas {
+    /// Search hyper-parameters.
+    pub cfg: SearchConfig,
+}
+
+impl SingleDeviceNas {
+    /// Builds the strategy from its hyper-parameters.
+    pub fn new(cfg: SearchConfig) -> Self {
+        Self { cfg }
     }
+}
 
-    fn accuracy(&mut self, arch: &Architecture) -> f64 {
-        (self.accuracy_fn)(arch)
+impl SearchStrategy for SingleDeviceNas {
+    fn search(&self, session: &mut SearchSession<'_>) -> SearchResult {
+        RandomSearch::new(self.cfg).search(session)
     }
 }
 
@@ -60,11 +77,12 @@ pub fn hgnas_search(
     profile: WorkloadProfile,
     device: Processor,
     cfg: &SearchConfig,
-    accuracy_fn: impl FnMut(&Architecture) -> f64,
+    objective: &Objective,
+    accuracy_fn: impl Fn(&Architecture) -> f64,
 ) -> SearchResult {
     let space = DesignSpace::single_device(profile);
-    let mut eval = SingleDeviceEvaluator { profile, device, accuracy_fn };
-    random_search(&space, cfg, &mut eval)
+    let eval = SingleDeviceEvaluator { profile, device, accuracy_fn };
+    SearchSession::new(&space, &eval).with_objective(*objective).run(&SingleDeviceNas::new(*cfg))
 }
 
 /// The full separation pipeline: single-device NAS, then best partition of
@@ -73,9 +91,10 @@ pub fn hgnas_then_partition(
     profile: WorkloadProfile,
     sys: &SystemConfig,
     cfg: &SearchConfig,
-    accuracy_fn: impl FnMut(&Architecture) -> f64,
+    objective: &Objective,
+    accuracy_fn: impl Fn(&Architecture) -> f64,
 ) -> Option<PartitionResult> {
-    let result = hgnas_search(profile, sys.device.clone(), cfg, accuracy_fn);
+    let result = hgnas_search(profile, sys.device.clone(), cfg, objective, accuracy_fn);
     let best = result.best()?;
     Some(best_partition(
         &best.arch,
@@ -89,20 +108,18 @@ pub fn hgnas_then_partition(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gcode_core::search::random_search;
     use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 
     fn cfg() -> SearchConfig {
-        SearchConfig {
-            iterations: 300,
-            latency_constraint_s: 1.5,
-            energy_constraint_j: 8.0,
-            lambda: 0.25,
-            seed: 5,
-            ..SearchConfig::default()
-        }
+        SearchConfig { iterations: 300, seed: 5, ..SearchConfig::default() }
     }
 
-    fn acc() -> impl FnMut(&Architecture) -> f64 {
+    fn objective() -> Objective {
+        Objective::new(0.25, 1.5, 8.0)
+    }
+
+    fn acc() -> impl Fn(&Architecture) -> f64 {
         let s = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
         move |a: &Architecture| s.overall_accuracy(a)
     }
@@ -113,6 +130,7 @@ mod tests {
             WorkloadProfile::modelnet40(),
             Processor::jetson_tx2(),
             &cfg(),
+            &objective(),
             acc(),
         );
         let best = r.best().expect("found");
@@ -123,12 +141,10 @@ mod tests {
     #[test]
     fn separation_pipeline_produces_valid_partitioned_design() {
         let sys = SystemConfig::pi_to_1060(40.0);
-        let part = hgnas_then_partition(WorkloadProfile::modelnet40(), &sys, &cfg(), acc())
-            .expect("pipeline result");
-        assert!(part
-            .arch
-            .validate(&WorkloadProfile::modelnet40())
-            .is_ok());
+        let part =
+            hgnas_then_partition(WorkloadProfile::modelnet40(), &sys, &cfg(), &objective(), acc())
+                .expect("pipeline result");
+        assert!(part.arch.validate(&WorkloadProfile::modelnet40()).is_ok());
         assert!(part.report.frame_latency_s.is_finite());
     }
 
@@ -138,21 +154,20 @@ mod tests {
         // fused search must match or beat search-then-partition.
         let profile = WorkloadProfile::modelnet40();
         let sys = SystemConfig::tx2_to_i7(40.0);
-        let part = hgnas_then_partition(profile, &sys, &cfg(), acc()).expect("separation");
+        let part =
+            hgnas_then_partition(profile, &sys, &cfg(), &objective(), acc()).expect("separation");
 
         let space = DesignSpace::paper(profile);
         let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-        let mut eval = gcode_sim::SimEvaluator {
+        let eval = gcode_sim::SimEvaluator {
             profile,
             sys: sys.clone(),
             sim: SimConfig::single_frame(),
             accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
         };
-        let fused = random_search(&space, &cfg(), &mut eval);
-        let fused_best_latency = fused
-            .best_latency()
-            .expect("fused search found candidates")
-            .latency_s;
+        let fused = random_search(&space, &cfg(), &objective(), &eval);
+        let fused_best_latency =
+            fused.best_latency().expect("fused search found candidates").latency_s;
         assert!(
             fused_best_latency <= part.report.frame_latency_s * 1.05,
             "co-design {fused_best_latency:.4}s should not lose to separation {:.4}s",
@@ -166,12 +181,14 @@ mod tests {
             WorkloadProfile::modelnet40(),
             Processor::jetson_tx2(),
             &cfg(),
+            &objective(),
             acc(),
         );
         let b = hgnas_search(
             WorkloadProfile::modelnet40(),
             Processor::raspberry_pi_4b(),
             &cfg(),
+            &objective(),
             acc(),
         );
         // Same seed, different hardware sensitivities: the winners' costs

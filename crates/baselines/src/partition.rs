@@ -40,11 +40,7 @@ pub fn enumerate_partitions(
     arch: &Architecture,
     profile: &WorkloadProfile,
 ) -> Vec<(Option<usize>, Architecture)> {
-    assert_eq!(
-        arch.num_communicates(),
-        0,
-        "partition search expects a mapping-free architecture"
-    );
+    assert_eq!(arch.num_communicates(), 0, "partition search expects a mapping-free architecture");
     let mut out = vec![(None, arch.clone())];
     for i in 0..=arch.len() {
         let mut ops = arch.ops().to_vec();
@@ -113,10 +109,9 @@ pub fn fig4_schemes(dgcnn: &Architecture) -> Vec<(&'static str, Architecture)> {
                     after_combine2 = Some(i + 1);
                 }
             }
-            Op::GlobalPool(_)
-                if after_pool.is_none() => {
-                    after_pool = Some(i + 1);
-                }
+            Op::GlobalPool(_) if after_pool.is_none() => {
+                after_pool = Some(i + 1);
+            }
             _ => {}
         }
     }

@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcode_baselines::models;
 use gcode_core::arch::{Architecture, WorkloadProfile};
 use gcode_core::estimate::estimate_latency;
+use gcode_core::eval::Objective;
 use gcode_core::predictor::{abstract_architecture, FeatureMode};
 use gcode_core::search::{random_search, SearchConfig};
 use gcode_core::space::DesignSpace;
@@ -98,22 +99,17 @@ fn bench_search(c: &mut Criterion) {
     let profile = WorkloadProfile::modelnet40();
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let objective = Objective::new(0.1, 0.15, 1.0);
     c.bench_function("random_search_100_trials", |b| {
         b.iter(|| {
-            let mut eval = SimEvaluator {
+            let eval = SimEvaluator {
                 profile,
                 sys: SystemConfig::tx2_to_i7(40.0),
                 sim: SimConfig::single_frame(),
-                accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+                accuracy_fn: |a: &Architecture| surrogate.overall_accuracy(a),
             };
-            let cfg = SearchConfig {
-                iterations: 100,
-                latency_constraint_s: 0.15,
-                energy_constraint_j: 1.0,
-                seed: 5,
-                ..SearchConfig::default()
-            };
-            random_search(black_box(&space), &cfg, &mut eval)
+            let cfg = SearchConfig { iterations: 100, seed: 5, ..SearchConfig::default() };
+            random_search(black_box(&space), &cfg, &objective, &eval)
         });
     });
 }

@@ -21,8 +21,7 @@ fn main() {
     header("Ablation 1 — pipelined engine vs frame-serial (64-frame stream)");
     let widths = [26usize, 14, 14, 10];
     print_row(
-        ["architecture", "serial fps", "pipelined fps", "gain"]
-            .map(String::from).as_ref(),
+        ["architecture", "serial fps", "pipelined fps", "gain"].map(String::from).as_ref(),
         &widths,
     );
     for b in [models::branchy_gnn(), models::dgcnn()] {
@@ -38,12 +37,8 @@ fn main() {
             &sys,
             &SimConfig { frames: 64, pipelined: false, ..SimConfig::default() },
         );
-        let piped = simulate(
-            &arch,
-            &profile,
-            &sys,
-            &SimConfig { frames: 64, ..SimConfig::default() },
-        );
+        let piped =
+            simulate(&arch, &profile, &sys, &SimConfig { frames: 64, ..SimConfig::default() });
         print_row(
             &[
                 b.name.clone(),
@@ -74,20 +69,14 @@ fn main() {
     let sys = SystemConfig::tx2_to_i7(40.0);
     let dgcnn_anchor = simulate(&models::dgcnn().arch, &profile, &sys, &SimConfig::single_frame());
     for lambda in [0.05, 0.25, 1.0] {
-        let mut cfg = table_search_config(
-            dgcnn_anchor.frame_latency_s,
-            dgcnn_anchor.device_energy_j,
-            13,
-        );
-        cfg.lambda = lambda;
-        let result = run_gcode_search(profile, SurrogateTask::ModelNet40, &sys, &cfg);
+        let (cfg, mut objective) =
+            table_search_config(dgcnn_anchor.frame_latency_s, dgcnn_anchor.device_energy_j, 13);
+        objective.lambda = lambda;
+        let result = run_gcode_search(profile, SurrogateTask::ModelNet40, &sys, &cfg, &objective);
         let front = front_of(&result.zoo);
         let hv = hypervolume(&front, 0.85, dgcnn_anchor.frame_latency_s);
         let best_acc = front.iter().map(|p| p.accuracy).fold(0.0, f64::max);
-        let best_lat = front
-            .iter()
-            .map(|p| p.latency_s)
-            .fold(f64::INFINITY, f64::min);
+        let best_lat = front.iter().map(|p| p.latency_s).fold(f64::INFINITY, f64::min);
         println!(
             "  λ={lambda:<5} front size {:2}  best acc {:5.2}%  best latency {:6.1} ms  hypervolume {hv:.5}",
             front.len(),
@@ -100,12 +89,14 @@ fn main() {
     header("Ablation 4 — runtime dispatcher under a fluctuating link (40↔2 Mbps)");
     // The zoo pairs the winners of two searches run for the two link
     // regimes — the dispatcher's job is to pick per-frame between them.
-    let cfg40 = table_search_config(dgcnn_anchor.frame_latency_s, dgcnn_anchor.device_energy_j, 19);
-    let win40 = run_gcode_search(profile, SurrogateTask::ModelNet40, &sys, &cfg40);
+    let (cfg40, obj40) =
+        table_search_config(dgcnn_anchor.frame_latency_s, dgcnn_anchor.device_energy_j, 19);
+    let win40 = run_gcode_search(profile, SurrogateTask::ModelNet40, &sys, &cfg40, &obj40);
     let mut congested = sys.clone();
     congested.link.bandwidth_mbps = 2.0;
-    let cfg2 = table_search_config(dgcnn_anchor.frame_latency_s, dgcnn_anchor.device_energy_j, 23);
-    let win2 = run_gcode_search(profile, SurrogateTask::ModelNet40, &congested, &cfg2);
+    let (cfg2, obj2) =
+        table_search_config(dgcnn_anchor.frame_latency_s, dgcnn_anchor.device_energy_j, 23);
+    let win2 = run_gcode_search(profile, SurrogateTask::ModelNet40, &congested, &cfg2, &obj2);
     let mut entries: Vec<_> = win40.zoo.iter().take(3).cloned().collect();
     entries.extend(win2.zoo.iter().take(3).cloned());
     let zoo = ArchitectureZoo::new(entries);

@@ -24,10 +24,7 @@ fn main() {
         for b in [models::dgcnn(), models::branchy_gnn(), models::hgnas()] {
             let fps = measure_fps(&b.arch, &profile, sys);
             let (_, j) = measure(&b.arch, &profile, sys);
-            print_row(
-                &[b.name.clone(), format!("{fps:8.1}"), format!("{j:8.2}")],
-                &widths,
-            );
+            print_row(&[b.name.clone(), format!("{fps:8.1}"), format!("{j:8.2}")], &widths);
         }
         // GCoDE: best of the two edge options for this device.
         let mut best_point = (0.0f64, f64::INFINITY);

@@ -5,6 +5,7 @@
 use gcode_bench::header;
 use gcode_core::arch::{Architecture, WorkloadProfile};
 use gcode_core::ea::{evolutionary_search, EaConfig};
+use gcode_core::eval::Objective;
 use gcode_core::search::{random_search, SearchConfig};
 use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
@@ -13,9 +14,7 @@ use gcode_sim::{SimConfig, SimEvaluator};
 
 const CHECKPOINTS: [usize; 8] = [1, 10, 50, 100, 200, 500, 1000, 2000];
 
-fn evaluator(
-    sys: &SystemConfig,
-) -> SimEvaluator<impl FnMut(&Architecture) -> f64> {
+fn evaluator(sys: &SystemConfig) -> SimEvaluator<impl Fn(&Architecture) -> f64> {
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
     SimEvaluator {
         profile: WorkloadProfile::modelnet40(),
@@ -29,9 +28,7 @@ fn print_series(label: &str, history: &[f64]) {
     let cells: Vec<String> = CHECKPOINTS
         .iter()
         .map(|&c| {
-            history
-                .get(c.min(history.len()) - 1)
-                .map_or("-".to_string(), |v| format!("{v:7.3}"))
+            history.get(c.min(history.len()) - 1).map_or("-".to_string(), |v| format!("{v:7.3}"))
         })
         .collect();
     println!("{label:<18} {}", cells.join(" "));
@@ -41,31 +38,22 @@ fn main() {
     let profile = WorkloadProfile::modelnet40();
     let space = DesignSpace::paper(profile);
     let sys = SystemConfig::tx2_to_i7(40.0);
-    let cfg_base = SearchConfig {
-        iterations: 2000,
-        latency_constraint_s: 0.15,
-        energy_constraint_j: 1.5,
-        lambda: 0.25,
-        ..SearchConfig::default()
-    };
+    let cfg_base = SearchConfig { iterations: 2000, ..SearchConfig::default() };
+    let objective = Objective::new(0.25, 0.15, 1.5);
 
     header("Fig. 10(a) — max architecture score vs search trials (TX2 ⇌ i7)");
-    println!(
-        "{:<18} {}",
-        "strategy",
-        CHECKPOINTS.map(|c| format!("{c:>7}")).join(" ")
-    );
+    println!("{:<18} {}", "strategy", CHECKPOINTS.map(|c| format!("{c:>7}")).join(" "));
     for seed in [1u64, 2, 3] {
         let cfg = SearchConfig { seed, ..cfg_base };
-        let mut eval = evaluator(&sys);
-        let r = random_search(&space, &cfg, &mut eval);
+        let eval = evaluator(&sys);
+        let r = random_search(&space, &cfg, &objective, &eval);
         print_series(&format!("Random (seed {seed})"), &r.history);
     }
     for (label, valid_init) in [("EA", false), ("EA+Valid init", true)] {
         let cfg = SearchConfig { seed: 1, ..cfg_base };
         let ea = EaConfig { valid_init, ..EaConfig::default() };
-        let mut eval = evaluator(&sys);
-        let r = evolutionary_search(&space, &cfg, &ea, &mut eval);
+        let eval = evaluator(&sys);
+        let r = evolutionary_search(&space, &cfg, &ea, &objective, &eval);
         print_series(label, &r.history);
     }
     println!(

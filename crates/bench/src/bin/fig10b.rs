@@ -24,8 +24,7 @@ fn main() {
 
     header("Fig. 10(b) — predictor ablation, ±10% accuracy (%)");
     print_row(
-        ["system", "GIN+Enhanced", "GIN+One-hot", "LUT", "GCN+Enhanced"]
-            .map(String::from).as_ref(),
+        ["system", "GIN+Enhanced", "GIN+One-hot", "LUT", "GCN+Enhanced"].map(String::from).as_ref(),
         &widths,
     );
     let mut lut_pairwise_all = Vec::new();
@@ -43,21 +42,15 @@ fn main() {
         let targets: Vec<f64> = val.iter().map(|&(_, t)| t).collect();
 
         let mut cells = vec![short(&sys)];
-        for (features, backbone) in [
-            (FeatureMode::Enhanced, Backbone::Gin),
-            (FeatureMode::OneHot, Backbone::Gin),
-        ] {
+        for (features, backbone) in
+            [(FeatureMode::Enhanced, Backbone::Gin), (FeatureMode::OneHot, Backbone::Gin)]
+        {
             cells.push(run_learned(features, backbone, profile, &sys, train, val, &targets));
         }
         // LUT: training-free cost estimation compared against measurement.
-        let lut_preds: Vec<f64> = val
-            .iter()
-            .map(|(a, _)| estimate_latency(a, &profile, &sys).total_s())
-            .collect();
-        cells.push(format!(
-            "{:6.1}",
-            100.0 * within_bound_accuracy(&lut_preds, &targets, 0.10)
-        ));
+        let lut_preds: Vec<f64> =
+            val.iter().map(|(a, _)| estimate_latency(a, &profile, &sys).total_s()).collect();
+        cells.push(format!("{:6.1}", 100.0 * within_bound_accuracy(&lut_preds, &targets, 0.10)));
         lut_pairwise_all.push(100.0 * pairwise_order_accuracy(&lut_preds, &targets));
         cells.push(run_learned(
             FeatureMode::Enhanced,
@@ -72,11 +65,7 @@ fn main() {
     }
     println!(
         "\nLUT pairwise-order accuracy per system: {} (paper: >88%)",
-        lut_pairwise_all
-            .iter()
-            .map(|v| format!("{v:.1}%"))
-            .collect::<Vec<_>>()
-            .join(", ")
+        lut_pairwise_all.iter().map(|v| format!("{v:.1}%")).collect::<Vec<_>>().join(", ")
     );
     println!(
         "Shape checks: GIN+Enhanced highest; LUT low on absolute values but \
@@ -93,13 +82,8 @@ fn run_learned(
     val: &[(Architecture, f64)],
     targets: &[f64],
 ) -> String {
-    let cfg = PredictorConfig {
-        hidden: 64,
-        features,
-        backbone,
-        seed: 9,
-        ..PredictorConfig::default()
-    };
+    let cfg =
+        PredictorConfig { hidden: 64, features, backbone, seed: 9, ..PredictorConfig::default() };
     let p = LatencyPredictor::train(cfg, profile, sys.clone(), train);
     let preds: Vec<f64> = val.iter().map(|(a, _)| p.predict_s(a)).collect();
     format!("{:6.1}", 100.0 * within_bound_accuracy(&preds, targets, 0.10))

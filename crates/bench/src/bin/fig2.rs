@@ -20,8 +20,7 @@ fn main() {
     let total: f64 = traced.iter().map(|t| sys.device.latency(&t.cost)).sum();
     let widths = [4usize, 20, 14, 16];
     print_row(
-        ["#", "operation", "latency (%)", "transfer (bytes)"]
-            .map(String::from).as_ref(),
+        ["#", "operation", "latency (%)", "transfer (bytes)"].map(String::from).as_ref(),
         &widths,
     );
     for (i, t) in traced.iter().enumerate() {

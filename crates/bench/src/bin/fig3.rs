@@ -33,14 +33,12 @@ fn main() {
         Processor::nvidia_gtx_1060(),
     ];
     let widths = [18usize, 10, 12, 14];
-    for (label, profile) in [
-        ("ModelNet40", WorkloadProfile::modelnet40()),
-        ("MR", WorkloadProfile::mr()),
-    ] {
+    for (label, profile) in
+        [("ModelNet40", WorkloadProfile::modelnet40()), ("MR", WorkloadProfile::mr())]
+    {
         header(&format!("Fig. 3 — DGCNN execution-time breakdown on {label} (%)"));
         print_row(
-            ["platform", "KNN", "Aggregate", "Combine+rest"]
-                .map(String::from).as_ref(),
+            ["platform", "KNN", "Aggregate", "Combine+rest"].map(String::from).as_ref(),
             &widths,
         );
         for p in &platforms {

@@ -16,10 +16,7 @@ fn main() {
     for bandwidth in [10.0, 40.0] {
         for sys in [SystemConfig::tx2_to_i7(bandwidth), SystemConfig::tx2_to_1060(bandwidth)] {
             header(&format!("Fig. 4 — DGCNN partitioning on {}", sys.label()));
-            print_row(
-                ["scheme", "latency (ms)", "energy (J)"].map(String::from).as_ref(),
-                &widths,
-            );
+            print_row(["scheme", "latency (ms)", "energy (J)"].map(String::from).as_ref(), &widths);
             let mut best_lat = ("", f64::INFINITY);
             let mut best_en = ("", f64::INFINITY);
             let mut rows = Vec::new();
@@ -35,13 +32,15 @@ fn main() {
                 rows.push((label, ms, r.device_energy_j));
             }
             for (label, ms, j) in rows {
-                let mark = if label == best_lat.0 { " <- best latency" } else if label == best_en.0 { " <- best energy" } else { "" };
+                let mark = if label == best_lat.0 {
+                    " <- best latency"
+                } else if label == best_en.0 {
+                    " <- best energy"
+                } else {
+                    ""
+                };
                 print_row(
-                    &[
-                        label.to_string(),
-                        format!("{ms:10.1}"),
-                        format!("{j:8.2}{mark}"),
-                    ],
+                    &[label.to_string(), format!("{ms:10.1}"), format!("{j:8.2}{mark}")],
                     &widths,
                 );
             }

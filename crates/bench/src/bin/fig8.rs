@@ -15,10 +15,7 @@ fn main() {
     let sys = SystemConfig::tx2_to_i7(40.0);
     let widths = [26usize, 10, 14];
     header("Fig. 8 — accuracy vs latency, TX2 ⇌ i7 @ 40 Mbps");
-    print_row(
-        ["point", "OA (%)", "latency (ms)"].map(String::from).as_ref(),
-        &widths,
-    );
+    print_row(["point", "OA (%)", "latency (ms)"].map(String::from).as_ref(), &widths);
 
     for b in [models::dgcnn(), models::optimized_dgcnn(), models::hgnas(), models::branchy_gnn()] {
         let (ms, _) = measure(&b.arch, &profile, &sys);
@@ -47,9 +44,9 @@ fn main() {
     let dgcnn = models::dgcnn();
     let (anchor_ms, anchor_j) = measure(&dgcnn.arch, &profile, &sys);
     for (lambda, tag) in [(0.05, "λ=0.05"), (0.25, "λ=0.25"), (1.0, "λ=1.00")] {
-        let mut cfg = table_search_config(anchor_ms / 1e3, anchor_j, 13);
-        cfg.lambda = lambda;
-        let result = run_gcode_search(profile, SurrogateTask::ModelNet40, &sys, &cfg);
+        let (cfg, mut objective) = table_search_config(anchor_ms / 1e3, anchor_j, 13);
+        objective.lambda = lambda;
+        let result = run_gcode_search(profile, SurrogateTask::ModelNet40, &sys, &cfg, &objective);
         for (i, z) in result.zoo.iter().take(3).enumerate() {
             let (ms, _) = measure(&z.arch, &profile, &sys);
             print_row(

@@ -43,8 +43,7 @@ fn main() {
 
     header("Fig. 9 — predictor accuracy per system");
     print_row(
-        ["system", "±5% (%)", "±10% (%)", "pairwise (%)"]
-            .map(String::from).as_ref(),
+        ["system", "±5% (%)", "±10% (%)", "pairwise (%)"].map(String::from).as_ref(),
         &widths,
     );
     for (idx, sys) in SystemConfig::paper_systems(40.0).into_iter().enumerate() {

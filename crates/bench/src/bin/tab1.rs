@@ -9,7 +9,7 @@ fn main() {
         ("Perf Awareness (single dev)", "✓ gcode-core::estimate", "✓", "✗", "✗"),
         ("Perf Awareness (heterog.)", "✓ gcode-core::predictor", "✗", "✓", "✗"),
         ("Perf Awareness (wireless)", "✓ gcode-hardware::Link", "✗", "✗", "✗"),
-        ("Multi-Objective Optimization", "✓ SearchConfig::lambda", "✓", "✓", "✗"),
+        ("Multi-Objective Optimization", "✓ eval::Objective::lambda", "✓", "✓", "✗"),
         ("Device-Edge Deployment", "✓ gcode-engine", "✗", "✗", "✓"),
         ("Runtime Optimization", "✓ gcode-core::zoo dispatcher", "✗", "✗", "✗"),
     ];

@@ -21,7 +21,8 @@ fn main() {
             println!("\n--- {} ---", sys.label());
             print_row(
                 ["method", "OA (%)", "mode", "latency (ms)", "energy (J)"]
-                    .map(String::from).as_ref(),
+                    .map(String::from)
+                    .as_ref(),
                 &widths,
             );
             let dgcnn = baseline_rows(models::dgcnn(), &profile, &sys);
@@ -40,7 +41,13 @@ fn main() {
             // BRANCHY-GNN co-inference.
             let branchy = models::branchy_gnn();
             let (ms, j) = measure(&branchy.arch, &profile, &sys);
-            rows.push((branchy.name.clone(), format!("{:.1}", branchy.overall_accuracy), "Co", ms, j));
+            rows.push((
+                branchy.name.clone(),
+                format!("{:.1}", branchy.overall_accuracy),
+                "Co",
+                ms,
+                j,
+            ));
             // HGNAS + best partition.
             let part = best_partition(
                 &models::hgnas().arch,

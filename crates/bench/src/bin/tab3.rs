@@ -16,8 +16,7 @@ fn main() {
     for sys in SystemConfig::paper_systems(40.0) {
         println!("\n--- {} ---", sys.label());
         print_row(
-            ["method", "acc (%)", "mode", "latency (ms)", "energy (J)"]
-                .map(String::from).as_ref(),
+            ["method", "acc (%)", "mode", "latency (ms)", "energy (J)"].map(String::from).as_ref(),
             &widths,
         );
         let pnas = baseline_rows(models::pnas_text(), &profile, &sys);

@@ -7,6 +7,7 @@
 
 use gcode_baselines::models::{as_edge_only, Baseline};
 use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::eval::Objective;
 use gcode_core::search::{random_search, ScoredArch, SearchConfig, SearchResult};
 use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
@@ -50,17 +51,15 @@ pub fn baseline_rows(
 /// GCoDE search settings used by the table generators: the constraints are
 /// set relative to the device-only DGCNN anchor so every system gets a
 /// feasible but non-trivial budget.
-pub fn table_search_config(anchor_latency_s: f64, anchor_energy_j: f64, seed: u64) -> SearchConfig {
-    SearchConfig {
-        iterations: 2000,
-        tuning_iterations: 10,
-        lambda: 0.25,
-        latency_constraint_s: anchor_latency_s,
-        energy_constraint_j: anchor_energy_j,
-        seed,
-        zoo_size: 8,
-        tuning_tolerance: 0.003,
-    }
+pub fn table_search_config(
+    anchor_latency_s: f64,
+    anchor_energy_j: f64,
+    seed: u64,
+) -> (SearchConfig, Objective) {
+    (
+        SearchConfig { iterations: 2000, seed, ..SearchConfig::default() },
+        Objective::new(0.25, anchor_latency_s, anchor_energy_j),
+    )
 }
 
 /// Runs the full GCoDE pipeline (simulator-in-the-loop constraint-based
@@ -70,16 +69,17 @@ pub fn run_gcode_search(
     task: SurrogateTask,
     sys: &SystemConfig,
     cfg: &SearchConfig,
+    objective: &Objective,
 ) -> SearchResult {
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(task);
-    let mut eval = SimEvaluator {
+    let eval = SimEvaluator {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
-    random_search(&space, cfg, &mut eval)
+    random_search(&space, cfg, objective, &eval)
 }
 
 /// Convenience: the GCoDE candidate a user would deploy for low latency —
@@ -98,8 +98,8 @@ pub fn best_gcode(
         (gcode_baselines::models::pnas_text().arch, 0.761)
     };
     let (anchor_ms, anchor_j) = measure(&dgcnn, &profile, sys);
-    let cfg = table_search_config(anchor_ms / 1e3, anchor_j, seed);
-    let result = run_gcode_search(profile, task, sys, &cfg);
+    let (cfg, objective) = table_search_config(anchor_ms / 1e3, anchor_j, seed);
+    let result = run_gcode_search(profile, task, sys, &cfg, &objective);
     result
         .zoo
         .iter()
@@ -112,11 +112,8 @@ pub fn best_gcode(
 
 /// Prints a row of fixed-width cells.
 pub fn print_row(cells: &[String], widths: &[usize]) {
-    let line: Vec<String> = cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect();
+    let line: Vec<String> =
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
     println!("{}", line.join("  "));
 }
 
@@ -143,7 +140,8 @@ mod tests {
     #[test]
     fn measure_returns_positive_metrics() {
         let d = gcode_baselines::models::dgcnn();
-        let (ms, j) = measure(&d.arch, &WorkloadProfile::modelnet40(), &SystemConfig::tx2_to_i7(40.0));
+        let (ms, j) =
+            measure(&d.arch, &WorkloadProfile::modelnet40(), &SystemConfig::tx2_to_i7(40.0));
         assert!(ms > 0.0 && j > 0.0);
     }
 
@@ -155,11 +153,10 @@ mod tests {
         for sys in SystemConfig::paper_systems(40.0) {
             let dgcnn = gcode_baselines::models::dgcnn();
             let (base_ms, base_j) = measure(&dgcnn.arch, &profile, &sys);
-            let cfg = SearchConfig {
-                iterations: 300,
-                ..table_search_config(base_ms / 1e3, base_j, 3)
-            };
-            let result = run_gcode_search(profile, SurrogateTask::ModelNet40, &sys, &cfg);
+            let (base_cfg, objective) = table_search_config(base_ms / 1e3, base_j, 3);
+            let cfg = SearchConfig { iterations: 300, ..base_cfg };
+            let result =
+                run_gcode_search(profile, SurrogateTask::ModelNet40, &sys, &cfg, &objective);
             let best = result.best().expect("found");
             let (ms, j) = measure(&best.arch, &profile, &sys);
             assert!(ms < base_ms, "{}: GCoDE {ms:.1} vs DGCNN {base_ms:.1}", sys.label());

@@ -229,7 +229,6 @@ pub fn ratio(original_len: usize, compressed_len: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn empty_round_trip() {
@@ -307,33 +306,63 @@ mod tests {
         assert_eq!(decompress(&packed).expect("ok"), data);
     }
 
-    proptest! {
-        #[test]
-        fn proptest_round_trip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
-            let packed = compress(&data);
-            prop_assert_eq!(decompress(&packed).expect("round trip"), data);
+    /// Deterministic xorshift byte stream for the randomized round trips
+    /// (stands in for proptest, which is unavailable offline).
+    struct ByteGen(u64);
+
+    impl ByteGen {
+        fn next_u64(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
         }
 
-        #[test]
-        fn proptest_float_round_trip(values in proptest::collection::vec(any::<f32>(), 0..512)) {
+        fn bytes(&mut self, len: usize) -> Vec<u8> {
+            (0..len).map(|_| self.next_u64() as u8).collect()
+        }
+    }
+
+    #[test]
+    fn randomized_round_trip() {
+        let mut gen = ByteGen(0x5EED_0001);
+        for case in 0..64 {
+            let len = (gen.next_u64() % 2048) as usize;
+            let data = gen.bytes(len);
+            let packed = compress(&data);
+            assert_eq!(decompress(&packed).expect("round trip"), data, "case {case}");
+        }
+    }
+
+    #[test]
+    fn randomized_float_round_trip() {
+        // Covers arbitrary bit patterns, including NaNs and infinities,
+        // which must round-trip bit-exactly.
+        let mut gen = ByteGen(0x5EED_0002);
+        for case in 0..64 {
+            let len = (gen.next_u64() % 512) as usize;
+            let values: Vec<f32> =
+                (0..len).map(|_| f32::from_bits(gen.next_u64() as u32)).collect();
             let packed = compress_floats(&values);
             let back = decompress_floats(&packed).expect("round trip");
-            prop_assert_eq!(back.len(), values.len());
+            assert_eq!(back.len(), values.len(), "case {case}");
             for (a, b) in back.iter().zip(&values) {
-                prop_assert_eq!(a.to_bits(), b.to_bits());
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case}");
             }
         }
+    }
 
-        #[test]
-        fn proptest_structured_data_never_expands_much(
-            seed in 0u8..255,
-            len in 0usize..4096,
-        ) {
-            // Structured input: the codec may expand pathological data but
-            // must stay within the literal-token framing overhead.
+    #[test]
+    fn structured_data_never_expands_much() {
+        // Structured input: the codec may expand pathological data but
+        // must stay within the literal-token framing overhead.
+        let mut gen = ByteGen(0x5EED_0003);
+        for _ in 0..64 {
+            let seed = gen.next_u64() as u8;
+            let len = (gen.next_u64() % 4096) as usize;
             let data: Vec<u8> = (0..len).map(|i| seed.wrapping_add((i / 7) as u8)).collect();
             let packed = compress(&data);
-            prop_assert!(packed.len() <= data.len() + 16 + data.len() / 64);
+            assert!(packed.len() <= data.len() + 16 + data.len() / 64);
         }
     }
 }

@@ -48,13 +48,7 @@ impl WorkloadProfile {
 
     /// A reduced-size point-cloud profile for fast tests and examples.
     pub fn modelnet40_mini(num_nodes: usize, num_classes: usize) -> Self {
-        Self {
-            num_nodes,
-            in_dim: 3,
-            provides_graph: false,
-            provided_degree: 0,
-            num_classes,
-        }
+        Self { num_nodes, in_dim: 3, provides_graph: false, provided_degree: 0, num_classes }
     }
 }
 
@@ -148,10 +142,7 @@ impl Architecture {
 
     /// Number of `Communicate` ops.
     pub fn num_communicates(&self) -> usize {
-        self.ops
-            .iter()
-            .filter(|o| o.kind() == OpKind::Communicate)
-            .count()
+        self.ops.iter().filter(|o| o.kind() == OpKind::Communicate).count()
     }
 
     /// Per-op placement: ops start on the device and flip sides at every
@@ -209,10 +200,9 @@ impl Architecture {
             }
             match op {
                 Op::Sample(_) => has_graph = true,
-                Op::Aggregate(_) | Op::EdgeCombine { .. }
-                    if !has_graph => {
-                        return Err(ValidityError::AggregateWithoutGraph(i));
-                    }
+                Op::Aggregate(_) | Op::EdgeCombine { .. } if !has_graph => {
+                    return Err(ValidityError::AggregateWithoutGraph(i));
+                }
                 Op::GlobalPool(_) => {
                     pool_count += 1;
                     if pool_count > 1 {
@@ -252,11 +242,7 @@ impl Architecture {
     /// Compact single-line rendering, e.g.
     /// `"Sample(knn,k=20) → Communicate → Aggregate(max)"`.
     pub fn signature(&self) -> String {
-        self.ops
-            .iter()
-            .map(|o| o.to_string())
-            .collect::<Vec<_>>()
-            .join(" → ")
+        self.ops.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" → ")
     }
 
     /// Multi-line ASCII rendering with device/edge lanes — the Fig. 11
@@ -319,10 +305,7 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(
-            Architecture::new(vec![]).validate(&pc()),
-            Err(ValidityError::Empty)
-        );
+        assert_eq!(Architecture::new(vec![]).validate(&pc()), Err(ValidityError::Empty));
     }
 
     #[test]
@@ -339,10 +322,7 @@ mod tests {
     fn aggregate_after_pool_rejected() {
         let mut ops = valid_ops();
         ops.push(Op::Aggregate(AggMode::Add));
-        assert_eq!(
-            Architecture::new(ops).validate(&pc()),
-            Err(ValidityError::NodeOpAfterPool(6))
-        );
+        assert_eq!(Architecture::new(ops).validate(&pc()), Err(ValidityError::NodeOpAfterPool(6)));
     }
 
     #[test]
@@ -354,10 +334,7 @@ mod tests {
 
     #[test]
     fn aggregate_without_graph_rejected_for_pointclouds() {
-        let ops = vec![
-            Op::Aggregate(AggMode::Max),
-            Op::GlobalPool(PoolMode::Sum),
-        ];
+        let ops = vec![Op::Aggregate(AggMode::Max), Op::GlobalPool(PoolMode::Sum)];
         assert_eq!(
             Architecture::new(ops).validate(&pc()),
             Err(ValidityError::AggregateWithoutGraph(0))
@@ -366,20 +343,14 @@ mod tests {
 
     #[test]
     fn aggregate_without_sample_ok_for_text() {
-        let ops = vec![
-            Op::Aggregate(AggMode::Mean),
-            Op::GlobalPool(PoolMode::Mean),
-        ];
+        let ops = vec![Op::Aggregate(AggMode::Mean), Op::GlobalPool(PoolMode::Mean)];
         assert!(Architecture::new(ops).validate(&WorkloadProfile::mr()).is_ok());
     }
 
     #[test]
     fn missing_pool_rejected() {
         let ops = vec![Op::Sample(SampleFn::Knn { k: 5 }), Op::Combine { dim: 16 }];
-        assert_eq!(
-            Architecture::new(ops).validate(&pc()),
-            Err(ValidityError::MissingPool)
-        );
+        assert_eq!(Architecture::new(ops).validate(&pc()), Err(ValidityError::MissingPool));
     }
 
     #[test]
@@ -389,10 +360,7 @@ mod tests {
             Op::GlobalPool(PoolMode::Sum),
             Op::GlobalPool(PoolMode::Max),
         ];
-        assert_eq!(
-            Architecture::new(ops).validate(&pc()),
-            Err(ValidityError::MultiplePools)
-        );
+        assert_eq!(Architecture::new(ops).validate(&pc()), Err(ValidityError::MultiplePools));
     }
 
     #[test]

@@ -45,11 +45,7 @@ impl ShapeState {
     /// Bytes of the feature tensor at this point (f32 payload). Edge
     /// features count `nodes × degree` rows.
     pub fn feature_bytes(&self) -> usize {
-        let rows = if self.edge_features {
-            self.nodes * self.degree.max(1)
-        } else {
-            self.nodes
-        };
+        let rows = if self.edge_features { self.nodes * self.degree.max(1) } else { self.nodes };
         rows * self.dim * 4
     }
 
@@ -108,17 +104,18 @@ pub fn apply_op(op: &Op, state: ShapeState) -> (OpCost, ShapeState) {
             next.degree = f.k();
             next.edge_features = false;
             match f {
-                crate::op::SampleFn::Knn { .. } => OpCost::selection(
-                    knn_flops(state.nodes, state.dim),
-                    (n * n * 8).max(1),
-                ),
+                crate::op::SampleFn::Knn { .. } => {
+                    OpCost::selection(knn_flops(state.nodes, state.dim), (n * n * 8).max(1))
+                }
                 crate::op::SampleFn::Random { k } => {
                     OpCost::regular(n * k as u64, n * k as u64 * 4)
                 }
             }
         }
         Op::Aggregate(_) => {
-            let rows = if state.edge_features { n * k } else { n * k };
+            // Aggregation gathers k neighbor rows per node whether the
+            // features live on nodes or edges.
+            let rows = n * k;
             next.edge_features = false;
             OpCost::gather(rows * d, 3 * rows * d * 4)
         }
@@ -159,11 +156,8 @@ pub fn trace(arch: &Architecture, profile: &WorkloadProfile) -> Vec<TracedOp> {
     let mut state = ShapeState::initial(profile);
     let mut out = Vec::with_capacity(arch.len());
     for (op, &placement) in arch.ops().iter().zip(&placements) {
-        let transfer_bytes = if op.kind() == crate::op::OpKind::Communicate {
-            state.transfer_bytes()
-        } else {
-            0
-        };
+        let transfer_bytes =
+            if op.kind() == crate::op::OpKind::Communicate { state.transfer_bytes() } else { 0 };
         let (cost, next) = apply_op(op, state);
         state = next;
         out.push(TracedOp { op: *op, cost, transfer_bytes, state_after: state, placement });

@@ -1,8 +1,9 @@
 //! Cost estimation and on-device energy estimation (Sec. 3.5), plus the
-//! evaluator abstraction the search strategies consume.
+//! analytic [`Evaluator`] backend the search strategies consume.
 
 use crate::arch::{Architecture, WorkloadProfile};
 use crate::cost::{trace, TracedOp};
+use crate::eval::{Evaluator, Metrics};
 use crate::op::{OpKind, Placement};
 use gcode_hardware::SystemConfig;
 use serde::{Deserialize, Serialize};
@@ -116,11 +117,22 @@ pub fn estimate_device_energy(
 ) -> f64 {
     let traced = trace(arch, profile);
     let b = breakdown_from_trace(&traced, arch, sys);
+    energy_from_parts(&traced, &b, arch, sys)
+}
+
+/// Energy computation over a pre-computed trace and breakdown — lets the
+/// analytic evaluator price latency and energy off a single trace.
+fn energy_from_parts(
+    traced: &[TracedOp],
+    b: &LatencyBreakdown,
+    arch: &Architecture,
+    sys: &SystemConfig,
+) -> f64 {
     let e_run = sys.device.run_power_w * b.device_s;
     let e_idle = sys.device.idle_power_w * (b.edge_s + b.comm_s);
     let mut sent = 0usize;
     let mut received = 0usize;
-    for t in &traced {
+    for t in traced {
         if t.op.kind() == OpKind::Communicate {
             match t.placement {
                 Placement::Device => sent += t.transfer_bytes,
@@ -135,20 +147,10 @@ pub fn estimate_device_energy(
     e_run + e_idle + e_comm
 }
 
-/// Everything the constraint-based search needs to score one candidate.
-pub trait CandidateEvaluator {
-    /// End-to-end system latency in seconds.
-    fn latency_s(&mut self, arch: &Architecture) -> f64;
-    /// On-device energy per inference in joules.
-    fn device_energy_j(&mut self, arch: &Architecture) -> f64;
-    /// Validation accuracy in `[0, 1]`. Only called for candidates that
-    /// already passed the performance constraints (Alg. 1 line 9).
-    fn accuracy(&mut self, arch: &Architecture) -> f64;
-}
-
-/// Evaluator backed by the analytic cost/energy estimators plus a
+/// [`Evaluator`] backed by the analytic cost/energy estimators plus a
 /// user-supplied accuracy function (surrogate model or supernet query).
-pub struct AnalyticEvaluator<F: FnMut(&Architecture) -> f64> {
+/// Latency and energy come from a single shape trace per candidate.
+pub struct AnalyticEvaluator<F: Fn(&Architecture) -> f64> {
     /// Workload being optimized for.
     pub profile: WorkloadProfile,
     /// Target system.
@@ -157,17 +159,15 @@ pub struct AnalyticEvaluator<F: FnMut(&Architecture) -> f64> {
     pub accuracy_fn: F,
 }
 
-impl<F: FnMut(&Architecture) -> f64> CandidateEvaluator for AnalyticEvaluator<F> {
-    fn latency_s(&mut self, arch: &Architecture) -> f64 {
-        estimate_latency(arch, &self.profile, &self.sys).total_s()
-    }
-
-    fn device_energy_j(&mut self, arch: &Architecture) -> f64 {
-        estimate_device_energy(arch, &self.profile, &self.sys)
-    }
-
-    fn accuracy(&mut self, arch: &Architecture) -> f64 {
-        (self.accuracy_fn)(arch)
+impl<F: Fn(&Architecture) -> f64> Evaluator for AnalyticEvaluator<F> {
+    fn evaluate(&self, arch: &Architecture) -> Metrics {
+        let traced = trace(arch, &self.profile);
+        let b = breakdown_from_trace(&traced, arch, &self.sys);
+        Metrics {
+            accuracy: (self.accuracy_fn)(arch),
+            latency_s: b.total_s(),
+            energy_j: energy_from_parts(&traced, &b, arch, &self.sys),
+        }
     }
 }
 
@@ -256,12 +256,8 @@ mod tests {
             estimate_latency(&Architecture::new(heavy_tail.clone()), &pc(), &sys).total_s();
         let mut offload_ops = vec![Op::Communicate];
         offload_ops.extend(heavy_tail);
-        let offloaded =
-            estimate_latency(&Architecture::new(offload_ops), &pc(), &sys).total_s();
-        assert!(
-            offloaded < all_device,
-            "offloading should win: {offloaded} vs {all_device}"
-        );
+        let offloaded = estimate_latency(&Architecture::new(offload_ops), &pc(), &sys).total_s();
+        assert!(offloaded < all_device, "offloading should win: {offloaded} vs {all_device}");
     }
 
     #[test]
@@ -276,10 +272,7 @@ mod tests {
             Op::GlobalPool(PoolMode::Max),
         ]);
         let e_off = estimate_device_energy(&offload_all, &pc(), &sys);
-        assert!(
-            e_off < e_dev,
-            "edge-only should save Pi energy: {e_off} vs {e_dev}"
-        );
+        assert!(e_off < e_dev, "edge-only should save Pi energy: {e_off} vs {e_dev}");
     }
 
     #[test]
@@ -292,14 +285,22 @@ mod tests {
 
     #[test]
     fn analytic_evaluator_wires_through() {
-        let mut eval = AnalyticEvaluator {
+        let eval = AnalyticEvaluator {
             profile: pc(),
             sys: SystemConfig::tx2_to_1060(40.0),
             accuracy_fn: |_a: &Architecture| 0.9,
         };
         let arch = device_only();
-        assert!(eval.latency_s(&arch) > 0.0);
-        assert!(eval.device_energy_j(&arch) > 0.0);
-        assert_eq!(eval.accuracy(&arch), 0.9);
+        let m = eval.evaluate(&arch);
+        assert!(m.latency_s > 0.0);
+        assert!(m.energy_j > 0.0);
+        assert_eq!(m.accuracy, 0.9);
+        // The single-trace fast path must agree with the standalone
+        // estimators exactly.
+        assert_eq!(m.latency_s, estimate_latency(&arch, &pc(), &eval.sys).total_s());
+        assert_eq!(m.energy_j, estimate_device_energy(&arch, &pc(), &eval.sys));
+        // Batch evaluation is the same computation.
+        let batch = eval.evaluate_batch(&[arch.clone(), split_arch()]);
+        assert_eq!(batch[0], m);
     }
 }

@@ -1,0 +1,409 @@
+//! The evaluation/search seam every strategy runs through.
+//!
+//! This module owns the public API for scoring candidates:
+//!
+//! * [`Metrics`] — the three numbers the paper's objective consumes;
+//! * [`Evaluator`] — how metrics are produced, with a batched entry point
+//!   ([`Evaluator::evaluate_batch`]) so backends can amortize per-candidate
+//!   setup (and so parallel backends can plug in without touching any
+//!   strategy);
+//! * [`Objective`] — the single canonical home of the constraint check and
+//!   the score `acc − λ(P̂_sys/C_lat + Ê_dev/C_e)`;
+//! * [`SearchStrategy`] — a search algorithm (Alg. 1 random search, the EA
+//!   ablation, the single-device NAS baseline) expressed against a session;
+//! * [`SearchSession`] — the driver that owns a hash-keyed memo cache over
+//!   evaluated architectures and routes every strategy's candidates through
+//!   batched, deduplicated evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use gcode_core::arch::WorkloadProfile;
+//! use gcode_core::estimate::AnalyticEvaluator;
+//! use gcode_core::eval::{Objective, SearchSession};
+//! use gcode_core::search::{RandomSearch, SearchConfig};
+//! use gcode_core::space::DesignSpace;
+//! use gcode_hardware::SystemConfig;
+//!
+//! let space = DesignSpace::paper(WorkloadProfile::modelnet40());
+//! let eval = AnalyticEvaluator {
+//!     profile: space.profile,
+//!     sys: SystemConfig::tx2_to_i7(40.0),
+//!     accuracy_fn: |_| 0.92,
+//! };
+//! let objective = Objective::new(0.1, 0.5, 3.0);
+//! let cfg = SearchConfig { iterations: 50, seed: 1, ..SearchConfig::default() };
+//! let mut session = SearchSession::new(&space, &eval).with_objective(objective);
+//! let result = session.run(&RandomSearch::new(cfg));
+//! assert!(result.best().is_some());
+//! assert!(session.cache_stats().lookups() >= 50);
+//! ```
+
+use crate::arch::Architecture;
+use crate::search::{ScoredArch, SearchResult};
+use crate::space::DesignSpace;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The measured qualities of one candidate architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Validation accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// End-to-end system latency in seconds.
+    pub latency_s: f64,
+    /// On-device energy per inference in joules.
+    pub energy_j: f64,
+}
+
+/// Produces [`Metrics`] for candidate architectures.
+///
+/// `evaluate` takes `&self` so one evaluator can serve many concurrent
+/// lookups; backends needing interior state (a supernet being fine-tuned,
+/// say) wrap it in a cell. The batched entry point exists so backends can
+/// amortize setup across candidates — the default simply loops.
+///
+/// Unlike the paper's Alg. 1 narration, all three metrics — accuracy
+/// included — are produced per candidate, even ones a strategy later
+/// rejects on constraints: the evaluator doesn't know the [`Objective`],
+/// which is what keeps scoring in one place and batching trivial. The
+/// session's memo cache bounds the cost to one evaluation per *unique*
+/// architecture; an evaluator whose accuracy model is genuinely expensive
+/// (a supernet) can additionally gate its own accuracy computation behind
+/// cheap internal feasibility screens if it chooses.
+pub trait Evaluator {
+    /// Evaluates one architecture.
+    fn evaluate(&self, arch: &Architecture) -> Metrics;
+
+    /// Evaluates a batch. Override when the backend can do better than a
+    /// sequential loop (shared traces, vectorized cost models, worker
+    /// pools).
+    fn evaluate_batch(&self, archs: &[Architecture]) -> Vec<Metrics> {
+        archs.iter().map(|a| self.evaluate(a)).collect()
+    }
+}
+
+/// The search objective: the trade-off weight and the performance
+/// constraints, split out of the search hyper-parameters so that every
+/// strategy and baseline shares one scoring/feasibility implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Accuracy/efficiency trade-off `λ` (larger = lower latency).
+    pub lambda: f64,
+    /// Latency constraint `C_lat` in seconds.
+    pub latency_constraint_s: f64,
+    /// On-device energy constraint `C_e` in joules.
+    pub energy_constraint_j: f64,
+}
+
+impl Default for Objective {
+    fn default() -> Self {
+        Self { lambda: 0.1, latency_constraint_s: 0.2, energy_constraint_j: 1.0 }
+    }
+}
+
+impl Objective {
+    /// Builds an objective from `λ` and the two constraints.
+    pub fn new(lambda: f64, latency_constraint_s: f64, energy_constraint_j: f64) -> Self {
+        Self { lambda, latency_constraint_s, energy_constraint_j }
+    }
+
+    /// Whether the metrics satisfy both performance constraints
+    /// (Alg. 1 line 8's check).
+    pub fn feasible(&self, m: &Metrics) -> bool {
+        m.latency_s < self.latency_constraint_s && m.energy_j < self.energy_constraint_j
+    }
+
+    /// The paper's score `acc − λ(lat/C_lat + e/C_e)`. Latency and energy
+    /// are normalized by their constraints so the magnitudes are
+    /// comparable ("P_sys and E_dev are normalized during architecture
+    /// scoring").
+    pub fn score(&self, m: &Metrics) -> f64 {
+        m.accuracy
+            - self.lambda
+                * (m.latency_s / self.latency_constraint_s + m.energy_j / self.energy_constraint_j)
+    }
+
+    /// Packs an architecture and its metrics into a [`ScoredArch`],
+    /// assigning the sentinel score −1 to constraint violators.
+    pub fn scored(&self, arch: Architecture, m: Metrics) -> ScoredArch {
+        let score = if self.feasible(&m) { self.score(&m) } else { -1.0 };
+        ScoredArch {
+            arch,
+            score,
+            accuracy: m.accuracy,
+            latency_s: m.latency_s,
+            energy_j: m.energy_j,
+        }
+    }
+}
+
+/// Memo-cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh evaluation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A search algorithm driven through a [`SearchSession`].
+pub trait SearchStrategy {
+    /// Runs the strategy to completion against the session's space,
+    /// objective and (cached, batched) evaluator.
+    fn search(&self, session: &mut SearchSession<'_>) -> SearchResult;
+}
+
+/// Builder-style driver owning the evaluation plumbing every strategy
+/// shares: the design space, the [`Objective`], the evaluator and a
+/// hash-keyed memo cache of evaluated architectures with hit-rate stats.
+///
+/// Searches in the fused space resample identical candidates often
+/// (especially at small `num_layers` or under tight validity rules); the
+/// cache turns each repeat into a lookup, and the batched path deduplicates
+/// within a batch before the evaluator sees it.
+pub struct SearchSession<'a> {
+    space: &'a DesignSpace,
+    evaluator: &'a dyn Evaluator,
+    objective: Objective,
+    memoize: bool,
+    cache: HashMap<Architecture, Metrics>,
+    stats: CacheStats,
+}
+
+impl<'a> SearchSession<'a> {
+    /// Creates a session over `space` scoring through `evaluator`, with the
+    /// default [`Objective`] and memoization enabled.
+    pub fn new(space: &'a DesignSpace, evaluator: &'a dyn Evaluator) -> Self {
+        Self {
+            space,
+            evaluator,
+            objective: Objective::default(),
+            memoize: true,
+            cache: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Sets the objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Enables or disables the memo cache (enabled by default). Disabling
+    /// is useful for measuring an evaluator's raw cost or for evaluators
+    /// whose output deliberately changes between calls.
+    #[must_use]
+    pub fn with_memoization(mut self, enabled: bool) -> Self {
+        self.memoize = enabled;
+        self
+    }
+
+    /// The design space being searched.
+    pub fn space(&self) -> &'a DesignSpace {
+        self.space
+    }
+
+    /// The active objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Cache hit/miss counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of distinct architectures held in the cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Evaluates one architecture through the cache.
+    pub fn evaluate(&mut self, arch: &Architecture) -> Metrics {
+        if !self.memoize {
+            self.stats.misses += 1;
+            return self.evaluator.evaluate(arch);
+        }
+        if let Some(m) = self.cache.get(arch) {
+            self.stats.hits += 1;
+            return *m;
+        }
+        let m = self.evaluator.evaluate(arch);
+        self.stats.misses += 1;
+        self.cache.insert(arch.clone(), m);
+        m
+    }
+
+    /// Evaluates a batch through the cache: cached entries are reused,
+    /// in-batch duplicates are evaluated once, and only the remaining
+    /// unique candidates reach [`Evaluator::evaluate_batch`].
+    pub fn evaluate_batch(&mut self, archs: &[Architecture]) -> Vec<Metrics> {
+        if !self.memoize {
+            self.stats.misses += archs.len() as u64;
+            return self.evaluator.evaluate_batch(archs);
+        }
+        let mut fresh: Vec<Architecture> = Vec::new();
+        let mut pending: HashSet<&Architecture> = HashSet::new();
+        for arch in archs {
+            if self.cache.contains_key(arch) || pending.contains(arch) {
+                self.stats.hits += 1;
+            } else {
+                self.stats.misses += 1;
+                pending.insert(arch);
+                fresh.push(arch.clone());
+            }
+        }
+        if !fresh.is_empty() {
+            let metrics = self.evaluator.evaluate_batch(&fresh);
+            debug_assert_eq!(metrics.len(), fresh.len(), "evaluator broke batch contract");
+            for (arch, m) in fresh.into_iter().zip(metrics) {
+                self.cache.insert(arch, m);
+            }
+        }
+        archs
+            .iter()
+            .map(|a| *self.cache.get(a).expect("every batch member was just cached"))
+            .collect()
+    }
+
+    /// Runs a strategy to completion.
+    pub fn run(&mut self, strategy: &dyn SearchStrategy) -> SearchResult {
+        strategy.search(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::WorkloadProfile;
+    use crate::op::{Op, SampleFn};
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+    use std::cell::Cell;
+
+    /// Evaluator that counts every real evaluation it performs.
+    struct Counting {
+        calls: Cell<u64>,
+    }
+
+    impl Evaluator for Counting {
+        fn evaluate(&self, arch: &Architecture) -> Metrics {
+            self.calls.set(self.calls.get() + 1);
+            Metrics {
+                accuracy: 0.9,
+                latency_s: 0.001 * arch.len() as f64,
+                energy_j: 0.01 * arch.len() as f64,
+            }
+        }
+    }
+
+    fn arch(dim: usize) -> Architecture {
+        Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 20 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim },
+            Op::GlobalPool(PoolMode::Max),
+        ])
+    }
+
+    #[test]
+    fn objective_scores_and_checks_feasibility() {
+        let o = Objective::new(0.5, 0.1, 1.0);
+        let good = Metrics { accuracy: 0.9, latency_s: 0.05, energy_j: 0.5 };
+        assert!(o.feasible(&good));
+        assert!((o.score(&good) - (0.9 - 0.5 * (0.5 + 0.5))).abs() < 1e-12);
+        let slow = Metrics { latency_s: 0.2, ..good };
+        assert!(!o.feasible(&slow));
+        let hungry = Metrics { energy_j: 2.0, ..good };
+        assert!(!o.feasible(&hungry));
+        assert_eq!(o.scored(arch(16), slow).score, -1.0);
+    }
+
+    #[test]
+    fn cache_serves_repeats_without_reevaluating() {
+        let space = crate::space::DesignSpace::paper(WorkloadProfile::modelnet40());
+        let eval = Counting { calls: Cell::new(0) };
+        let mut session = SearchSession::new(&space, &eval);
+        let a = arch(16);
+        let first = session.evaluate(&a);
+        let second = session.evaluate(&a);
+        assert_eq!(first, second);
+        assert_eq!(eval.calls.get(), 1);
+        assert_eq!(session.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(session.cache_len(), 1);
+    }
+
+    #[test]
+    fn batch_deduplicates_before_the_evaluator() {
+        let space = crate::space::DesignSpace::paper(WorkloadProfile::modelnet40());
+        let eval = Counting { calls: Cell::new(0) };
+        let mut session = SearchSession::new(&space, &eval);
+        // Warm the cache with one entry.
+        session.evaluate(&arch(16));
+        let batch = vec![arch(16), arch(32), arch(32), arch(64)];
+        let metrics = session.evaluate_batch(&batch);
+        assert_eq!(metrics.len(), 4);
+        // arch(16) was cached; arch(32) is an in-batch duplicate: only 32
+        // and 64 hit the evaluator.
+        assert_eq!(eval.calls.get(), 3);
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+        assert!((stats.hit_rate() - 0.4).abs() < 1e-12);
+        // Duplicates receive identical metrics.
+        assert_eq!(metrics[1], metrics[2]);
+    }
+
+    #[test]
+    fn disabled_memoization_always_reevaluates() {
+        let space = crate::space::DesignSpace::paper(WorkloadProfile::modelnet40());
+        let eval = Counting { calls: Cell::new(0) };
+        let mut session = SearchSession::new(&space, &eval).with_memoization(false);
+        let a = arch(16);
+        session.evaluate(&a);
+        session.evaluate(&a);
+        session.evaluate_batch(&[a.clone(), a.clone()]);
+        assert_eq!(eval.calls.get(), 4);
+        assert_eq!(session.cache_stats().hits, 0);
+        assert_eq!(session.cache_len(), 0);
+    }
+
+    #[test]
+    fn cached_metrics_are_bit_identical_to_fresh() {
+        let space = crate::space::DesignSpace::paper(WorkloadProfile::modelnet40());
+        let eval = Counting { calls: Cell::new(0) };
+        let fresh = eval.evaluate(&arch(32));
+        let mut session = SearchSession::new(&space, &eval);
+        let via_cache_miss = session.evaluate(&arch(32));
+        let via_cache_hit = session.evaluate(&arch(32));
+        assert_eq!(fresh.latency_s.to_bits(), via_cache_miss.latency_s.to_bits());
+        assert_eq!(fresh.latency_s.to_bits(), via_cache_hit.latency_s.to_bits());
+        assert_eq!(fresh.energy_j.to_bits(), via_cache_hit.energy_j.to_bits());
+        assert_eq!(fresh.accuracy.to_bits(), via_cache_hit.accuracy.to_bits());
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_session() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

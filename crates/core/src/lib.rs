@@ -6,8 +6,10 @@
 //!
 //! 1. [`space::DesignSpace`] defines the fused co-inference space in which
 //!    [`op::Op::Communicate`] is an ordinary operation;
-//! 2. [`search::random_search`] runs Alg. 1 (with [`ea`] as the ablation
-//!    baseline), scoring candidates through a [`estimate::CandidateEvaluator`](estimate::CandidateEvaluator);
+//! 2. an [`eval::SearchSession`] drives a [`eval::SearchStrategy`] —
+//!    [`search::RandomSearch`] (Alg. 1), with [`ea::Ea`] as the ablation
+//!    baseline — scoring candidates through a batched, memoized
+//!    [`eval::Evaluator`] against one shared [`eval::Objective`];
 //! 3. latency comes from [`estimate`] (LUT-style cost estimation) or from
 //!    the trained [`predictor`] (GIN over the architecture graph), energy
 //!    from [`estimate::estimate_device_energy`];
@@ -20,25 +22,31 @@
 //! ```
 //! use gcode_core::arch::WorkloadProfile;
 //! use gcode_core::estimate::AnalyticEvaluator;
-//! use gcode_core::search::{random_search, SearchConfig};
+//! use gcode_core::eval::{Objective, SearchSession};
+//! use gcode_core::search::{RandomSearch, SearchConfig};
 //! use gcode_core::space::DesignSpace;
 //! use gcode_hardware::SystemConfig;
 //!
 //! let space = DesignSpace::paper(WorkloadProfile::modelnet40());
-//! let cfg = SearchConfig { iterations: 50, seed: 1, ..SearchConfig::default() };
-//! let mut eval = AnalyticEvaluator {
+//! let eval = AnalyticEvaluator {
 //!     profile: space.profile,
 //!     sys: SystemConfig::tx2_to_i7(40.0),
 //!     accuracy_fn: |_| 0.92,
 //! };
-//! let result = random_search(&space, &cfg, &mut eval);
+//! let cfg = SearchConfig { iterations: 50, seed: 1, ..SearchConfig::default() };
+//! let mut session = SearchSession::new(&space, &eval)
+//!     .with_objective(Objective::new(0.1, 0.2, 1.0));
+//! let result = session.run(&RandomSearch::new(cfg));
 //! assert!(result.best().is_some());
+//! // Duplicate samples were served from the session's memo cache.
+//! assert_eq!(session.cache_stats().lookups(), 50);
 //! ```
 
 pub mod arch;
 pub mod cost;
 pub mod ea;
 pub mod estimate;
+pub mod eval;
 pub mod lut;
 pub mod op;
 pub mod pareto;

@@ -184,10 +184,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn setup() -> (DesignSpace, SystemConfig) {
-        (
-            DesignSpace::paper(WorkloadProfile::modelnet40()),
-            SystemConfig::tx2_to_i7(40.0),
-        )
+        (DesignSpace::paper(WorkloadProfile::modelnet40()), SystemConfig::tx2_to_i7(40.0))
     }
 
     #[test]

@@ -178,10 +178,7 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(Op::Combine { dim: 64 }.to_string(), "Combine(64)");
-        assert_eq!(
-            Op::Sample(SampleFn::Knn { k: 20 }).to_string(),
-            "Sample(knn,k=20)"
-        );
+        assert_eq!(Op::Sample(SampleFn::Knn { k: 20 }).to_string(), "Sample(knn,k=20)");
     }
 
     #[test]

@@ -415,9 +415,7 @@ mod tests {
     fn enhanced_mode_populates_latency_channel() {
         let (data, profile, sys) = make_data(1, 3);
         let (_, x) = abstract_architecture(&data[0].0, &profile, &sys, FeatureMode::Enhanced);
-        let nonzero = (0..x.rows())
-            .filter(|&i| x[(i, NODE_TYPE_CHANNELS)] != 0.0)
-            .count();
+        let nonzero = (0..x.rows()).filter(|&i| x[(i, NODE_TYPE_CHANNELS)] != 0.0).count();
         assert!(nonzero > 0, "z-scored latencies should be present");
     }
 
@@ -461,36 +459,30 @@ mod tests {
     }
 }
 
-/// [`CandidateEvaluator`](crate::estimate::CandidateEvaluator) that prices latency with a trained
+/// [`Evaluator`](crate::eval::Evaluator) that prices latency with a trained
 /// [`LatencyPredictor`] instead of a measurement oracle — the paper's
 /// strict-latency search mode ("the highly accurate system latency
 /// predictor ensures that the explored architecture meets the strict
 /// latency requirements", Sec. 3.5). Energy still comes from the analytic
 /// estimator, accuracy from the supplied callback.
-pub struct PredictorEvaluator<F: FnMut(&Architecture) -> f64> {
+pub struct PredictorEvaluator<F: Fn(&Architecture) -> f64> {
     /// Trained latency predictor (carries profile + system).
     pub predictor: LatencyPredictor,
     /// Accuracy callback.
     pub accuracy_fn: F,
 }
 
-impl<F: FnMut(&Architecture) -> f64> crate::estimate::CandidateEvaluator
-    for PredictorEvaluator<F>
-{
-    fn latency_s(&mut self, arch: &Architecture) -> f64 {
-        self.predictor.predict_s(arch)
-    }
-
-    fn device_energy_j(&mut self, arch: &Architecture) -> f64 {
-        crate::estimate::estimate_device_energy(
-            arch,
-            &self.predictor.profile,
-            &self.predictor.sys,
-        )
-    }
-
-    fn accuracy(&mut self, arch: &Architecture) -> f64 {
-        (self.accuracy_fn)(arch)
+impl<F: Fn(&Architecture) -> f64> crate::eval::Evaluator for PredictorEvaluator<F> {
+    fn evaluate(&self, arch: &Architecture) -> crate::eval::Metrics {
+        crate::eval::Metrics {
+            accuracy: (self.accuracy_fn)(arch),
+            latency_s: self.predictor.predict_s(arch),
+            energy_j: crate::estimate::estimate_device_energy(
+                arch,
+                &self.predictor.profile,
+                &self.predictor.sys,
+            ),
+        }
     }
 }
 

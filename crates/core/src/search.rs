@@ -1,32 +1,32 @@
-//! Constraint-based random search (Alg. 1) and the architecture scoring it
-//! shares with the EA baseline.
+//! Constraint-based random search (Alg. 1) expressed as a
+//! [`SearchStrategy`], plus the result types shared by every strategy.
 
 use crate::arch::Architecture;
-use crate::estimate::CandidateEvaluator;
+use crate::eval::{Evaluator, Objective, SearchSession, SearchStrategy};
 use crate::space::DesignSpace;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-/// Search hyper-parameters (Alg. 1 inputs).
+/// Search hyper-parameters (Alg. 1 inputs). The objective — `λ` and the
+/// performance constraints — lives separately in
+/// [`Objective`](crate::eval::Objective).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchConfig {
     /// Stage-1 iterations `T` (paper: 2000).
     pub iterations: usize,
     /// Stage-2 tuning iterations `T_f` (paper: 10).
     pub tuning_iterations: usize,
-    /// Accuracy/efficiency trade-off `λ` (larger = lower latency).
-    pub lambda: f64,
-    /// Latency constraint `C_lat` in seconds.
-    pub latency_constraint_s: f64,
-    /// On-device energy constraint `C_e` in joules.
-    pub energy_constraint_j: f64,
     /// RNG seed.
     pub seed: u64,
     /// How many top candidates to keep for the architecture zoo.
     pub zoo_size: usize,
     /// Accuracy loss tolerated by stage-2 scale-down (fraction, e.g. 0.003).
     pub tuning_tolerance: f64,
+    /// Candidates per batched evaluation call. Batching preserves the
+    /// trial order (and therefore seed-for-seed results) while letting
+    /// evaluators amortize work across candidates.
+    pub batch_size: usize,
 }
 
 impl Default for SearchConfig {
@@ -34,12 +34,10 @@ impl Default for SearchConfig {
         Self {
             iterations: 2000,
             tuning_iterations: 10,
-            lambda: 0.1,
-            latency_constraint_s: 0.2,
-            energy_constraint_j: 1.0,
             seed: 0,
             zoo_size: 8,
             tuning_tolerance: 0.003,
+            batch_size: 16,
         }
     }
 }
@@ -80,109 +78,111 @@ impl SearchResult {
 
     /// Candidate with the lowest latency in the zoo.
     pub fn best_latency(&self) -> Option<&ScoredArch> {
-        self.zoo
-            .iter()
-            .min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
+        self.zoo.iter().min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
     }
 
     /// Candidate with the lowest device energy in the zoo.
     pub fn best_energy(&self) -> Option<&ScoredArch> {
-        self.zoo
-            .iter()
-            .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
+        self.zoo.iter().min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
     }
 }
 
-/// Scores a candidate per the paper's objective. Latency and energy are
-/// normalized by their constraints so the magnitudes are comparable
-/// ("P_sys and E_dev are normalized during architecture scoring").
-pub fn score(cfg: &SearchConfig, accuracy: f64, latency_s: f64, energy_j: f64) -> f64 {
-    accuracy
-        - cfg.lambda
-            * (latency_s / cfg.latency_constraint_s + energy_j / cfg.energy_constraint_j)
-}
-
-/// Runs the two-stage constraint-based random search of Alg. 1.
+/// The two-stage constraint-based random search of Alg. 1.
 ///
-/// Stage 1 samples valid operation sets, rejects constraint violators
-/// without accuracy evaluation, and keeps a zoo of top scorers. Stage 2
+/// Stage 1 samples valid operation sets, rejects constraint violators, and
+/// keeps a zoo of top scorers; candidates are evaluated in batches through
+/// the session's memo cache without changing the trial order. Stage 2
 /// tries function scale-downs on the best candidate, adopting any variant
 /// that stays within `tuning_tolerance` of its accuracy while improving
-/// latency.
+/// latency or energy.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSearch {
+    /// Hyper-parameters.
+    pub cfg: SearchConfig,
+}
+
+impl RandomSearch {
+    /// Builds the strategy from its hyper-parameters.
+    pub fn new(cfg: SearchConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl SearchStrategy for RandomSearch {
+    fn search(&self, session: &mut SearchSession<'_>) -> SearchResult {
+        let cfg = &self.cfg;
+        let objective = session.objective();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut zoo: Vec<ScoredArch> = Vec::new();
+        let mut history = Vec::with_capacity(cfg.iterations);
+        let mut best_so_far = f64::NEG_INFINITY;
+        let mut constraint_misses = 0usize;
+        let mut validity_draws = 0usize;
+
+        // Stage 1: operation search, in evaluation batches.
+        let mut remaining = cfg.iterations;
+        while remaining > 0 {
+            let batch_len = remaining.min(cfg.batch_size.max(1));
+            let mut batch = Vec::with_capacity(batch_len);
+            for _ in 0..batch_len {
+                let (arch, draws) = session.space().sample_valid(&mut rng, 100_000);
+                validity_draws += draws;
+                batch.push(arch);
+            }
+            let metrics = session.evaluate_batch(&batch);
+            for (arch, m) in batch.into_iter().zip(metrics) {
+                if !objective.feasible(&m) {
+                    constraint_misses += 1;
+                }
+                let scored = objective.scored(arch, m);
+                best_so_far = best_so_far.max(scored.score);
+                history.push(best_so_far);
+                if scored.score > -1.0 {
+                    insert_into_zoo(&mut zoo, scored, cfg.zoo_size);
+                }
+            }
+            remaining -= batch_len;
+        }
+
+        // Stage 2: function scale-down tuning on the best candidate. Each
+        // acceptance feeds the next proposal, so this stays sequential.
+        if let Some(best) = zoo.first().cloned() {
+            let mut current = best;
+            for _ in 0..cfg.tuning_iterations {
+                let Some(candidate) = session.space().scale_down(&current.arch, &mut rng) else {
+                    break;
+                };
+                if candidate.validate(&session.space().profile).is_err() {
+                    continue;
+                }
+                let m = session.evaluate(&candidate);
+                if !objective.feasible(&m) {
+                    continue;
+                }
+                let improves = m.latency_s < current.latency_s || m.energy_j < current.energy_j;
+                if improves && m.accuracy + cfg.tuning_tolerance >= current.accuracy {
+                    current = objective.scored(candidate, m);
+                }
+            }
+            insert_into_zoo(&mut zoo, current, cfg.zoo_size);
+        }
+
+        SearchResult { zoo, history, constraint_misses, validity_draws }
+    }
+}
+
+/// Convenience wrapper: runs [`RandomSearch`] through a fresh
+/// [`SearchSession`] and returns the result.
 pub fn random_search(
     space: &DesignSpace,
     cfg: &SearchConfig,
-    eval: &mut dyn CandidateEvaluator,
+    objective: &Objective,
+    evaluator: &dyn Evaluator,
 ) -> SearchResult {
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut zoo: Vec<ScoredArch> = Vec::new();
-    let mut history = Vec::with_capacity(cfg.iterations);
-    let mut best_so_far = f64::NEG_INFINITY;
-    let mut constraint_misses = 0usize;
-    let mut validity_draws = 0usize;
-
-    // Stage 1: operation search.
-    for _ in 0..cfg.iterations {
-        let (arch, draws) = space.sample_valid(&mut rng, 100_000);
-        validity_draws += draws;
-        let latency_s = eval.latency_s(&arch);
-        let energy_j = eval.device_energy_j(&arch);
-        let scored = if latency_s < cfg.latency_constraint_s
-            && energy_j < cfg.energy_constraint_j
-        {
-            let accuracy = eval.accuracy(&arch);
-            ScoredArch {
-                score: score(cfg, accuracy, latency_s, energy_j),
-                arch,
-                accuracy,
-                latency_s,
-                energy_j,
-            }
-        } else {
-            constraint_misses += 1;
-            ScoredArch { arch, score: -1.0, accuracy: 0.0, latency_s, energy_j }
-        };
-        best_so_far = best_so_far.max(scored.score);
-        history.push(best_so_far);
-        if scored.score > -1.0 {
-            insert_into_zoo(&mut zoo, scored, cfg.zoo_size);
-        }
-    }
-
-    // Stage 2: function scale-down tuning on the best candidate.
-    if let Some(best) = zoo.first().cloned() {
-        let mut current = best;
-        for _ in 0..cfg.tuning_iterations {
-            let Some(candidate) = space.scale_down(&current.arch, &mut rng) else {
-                break;
-            };
-            if candidate.validate(&space.profile).is_err() {
-                continue;
-            }
-            let latency_s = eval.latency_s(&candidate);
-            let energy_j = eval.device_energy_j(&candidate);
-            if latency_s >= cfg.latency_constraint_s || energy_j >= cfg.energy_constraint_j {
-                continue;
-            }
-            let accuracy = eval.accuracy(&candidate);
-            let improves = latency_s < current.latency_s || energy_j < current.energy_j;
-            if improves && accuracy + cfg.tuning_tolerance >= current.accuracy {
-                current = ScoredArch {
-                    score: score(cfg, accuracy, latency_s, energy_j),
-                    arch: candidate,
-                    accuracy,
-                    latency_s,
-                    energy_j,
-                };
-            }
-        }
-        insert_into_zoo(&mut zoo, current, cfg.zoo_size);
-    }
-
-    SearchResult { zoo, history, constraint_misses, validity_draws }
+    SearchSession::new(space, evaluator).with_objective(*objective).run(&RandomSearch::new(*cfg))
 }
 
-fn insert_into_zoo(zoo: &mut Vec<ScoredArch>, candidate: ScoredArch, cap: usize) {
+pub(crate) fn insert_into_zoo(zoo: &mut Vec<ScoredArch>, candidate: ScoredArch, cap: usize) {
     if zoo.iter().any(|z| z.arch == candidate.arch && z.score >= candidate.score) {
         return;
     }
@@ -199,22 +199,23 @@ mod tests {
     use crate::estimate::AnalyticEvaluator;
     use gcode_hardware::SystemConfig;
 
-    fn setup() -> (DesignSpace, SearchConfig) {
+    fn setup() -> (DesignSpace, SearchConfig, Objective) {
         let space = DesignSpace::paper(WorkloadProfile::modelnet40());
         let cfg = SearchConfig {
             iterations: 150,
             tuning_iterations: 5,
-            latency_constraint_s: 0.5,
-            energy_constraint_j: 3.0,
             seed: 11,
             ..SearchConfig::default()
         };
-        (space, cfg)
+        let objective = Objective {
+            latency_constraint_s: 0.5,
+            energy_constraint_j: 3.0,
+            ..Objective::default()
+        };
+        (space, cfg, objective)
     }
 
-    fn evaluator(
-        sys: SystemConfig,
-    ) -> AnalyticEvaluator<impl FnMut(&Architecture) -> f64> {
+    fn evaluator(sys: SystemConfig) -> AnalyticEvaluator<impl Fn(&Architecture) -> f64> {
         AnalyticEvaluator {
             profile: WorkloadProfile::modelnet40(),
             sys,
@@ -236,21 +237,21 @@ mod tests {
 
     #[test]
     fn search_finds_constraint_satisfying_architectures() {
-        let (space, cfg) = setup();
-        let mut eval = evaluator(SystemConfig::tx2_to_i7(40.0));
-        let result = random_search(&space, &cfg, &mut eval);
+        let (space, cfg, objective) = setup();
+        let eval = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let result = random_search(&space, &cfg, &objective, &eval);
         let best = result.best().expect("should find candidates");
-        assert!(best.latency_s < cfg.latency_constraint_s);
-        assert!(best.energy_j < cfg.energy_constraint_j);
+        assert!(best.latency_s < objective.latency_constraint_s);
+        assert!(best.energy_j < objective.energy_constraint_j);
         assert!(best.score > -1.0);
         assert!(best.arch.validate(&space.profile).is_ok());
     }
 
     #[test]
     fn history_is_monotone_nondecreasing() {
-        let (space, cfg) = setup();
-        let mut eval = evaluator(SystemConfig::tx2_to_1060(40.0));
-        let result = random_search(&space, &cfg, &mut eval);
+        let (space, cfg, objective) = setup();
+        let eval = evaluator(SystemConfig::tx2_to_1060(40.0));
+        let result = random_search(&space, &cfg, &objective, &eval);
         assert_eq!(result.history.len(), cfg.iterations);
         for w in result.history.windows(2) {
             assert!(w[1] >= w[0]);
@@ -259,9 +260,9 @@ mod tests {
 
     #[test]
     fn zoo_sorted_and_bounded() {
-        let (space, cfg) = setup();
-        let mut eval = evaluator(SystemConfig::pi_to_1060(40.0));
-        let result = random_search(&space, &cfg, &mut eval);
+        let (space, cfg, objective) = setup();
+        let eval = evaluator(SystemConfig::pi_to_1060(40.0));
+        let result = random_search(&space, &cfg, &objective, &eval);
         assert!(result.zoo.len() <= cfg.zoo_size);
         for w in result.zoo.windows(2) {
             assert!(w[0].score >= w[1].score);
@@ -276,21 +277,36 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let (space, cfg) = setup();
-        let mut e1 = evaluator(SystemConfig::tx2_to_i7(40.0));
-        let mut e2 = evaluator(SystemConfig::tx2_to_i7(40.0));
-        let r1 = random_search(&space, &cfg, &mut e1);
-        let r2 = random_search(&space, &cfg, &mut e2);
+        let (space, cfg, objective) = setup();
+        let e1 = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let e2 = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let r1 = random_search(&space, &cfg, &objective, &e1);
+        let r2 = random_search(&space, &cfg, &objective, &e2);
         assert_eq!(r1.history, r2.history);
         assert_eq!(r1.best().map(|b| b.arch.clone()), r2.best().map(|b| b.arch.clone()));
     }
 
     #[test]
+    fn batch_size_does_not_change_results() {
+        // Batching is an evaluation-transport detail: the sampled trial
+        // sequence, history and zoo must be identical for any batch size.
+        let (space, cfg, objective) = setup();
+        let eval = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let baseline =
+            random_search(&space, &SearchConfig { batch_size: 1, ..cfg }, &objective, &eval);
+        for batch_size in [2usize, 7, 64, 1000] {
+            let run = random_search(&space, &SearchConfig { batch_size, ..cfg }, &objective, &eval);
+            assert_eq!(run.history, baseline.history, "batch_size {batch_size}");
+            assert_eq!(run.best().map(|b| b.arch.clone()), baseline.best().map(|b| b.arch.clone()));
+        }
+    }
+
+    #[test]
     fn tight_constraints_produce_misses() {
-        let (space, mut cfg) = setup();
-        cfg.latency_constraint_s = 1e-6; // impossible
-        let mut eval = evaluator(SystemConfig::tx2_to_i7(40.0));
-        let result = random_search(&space, &cfg, &mut eval);
+        let (space, cfg, mut objective) = setup();
+        objective.latency_constraint_s = 1e-6; // impossible
+        let eval = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let result = random_search(&space, &cfg, &objective, &eval);
         assert_eq!(result.constraint_misses, cfg.iterations);
         assert!(result.zoo.is_empty());
         assert!(result.history.iter().all(|&s| s == -1.0));
@@ -298,9 +314,9 @@ mod tests {
 
     #[test]
     fn best_latency_and_energy_selectors() {
-        let (space, cfg) = setup();
-        let mut eval = evaluator(SystemConfig::tx2_to_i7(40.0));
-        let result = random_search(&space, &cfg, &mut eval);
+        let (space, cfg, objective) = setup();
+        let eval = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let result = random_search(&space, &cfg, &objective, &eval);
         let bl = result.best_latency().expect("non-empty zoo");
         for z in &result.zoo {
             assert!(bl.latency_s <= z.latency_s);
@@ -313,13 +329,13 @@ mod tests {
 
     #[test]
     fn lambda_tradeoff_moves_selection_toward_speed() {
-        let (space, mut cfg) = setup();
+        let (space, mut cfg, mut objective) = setup();
         cfg.iterations = 300;
-        let mut eval = evaluator(SystemConfig::tx2_to_i7(40.0));
-        cfg.lambda = 0.01;
-        let accurate = random_search(&space, &cfg, &mut eval);
-        cfg.lambda = 1.0;
-        let fast = random_search(&space, &cfg, &mut eval);
+        let eval = evaluator(SystemConfig::tx2_to_i7(40.0));
+        objective.lambda = 0.01;
+        let accurate = random_search(&space, &cfg, &objective, &eval);
+        objective.lambda = 1.0;
+        let fast = random_search(&space, &cfg, &objective, &eval);
         let (a, f) = (accurate.best().unwrap(), fast.best().unwrap());
         assert!(
             f.latency_s <= a.latency_s,
@@ -327,5 +343,21 @@ mod tests {
             f.latency_s,
             a.latency_s
         );
+    }
+
+    #[test]
+    fn session_reuse_carries_the_cache_across_runs() {
+        let (space, cfg, objective) = setup();
+        let eval = evaluator(SystemConfig::tx2_to_i7(40.0));
+        let mut session = SearchSession::new(&space, &eval).with_objective(objective);
+        let first = session.run(&RandomSearch::new(cfg));
+        let after_first = session.cache_stats();
+        // A rerun with the same seed resamples the same candidates: every
+        // evaluation is served from the memo cache.
+        let second = session.run(&RandomSearch::new(cfg));
+        let after_second = session.cache_stats();
+        assert_eq!(first.history, second.history);
+        assert_eq!(after_second.misses, after_first.misses, "rerun must not re-evaluate");
+        assert!(after_second.hits > after_first.hits);
     }
 }

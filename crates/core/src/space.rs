@@ -66,9 +66,7 @@ impl DesignSpace {
                     Op::Identity
                 }
             }
-            3 => Op::Combine {
-                dim: *self.combine_dims.choose(rng).expect("non-empty dims"),
-            },
+            3 => Op::Combine { dim: *self.combine_dims.choose(rng).expect("non-empty dims") },
             4 => Op::GlobalPool(*PoolMode::ALL.choose(rng).expect("non-empty")),
             _ => Op::Identity,
         }
@@ -134,13 +132,13 @@ impl DesignSpace {
         for (i, op) in arch.ops().iter().enumerate() {
             match op {
                 Op::Combine { dim } | Op::EdgeCombine { dim }
-                    if self.combine_dims.iter().any(|&d| d < *dim) => {
-                        candidates.push(i);
-                    }
-                Op::Sample(f)
-                    if self.sample_ks.iter().any(|&k| k < f.k()) => {
-                        candidates.push(i);
-                    }
+                    if self.combine_dims.iter().any(|&d| d < *dim) =>
+                {
+                    candidates.push(i);
+                }
+                Op::Sample(f) if self.sample_ks.iter().any(|&k| k < f.k()) => {
+                    candidates.push(i);
+                }
                 _ => {}
             }
         }
@@ -204,9 +202,8 @@ mod tests {
         // with invalid sequences.
         let s = space();
         let mut r = rng(3);
-        let invalid = (0..500)
-            .filter(|_| s.sample_ops(&mut r).validate(&s.profile).is_err())
-            .count();
+        let invalid =
+            (0..500).filter(|_| s.sample_ops(&mut r).validate(&s.profile).is_err()).count();
         assert!(invalid > 200, "expected many invalid draws, got {invalid}/500");
     }
 
@@ -216,12 +213,7 @@ mod tests {
         let mut r = rng(4);
         let (arch, _) = s.sample_valid(&mut r, 10_000);
         let mutant = s.mutate(&arch, &mut r);
-        let diffs = arch
-            .ops()
-            .iter()
-            .zip(mutant.ops())
-            .filter(|(a, b)| a != b)
-            .count();
+        let diffs = arch.ops().iter().zip(mutant.ops()).filter(|(a, b)| a != b).count();
         assert!(diffs <= 1);
         assert_eq!(mutant.len(), arch.len());
     }
@@ -239,10 +231,7 @@ mod tests {
     #[test]
     fn scale_down_shrinks_one_function() {
         let s = space();
-        let arch = Architecture::new(vec![
-            Op::Combine { dim: 128 },
-            Op::GlobalPool(PoolMode::Sum),
-        ]);
+        let arch = Architecture::new(vec![Op::Combine { dim: 128 }, Op::GlobalPool(PoolMode::Sum)]);
         let mut r = rng(6);
         let shrunk = s.scale_down(&arch, &mut r).expect("128 can shrink");
         match shrunk.ops()[0] {
@@ -291,9 +280,8 @@ mod single_device_tests {
     fn paper_space_does_communicate_sometimes() {
         let s = DesignSpace::paper(WorkloadProfile::modelnet40());
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let with_comm = (0..100)
-            .filter(|_| s.sample_valid(&mut rng, 100_000).0.num_communicates() > 0)
-            .count();
+        let with_comm =
+            (0..100).filter(|_| s.sample_valid(&mut rng, 100_000).0.num_communicates() > 0).count();
         assert!(with_comm > 20, "expected frequent splits, got {with_comm}/100");
     }
 }

@@ -96,16 +96,13 @@ impl SurrogateAccuracy {
             SurrogateTask::Mr => (77.2, 3.0, 71.0),
         };
         let capacity = Self::capacity(arch);
-        let has_message_passing = arch
-            .ops()
-            .iter()
-            .any(|o| matches!(o, Op::Aggregate(_) | Op::EdgeCombine { .. }));
+        let has_message_passing =
+            arch.ops().iter().any(|o| matches!(o, Op::Aggregate(_) | Op::EdgeCombine { .. }));
         let mp_penalty = if has_message_passing { 0.0 } else { 1.2 };
         // Point clouds arrive without a graph; relying on random neighbor
         // sampling (no KNN anywhere) costs accuracy.
-        let needs_geometry = !arch.ops().iter().any(|o| {
-            matches!(o, Op::Sample(crate::op::SampleFn::Knn { .. }))
-        });
+        let needs_geometry =
+            !arch.ops().iter().any(|o| matches!(o, Op::Sample(crate::op::SampleFn::Knn { .. })));
         let geometry_penalty = match self.task {
             SurrogateTask::ModelNet40 if needs_geometry => 1.5,
             _ => 0.0,
@@ -134,10 +131,7 @@ mod tests {
     use gcode_nn::pool::PoolMode;
 
     fn small() -> Architecture {
-        Architecture::new(vec![
-            Op::Combine { dim: 16 },
-            Op::GlobalPool(PoolMode::Mean),
-        ])
+        Architecture::new(vec![Op::Combine { dim: 16 }, Op::GlobalPool(PoolMode::Mean)])
     }
 
     fn large() -> Architecture {

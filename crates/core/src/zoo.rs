@@ -92,11 +92,7 @@ impl ArchitectureZoo {
             .iter()
             .filter(|e| constraint.admits(e))
             .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy));
-        qualified.or_else(|| {
-            self.entries
-                .iter()
-                .min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
-        })
+        qualified.or_else(|| self.entries.iter().min_by(|a, b| a.latency_s.total_cmp(&b.latency_s)))
     }
 
     /// Serializes the zoo to JSON (deployment artifact).
@@ -127,10 +123,7 @@ mod tests {
 
     fn entry(score: f64, accuracy: f64, latency_s: f64, energy_j: f64, dim: usize) -> ScoredArch {
         ScoredArch {
-            arch: Architecture::new(vec![
-                Op::Combine { dim },
-                Op::GlobalPool(PoolMode::Sum),
-            ]),
+            arch: Architecture::new(vec![Op::Combine { dim }, Op::GlobalPool(PoolMode::Sum)]),
             score,
             accuracy,
             latency_s,

@@ -38,10 +38,7 @@ impl EngineDispatcher {
 
     /// Picks the architecture for `constraint` and returns its deployment
     /// plan together with the zoo entry, or `None` for an empty zoo.
-    pub fn dispatch(
-        &self,
-        constraint: RuntimeConstraint,
-    ) -> Option<(ExecutionPlan, &ScoredArch)> {
+    pub fn dispatch(&self, constraint: RuntimeConstraint) -> Option<(ExecutionPlan, &ScoredArch)> {
         let entry = self.zoo.dispatch(constraint)?;
         Some((ExecutionPlan::from_architecture(&entry.arch), entry))
     }
@@ -56,10 +53,7 @@ mod tests {
     use gcode_nn::pool::PoolMode;
 
     fn entry(latency_s: f64, accuracy: f64, split: bool) -> ScoredArch {
-        let mut ops = vec![
-            Op::Sample(SampleFn::Knn { k: 8 }),
-            Op::Aggregate(AggMode::Max),
-        ];
+        let mut ops = vec![Op::Sample(SampleFn::Knn { k: 8 }), Op::Aggregate(AggMode::Max)];
         if split {
             ops.push(Op::Communicate);
         }
@@ -88,9 +82,7 @@ mod tests {
         let (relaxed_plan, relaxed) = d.dispatch(RuntimeConstraint::none()).expect("entry");
         assert!(relaxed_plan.offloaded, "accuracy-first pick offloads");
         assert_eq!(relaxed.accuracy, 0.93);
-        let (tight_plan, tight) = d
-            .dispatch(RuntimeConstraint::latency(0.020))
-            .expect("entry");
+        let (tight_plan, tight) = d.dispatch(RuntimeConstraint::latency(0.020)).expect("entry");
         assert!(!tight_plan.offloaded, "latency-first pick stays local");
         assert_eq!(tight.accuracy, 0.90);
     }

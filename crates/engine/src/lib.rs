@@ -10,6 +10,10 @@
 //! The loopback deployment here exercises the identical code path as a
 //! LAN deployment — only the socket address differs.
 //!
+//! Architectures typically arrive from a `gcode_core::eval::SearchSession`
+//! run: the zoo's winners lower to an [`ExecutionPlan`] here, and the
+//! [`EngineDispatcher`] swaps deployed plans as runtime constraints move.
+//!
 //! # Example
 //!
 //! ```no_run

@@ -27,10 +27,7 @@ impl ExecutionPlan {
     /// Builds a plan by splitting at the first `Communicate` op.
     pub fn from_architecture(arch: &Architecture) -> Self {
         let lowered = arch.lower();
-        let first_comm = arch
-            .ops()
-            .iter()
-            .position(|op| op.kind() == OpKind::Communicate);
+        let first_comm = arch.ops().iter().position(|op| op.kind() == OpKind::Communicate);
         match first_comm {
             None => Self {
                 device_specs: lowered,

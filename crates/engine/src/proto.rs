@@ -91,9 +91,8 @@ pub fn decode_state(body: &[u8]) -> Result<WireState, EngineError> {
     }
     let features = Matrix::from_vec(rows, cols, values);
     pos = end;
-    let has_graph = *body
-        .get(pos)
-        .ok_or_else(|| EngineError::Protocol("missing graph flag".to_string()))?;
+    let has_graph =
+        *body.get(pos).ok_or_else(|| EngineError::Protocol("missing graph flag".to_string()))?;
     pos += 1;
     let graph = if has_graph == 1 {
         let glen = read_u32(body, &mut pos)? as usize;
@@ -119,9 +118,7 @@ pub fn decode_state(body: &[u8]) -> Result<WireState, EngineError> {
             for _ in 0..deg {
                 let v = read_u32(&raw, &mut gpos)?;
                 if v as usize >= n {
-                    return Err(EngineError::Protocol(
-                        "graph neighbor out of range".to_string(),
-                    ));
+                    return Err(EngineError::Protocol("graph neighbor out of range".to_string()));
                 }
                 ns.push(v);
             }
@@ -138,29 +135,61 @@ pub fn decode_state(body: &[u8]) -> Result<WireState, EngineError> {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the underlying writer. A `&mut TcpStream`
-/// can be passed directly.
+/// Propagates I/O errors from the underlying writer, and refuses bodies
+/// over [`MAX_MESSAGE_LEN`] — the sender fails fast instead of emitting a
+/// frame the peer is guaranteed to reject (and a body past `u32::MAX`
+/// would silently wrap the length prefix and desynchronize framing).
+/// A `&mut TcpStream` can be passed directly.
 pub fn write_message<W: Write>(mut w: W, body: &[u8]) -> Result<(), EngineError> {
+    if body.len() > MAX_MESSAGE_LEN {
+        return Err(EngineError::Protocol(format!(
+            "refusing to send a {}-byte message over the {MAX_MESSAGE_LEN}-byte cap",
+            body.len()
+        )));
+    }
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(body)?;
     w.flush()?;
     Ok(())
 }
 
+/// Largest message body [`read_message`] will accept. Real payloads are a
+/// compressed feature tensor plus a CSR graph — well under a megabyte at
+/// paper scale — so a corrupted length prefix must not drive a multi-GiB
+/// allocation on a constrained device.
+pub const MAX_MESSAGE_LEN: usize = 64 << 20;
+
 /// Reads one length-prefixed message; `Ok(None)` signals a clean EOF at a
 /// message boundary (peer closed the stream).
 ///
 /// # Errors
 ///
-/// Propagates I/O errors and mid-message truncation.
+/// Propagates I/O errors and mid-message truncation — including a stream
+/// that ends partway through the 4-byte length prefix, which is corruption,
+/// not a clean shutdown — and rejects length prefixes beyond
+/// [`MAX_MESSAGE_LEN`] before allocating.
 pub fn read_message<R: Read>(mut r: R) -> Result<Option<Vec<u8>>, EngineError> {
     let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+    let mut filled = 0usize;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(EngineError::Protocol(
+                    "stream truncated inside a message length prefix".to_string(),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
     }
     let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_MESSAGE_LEN {
+        return Err(EngineError::Protocol(format!(
+            "message length {len} exceeds the {MAX_MESSAGE_LEN}-byte cap"
+        )));
+    }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
     Ok(Some(body))
@@ -223,10 +252,6 @@ mod tests {
             label: 0,
         };
         let body = encode_state(&s);
-        assert!(
-            body.len() < 512 * 4 * 4,
-            "wire size {} should beat raw f32 size",
-            body.len()
-        );
+        assert!(body.len() < 512 * 4 * 4, "wire size {} should beat raw f32 size", body.len());
     }
 }

@@ -42,11 +42,7 @@ impl EdgeServer {
     /// # Errors
     ///
     /// Returns an error if the listener cannot bind.
-    pub fn spawn(
-        plan: ExecutionPlan,
-        bank: WeightBank,
-        seed: u64,
-    ) -> Result<Self, EngineError> {
+    pub fn spawn(plan: ExecutionPlan, bank: WeightBank, seed: u64) -> Result<Self, EngineError> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let handle = std::thread::spawn(move || -> Result<(), EngineError> {
@@ -104,9 +100,9 @@ impl EdgeServer {
     /// Propagates any error the serving thread hit.
     pub fn join(mut self) -> Result<(), EngineError> {
         match self.handle.take() {
-            Some(h) => h
-                .join()
-                .map_err(|_| EngineError::Protocol("edge thread panicked".to_string()))?,
+            Some(h) => {
+                h.join().map_err(|_| EngineError::Protocol("edge thread panicked".to_string()))?
+            }
             None => Ok(()),
         }
     }
@@ -222,19 +218,20 @@ impl DeviceClient {
         });
 
         let expected = samples.len();
-        let receiver = std::thread::spawn(move || -> Result<Vec<(u64, usize, u32)>, EngineError> {
-            let mut results = Vec::with_capacity(expected);
-            while results.len() < expected {
-                let Some(body) = read_message(&mut reader)? else {
-                    return Err(EngineError::Protocol(
-                        "edge closed before all results arrived".to_string(),
-                    ));
-                };
-                let state = decode_state(&body)?;
-                results.push((state.frame_id, state.features.argmax_row(0), state.label));
-            }
-            Ok(results)
-        });
+        let receiver =
+            std::thread::spawn(move || -> Result<Vec<(u64, usize, u32)>, EngineError> {
+                let mut results = Vec::with_capacity(expected);
+                while results.len() < expected {
+                    let Some(body) = read_message(&mut reader)? else {
+                        return Err(EngineError::Protocol(
+                            "edge closed before all results arrived".to_string(),
+                        ));
+                    };
+                    let state = decode_state(&body)?;
+                    results.push((state.frame_id, state.features.argmax_row(0), state.label));
+                }
+                Ok(results)
+            });
 
         // Main thread: device prefix per frame; never blocks on results.
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xDE71CE);
@@ -257,9 +254,7 @@ impl DeviceClient {
                 .map_err(|_| EngineError::Protocol("sender thread died".to_string()))?;
         }
         drop(send_q);
-        sender
-            .join()
-            .map_err(|_| EngineError::Protocol("sender panicked".to_string()))??;
+        sender.join().map_err(|_| EngineError::Protocol("sender panicked".to_string()))??;
         let mut results = receiver
             .join()
             .map_err(|_| EngineError::Protocol("receiver panicked".to_string()))??;
@@ -378,8 +373,7 @@ mod tests {
         let bank = WeightBank::new(2, 5);
         let plan = ExecutionPlan::from_architecture(&arch);
         let server = EdgeServer::spawn(plan.clone(), bank.clone(), 2).expect("spawn");
-        let mut client =
-            DeviceClient::connect(server.addr(), plan, bank, 2).expect("connect");
+        let mut client = DeviceClient::connect(server.addr(), plan, bank, 2).expect("connect");
         let (preds, stats) = client.run_pipelined(ds.samples()).expect("run");
         assert_eq!(preds.len(), 4);
         assert_eq!(stats.bytes_sent, 0);
@@ -399,8 +393,7 @@ mod tests {
         server.join().expect("clean");
         // Re-running with a fresh pair must be deterministic.
         let server = EdgeServer::spawn(plan.clone(), bank.clone(), 3).expect("spawn");
-        let mut client =
-            DeviceClient::connect(server.addr(), plan, bank, 3).expect("connect");
+        let mut client = DeviceClient::connect(server.addr(), plan, bank, 3).expect("connect");
         let (preds_b, _) = client.run_pipelined(ds.samples()).expect("run");
         server.join().expect("clean");
         assert_eq!(preds_a, preds_b);
@@ -420,8 +413,7 @@ mod tests {
         let ds = PointCloudDataset::generate(3, 16, 2, 41);
         let bank = WeightBank::new(2, 11);
         let server = EdgeServer::spawn(plan.clone(), bank.clone(), 4).expect("spawn");
-        let mut client =
-            DeviceClient::connect(server.addr(), plan, bank, 4).expect("connect");
+        let mut client = DeviceClient::connect(server.addr(), plan, bank, 4).expect("connect");
         let (preds, stats) = client.run_pipelined(ds.samples()).expect("run");
         server.join().expect("clean");
         assert_eq!(preds.len(), 3);

@@ -42,12 +42,7 @@ impl Throttle {
     /// Panics if `bytes_per_sec` is not strictly positive.
     pub fn new(bytes_per_sec: f64, capacity_bytes: f64) -> Self {
         assert!(bytes_per_sec > 0.0, "throttle rate must be positive");
-        Self {
-            bytes_per_sec,
-            capacity_bytes,
-            tokens: capacity_bytes,
-            last_refill: Instant::now(),
-        }
+        Self { bytes_per_sec, capacity_bytes, tokens: capacity_bytes, last_refill: Instant::now() }
     }
 
     /// Configured rate in megabits per second.

@@ -54,9 +54,8 @@ pub fn augment(sample: &Sample, cfg: &AugmentConfig, rng: &mut impl Rng) -> Samp
 
     // Dropout first: select surviving indices.
     let keep: Vec<usize> = if cfg.dropout > 0.0 && n > 4 {
-        let mut kept: Vec<usize> = (0..n)
-            .filter(|_| rng.gen_range(0.0f32..1.0) >= cfg.dropout)
-            .collect();
+        let mut kept: Vec<usize> =
+            (0..n).filter(|_| rng.gen_range(0.0f32..1.0) >= cfg.dropout).collect();
         if kept.len() < 4 {
             kept = (0..4).collect();
         }
@@ -65,11 +64,7 @@ pub fn augment(sample: &Sample, cfg: &AugmentConfig, rng: &mut impl Rng) -> Samp
         (0..n).collect()
     };
 
-    let theta = if cfg.rotate {
-        rng.gen_range(0.0..std::f32::consts::TAU)
-    } else {
-        0.0
-    };
+    let theta = if cfg.rotate { rng.gen_range(0.0..std::f32::consts::TAU) } else { 0.0 };
     let (s, c) = theta.sin_cos();
     let scale: [f32; 3] = [
         1.0 + rng.gen_range(-cfg.scale..=cfg.scale),

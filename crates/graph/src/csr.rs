@@ -67,10 +67,7 @@ impl CsrGraph {
 
     /// An empty graph with `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
-        Self {
-            offsets: vec![0; n + 1],
-            targets: Vec::new(),
-        }
+        Self { offsets: vec![0; n + 1], targets: Vec::new() }
     }
 
     /// Number of nodes.
@@ -114,9 +111,8 @@ impl CsrGraph {
 
     /// Iterates over all `(u, v)` edges in CSR order.
     pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_nodes()).flat_map(move |u| {
-            self.neighbors(u).iter().map(move |&v| (u as u32, v))
-        })
+        (0..self.num_nodes())
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u as u32, v)))
     }
 
     /// Returns a copy with every edge reversed.

@@ -126,11 +126,7 @@ impl TextGraphDataset {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         // Two fixed class directions, shared across samples.
         let dirs: Vec<Vec<f32>> = (0..2)
-            .map(|c| {
-                (0..feature_dim)
-                    .map(|j| if j % 2 == c { 1.0 } else { -1.0 })
-                    .collect()
-            })
+            .map(|c| (0..feature_dim).map(|j| if j % 2 == c { 1.0 } else { -1.0 }).collect())
             .collect();
         let mut samples = Vec::with_capacity(len);
         for i in 0..len {
@@ -201,8 +197,9 @@ fn stats_of(samples: &[Sample], num_classes: usize) -> DatasetStats {
 /// Samples one point cloud for class `label`.
 fn sample_shape(label: usize, n: usize, rng: &mut impl Rng) -> Matrix {
     let family = label % 5;
-    let variant = (label / 5) as f32; // 0..8
-    // Aspect-ratio knobs per variant keep the 8 variants of a family apart.
+    // Aspect-ratio knobs per variant (0..8) keep the 8 variants of a
+    // family apart.
+    let variant = (label / 5) as f32;
     let ax = 1.0 + 0.25 * variant;
     let az = 1.0 / (1.0 + 0.15 * variant);
     let mut pts = Matrix::zeros(n, 3);
@@ -234,11 +231,8 @@ fn sample_shape(label: usize, n: usize, rng: &mut impl Rng) -> Matrix {
 
 fn sphere_point(rng: &mut impl Rng) -> [f32; 3] {
     loop {
-        let v = [
-            rng.gen_range(-1.0f32..1.0),
-            rng.gen_range(-1.0f32..1.0),
-            rng.gen_range(-1.0f32..1.0),
-        ];
+        let v =
+            [rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)];
         let norm = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
         if norm > 1e-3 {
             return [v[0] / norm, v[1] / norm, v[2] / norm];
@@ -366,12 +360,8 @@ mod tests {
         let mut score1 = 0.0;
         for s in ds.samples() {
             let mean = s.features.mean_rows();
-            let proj: f32 = mean
-                .row(0)
-                .iter()
-                .enumerate()
-                .map(|(j, &x)| if j % 2 == 0 { x } else { -x })
-                .sum();
+            let proj: f32 =
+                mean.row(0).iter().enumerate().map(|(j, &x)| if j % 2 == 0 { x } else { -x }).sum();
             if s.label == 0 {
                 score0 += proj;
             } else {

@@ -58,9 +58,7 @@ pub fn knn_graph(features: &Matrix, k: usize) -> CsrGraph {
         }
         // Partial selection: only the first k entries need to be ordered.
         let pivot = kk - 1;
-        dist.select_nth_unstable_by(pivot, |a, b| {
-            a.partial_cmp(b).expect("distances are finite")
-        });
+        dist.select_nth_unstable_by(pivot, |a, b| a.partial_cmp(b).expect("distances are finite"));
         let mut chosen: Vec<(f32, u32)> = dist[..kk].to_vec();
         chosen.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
         adj.push(chosen.into_iter().map(|(_, v)| v).collect());
@@ -106,13 +104,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn grid_points() -> Matrix {
-        Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[5.0, 5.0],
-            &[5.0, 6.0],
-        ])
+        Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[5.0, 5.0], &[5.0, 6.0]])
     }
 
     #[test]

@@ -33,11 +33,7 @@ pub struct OpCost {
 impl OpCost {
     /// A zero-cost marker (used by `Identity` and by `Communicate`, whose
     /// cost is carried by the link, not the processor).
-    pub const ZERO: OpCost = OpCost {
-        flops: 0,
-        bytes: 0,
-        pattern: AccessPattern::Regular,
-    };
+    pub const ZERO: OpCost = OpCost { flops: 0, bytes: 0, pattern: AccessPattern::Regular };
 
     /// Dense/streaming cost.
     pub fn regular(flops: u64, bytes: u64) -> Self {

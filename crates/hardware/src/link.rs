@@ -34,11 +34,7 @@ impl Link {
     /// A link with the given bandwidth, 4 ms RTT and the ~1.6× ratio our
     /// LZ77 codec achieves on float tensors (the paper uses zlib).
     pub fn mbps(bandwidth_mbps: f64) -> Self {
-        Self {
-            bandwidth_mbps,
-            rtt_s: 4e-3,
-            compression_ratio: 1.6,
-        }
+        Self { bandwidth_mbps, rtt_s: 4e-3, compression_ratio: 1.6 }
     }
 
     /// The paper's good-network condition (≤ 40 Mbps).

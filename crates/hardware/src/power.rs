@@ -31,11 +31,7 @@ pub struct PowerModel {
 impl PowerModel {
     /// WiFi radio parameters in the range Huang et al. report.
     pub fn wifi() -> Self {
-        Self {
-            alpha_w_per_mbps: 0.28,
-            beta_w: 0.6,
-            rx_power_w: 1.0,
-        }
+        Self { alpha_w_per_mbps: 0.28, beta_w: 0.6, rx_power_w: 1.0 }
     }
 
     /// Transmit power at a given throughput.

@@ -162,8 +162,7 @@ impl Processor {
             return 0.0;
         }
         let compute = cost.flops as f64 / (self.gflops * 1e9 / self.penalty(cost.pattern));
-        let memory =
-            cost.bytes as f64 / (self.mem_bw_gbs * 1e9 / self.mem_penalty(cost.pattern));
+        let memory = cost.bytes as f64 / (self.mem_bw_gbs * 1e9 / self.mem_penalty(cost.pattern));
         self.op_overhead_s + compute.max(memory)
     }
 

@@ -36,20 +36,12 @@ impl SystemConfig {
 
     /// Jetson TX2 device ⇌ Nvidia GTX 1060 edge.
     pub fn tx2_to_1060(bandwidth_mbps: f64) -> Self {
-        Self::new(
-            Processor::jetson_tx2(),
-            Processor::nvidia_gtx_1060(),
-            Link::mbps(bandwidth_mbps),
-        )
+        Self::new(Processor::jetson_tx2(), Processor::nvidia_gtx_1060(), Link::mbps(bandwidth_mbps))
     }
 
     /// Jetson TX2 device ⇌ Intel i7-7700 edge.
     pub fn tx2_to_i7(bandwidth_mbps: f64) -> Self {
-        Self::new(
-            Processor::jetson_tx2(),
-            Processor::intel_i7_7700(),
-            Link::mbps(bandwidth_mbps),
-        )
+        Self::new(Processor::jetson_tx2(), Processor::intel_i7_7700(), Link::mbps(bandwidth_mbps))
     }
 
     /// Raspberry Pi 4B device ⇌ Nvidia GTX 1060 edge.
@@ -83,10 +75,7 @@ impl SystemConfig {
 
     /// Short label like `"Jetson TX2 ⇌ Intel i7-7700 @ 40 Mbps"`.
     pub fn label(&self) -> String {
-        format!(
-            "{} ⇌ {} @ {} Mbps",
-            self.device.name, self.edge.name, self.link.bandwidth_mbps
-        )
+        format!("{} ⇌ {} @ {} Mbps", self.device.name, self.edge.name, self.link.bandwidth_mbps)
     }
 }
 

@@ -65,11 +65,7 @@ pub fn aggregate(graph: &CsrGraph, x: &Matrix, mode: AggMode) -> (Matrix, AggCac
     assert_eq!(graph.num_nodes(), x.rows(), "graph/features node count mismatch");
     let (n, d) = x.shape();
     let mut out = Matrix::zeros(n, d);
-    let mut argmax = if mode == AggMode::Max {
-        Some(vec![u32::MAX; n * d])
-    } else {
-        None
-    };
+    let mut argmax = if mode == AggMode::Max { Some(vec![u32::MAX; n * d]) } else { None };
     for u in 0..n {
         let neighbors = graph.neighbors(u);
         if neighbors.is_empty() {
@@ -115,11 +111,7 @@ pub fn aggregate(graph: &CsrGraph, x: &Matrix, mode: AggMode) -> (Matrix, AggCac
 /// # Panics
 ///
 /// Panics if shapes are inconsistent with the forward call.
-pub fn aggregate_backward(
-    graph: &CsrGraph,
-    cache: &AggCache,
-    gout: &Matrix,
-) -> Matrix {
+pub fn aggregate_backward(graph: &CsrGraph, cache: &AggCache, gout: &Matrix) -> Matrix {
     let (n, d) = gout.shape();
     assert_eq!(graph.num_nodes(), n, "graph/grad node count mismatch");
     let mut gx = Matrix::zeros(n, d);
@@ -130,11 +122,8 @@ pub fn aggregate_backward(
                 if neighbors.is_empty() {
                     continue;
                 }
-                let scale = if cache.mode == AggMode::Mean {
-                    1.0 / neighbors.len() as f32
-                } else {
-                    1.0
-                };
+                let scale =
+                    if cache.mode == AggMode::Mean { 1.0 / neighbors.len() as f32 } else { 1.0 };
                 for &v in neighbors {
                     for j in 0..d {
                         gx[(v as usize, j)] += gout[(u, j)] * scale;

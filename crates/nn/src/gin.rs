@@ -50,10 +50,7 @@ impl GinLayer {
         let r = ops::relu(&a);
         let pre_out = self.lin2.forward(&r);
         let out = ops::relu(&pre_out);
-        (
-            out,
-            GinLayerCache { agg_cache, z, a, r, pre_out },
-        )
+        (out, GinLayerCache { agg_cache, z, a, r, pre_out })
     }
 
     /// Backward pass; returns the input gradient and applies SGD in place.
@@ -128,13 +125,7 @@ impl GinRegressor {
     /// gradient of `|pred - target| / |target|` (per-sample MAPE).
     ///
     /// Returns the prediction before the update.
-    pub fn train_step(
-        &mut self,
-        graph: &CsrGraph,
-        x: &Matrix,
-        target: f32,
-        lr: f32,
-    ) -> f32 {
+    pub fn train_step(&mut self, graph: &CsrGraph, x: &Matrix, target: f32, lr: f32) -> f32 {
         // Forward with caches.
         let mut h = x.clone();
         let mut caches = Vec::with_capacity(self.layers.len());
@@ -165,12 +156,7 @@ impl GinRegressor {
     /// Trains for `epochs` over the dataset, returning the final-epoch MAPE.
     ///
     /// `data` items are `(graph, node_features, target)`.
-    pub fn fit(
-        &mut self,
-        data: &[(CsrGraph, Matrix, f32)],
-        epochs: usize,
-        lr: f32,
-    ) -> f32 {
+    pub fn fit(&mut self, data: &[(CsrGraph, Matrix, f32)], epochs: usize, lr: f32) -> f32 {
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
             let mut preds = Vec::with_capacity(data.len());

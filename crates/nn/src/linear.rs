@@ -40,10 +40,7 @@ pub struct LinearGrads {
 impl Linear {
     /// Creates a layer with Xavier-initialized weights and zero bias.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
-        Self {
-            w: init::xavier_uniform(in_dim, out_dim, rng),
-            b: Matrix::zeros(1, out_dim),
-        }
+        Self { w: init::xavier_uniform(in_dim, out_dim, rng), b: Matrix::zeros(1, out_dim) }
     }
 
     /// Input feature width.
@@ -68,11 +65,7 @@ impl Linear {
     /// Backward pass. `x` must be the same input given to `forward`;
     /// `gy` is the gradient flowing back from the output.
     pub fn backward(&self, x: &Matrix, gy: &Matrix) -> LinearGrads {
-        LinearGrads {
-            gx: gy.matmul_nt(&self.w),
-            gw: x.matmul_tn(gy),
-            gb: gy.sum_rows(),
-        }
+        LinearGrads { gx: gy.matmul_nt(&self.w), gw: x.matmul_tn(gy), gb: gy.sum_rows() }
     }
 
     /// Applies a plain SGD update in place.

@@ -63,12 +63,7 @@ pub struct WeightBank {
 impl WeightBank {
     /// Creates an empty bank producing `num_classes`-way classifiers.
     pub fn new(num_classes: usize, seed: u64) -> Self {
-        Self {
-            seed,
-            combine: HashMap::new(),
-            classifier: HashMap::new(),
-            num_classes,
-        }
+        Self { seed, combine: HashMap::new(), classifier: HashMap::new(), num_classes }
     }
 
     /// Number of classes the classifier heads output.
@@ -88,14 +83,12 @@ impl WeightBank {
 
     fn combine_mut(&mut self, slot: usize, in_dim: usize, out_dim: usize) -> &mut Linear {
         let seed = self.seed;
-        self.combine
-            .entry((slot, in_dim, out_dim))
-            .or_insert_with(|| {
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    seed ^ (slot as u64) << 40 ^ (in_dim as u64) << 20 ^ out_dim as u64,
-                );
-                Linear::new(in_dim, out_dim, &mut rng)
-            })
+        self.combine.entry((slot, in_dim, out_dim)).or_insert_with(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                seed ^ (slot as u64) << 40 ^ (in_dim as u64) << 20 ^ out_dim as u64,
+            );
+            Linear::new(in_dim, out_dim, &mut rng)
+        })
     }
 
     fn classifier_mut(&mut self, in_dim: usize) -> &mut Linear {
@@ -166,9 +159,7 @@ pub fn forward_features(
             LayerSpec::BuildKnn { k } => graph = Some(knn_graph(&h, k)),
             LayerSpec::BuildRandom { k } => graph = Some(random_graph(h.rows(), k, rng)),
             LayerSpec::Aggregate(mode) => {
-                let g = graph
-                    .clone()
-                    .unwrap_or_else(|| knn_graph(&h, default_k(h.rows())));
+                let g = graph.clone().unwrap_or_else(|| knn_graph(&h, default_k(h.rows())));
                 h = aggregate(&g, &h, mode).0;
                 graph = Some(g);
             }
@@ -190,11 +181,7 @@ pub fn forward_features(
 /// [`forward_features`]: node-level features are mean-pooled first, a
 /// pooled `1 × d` vector goes straight to the `d`-keyed classifier head.
 pub fn classify(h: &Matrix, bank: &mut WeightBank) -> Matrix {
-    let pooled = if h.rows() > 1 {
-        global_pool(h, PoolMode::Mean).0
-    } else {
-        h.clone()
-    };
+    let pooled = if h.rows() > 1 { global_pool(h, PoolMode::Mean).0 } else { h.clone() };
     bank.classifier_mut(pooled.cols()).forward(&pooled)
 }
 
@@ -267,9 +254,7 @@ fn run(
                 }
             }
             LayerSpec::Aggregate(mode) => {
-                let g = graph
-                    .clone()
-                    .unwrap_or_else(|| knn_graph(&h, default_k(h.rows())));
+                let g = graph.clone().unwrap_or_else(|| knn_graph(&h, default_k(h.rows())));
                 let (out, cache) = aggregate(&g, &h, mode);
                 h = out;
                 if record.is_some() {
@@ -475,10 +460,7 @@ mod tests {
         let s: &Sample = &ds.samples()[0];
         let mut bank1 = WeightBank::new(2, 0);
         let mut bank2 = WeightBank::new(2, 0);
-        let with_id = vec![
-            LayerSpec::Identity,
-            LayerSpec::GlobalPool(PoolMode::Mean),
-        ];
+        let with_id = vec![LayerSpec::Identity, LayerSpec::GlobalPool(PoolMode::Mean)];
         let without = vec![LayerSpec::GlobalPool(PoolMode::Mean)];
         let l1 = forward(
             &with_id,

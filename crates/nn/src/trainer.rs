@@ -27,13 +27,7 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self {
-            epochs: 60,
-            lr: 0.01,
-            lr_decay: 0.99,
-            patience: 12,
-            seed: 0,
-        }
+        Self { epochs: 60, lr: 0.01, lr_decay: 0.99, patience: 12, seed: 0 }
     }
 }
 
@@ -121,12 +115,7 @@ pub fn fit(
             }
         }
     }
-    TrainReport {
-        train_losses,
-        val_accuracies,
-        best_val_accuracy: best,
-        epochs_run,
-    }
+    TrainReport { train_losses, val_accuracies, best_val_accuracy: best, epochs_run }
 }
 
 #[cfg(test)]
@@ -151,11 +140,7 @@ mod tests {
         let mut bank = WeightBank::new(2, 3);
         let cfg = TrainConfig { epochs: 60, lr: 0.02, ..TrainConfig::default() };
         let report = fit(&text_specs(), &train, &val, &mut bank, &cfg);
-        assert!(
-            report.best_val_accuracy > 0.8,
-            "got {}",
-            report.best_val_accuracy
-        );
+        assert!(report.best_val_accuracy > 0.8, "got {}", report.best_val_accuracy);
     }
 
     #[test]
@@ -178,12 +163,7 @@ mod tests {
         let ds = TextGraphDataset::generate(12, 10, 16, 13);
         let (train, val) = ds.split(0.5);
         let mut bank = WeightBank::new(2, 7);
-        let cfg = TrainConfig {
-            epochs: 200,
-            lr: 0.05,
-            patience: 5,
-            ..TrainConfig::default()
-        };
+        let cfg = TrainConfig { epochs: 200, lr: 0.05, patience: 5, ..TrainConfig::default() };
         let report = fit(&text_specs(), &train, &val, &mut bank, &cfg);
         assert!(report.epochs_run < 200, "early stop expected, ran {}", report.epochs_run);
     }

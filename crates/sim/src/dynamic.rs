@@ -214,7 +214,13 @@ mod tests {
             Op::GlobalPool(PoolMode::Max),
         ]);
         ArchitectureZoo::new(vec![
-            ScoredArch { arch: chatty, score: 0.93, accuracy: 0.93, latency_s: 0.05, energy_j: 0.1 },
+            ScoredArch {
+                arch: chatty,
+                score: 0.93,
+                accuracy: 0.93,
+                latency_s: 0.05,
+                energy_j: 0.1,
+            },
             ScoredArch { arch: local, score: 0.91, accuracy: 0.91, latency_s: 0.02, energy_j: 0.2 },
         ])
     }
@@ -246,8 +252,7 @@ mod tests {
     fn dispatcher_switches_on_congestion() {
         let sys = SystemConfig::tx2_to_i7(40.0);
         let trace = BandwidthTrace::square_wave(40.0, 2.0, 0.5, 60.0);
-        let report =
-            simulate_adaptive(&zoo(), &pc(), &sys, &trace, 40, 0.12, false);
+        let report = simulate_adaptive(&zoo(), &pc(), &sys, &trace, 40, 0.12, false);
         assert!(report.switches > 0, "congestion should force switches");
     }
 

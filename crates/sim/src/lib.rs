@@ -44,7 +44,7 @@ pub use dynamic::{simulate_adaptive, AdaptiveReport, BandwidthTrace, DispatchedF
 
 use gcode_core::arch::{Architecture, WorkloadProfile};
 use gcode_core::cost::trace;
-use gcode_core::estimate::CandidateEvaluator;
+use gcode_core::eval::{Evaluator, Metrics};
 use gcode_core::op::{OpKind, Placement};
 use gcode_hardware::SystemConfig;
 use serde::{Deserialize, Serialize};
@@ -156,9 +156,8 @@ pub fn build_stages(
                 stages.push(s);
             }
             let serialize = 2.0 * t.transfer_bytes as f64 / (cfg.serialize_gbps * 1e9);
-            let service = sys.link.transfer_time(t.transfer_bytes)
-                + cfg.per_message_overhead_s
-                + serialize;
+            let service =
+                sys.link.transfer_time(t.transfer_bytes) + cfg.per_message_overhead_s + serialize;
             stages.push(Stage { kind: StageKind::Link, service_s: service });
         } else {
             let (proc, kind) = match t.placement {
@@ -234,21 +233,12 @@ pub fn simulate(
         prev_frame_done = done;
     }
 
-    let device_compute_s: f64 = stages
-        .iter()
-        .filter(|s| s.kind == StageKind::Device)
-        .map(|s| s.service_s)
-        .sum();
-    let edge_compute_s: f64 = stages
-        .iter()
-        .filter(|s| s.kind == StageKind::Edge)
-        .map(|s| s.service_s)
-        .sum();
-    let comm_s: f64 = stages
-        .iter()
-        .filter(|s| s.kind == StageKind::Link)
-        .map(|s| s.service_s)
-        .sum();
+    let device_compute_s: f64 =
+        stages.iter().filter(|s| s.kind == StageKind::Device).map(|s| s.service_s).sum();
+    let edge_compute_s: f64 =
+        stages.iter().filter(|s| s.kind == StageKind::Edge).map(|s| s.service_s).sum();
+    let comm_s: f64 =
+        stages.iter().filter(|s| s.kind == StageKind::Link).map(|s| s.service_s).sum();
     let bottleneck_s = stages.iter().map(|s| s.service_s).fold(0.0f64, f64::max);
 
     // Per-frame device energy with simulated times.
@@ -291,9 +281,11 @@ fn arch_noise(arch: &Architecture) -> f64 {
     ((h.finish() % 8192) as f64 / 8192.0) * 2.0 - 1.0
 }
 
-/// [`CandidateEvaluator`] backed by the simulator — the "measured" oracle
-/// used to train the predictor and to fill the paper's tables.
-pub struct SimEvaluator<F: FnMut(&Architecture) -> f64> {
+/// [`Evaluator`] backed by the simulator — the "measured" oracle used to
+/// train the predictor and to fill the paper's tables. One simulator run
+/// per candidate prices latency and energy together (the old per-metric
+/// interface simulated the same architecture twice).
+pub struct SimEvaluator<F: Fn(&Architecture) -> f64> {
     /// Workload being optimized.
     pub profile: WorkloadProfile,
     /// Target system.
@@ -304,17 +296,14 @@ pub struct SimEvaluator<F: FnMut(&Architecture) -> f64> {
     pub accuracy_fn: F,
 }
 
-impl<F: FnMut(&Architecture) -> f64> CandidateEvaluator for SimEvaluator<F> {
-    fn latency_s(&mut self, arch: &Architecture) -> f64 {
-        simulate(arch, &self.profile, &self.sys, &self.sim).frame_latency_s
-    }
-
-    fn device_energy_j(&mut self, arch: &Architecture) -> f64 {
-        simulate(arch, &self.profile, &self.sys, &self.sim).device_energy_j
-    }
-
-    fn accuracy(&mut self, arch: &Architecture) -> f64 {
-        (self.accuracy_fn)(arch)
+impl<F: Fn(&Architecture) -> f64> Evaluator for SimEvaluator<F> {
+    fn evaluate(&self, arch: &Architecture) -> Metrics {
+        let report = simulate(arch, &self.profile, &self.sys, &self.sim);
+        Metrics {
+            accuracy: (self.accuracy_fn)(arch),
+            latency_s: report.frame_latency_s,
+            energy_j: report.device_energy_j,
+        }
     }
 }
 
@@ -421,11 +410,7 @@ mod tests {
         let cfg = SimConfig { frames: 10, ..SimConfig::default() };
         let r = simulate(&split_arch(), &pc(), &sys, &cfg);
         let expected = r.frame_latency_s + 9.0 * r.bottleneck_s;
-        assert!(
-            (r.makespan_s - expected).abs() < 1e-9,
-            "{} vs {expected}",
-            r.makespan_s
-        );
+        assert!((r.makespan_s - expected).abs() < 1e-9, "{} vs {expected}", r.makespan_s);
     }
 
     #[test]
@@ -477,28 +462,29 @@ mod tests {
 
     #[test]
     fn evaluator_interface_works() {
-        let mut eval = SimEvaluator {
+        let eval = SimEvaluator {
             profile: pc(),
             sys: SystemConfig::tx2_to_i7(40.0),
             sim: SimConfig::single_frame(),
             accuracy_fn: |_: &Architecture| 0.92,
         };
         let arch = split_arch();
-        assert!(eval.latency_s(&arch) > 0.0);
-        assert!(eval.device_energy_j(&arch) > 0.0);
-        assert_eq!(eval.accuracy(&arch), 0.92);
+        let m = eval.evaluate(&arch);
+        assert!(m.latency_s > 0.0);
+        assert!(m.energy_j > 0.0);
+        assert_eq!(m.accuracy, 0.92);
+        // The one-pass metrics must match the standalone simulator runs.
+        let report = simulate(&arch, &pc(), &eval.sys, &eval.sim);
+        assert_eq!(m.latency_s, report.frame_latency_s);
+        assert_eq!(m.energy_j, report.device_energy_j);
     }
 
     #[test]
     fn empty_stage_guard() {
         // An architecture of only Identity ops still produces a stage list.
         let arch = Architecture::new(vec![Op::Identity, Op::Identity]);
-        let stages = build_stages(
-            &arch,
-            &pc(),
-            &SystemConfig::tx2_to_i7(40.0),
-            &SimConfig::default(),
-        );
+        let stages =
+            build_stages(&arch, &pc(), &SystemConfig::tx2_to_i7(40.0), &SimConfig::default());
         assert!(!stages.is_empty());
     }
 }

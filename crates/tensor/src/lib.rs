@@ -16,9 +16,9 @@
 //! assert_eq!(a.matmul(&b), a);
 //! ```
 
-mod matrix;
 pub mod init;
 pub mod loss;
+mod matrix;
 pub mod ops;
 pub mod optim;
 

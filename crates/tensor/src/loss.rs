@@ -85,11 +85,7 @@ pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
     if labels.is_empty() {
         return 0.0;
     }
-    let correct = labels
-        .iter()
-        .enumerate()
-        .filter(|&(i, &l)| logits.argmax_row(i) == l)
-        .count();
+    let correct = labels.iter().enumerate().filter(|&(i, &l)| logits.argmax_row(i) == l).count();
     correct as f64 / labels.len() as f64
 }
 
@@ -187,12 +183,7 @@ mod tests {
     #[test]
     fn balanced_accuracy_weights_classes_equally() {
         // Class 0: 3 samples all correct. Class 1: 1 sample wrong.
-        let logits = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 0.0],
-            &[1.0, 0.0],
-            &[1.0, 0.0],
-        ]);
+        let logits = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0]]);
         let oa = accuracy(&logits, &[0, 0, 0, 1]);
         let macc = balanced_accuracy(&logits, &[0, 0, 0, 1], 2);
         assert!((oa - 0.75).abs() < 1e-9);

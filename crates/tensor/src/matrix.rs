@@ -28,20 +28,12 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
-        }
+        Self { rows, cols, data: vec![value; rows * cols] }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -289,11 +281,7 @@ impl Matrix {
 
     /// Applies `f` to every element, producing a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` elementwise in place.
@@ -384,11 +372,7 @@ impl Matrix {
         assert_eq!(self.cols, rhs.cols, "vcat column mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&rhs.data);
-        Matrix {
-            rows: self.rows + rhs.rows,
-            cols: self.cols,
-            data,
-        }
+        Matrix { rows: self.rows + rhs.rows, cols: self.cols, data }
     }
 
     /// Frobenius norm.
@@ -418,12 +402,7 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 }
@@ -519,10 +498,7 @@ mod tests {
     fn broadcast_add_row() {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
         let b = Matrix::from_rows(&[&[10.0, 20.0]]);
-        assert_eq!(
-            a.add_row_broadcast(&b),
-            Matrix::from_rows(&[&[11.0, 21.0], &[12.0, 22.0]])
-        );
+        assert_eq!(a.add_row_broadcast(&b), Matrix::from_rows(&[&[11.0, 21.0], &[12.0, 22.0]]));
     }
 
     #[test]

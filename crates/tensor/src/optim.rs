@@ -71,15 +71,7 @@ pub struct Adam {
 impl Adam {
     /// Creates an Adam optimizer with the standard betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Self {
-            lr,
-            beta1: 0.9,
-            beta2: 0.999,
-            eps: 1e-8,
-            t: 0,
-            m: Vec::new(),
-            v: Vec::new(),
-        }
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
     }
 
     /// Applies one Adam step.
@@ -129,11 +121,8 @@ impl Adam {
 ///
 /// Returns the pre-clip norm.
 pub fn clip_grad_norm(grads: &mut [&mut Matrix], max_norm: f32) -> f32 {
-    let total: f32 = grads
-        .iter()
-        .map(|g| g.as_slice().iter().map(|x| x * x).sum::<f32>())
-        .sum::<f32>()
-        .sqrt();
+    let total: f32 =
+        grads.iter().map(|g| g.as_slice().iter().map(|x| x * x).sum::<f32>()).sum::<f32>().sqrt();
     if total > max_norm && total > 0.0 {
         let scale = max_norm / total;
         for g in grads.iter_mut() {

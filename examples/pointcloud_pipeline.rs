@@ -8,7 +8,8 @@
 //! ```
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
-use gcode::core::search::{random_search, SearchConfig};
+use gcode::core::eval::Objective;
+use gcode::core::search::{RandomSearch, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::supernet::SuperNet;
 use gcode::engine::{DeviceClient, EdgeServer, ExecutionPlan};
@@ -33,34 +34,36 @@ fn main() {
     supernet.pretrain(&train, 40, 0.01);
     println!("supernet holds {} shared weight tensors", supernet.num_weights());
 
-    // Search with real one-shot accuracy + simulated system latency.
+    // Search with real one-shot accuracy + simulated system latency. The
+    // supernet needs mutable access for its forward passes, so the
+    // evaluator wraps it in a RefCell behind the shared `&self` interface.
     struct SupernetEval<'a> {
-        supernet: &'a mut SuperNet,
+        supernet: std::cell::RefCell<&'a mut SuperNet>,
         val: &'a [gcode::graph::datasets::Sample],
         profile: WorkloadProfile,
         sys: SystemConfig,
     }
-    impl gcode::core::estimate::CandidateEvaluator for SupernetEval<'_> {
-        fn latency_s(&mut self, arch: &Architecture) -> f64 {
-            simulate(arch, &self.profile, &self.sys, &SimConfig::single_frame()).frame_latency_s
-        }
-        fn device_energy_j(&mut self, arch: &Architecture) -> f64 {
-            simulate(arch, &self.profile, &self.sys, &SimConfig::single_frame()).device_energy_j
-        }
-        fn accuracy(&mut self, arch: &Architecture) -> f64 {
-            self.supernet.accuracy(arch, self.val)
+    impl gcode::core::eval::Evaluator for SupernetEval<'_> {
+        fn evaluate(&self, arch: &Architecture) -> gcode::core::eval::Metrics {
+            let report = simulate(arch, &self.profile, &self.sys, &SimConfig::single_frame());
+            gcode::core::eval::Metrics {
+                accuracy: self.supernet.borrow_mut().accuracy(arch, self.val),
+                latency_s: report.frame_latency_s,
+                energy_j: report.device_energy_j,
+            }
         }
     }
-    let cfg = SearchConfig {
-        iterations: 60,
-        latency_constraint_s: 0.2,
-        energy_constraint_j: 1.0,
-        lambda: 0.2,
-        seed: 5,
-        ..SearchConfig::default()
-    };
-    let mut eval = SupernetEval { supernet: &mut supernet, val: &val, profile, sys };
-    let result = random_search(&space, &cfg, &mut eval);
+    let cfg = SearchConfig { iterations: 60, seed: 5, ..SearchConfig::default() };
+    let objective = Objective::new(0.2, 0.2, 1.0);
+    let eval =
+        SupernetEval { supernet: std::cell::RefCell::new(&mut supernet), val: &val, profile, sys };
+    // The supernet advances internal state on every accuracy query, so its
+    // output is call-order dependent — exactly the case the SearchSession
+    // docs say to run without memoization.
+    let mut session = gcode::core::eval::SearchSession::new(&space, &eval)
+        .with_objective(objective)
+        .with_memoization(false);
+    let result = session.run(&RandomSearch::new(cfg));
     let best = result.best().expect("found a deployable design");
     println!("\nsearched design (one-shot acc {:.1}%):", best.accuracy * 100.0);
     println!("{}", best.arch.render());
@@ -92,11 +95,7 @@ fn main() {
     }
 
     let plan = ExecutionPlan::from_architecture(&best.arch);
-    println!(
-        "\ndeploying: {} device ops, {} edge ops",
-        plan.op_counts().0,
-        plan.op_counts().1
-    );
+    println!("\ndeploying: {} device ops, {} edge ops", plan.op_counts().0, plan.op_counts().1);
     let server = EdgeServer::spawn(plan.clone(), warm.clone(), 1).expect("edge up");
     let mut client = DeviceClient::connect(server.addr(), plan, warm, 1).expect("device up");
     let (_preds, stats) = client.run_pipelined(&val).expect("stream processed");

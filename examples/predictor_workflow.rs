@@ -8,6 +8,7 @@
 //! ```
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::eval::Objective;
 use gcode::core::predictor::{
     pairwise_order_accuracy, within_bound_accuracy, LatencyPredictor, PredictorConfig,
     PredictorEvaluator,
@@ -61,19 +62,13 @@ fn main() {
     // 5. Strict-latency search guided by the predictor (no simulator in
     //    the loop — the paper's fast path for hard latency constraints).
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    let mut eval = PredictorEvaluator {
+    let eval = PredictorEvaluator {
         predictor: restored,
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
-    let cfg = SearchConfig {
-        iterations: 800,
-        latency_constraint_s: 0.040,
-        energy_constraint_j: 0.5,
-        lambda: 0.25,
-        seed: 7,
-        ..SearchConfig::default()
-    };
-    let result = random_search(&space, &cfg, &mut eval);
+    let cfg = SearchConfig { iterations: 800, seed: 7, ..SearchConfig::default() };
+    let objective = Objective::new(0.25, 0.040, 0.5);
+    let result = random_search(&space, &cfg, &objective, &eval);
     let best = result.best().expect("found under 40 ms");
     let measured = simulate(&best.arch, &profile, &sys, &sim).frame_latency_s;
     println!(

@@ -6,24 +6,20 @@
 //! ```
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
-use gcode::core::search::{random_search, SearchConfig};
+use gcode::core::eval::{Objective, SearchSession};
+use gcode::core::search::{RandomSearch, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::hardware::SystemConfig;
 use gcode::sim::{SimConfig, SimEvaluator};
 
 fn main() {
-    // 1. User requirements: workload, system, constraints.
+    // 1. User requirements: workload, system, constraints. The objective
+    //    (λ + constraints) is separate from the search hyper-parameters.
     let profile = WorkloadProfile::modelnet40();
     let sys = SystemConfig::tx2_to_i7(40.0);
-    let cfg = SearchConfig {
-        iterations: 800,
-        latency_constraint_s: 0.100, // 100 ms budget
-        energy_constraint_j: 1.0,
-        lambda: 0.25,
-        seed: 42,
-        ..SearchConfig::default()
-    };
+    let cfg = SearchConfig { iterations: 800, seed: 42, ..SearchConfig::default() };
+    let objective = Objective::new(0.25, 0.100 /* 100 ms budget */, 1.0);
 
     // 2. The fused design space: Communicate is just another operation.
     let space = DesignSpace::paper(profile);
@@ -31,18 +27,26 @@ fn main() {
     // 3. Evaluate candidates on the co-inference simulator, with the
     //    calibrated surrogate accuracy model.
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    let mut eval = SimEvaluator {
+    let eval = SimEvaluator {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
 
-    // 4. Constraint-based random search (Alg. 1 of the paper).
-    let result = random_search(&space, &cfg, &mut eval);
+    // 4. Constraint-based random search (Alg. 1 of the paper), driven
+    //    through a SearchSession that batches and memoizes evaluations.
+    let mut session = SearchSession::new(&space, &eval).with_objective(objective);
+    let result = session.run(&RandomSearch::new(cfg));
     let best = result.best().expect("constraints are satisfiable");
 
-    println!("searched {} candidates ({} constraint misses)", cfg.iterations, result.constraint_misses);
+    let stats = session.cache_stats();
+    println!(
+        "searched {} candidates ({} constraint misses, {:.0}% served from the memo cache)",
+        cfg.iterations,
+        result.constraint_misses,
+        stats.hit_rate() * 100.0
+    );
     println!("\nbest architecture (score {:.3}):", best.score);
     println!("{}", best.arch.render());
     println!(

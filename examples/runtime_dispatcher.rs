@@ -7,6 +7,7 @@
 //! ```
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::eval::Objective;
 use gcode::core::search::{random_search, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
@@ -19,23 +20,16 @@ fn main() {
     let sys = SystemConfig::pi_to_1060(40.0);
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    let mut eval = SimEvaluator {
+    let eval = SimEvaluator {
         profile,
         sys,
         sim: SimConfig::single_frame(),
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
-    let cfg = SearchConfig {
-        iterations: 1200,
-        latency_constraint_s: 0.3,
-        energy_constraint_j: 1.5,
-        lambda: 0.15,
-        zoo_size: 10,
-        seed: 31,
-        ..SearchConfig::default()
-    };
+    let cfg = SearchConfig { iterations: 1200, zoo_size: 10, seed: 31, ..SearchConfig::default() };
+    let objective = Objective::new(0.15, 0.3, 1.5);
     // One search, many optima: the zoo is free (paper Sec. 3.6).
-    let result = random_search(&space, &cfg, &mut eval);
+    let result = random_search(&space, &cfg, &objective, &eval);
     let zoo = ArchitectureZoo::new(result.zoo);
     println!("architecture zoo after a single search ({} entries):", zoo.len());
     for z in zoo.entries() {
@@ -53,10 +47,7 @@ fn main() {
         ("idle dock, accuracy first", RuntimeConstraint::none()),
         ("interactive use: 40 ms SLO", RuntimeConstraint::latency(0.040)),
         ("battery saver: 0.06 J/frame", RuntimeConstraint::energy(0.06)),
-        (
-            "both tight",
-            RuntimeConstraint { max_latency_s: Some(0.025), max_energy_j: Some(0.05) },
-        ),
+        ("both tight", RuntimeConstraint { max_latency_s: Some(0.025), max_energy_j: Some(0.05) }),
     ];
     println!("\ndispatcher decisions:");
     for (label, constraint) in scenarios {

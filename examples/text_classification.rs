@@ -7,6 +7,7 @@
 //! ```
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::eval::Objective;
 use gcode::core::search::{random_search, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::supernet::SuperNet;
@@ -30,21 +31,16 @@ fn main() {
     // Fast surrogate-driven search, as the table benches do.
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(SurrogateTask::Mr);
-    let mut eval = SimEvaluator {
+    let eval = SimEvaluator {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
-    let cfg = SearchConfig {
-        iterations: 600,
-        latency_constraint_s: 0.030, // the paper's MR designs land well below 30 ms
-        energy_constraint_j: 0.3,
-        lambda: 0.3,
-        seed: 17,
-        ..SearchConfig::default()
-    };
-    let result = random_search(&space, &cfg, &mut eval);
+    let cfg = SearchConfig { iterations: 600, seed: 17, ..SearchConfig::default() };
+    // The paper's MR designs land well below 30 ms.
+    let objective = Objective::new(0.3, 0.030, 0.3);
+    let result = random_search(&space, &cfg, &objective, &eval);
     let best = result.best().expect("MR constraints are easy to meet");
     println!("searched MR design:\n{}", best.arch.render());
     println!(

@@ -1,0 +1,131 @@
+//! Offline stand-in for `criterion`: the macro/API surface the bench
+//! harness uses (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! benchmark groups, `BenchmarkId`), backed by a simple
+//! calibrate-then-median wall-clock loop instead of criterion's full
+//! statistical machinery. Prints one line per benchmark.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one parameterized benchmark case.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{function}/{parameter}") }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_iters: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.target_iters {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_case(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: time one iteration, then size the sample count to stay
+    // within a modest budget per benchmark.
+    let mut probe = Bencher { samples: Vec::new(), target_iters: 1 };
+    f(&mut probe);
+    let once = probe.samples.first().copied().unwrap_or(Duration::ZERO);
+    let budget = Duration::from_millis(300);
+    let iters = if once.is_zero() {
+        1000
+    } else {
+        (budget.as_nanos() / once.as_nanos().max(1)).clamp(5, 1000) as usize
+    };
+    let mut bencher = Bencher { samples: Vec::with_capacity(iters), target_iters: iters };
+    f(&mut bencher);
+    bencher.samples.sort_unstable();
+    let median = bencher.samples.get(bencher.samples.len() / 2).copied().unwrap_or(Duration::ZERO);
+    println!("bench {name:<44} median {median:>12?}  ({iters} iters)");
+}
+
+/// Group of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` against one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_case(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a label within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_case(&label, &mut f);
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_case(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,4 +1,37 @@
 //! GCoDE umbrella crate: re-exports the whole workspace public API.
+//!
+//! The central entry point is [`core::eval::SearchSession`], which drives
+//! any [`core::eval::SearchStrategy`] (constraint-based
+//! [`core::search::RandomSearch`], the [`core::ea::Ea`] ablation, the
+//! single-device [`baselines::nas::SingleDeviceNas`] baseline) over a
+//! [`core::space::DesignSpace`] through a batched, memoized
+//! [`core::eval::Evaluator`] — analytic cost model
+//! ([`core::estimate::AnalyticEvaluator`]), discrete-event simulator
+//! ([`sim::SimEvaluator`]) or trained latency predictor
+//! ([`core::predictor::PredictorEvaluator`]). Search winners land in a
+//! [`core::zoo::ArchitectureZoo`], which the [`engine`] deploys over TCP.
+//!
+//! ```
+//! use gcode::core::arch::WorkloadProfile;
+//! use gcode::core::eval::{Objective, SearchSession};
+//! use gcode::core::search::{RandomSearch, SearchConfig};
+//! use gcode::core::space::DesignSpace;
+//! use gcode::core::estimate::AnalyticEvaluator;
+//! use gcode::hardware::SystemConfig;
+//!
+//! let space = DesignSpace::paper(WorkloadProfile::modelnet40());
+//! let eval = AnalyticEvaluator {
+//!     profile: space.profile,
+//!     sys: SystemConfig::tx2_to_i7(40.0),
+//!     accuracy_fn: |_| 0.92,
+//! };
+//! let mut session = SearchSession::new(&space, &eval)
+//!     .with_objective(Objective::new(0.25, 0.2, 1.0));
+//! let cfg = SearchConfig { iterations: 50, seed: 7, ..SearchConfig::default() };
+//! let result = session.run(&RandomSearch::new(cfg));
+//! assert!(result.best().is_some());
+//! ```
+
 pub use gcode_baselines as baselines;
 pub use gcode_compress as compress;
 pub use gcode_core as core;

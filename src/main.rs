@@ -11,6 +11,7 @@
 //! ```
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::eval::Objective;
 use gcode::core::search::{random_search, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
@@ -64,9 +65,7 @@ fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, got `{key}`"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
         opts.insert(name.to_string(), value.clone());
     }
     Ok(opts)
@@ -118,22 +117,24 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     let cfg = SearchConfig {
         iterations: get_usize(opts, "iterations", 2000)?,
-        lambda: get_f64(opts, "lambda", 0.25)?,
-        latency_constraint_s: get_f64(opts, "latency-ms", 300.0)? / 1e3,
-        energy_constraint_j: get_f64(opts, "energy-j", 3.0)?,
         seed: get_usize(opts, "seed", 0)? as u64,
         ..SearchConfig::default()
     };
+    let objective = Objective::new(
+        get_f64(opts, "lambda", 0.25)?,
+        get_f64(opts, "latency-ms", 300.0)? / 1e3,
+        get_f64(opts, "energy-j", 3.0)?,
+    );
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(task);
-    let mut eval = SimEvaluator {
+    let eval = SimEvaluator {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
     println!("searching {} on {} …", cfg.iterations, sys.label());
-    let result = random_search(&space, &cfg, &mut eval);
+    let result = random_search(&space, &cfg, &objective, &eval);
     let Some(best) = result.best() else {
         return Err("no candidate met the constraints; relax --latency-ms/--energy-j".into());
     };
@@ -207,9 +208,7 @@ fn cmd_dispatch(opts: &HashMap<String, String>) -> Result<(), String> {
             .transpose()
             .map_err(|_| "--energy-j: bad number".to_string())?,
     };
-    let pick = zoo
-        .dispatch(constraint)
-        .ok_or("zoo is empty; nothing to dispatch")?;
+    let pick = zoo.dispatch(constraint).ok_or("zoo is empty; nothing to dispatch")?;
     println!(
         "dispatched: {:.1}% acc  {:.1} ms  {:.3} J",
         pick.accuracy * 100.0,

@@ -3,6 +3,7 @@
 //! local execution.
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::eval::Objective;
 use gcode::core::op::{Op, SampleFn};
 use gcode::core::search::{random_search, SearchConfig};
 use gcode::core::space::DesignSpace;
@@ -20,20 +21,16 @@ fn searched_design_deploys_and_matches_local_inference() {
     // Search a design (fast surrogate accuracy) at mini scale.
     let profile = WorkloadProfile::modelnet40_mini(24, 4);
     let space = DesignSpace::paper(profile);
-    let mut eval = SimEvaluator {
+    let eval = SimEvaluator {
         profile,
         sys: gcode::hardware::SystemConfig::tx2_to_i7(40.0),
         sim: SimConfig::single_frame(),
         accuracy_fn: |a: &Architecture| 0.8 + 0.001 * a.len() as f64,
     };
-    let cfg = SearchConfig {
-        iterations: 80,
-        latency_constraint_s: 1.0,
-        energy_constraint_j: 5.0,
-        seed: 77,
-        ..SearchConfig::default()
-    };
-    let result = random_search(&space, &cfg, &mut eval);
+    let cfg = SearchConfig { iterations: 80, seed: 77, ..SearchConfig::default() };
+    let objective =
+        Objective { latency_constraint_s: 1.0, energy_constraint_j: 5.0, ..Objective::default() };
+    let result = random_search(&space, &cfg, &objective, &eval);
     // Pin Random sampling to KNN so the deployed and local runs build the
     // same graphs (Random draws differ across RNG streams by design).
     let ops: Vec<Op> = result
@@ -54,7 +51,8 @@ fn searched_design_deploys_and_matches_local_inference() {
     let bank = WeightBank::new(4, 55);
     let plan = ExecutionPlan::from_architecture(&best);
     let server = EdgeServer::spawn(plan.clone(), bank.clone(), 9).expect("edge");
-    let mut client = DeviceClient::connect(server.addr(), plan.clone(), bank.clone(), 9).expect("device");
+    let mut client =
+        DeviceClient::connect(server.addr(), plan.clone(), bank.clone(), 9).expect("device");
     let (preds, stats) = client.run_pipelined(ds.samples()).expect("stream");
     if plan.offloaded {
         server.join().expect("clean shutdown");

@@ -28,10 +28,7 @@ fn bitflip_anywhere_in_body_is_detected_or_changes_payload() {
         match decode_state(&bad) {
             Err(_) => {}
             Ok(decoded) => {
-                assert!(
-                    decoded != state() || bad == body,
-                    "byte {i}: corruption went unnoticed"
-                );
+                assert!(decoded != state() || bad == body, "byte {i}: corruption went unnoticed");
             }
         }
     }
@@ -41,10 +38,7 @@ fn bitflip_anywhere_in_body_is_detected_or_changes_payload() {
 fn truncation_at_every_boundary_is_detected() {
     let body = encode_state(&state());
     for cut in 0..body.len() {
-        assert!(
-            decode_state(&body[..cut]).is_err(),
-            "truncation at {cut} must fail"
-        );
+        assert!(decode_state(&body[..cut]).is_err(), "truncation at {cut} must fail");
     }
 }
 
@@ -83,10 +77,7 @@ fn clean_disconnect_at_boundary_is_not_an_error() {
     });
     let (mut conn, _) = listener.accept().expect("accept");
     writer_thread.join().expect("writer done");
-    assert_eq!(
-        read_message(&mut conn).expect("first").as_deref(),
-        Some(&b"full message"[..])
-    );
+    assert_eq!(read_message(&mut conn).expect("first").as_deref(), Some(&b"full message"[..]));
     assert!(read_message(&mut conn).expect("eof").is_none());
 }
 

@@ -1,7 +1,10 @@
-//! Property-based finite-difference gradient checks over the whole manual
+//! Randomized finite-difference gradient checks over the whole manual
 //! backprop stack: for random shapes, random inputs and every mode, the
 //! analytic input gradients must match numerical differentiation. These are
 //! the invariants the supernet trainer and the latency predictor stand on.
+//!
+//! Cases are drawn from a seeded generator (no proptest offline), so every
+//! run checks the same deterministic case set.
 
 use gcode::graph::knn::knn_graph;
 use gcode::graph::CsrGraph;
@@ -9,10 +12,10 @@ use gcode::nn::agg::{aggregate, aggregate_backward, AggMode};
 use gcode::nn::linear::Linear;
 use gcode::nn::pool::{global_pool, global_pool_backward, PoolMode};
 use gcode::tensor::Matrix;
-use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+const CASES: u64 = 24;
 const EPS: f32 = 1e-2;
 const TOL: f32 = 2e-2;
 
@@ -26,16 +29,14 @@ fn ones_like(m: &Matrix) -> Matrix {
     Matrix::full(m.rows(), m.cols(), 1.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn linear_input_gradients_match_finite_differences(
-        rows in 1usize..5,
-        in_dim in 1usize..5,
-        out_dim in 1usize..5,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn linear_input_gradients_match_finite_differences() {
+    for case in 0..CASES {
+        let mut dims = ChaCha8Rng::seed_from_u64(0x11A0 + case);
+        let rows = dims.gen_range(1usize..5);
+        let in_dim = dims.gen_range(1usize..5);
+        let out_dim = dims.gen_range(1usize..5);
+        let seed = dims.gen_range(0u64..1_000);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let lin = Linear::new(in_dim, out_dim, &mut rng);
         let x = rand_matrix(rows, in_dim, seed ^ 1);
@@ -49,22 +50,24 @@ proptest! {
                 let fp: f32 = lin.forward(&xp).as_slice().iter().sum();
                 let fm: f32 = lin.forward(&xm).as_slice().iter().sum();
                 let numeric = (fp - fm) / (2.0 * EPS);
-                prop_assert!(
+                assert!(
                     (numeric - grads.gx[(i, j)]).abs() < TOL,
-                    "dL/dx[{i},{j}] numeric {numeric} vs analytic {}",
+                    "case {case}: dL/dx[{i},{j}] numeric {numeric} vs analytic {}",
                     grads.gx[(i, j)]
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn linear_weight_gradients_match_finite_differences(
-        rows in 1usize..4,
-        in_dim in 1usize..4,
-        out_dim in 1usize..4,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn linear_weight_gradients_match_finite_differences() {
+    for case in 0..CASES {
+        let mut dims = ChaCha8Rng::seed_from_u64(0x11A1 + case);
+        let rows = dims.gen_range(1usize..4);
+        let in_dim = dims.gen_range(1usize..4);
+        let out_dim = dims.gen_range(1usize..4);
+        let seed = dims.gen_range(0u64..1_000);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let lin = Linear::new(in_dim, out_dim, &mut rng);
         let x = rand_matrix(rows, in_dim, seed ^ 2);
@@ -78,24 +81,25 @@ proptest! {
                 let fp: f32 = lp.forward(&x).as_slice().iter().sum();
                 let fm: f32 = lm.forward(&x).as_slice().iter().sum();
                 let numeric = (fp - fm) / (2.0 * EPS);
-                prop_assert!((numeric - grads.gw[(a, b)]).abs() < TOL);
+                assert!((numeric - grads.gw[(a, b)]).abs() < TOL, "case {case}: dL/dw[{a},{b}]");
             }
         }
         // Bias gradient: dL/db = column sums of gy = rows (all-ones gy).
         for b in 0..out_dim {
-            prop_assert!((grads.gb[(0, b)] - rows as f32).abs() < 1e-4);
+            assert!((grads.gb[(0, b)] - rows as f32).abs() < 1e-4);
         }
     }
+}
 
-    #[test]
-    fn aggregate_gradients_match_finite_differences(
-        n in 2usize..7,
-        d in 1usize..4,
-        k in 1usize..3,
-        mode_idx in 0usize..3,
-        seed in 0u64..1_000,
-    ) {
-        let mode = AggMode::ALL[mode_idx];
+#[test]
+fn aggregate_gradients_match_finite_differences() {
+    for case in 0..CASES {
+        let mut dims = ChaCha8Rng::seed_from_u64(0x11A2 + case);
+        let n = dims.gen_range(2usize..7);
+        let d = dims.gen_range(1usize..4);
+        let k = dims.gen_range(1usize..3);
+        let mode = AggMode::ALL[dims.gen_range(0usize..3)];
+        let seed = dims.gen_range(0u64..1_000);
         let x = rand_matrix(n, d, seed ^ 3);
         let g: CsrGraph = knn_graph(&x, k.min(n - 1));
         let (out, cache) = aggregate(&g, &x, mode);
@@ -118,22 +122,23 @@ proptest! {
                 if mode == AggMode::Max && (numeric - analytic).abs() >= TOL {
                     continue;
                 }
-                prop_assert!(
+                assert!(
                     (numeric - analytic).abs() < TOL,
-                    "mode {mode}: dL/dx[{i},{j}] numeric {numeric} vs analytic {analytic}"
+                    "case {case} mode {mode}: dL/dx[{i},{j}] numeric {numeric} vs analytic {analytic}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn pool_gradients_match_finite_differences(
-        n in 1usize..7,
-        d in 1usize..4,
-        mode_idx in 0usize..3,
-        seed in 0u64..1_000,
-    ) {
-        let mode = PoolMode::ALL[mode_idx];
+#[test]
+fn pool_gradients_match_finite_differences() {
+    for case in 0..CASES {
+        let mut dims = ChaCha8Rng::seed_from_u64(0x11A3 + case);
+        let n = dims.gen_range(1usize..7);
+        let d = dims.gen_range(1usize..4);
+        let mode = PoolMode::ALL[dims.gen_range(0usize..3)];
+        let seed = dims.gen_range(0u64..1_000);
         let x = rand_matrix(n, d, seed ^ 4);
         let (out, cache) = global_pool(&x, mode);
         let gx = global_pool_backward(&cache, &ones_like(&out));
@@ -150,7 +155,7 @@ proptest! {
                 if mode == PoolMode::Max && (numeric - analytic).abs() >= TOL {
                     continue; // argmax flip under perturbation
                 }
-                prop_assert!((numeric - analytic).abs() < TOL);
+                assert!((numeric - analytic).abs() < TOL, "case {case} mode {mode}");
             }
         }
     }

@@ -5,36 +5,31 @@ use gcode::baselines::models;
 use gcode::baselines::partition::{best_partition, fig4_schemes, PartitionObjective};
 use gcode::core::arch::{Architecture, WorkloadProfile};
 use gcode::core::ea::{evolutionary_search, EaConfig};
+use gcode::core::eval::Objective;
 use gcode::core::search::{random_search, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::hardware::SystemConfig;
 use gcode::sim::{simulate, SimConfig, SimEvaluator};
 
-fn gcode_best(sys: &SystemConfig, task: SurrogateTask, profile: WorkloadProfile, seed: u64) -> Architecture {
+fn gcode_best(
+    sys: &SystemConfig,
+    task: SurrogateTask,
+    profile: WorkloadProfile,
+    seed: u64,
+) -> Architecture {
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(task);
-    let mut eval = SimEvaluator {
+    let eval = SimEvaluator {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
-    let anchor = simulate(
-        &models::dgcnn().arch,
-        &profile,
-        sys,
-        &SimConfig::single_frame(),
-    );
-    let cfg = SearchConfig {
-        iterations: 500,
-        latency_constraint_s: anchor.frame_latency_s,
-        energy_constraint_j: anchor.device_energy_j,
-        lambda: 0.25,
-        seed,
-        ..SearchConfig::default()
-    };
-    let result = random_search(&space, &cfg, &mut eval);
+    let anchor = simulate(&models::dgcnn().arch, &profile, sys, &SimConfig::single_frame());
+    let cfg = SearchConfig { iterations: 500, seed, ..SearchConfig::default() };
+    let objective = Objective::new(0.25, anchor.frame_latency_s, anchor.device_energy_j);
+    let result = random_search(&space, &cfg, &objective, &eval);
     result
         .zoo
         .iter()
@@ -93,24 +88,16 @@ fn tab3_gcode_wins_the_text_workload() {
     for sys in SystemConfig::paper_systems(40.0) {
         let space = DesignSpace::paper(profile);
         let surrogate = SurrogateAccuracy::new(SurrogateTask::Mr);
-        let mut eval = SimEvaluator {
+        let eval = SimEvaluator {
             profile,
             sys: sys.clone(),
             sim,
             accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
         };
-        let cfg = SearchConfig {
-            iterations: 500,
-            latency_constraint_s: 0.05,
-            energy_constraint_j: 0.5,
-            lambda: 0.25,
-            seed: 11,
-            ..SearchConfig::default()
-        };
-        let result = random_search(&space, &cfg, &mut eval);
-        let g = result
-            .best_latency()
-            .expect("found");
+        let cfg = SearchConfig { iterations: 500, seed: 11, ..SearchConfig::default() };
+        let objective = Objective::new(0.25, 0.05, 0.5);
+        let result = random_search(&space, &cfg, &objective, &eval);
+        let g = result.best_latency().expect("found");
         let pnas = simulate(&models::pnas_text().arch, &profile, &sys, &sim);
         assert!(
             g.latency_s < pnas.frame_latency_s,
@@ -148,10 +135,7 @@ fn fig4_no_single_partition_scheme_wins_everywhere() {
             .0;
         winners.insert(best);
     }
-    assert!(
-        winners.len() >= 2,
-        "the winning split should vary across systems, got {winners:?}"
-    );
+    assert!(winners.len() >= 2, "the winning split should vary across systems, got {winners:?}");
 }
 
 #[test]
@@ -160,24 +144,18 @@ fn fig10a_random_search_outperforms_ea_in_the_fused_space() {
     let space = DesignSpace::paper(profile);
     let sys = SystemConfig::tx2_to_i7(40.0);
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    let cfg = SearchConfig {
-        iterations: 600,
-        latency_constraint_s: 0.15,
-        energy_constraint_j: 1.5,
-        lambda: 0.25,
-        seed: 3,
-        ..SearchConfig::default()
-    };
+    let cfg = SearchConfig { iterations: 600, seed: 3, ..SearchConfig::default() };
+    let objective = Objective::new(0.25, 0.15, 1.5);
     let mk_eval = || SimEvaluator {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
-    let mut e1 = mk_eval();
-    let rand_history = random_search(&space, &cfg, &mut e1).history;
-    let mut e2 = mk_eval();
-    let ea_result = evolutionary_search(&space, &cfg, &EaConfig::default(), &mut e2);
+    let e1 = mk_eval();
+    let rand_history = random_search(&space, &cfg, &objective, &e1).history;
+    let e2 = mk_eval();
+    let ea_result = evolutionary_search(&space, &cfg, &EaConfig::default(), &objective, &e2);
     // The paper's Fig. 10a point is search *efficiency*: within a modest
     // trial budget the random strategy is well ahead, because the EA burns
     // evaluations on invalid offspring (scored −1) in the fused space.
@@ -190,12 +168,7 @@ fn fig10a_random_search_outperforms_ea_in_the_fused_space() {
         );
     }
     // And the EA demonstrably wastes budget on invalid candidates.
-    let ea_invalid = ea_result
-        .history
-        .iter()
-        .take(5)
-        .filter(|&&s| s <= -0.999)
-        .count();
+    let ea_invalid = ea_result.history.iter().take(5).filter(|&&s| s <= -0.999).count();
     assert!(ea_invalid > 0, "plain EA should start with invalid candidates");
 }
 

@@ -4,6 +4,7 @@
 //! re-measured on the simulator.
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::eval::Objective;
 use gcode::core::predictor::{LatencyPredictor, PredictorConfig, PredictorEvaluator};
 use gcode::core::search::{random_search, SearchConfig};
 use gcode::core::space::DesignSpace;
@@ -36,29 +37,23 @@ fn predictor_guided_search_finds_designs_that_hold_up() {
     let profile = WorkloadProfile::modelnet40();
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    let cfg = SearchConfig {
-        iterations: 300,
-        latency_constraint_s: 0.060,
-        energy_constraint_j: 1.0,
-        lambda: 0.25,
-        seed: 3,
-        ..SearchConfig::default()
-    };
-    let mut eval = PredictorEvaluator {
+    let cfg = SearchConfig { iterations: 300, seed: 3, ..SearchConfig::default() };
+    let objective = Objective::new(0.25, 0.060, 1.0);
+    let eval = PredictorEvaluator {
         predictor,
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
-    let result = random_search(&space, &cfg, &mut eval);
+    let result = random_search(&space, &cfg, &objective, &eval);
     let best = result.best().expect("predictor-guided search finds candidates");
 
     // Re-measure the winner on the simulator: it must respect the latency
     // constraint within the predictor's ±25% error envelope.
     let measured = simulate(&best.arch, &profile, &sys, &SimConfig::single_frame());
     assert!(
-        measured.frame_latency_s < cfg.latency_constraint_s * 1.25,
+        measured.frame_latency_s < objective.latency_constraint_s * 1.25,
         "measured {:.1} ms vs constraint {:.1} ms",
         measured.frame_latency_s * 1e3,
-        cfg.latency_constraint_s * 1e3
+        objective.latency_constraint_s * 1e3
     );
 }
 
@@ -69,30 +64,24 @@ fn predictor_guided_matches_simulator_guided_quality() {
     let profile = WorkloadProfile::modelnet40();
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    let cfg = SearchConfig {
-        iterations: 300,
-        latency_constraint_s: 0.20,
-        energy_constraint_j: 2.0,
-        lambda: 0.25,
-        seed: 9,
-        ..SearchConfig::default()
-    };
+    let cfg = SearchConfig { iterations: 300, seed: 9, ..SearchConfig::default() };
+    let objective = Objective::new(0.25, 0.20, 2.0);
 
-    let mut pred_eval = PredictorEvaluator {
+    let pred_eval = PredictorEvaluator {
         predictor,
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
-    let pred_result = random_search(&space, &cfg, &mut pred_eval);
+    let pred_result = random_search(&space, &cfg, &objective, &pred_eval);
     let pred_best = pred_result.best().expect("found").arch.clone();
 
     let surrogate2 = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    let mut sim_eval = SimEvaluator {
+    let sim_eval = SimEvaluator {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),
         accuracy_fn: move |a: &Architecture| surrogate2.overall_accuracy(a),
     };
-    let sim_result = random_search(&space, &cfg, &mut sim_eval);
+    let sim_result = random_search(&space, &cfg, &objective, &sim_eval);
     let sim_best = sim_result.best().expect("found").arch.clone();
 
     // Both winners, measured by the simulator, should land within 2× of

@@ -31,11 +31,7 @@ fn gin_enhanced_predictor_learns_system_latency() {
     let sys = SystemConfig::tx2_to_i7(40.0);
     let data = dataset(&sys, 260, 7);
     let (train, val) = data.split_at(200);
-    let cfg = PredictorConfig {
-        hidden: 48,
-        epochs: 50,
-        ..PredictorConfig::default()
-    };
+    let cfg = PredictorConfig { hidden: 48, epochs: 50, ..PredictorConfig::default() };
     let p = LatencyPredictor::train(cfg, WorkloadProfile::modelnet40(), sys, train);
     let preds: Vec<f64> = val.iter().map(|(a, _)| p.predict_s(a)).collect();
     let targets: Vec<f64> = val.iter().map(|&(_, t)| t).collect();
@@ -55,22 +51,13 @@ fn enhanced_features_beat_onehot() {
     let targets: Vec<f64> = val.iter().map(|&(_, t)| t).collect();
     let mut scores = Vec::new();
     for features in [FeatureMode::Enhanced, FeatureMode::OneHot] {
-        let cfg = PredictorConfig {
-            hidden: 48,
-            epochs: 50,
-            features,
-            ..PredictorConfig::default()
-        };
+        let cfg =
+            PredictorConfig { hidden: 48, epochs: 50, features, ..PredictorConfig::default() };
         let p = LatencyPredictor::train(cfg, WorkloadProfile::modelnet40(), sys.clone(), train);
         let preds: Vec<f64> = val.iter().map(|(a, _)| p.predict_s(a)).collect();
         scores.push(within_bound_accuracy(&preds, &targets, 0.10));
     }
-    assert!(
-        scores[0] > scores[1],
-        "enhanced ({}) must beat one-hot ({})",
-        scores[0],
-        scores[1]
-    );
+    assert!(scores[0] > scores[1], "enhanced ({}) must beat one-hot ({})", scores[0], scores[1]);
 }
 
 #[test]
@@ -81,18 +68,12 @@ fn lut_cost_estimation_orders_well_but_underestimates() {
     let sys = SystemConfig::tx2_to_1060(40.0);
     let data = dataset(&sys, 150, 9);
     let profile = WorkloadProfile::modelnet40();
-    let preds: Vec<f64> = data
-        .iter()
-        .map(|(a, _)| estimate_latency(a, &profile, &sys).total_s())
-        .collect();
+    let preds: Vec<f64> =
+        data.iter().map(|(a, _)| estimate_latency(a, &profile, &sys).total_s()).collect();
     let targets: Vec<f64> = data.iter().map(|&(_, t)| t).collect();
     let order = pairwise_order_accuracy(&preds, &targets);
     assert!(order > 0.85, "LUT ordering should be strong: {order}");
-    let underestimates = preds
-        .iter()
-        .zip(&targets)
-        .filter(|(p, t)| p < t)
-        .count();
+    let underestimates = preds.iter().zip(&targets).filter(|(p, t)| p < t).count();
     assert!(
         underestimates as f64 > 0.9 * preds.len() as f64,
         "LUT should systematically underestimate: {underestimates}/{}",
@@ -108,12 +89,8 @@ fn gcn_backbone_is_weaker_than_gin_on_ordering() {
     let targets: Vec<f64> = val.iter().map(|&(_, t)| t).collect();
     let mut orders = Vec::new();
     for backbone in [Backbone::Gin, Backbone::Gcn] {
-        let cfg = PredictorConfig {
-            hidden: 48,
-            epochs: 50,
-            backbone,
-            ..PredictorConfig::default()
-        };
+        let cfg =
+            PredictorConfig { hidden: 48, epochs: 50, backbone, ..PredictorConfig::default() };
         let p = LatencyPredictor::train(cfg, WorkloadProfile::modelnet40(), sys.clone(), train);
         let preds: Vec<f64> = val.iter().map(|(a, _)| p.predict_s(a)).collect();
         orders.push(pairwise_order_accuracy(&preds, &targets));

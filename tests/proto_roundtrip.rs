@@ -1,0 +1,117 @@
+//! Round-trip tests for the engine wire protocol (`gcode_engine::proto`):
+//! state encode/decode, message framing over in-memory and socket
+//! transports, and truncated-payload error paths.
+
+use gcode::engine::{decode_state, encode_state, read_message, write_message, WireState};
+use gcode::graph::CsrGraph;
+use gcode::tensor::Matrix;
+use std::io::Cursor;
+
+fn dense_state() -> WireState {
+    let values: Vec<f32> = (0..256).map(|i| (i as f32 * 0.02).sin()).collect();
+    WireState {
+        frame_id: 0xDEAD_BEEF_0042,
+        features: Matrix::from_vec(64, 4, values),
+        graph: Some(CsrGraph::from_edges(
+            64,
+            &(0..64u32).flat_map(|u| [(u, (u + 1) % 64), ((u + 1) % 64, u)]).collect::<Vec<_>>(),
+        )),
+        label: 17,
+    }
+}
+
+#[test]
+fn state_round_trip_preserves_every_field() {
+    let state = dense_state();
+    let decoded = decode_state(&encode_state(&state)).expect("round trip");
+    assert_eq!(decoded, state);
+    assert_eq!(decoded.frame_id, 0xDEAD_BEEF_0042);
+    assert_eq!(decoded.label, 17);
+    assert_eq!(decoded.features.shape(), (64, 4));
+    let graph = decoded.graph.expect("graph survives");
+    assert_eq!(graph.num_nodes(), 64);
+}
+
+#[test]
+fn graphless_state_round_trips() {
+    let state = WireState { graph: None, ..dense_state() };
+    let decoded = decode_state(&encode_state(&state)).expect("round trip");
+    assert_eq!(decoded, state);
+    assert!(decoded.graph.is_none());
+}
+
+#[test]
+fn empty_feature_matrix_round_trips() {
+    let state =
+        WireState { frame_id: 1, features: Matrix::from_vec(0, 0, vec![]), graph: None, label: 0 };
+    let decoded = decode_state(&encode_state(&state)).expect("round trip");
+    assert_eq!(decoded.features.shape(), (0, 0));
+}
+
+#[test]
+fn every_truncation_of_the_body_errors() {
+    let body = encode_state(&dense_state());
+    for cut in 0..body.len() {
+        assert!(
+            decode_state(&body[..cut]).is_err(),
+            "truncation at byte {cut}/{} must be rejected",
+            body.len()
+        );
+    }
+}
+
+#[test]
+fn framed_messages_round_trip_through_a_buffer() {
+    let bodies: [&[u8]; 4] = [b"alpha", b"", b"\x00\x01\x02", &[0xFF; 300]];
+    let mut wire = Vec::new();
+    for body in bodies {
+        write_message(&mut wire, body).expect("write");
+    }
+    let mut cursor = Cursor::new(wire);
+    for body in bodies {
+        let read = read_message(&mut cursor).expect("read").expect("message present");
+        assert_eq!(read, body);
+    }
+    assert!(
+        read_message(&mut cursor).expect("clean eof").is_none(),
+        "exhausted stream reads as clean EOF"
+    );
+}
+
+#[test]
+fn truncated_message_payload_is_an_error_not_eof() {
+    // Frame header promises 32 bytes; only 5 arrive before the stream ends.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&32u32.to_le_bytes());
+    wire.extend_from_slice(b"short");
+    let result = read_message(&mut Cursor::new(wire));
+    assert!(result.is_err(), "mid-payload truncation must error, got {result:?}");
+}
+
+#[test]
+fn absurd_length_prefix_is_rejected_before_allocation() {
+    // A corrupted prefix claiming ~4 GiB must fail fast with a protocol
+    // error, not attempt the allocation.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&u32::MAX.to_le_bytes());
+    wire.extend_from_slice(&[0u8; 16]);
+    let result = read_message(&mut Cursor::new(wire));
+    assert!(result.is_err(), "oversized length prefix must error, got {result:?}");
+}
+
+#[test]
+fn truncated_length_prefix_is_an_error() {
+    // Only 2 of the 4 length-prefix bytes arrive: a mid-header cut is also
+    // truncation, not a clean end-of-stream.
+    let result = read_message(&mut Cursor::new(vec![9u8, 0]));
+    assert!(result.is_err(), "mid-header truncation must error, got {result:?}");
+}
+
+#[test]
+fn state_survives_framing_round_trip() {
+    let state = dense_state();
+    let mut wire = Vec::new();
+    write_message(&mut wire, &encode_state(&state)).expect("write");
+    let body = read_message(&mut Cursor::new(wire)).expect("read").expect("one message");
+    assert_eq!(decode_state(&body).expect("decode"), state);
+}

@@ -2,6 +2,7 @@
 //! architecture zoo → runtime dispatch.
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::eval::Objective;
 use gcode::core::search::{random_search, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
@@ -9,7 +10,7 @@ use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
 use gcode::hardware::SystemConfig;
 use gcode::sim::{simulate, SimConfig, SimEvaluator};
 
-fn evaluator(sys: SystemConfig) -> SimEvaluator<impl FnMut(&Architecture) -> f64> {
+fn evaluator(sys: SystemConfig) -> SimEvaluator<impl Fn(&Architecture) -> f64> {
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
     SimEvaluator {
         profile: WorkloadProfile::modelnet40(),
@@ -21,16 +22,10 @@ fn evaluator(sys: SystemConfig) -> SimEvaluator<impl FnMut(&Architecture) -> f64
 
 fn run(sys: SystemConfig, seed: u64) -> gcode::core::search::SearchResult {
     let space = DesignSpace::paper(WorkloadProfile::modelnet40());
-    let cfg = SearchConfig {
-        iterations: 400,
-        latency_constraint_s: 0.15,
-        energy_constraint_j: 1.0,
-        lambda: 0.25,
-        seed,
-        ..SearchConfig::default()
-    };
-    let mut eval = evaluator(sys);
-    random_search(&space, &cfg, &mut eval)
+    let cfg = SearchConfig { iterations: 400, seed, ..SearchConfig::default() };
+    let objective = Objective::new(0.25, 0.15, 1.0);
+    let eval = evaluator(sys);
+    random_search(&space, &cfg, &objective, &eval)
 }
 
 #[test]
@@ -68,10 +63,8 @@ fn searched_architectures_adapt_to_the_link() {
     let result = run(SystemConfig::tx2_to_1060(10.0), 3);
     let best = result.best().expect("found");
     let profile = WorkloadProfile::modelnet40();
-    let payload: usize = gcode::core::cost::trace(&best.arch, &profile)
-        .iter()
-        .map(|t| t.transfer_bytes)
-        .sum();
+    let payload: usize =
+        gcode::core::cost::trace(&best.arch, &profile).iter().map(|t| t.transfer_bytes).sum();
     assert!(
         payload < 200_000,
         "10 Mbps winner should transfer little data, got {payload} bytes ({})",
@@ -91,14 +84,8 @@ fn dispatcher_serves_the_searched_zoo() {
     }
     // A tight latency budget yields an entry within that budget when any
     // zoo member qualifies.
-    let fastest = zoo
-        .entries()
-        .iter()
-        .map(|z| z.latency_s)
-        .fold(f64::INFINITY, f64::min);
-    let pick = zoo
-        .dispatch(RuntimeConstraint::latency(fastest * 1.01))
-        .expect("entry");
+    let fastest = zoo.entries().iter().map(|z| z.latency_s).fold(f64::INFINITY, f64::min);
+    let pick = zoo.dispatch(RuntimeConstraint::latency(fastest * 1.01)).expect("entry");
     assert!(pick.latency_s <= fastest * 1.01);
 }
 

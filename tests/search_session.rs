@@ -1,0 +1,116 @@
+//! Cross-crate checks of the `SearchSession` memo cache: caching must be
+//! invisible to search results (same seed → same zoo) while demonstrably
+//! skipping duplicate evaluations.
+
+use gcode::core::arch::Architecture;
+use gcode::core::arch::WorkloadProfile;
+use gcode::core::eval::{Evaluator, Metrics, Objective, SearchSession};
+use gcode::core::search::{RandomSearch, SearchConfig};
+use gcode::core::space::DesignSpace;
+use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode::hardware::SystemConfig;
+use gcode::sim::{SimConfig, SimEvaluator};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps any evaluator and counts how many candidates actually reach it.
+struct Counted<E> {
+    inner: E,
+    evaluations: AtomicU64,
+}
+
+impl<E: Evaluator> Counted<E> {
+    fn new(inner: E) -> Self {
+        Self { inner, evaluations: AtomicU64::new(0) }
+    }
+
+    fn count(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+}
+
+impl<E: Evaluator> Evaluator for Counted<E> {
+    fn evaluate(&self, arch: &Architecture) -> Metrics {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.inner.evaluate(arch)
+    }
+}
+
+/// A small space (3 layers) so a 400-trial search resamples duplicates.
+fn small_space() -> DesignSpace {
+    let mut space = DesignSpace::paper(WorkloadProfile::modelnet40());
+    space.num_layers = 3;
+    space
+}
+
+fn sim_evaluator() -> Counted<SimEvaluator<impl Fn(&Architecture) -> f64>> {
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    Counted::new(SimEvaluator {
+        profile: WorkloadProfile::modelnet40(),
+        sys: SystemConfig::tx2_to_i7(40.0),
+        sim: SimConfig::single_frame(),
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    })
+}
+
+#[test]
+fn memo_cache_skips_duplicates_without_changing_the_zoo() {
+    let space = small_space();
+    let cfg = SearchConfig { iterations: 400, seed: 9, ..SearchConfig::default() };
+    let objective = Objective::new(0.25, 0.5, 3.0);
+    let strategy = RandomSearch::new(cfg);
+
+    let uncached_eval = sim_evaluator();
+    let mut uncached = SearchSession::new(&space, &uncached_eval)
+        .with_objective(objective)
+        .with_memoization(false);
+    let baseline = uncached.run(&strategy);
+
+    let cached_eval = sim_evaluator();
+    let mut cached = SearchSession::new(&space, &cached_eval).with_objective(objective);
+    let result = cached.run(&strategy);
+
+    // Identical search outcome: same seed → same history and same zoo.
+    assert_eq!(result.history, baseline.history);
+    assert_eq!(result.zoo.len(), baseline.zoo.len());
+    for (a, b) in result.zoo.iter().zip(&baseline.zoo) {
+        assert_eq!(a.arch, b.arch);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+        assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+    }
+
+    // The cache demonstrably skipped duplicate evaluations.
+    let stats = cached.cache_stats();
+    assert!(stats.hits >= 1, "a 400-trial search over a 3-layer space must resample duplicates");
+    assert!(cached_eval.count() < uncached_eval.count());
+    assert_eq!(cached_eval.count(), stats.misses);
+    assert_eq!(cached_eval.count() as usize, cached.cache_len());
+    assert!(stats.hit_rate() > 0.0);
+}
+
+#[test]
+fn exact_hit_counts_for_a_scripted_lookup_sequence() {
+    let space = small_space();
+    let eval = sim_evaluator();
+    let mut session = SearchSession::new(&space, &eval);
+    let a = space.sample_valid(&mut seeded_rng(1), 100_000).0;
+    let b = space.sample_valid(&mut seeded_rng(2), 100_000).0;
+    assert_ne!(a, b, "distinct seeds should sample distinct archs here");
+
+    session.evaluate(&a); // miss
+    session.evaluate(&a); // hit
+    session.evaluate_batch(&[a.clone(), b.clone(), b.clone()]); // hit, miss, hit
+    session.evaluate(&b); // hit
+
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.hits, 4);
+    assert_eq!(stats.lookups(), 6);
+    assert!((stats.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+    assert_eq!(eval.count(), 2);
+}
+
+fn seeded_rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+    <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed)
+}
