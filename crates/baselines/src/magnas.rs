@@ -143,7 +143,7 @@ pub fn magnas_pipeline(
     sys: &SystemConfig,
     cfg: &SearchConfig,
     objective: &Objective,
-    accuracy_fn: impl Fn(&Architecture) -> f64,
+    accuracy_fn: impl Fn(&Architecture) -> f64 + Sync,
 ) -> Option<MagnasResult> {
     let result = crate::nas::hgnas_search(profile, sys.device.clone(), cfg, objective, accuracy_fn);
     let best = result.best()?;
@@ -231,7 +231,7 @@ mod tests {
 
         let space = DesignSpace::paper(profile);
         let s2 = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-        let eval = gcode_sim::SimEvaluator {
+        let eval = gcode_sim::SimBackend {
             profile,
             sys: sys.clone(),
             sim: SimConfig::single_frame(),

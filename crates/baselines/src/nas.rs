@@ -12,6 +12,7 @@
 
 use crate::partition::{best_partition, PartitionObjective, PartitionResult};
 use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::eval::backend::{EvalBackend, Fidelity};
 use gcode_core::eval::{Evaluator, Metrics, Objective, SearchSession, SearchStrategy};
 use gcode_core::search::{RandomSearch, SearchConfig, SearchResult};
 use gcode_core::space::DesignSpace;
@@ -20,7 +21,7 @@ use gcode_sim::{simulate, SimConfig};
 
 /// [`Evaluator`] pricing candidates on a *single device* — how a
 /// device-focused NAS like HGNAS sees the world (no edge, no link).
-pub struct SingleDeviceEvaluator<F: Fn(&Architecture) -> f64> {
+pub struct SingleDeviceEvaluator<F: Fn(&Architecture) -> f64 + Sync> {
     /// Workload being optimized.
     pub profile: WorkloadProfile,
     /// The device everything runs on.
@@ -29,7 +30,7 @@ pub struct SingleDeviceEvaluator<F: Fn(&Architecture) -> f64> {
     pub accuracy_fn: F,
 }
 
-impl<F: Fn(&Architecture) -> f64> SingleDeviceEvaluator<F> {
+impl<F: Fn(&Architecture) -> f64 + Sync> SingleDeviceEvaluator<F> {
     fn device_system(&self) -> SystemConfig {
         // The edge/link are placeholders; a single-device architecture
         // never touches them.
@@ -37,7 +38,7 @@ impl<F: Fn(&Architecture) -> f64> SingleDeviceEvaluator<F> {
     }
 }
 
-impl<F: Fn(&Architecture) -> f64> Evaluator for SingleDeviceEvaluator<F> {
+impl<F: Fn(&Architecture) -> f64 + Sync> Evaluator for SingleDeviceEvaluator<F> {
     fn evaluate(&self, arch: &Architecture) -> Metrics {
         let report =
             simulate(arch, &self.profile, &self.device_system(), &SimConfig::single_frame());
@@ -46,6 +47,20 @@ impl<F: Fn(&Architecture) -> f64> Evaluator for SingleDeviceEvaluator<F> {
             latency_s: report.frame_latency_s,
             energy_j: report.device_energy_j,
         }
+    }
+}
+
+impl<F: Fn(&Architecture) -> f64 + Sync> EvalBackend for SingleDeviceEvaluator<F> {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Simulated
+    }
+
+    fn cost_hint(&self) -> f64 {
+        11.0 // single-frame simulator probe
+    }
+
+    fn name(&self) -> &str {
+        "single-device-sim"
     }
 }
 
@@ -78,7 +93,7 @@ pub fn hgnas_search(
     device: Processor,
     cfg: &SearchConfig,
     objective: &Objective,
-    accuracy_fn: impl Fn(&Architecture) -> f64,
+    accuracy_fn: impl Fn(&Architecture) -> f64 + Sync,
 ) -> SearchResult {
     let space = DesignSpace::single_device(profile);
     let eval = SingleDeviceEvaluator { profile, device, accuracy_fn };
@@ -92,7 +107,7 @@ pub fn hgnas_then_partition(
     sys: &SystemConfig,
     cfg: &SearchConfig,
     objective: &Objective,
-    accuracy_fn: impl Fn(&Architecture) -> f64,
+    accuracy_fn: impl Fn(&Architecture) -> f64 + Sync,
 ) -> Option<PartitionResult> {
     let result = hgnas_search(profile, sys.device.clone(), cfg, objective, accuracy_fn);
     let best = result.best()?;
@@ -159,7 +174,7 @@ mod tests {
 
         let space = DesignSpace::paper(profile);
         let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-        let eval = gcode_sim::SimEvaluator {
+        let eval = gcode_sim::SimBackend {
             profile,
             sys: sys.clone(),
             sim: SimConfig::single_frame(),

@@ -1,0 +1,44 @@
+//! Throughput of the worker-sharded batch driver: `evaluate_batch_workers`
+//! on the analytic backend at workers ∈ {1, 2, 4, 8}, over a fixed
+//! 256-candidate batch — so BENCH_*.json captures the parallel speedup
+//! (or, on single-core runners, the sharding overhead floor).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::eval::backend::AnalyticBackend;
+use gcode_core::eval::Evaluator;
+use gcode_core::space::DesignSpace;
+use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode_hardware::SystemConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const BATCH: usize = 256;
+
+fn sample_batch(space: &DesignSpace) -> Vec<Architecture> {
+    let mut rng = ChaCha8Rng::seed_from_u64(71);
+    (0..BATCH).map(|_| space.sample_valid(&mut rng, 100_000).0).collect()
+}
+
+fn bench_evaluate_batch_workers(c: &mut Criterion) {
+    let profile = WorkloadProfile::modelnet40();
+    let space = DesignSpace::paper(profile);
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let backend = AnalyticBackend {
+        profile,
+        sys: SystemConfig::tx2_to_i7(40.0),
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    };
+    let batch = sample_batch(&space);
+
+    let mut group = c.benchmark_group(format!("evaluate_batch/analytic/{BATCH}"));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
+            b.iter(|| black_box(backend.evaluate_batch_workers(black_box(&batch), workers)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate_batch_workers);
+criterion_main!(benches);

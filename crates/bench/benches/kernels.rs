@@ -16,7 +16,7 @@ use gcode_graph::datasets::PointCloudDataset;
 use gcode_graph::knn::knn_graph;
 use gcode_hardware::SystemConfig;
 use gcode_nn::agg::{aggregate, AggMode};
-use gcode_sim::{simulate, SimConfig, SimEvaluator};
+use gcode_sim::{simulate, SimBackend, SimConfig};
 use gcode_tensor::Matrix;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -102,7 +102,7 @@ fn bench_search(c: &mut Criterion) {
     let objective = Objective::new(0.1, 0.15, 1.0);
     c.bench_function("random_search_100_trials", |b| {
         b.iter(|| {
-            let eval = SimEvaluator {
+            let eval = SimBackend {
                 profile,
                 sys: SystemConfig::tx2_to_i7(40.0),
                 sim: SimConfig::single_frame(),

@@ -3,16 +3,25 @@
 //! 1. pipelined engine vs frame-serial execution (throughput);
 //! 2. transfer compression on/off (latency of split designs);
 //! 3. λ sweep quantified by Pareto hypervolume (Fig. 8's knob, scalarized);
-//! 4. adaptive runtime dispatch vs a pinned design under a fluctuating link.
+//! 4. adaptive runtime dispatch vs a pinned design under a fluctuating link;
+//! 5. multi-fidelity search: the analytic→sim cascade backend vs a pure
+//!    simulator-in-the-loop search (expensive evaluations saved, memo-cache
+//!    effectiveness, end score).
 
 use gcode_baselines::models;
-use gcode_bench::{header, print_row, run_gcode_search, table_search_config};
-use gcode_core::arch::WorkloadProfile;
+use gcode_bench::{
+    header, print_row, run_gcode_search, run_gcode_search_reported, table_search_config,
+};
+use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
+use gcode_core::eval::SearchSession;
 use gcode_core::pareto::{front_of, hypervolume};
-use gcode_core::surrogate::SurrogateTask;
+use gcode_core::search::RandomSearch;
+use gcode_core::space::DesignSpace;
+use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_core::zoo::ArchitectureZoo;
 use gcode_hardware::SystemConfig;
-use gcode_sim::{simulate, simulate_adaptive, BandwidthTrace, SimConfig};
+use gcode_sim::{simulate, simulate_adaptive, BandwidthTrace, SimBackend, SimConfig};
 
 fn main() {
     let profile = WorkloadProfile::modelnet40();
@@ -114,5 +123,56 @@ fn main() {
         "  pinned:   SLO hit {:5.1}%  mean {:5.1} ms",
         pinned.slo_hit_rate * 100.0,
         pinned.mean_latency_s * 1e3
+    );
+
+    // ——— 5. Multi-fidelity cascade ———
+    header("Ablation 5 — multi-fidelity search: analytic→sim cascade vs pure sim");
+    let (cfg5, obj5) =
+        table_search_config(dgcnn_anchor.frame_latency_s, dgcnn_anchor.device_energy_j, 29);
+
+    let (pure, pure_report) =
+        run_gcode_search_reported(profile, SurrogateTask::ModelNet40, &sys, &cfg5, &obj5);
+    println!(
+        "  pure sim:  best score {:6.3}  sim evals {:5}  cache hit rate {:4.1}%",
+        pure.best().map_or(-1.0, |b| b.score),
+        pure_report.cache.misses,
+        pure_report.cache.hit_rate() * 100.0
+    );
+
+    let space = DesignSpace::paper(profile);
+    let s_cheap = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let cheap = AnalyticBackend {
+        profile,
+        sys: sys.clone(),
+        accuracy_fn: move |a: &Architecture| s_cheap.overall_accuracy(a),
+    };
+    let s_dear = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let expensive = SimBackend {
+        profile,
+        sys: sys.clone(),
+        sim: SimConfig::single_frame(),
+        accuracy_fn: move |a: &Architecture| s_dear.overall_accuracy(a),
+    };
+    let cascade = CascadeBackend::new(&cheap, &expensive, obj5).with_keep_frac(0.25);
+    let mut session = SearchSession::new(&space, &cascade).with_objective(obj5);
+    let result = session.run(&RandomSearch::new(cfg5));
+    let report = session.report(cascade.name(), &result);
+    let stats = cascade.stats();
+    println!(
+        "  cascade:   best score {:6.3}  sim evals {:5}  (screened {} cheaply, {:4.1}% escalated)  cache hit rate {:4.1}%",
+        result.best().map_or(-1.0, |b| b.score),
+        stats.expensive_evals,
+        stats.cheap_evals,
+        stats.escalation_rate() * 100.0,
+        report.cache.hit_rate() * 100.0
+    );
+    println!(
+        "  sim evaluations saved vs pure sim: {} of {}",
+        pure_report.cache.misses.saturating_sub(stats.expensive_evals),
+        pure_report.cache.misses
+    );
+    println!(
+        "\n  cascade search report (JSON):\n  {}",
+        serde_json::to_string(&report).expect("report serializes")
     );
 }

@@ -10,13 +10,13 @@ use gcode_core::search::{random_search, SearchConfig};
 use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_hardware::SystemConfig;
-use gcode_sim::{SimConfig, SimEvaluator};
+use gcode_sim::{SimBackend, SimConfig};
 
 const CHECKPOINTS: [usize; 8] = [1, 10, 50, 100, 200, 500, 1000, 2000];
 
-fn evaluator(sys: &SystemConfig) -> SimEvaluator<impl Fn(&Architecture) -> f64> {
+fn evaluator(sys: &SystemConfig) -> SimBackend<impl Fn(&Architecture) -> f64 + Sync> {
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    SimEvaluator {
+    SimBackend {
         profile: WorkloadProfile::modelnet40(),
         sys: sys.clone(),
         sim: SimConfig::single_frame(),

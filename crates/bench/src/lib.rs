@@ -7,12 +7,12 @@
 
 use gcode_baselines::models::{as_edge_only, Baseline};
 use gcode_core::arch::{Architecture, WorkloadProfile};
-use gcode_core::eval::Objective;
-use gcode_core::search::{random_search, ScoredArch, SearchConfig, SearchResult};
+use gcode_core::eval::{Objective, SearchReport, SearchSession};
+use gcode_core::search::{RandomSearch, ScoredArch, SearchConfig, SearchResult};
 use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_hardware::SystemConfig;
-use gcode_sim::{simulate, SimConfig, SimEvaluator};
+use gcode_sim::{simulate, SimBackend, SimConfig};
 
 /// Latency (ms) and device energy (J) of an architecture on a system,
 /// measured by the single-frame simulator.
@@ -71,15 +71,31 @@ pub fn run_gcode_search(
     cfg: &SearchConfig,
     objective: &Objective,
 ) -> SearchResult {
+    run_gcode_search_reported(profile, task, sys, cfg, objective).0
+}
+
+/// Like [`run_gcode_search`], but also returns the session's
+/// [`SearchReport`] (backend, memo-cache hit rate, unique evaluations) so
+/// generators can surface evaluation-side statistics next to the zoo.
+pub fn run_gcode_search_reported(
+    profile: WorkloadProfile,
+    task: SurrogateTask,
+    sys: &SystemConfig,
+    cfg: &SearchConfig,
+    objective: &Objective,
+) -> (SearchResult, SearchReport) {
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(task);
-    let eval = SimEvaluator {
+    let eval = SimBackend {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),
         accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
     };
-    random_search(&space, cfg, objective, &eval)
+    let mut session = SearchSession::new(&space, &eval).with_objective(*objective);
+    let result = session.run(&RandomSearch::new(*cfg));
+    let report = session.report("sim", &result);
+    (result, report)
 }
 
 /// Convenience: the GCoDE candidate a user would deploy for low latency —

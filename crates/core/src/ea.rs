@@ -211,7 +211,7 @@ fn tournament<'a>(population: &'a [ScoredArch], k: usize, rng: &mut impl Rng) ->
 mod tests {
     use super::*;
     use crate::arch::WorkloadProfile;
-    use crate::estimate::AnalyticEvaluator;
+    use crate::eval::backend::AnalyticBackend;
     use crate::search::random_search;
     use gcode_hardware::SystemConfig;
 
@@ -226,8 +226,8 @@ mod tests {
         (space, cfg, objective)
     }
 
-    fn evaluator() -> AnalyticEvaluator<impl Fn(&Architecture) -> f64> {
-        AnalyticEvaluator {
+    fn evaluator() -> AnalyticBackend<impl Fn(&Architecture) -> f64 + Sync> {
+        AnalyticBackend {
             profile: WorkloadProfile::modelnet40(),
             sys: SystemConfig::tx2_to_i7(40.0),
             // Capacity-sensitive accuracy so the search has a real signal.
@@ -318,14 +318,14 @@ mod tests {
         // The batched init path must consume its own results: no member may
         // be evaluated twice just because the memo cache is off.
         use crate::eval::Evaluator;
-        use std::cell::Cell;
+        use std::sync::atomic::{AtomicU64, Ordering};
 
         struct Counting {
-            calls: Cell<u64>,
+            calls: AtomicU64,
         }
         impl Evaluator for Counting {
             fn evaluate(&self, arch: &Architecture) -> crate::eval::Metrics {
-                self.calls.set(self.calls.get() + 1);
+                self.calls.fetch_add(1, Ordering::Relaxed);
                 crate::eval::Metrics {
                     accuracy: 0.9,
                     latency_s: 0.001 * arch.len() as f64,
@@ -337,11 +337,11 @@ mod tests {
         let (space, mut cfg, objective) = setup();
         let ea = EaConfig { valid_init: true, population: 20, ..EaConfig::default() };
         cfg.iterations = 20; // init only: every slot is a population member
-        let eval = Counting { calls: Cell::new(0) };
+        let eval = Counting { calls: AtomicU64::new(0) };
         let mut session =
             SearchSession::new(&space, &eval).with_objective(objective).with_memoization(false);
         let r = session.run(&Ea::new(cfg, ea));
         assert_eq!(r.history.len(), 20);
-        assert_eq!(eval.calls.get(), 20, "one evaluation per initial member");
+        assert_eq!(eval.calls.load(Ordering::Relaxed), 20, "one evaluation per initial member");
     }
 }

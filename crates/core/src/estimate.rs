@@ -1,9 +1,9 @@
-//! Cost estimation and on-device energy estimation (Sec. 3.5), plus the
-//! analytic [`Evaluator`] backend the search strategies consume.
+//! Cost estimation and on-device energy estimation (Sec. 3.5) — the
+//! closed-form models behind the analytic evaluation backend
+//! ([`crate::eval::backend::AnalyticBackend`]).
 
 use crate::arch::{Architecture, WorkloadProfile};
 use crate::cost::{trace, TracedOp};
-use crate::eval::{Evaluator, Metrics};
 use crate::op::{OpKind, Placement};
 use gcode_hardware::SystemConfig;
 use serde::{Deserialize, Serialize};
@@ -121,8 +121,8 @@ pub fn estimate_device_energy(
 }
 
 /// Energy computation over a pre-computed trace and breakdown — lets the
-/// analytic evaluator price latency and energy off a single trace.
-fn energy_from_parts(
+/// analytic backend price latency and energy off a single trace.
+pub(crate) fn energy_from_parts(
     traced: &[TracedOp],
     b: &LatencyBreakdown,
     arch: &Architecture,
@@ -145,30 +145,6 @@ fn energy_from_parts(
     }
     let e_comm = sys.power.device_comm_energy(&sys.link, sent, received);
     e_run + e_idle + e_comm
-}
-
-/// [`Evaluator`] backed by the analytic cost/energy estimators plus a
-/// user-supplied accuracy function (surrogate model or supernet query).
-/// Latency and energy come from a single shape trace per candidate.
-pub struct AnalyticEvaluator<F: Fn(&Architecture) -> f64> {
-    /// Workload being optimized for.
-    pub profile: WorkloadProfile,
-    /// Target system.
-    pub sys: SystemConfig,
-    /// Accuracy callback.
-    pub accuracy_fn: F,
-}
-
-impl<F: Fn(&Architecture) -> f64> Evaluator for AnalyticEvaluator<F> {
-    fn evaluate(&self, arch: &Architecture) -> Metrics {
-        let traced = trace(arch, &self.profile);
-        let b = breakdown_from_trace(&traced, arch, &self.sys);
-        Metrics {
-            accuracy: (self.accuracy_fn)(arch),
-            latency_s: b.total_s(),
-            energy_j: energy_from_parts(&traced, &b, arch, &self.sys),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -284,8 +260,11 @@ mod tests {
     }
 
     #[test]
-    fn analytic_evaluator_wires_through() {
-        let eval = AnalyticEvaluator {
+    fn analytic_backend_wires_through() {
+        use crate::eval::backend::AnalyticBackend;
+        use crate::eval::Evaluator;
+
+        let eval = AnalyticBackend {
             profile: pc(),
             sys: SystemConfig::tx2_to_1060(40.0),
             accuracy_fn: |_a: &Architecture| 0.9,

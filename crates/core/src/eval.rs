@@ -4,40 +4,50 @@
 //!
 //! * [`Metrics`] — the three numbers the paper's objective consumes;
 //! * [`Evaluator`] — how metrics are produced, with a batched entry point
-//!   ([`Evaluator::evaluate_batch`]) so backends can amortize per-candidate
-//!   setup (and so parallel backends can plug in without touching any
-//!   strategy);
+//!   ([`Evaluator::evaluate_batch`]) and a parallel one
+//!   ([`Evaluator::evaluate_batch_workers`]) so backends can amortize
+//!   per-candidate setup and shard work without touching any strategy;
+//! * [`backend`] — the fidelity-tagged backend layer
+//!   ([`backend::EvalBackend`]): the analytic LUT estimator
+//!   ([`backend::AnalyticBackend`]), the discrete-event simulator
+//!   (`gcode_sim::SimBackend`), and the multi-fidelity
+//!   [`backend::CascadeBackend`] that screens batches cheaply and re-prices
+//!   only the most promising fraction at high fidelity;
 //! * [`Objective`] — the single canonical home of the constraint check and
 //!   the score `acc − λ(P̂_sys/C_lat + Ê_dev/C_e)`;
 //! * [`SearchStrategy`] — a search algorithm (Alg. 1 random search, the EA
 //!   ablation, the single-device NAS baseline) expressed against a session;
 //! * [`SearchSession`] — the driver that owns a hash-keyed memo cache over
 //!   evaluated architectures and routes every strategy's candidates through
-//!   batched, deduplicated evaluation.
+//!   batched, deduplicated, optionally multi-worker evaluation.
 //!
 //! # Example
 //!
 //! ```
 //! use gcode_core::arch::WorkloadProfile;
-//! use gcode_core::estimate::AnalyticEvaluator;
+//! use gcode_core::eval::backend::AnalyticBackend;
 //! use gcode_core::eval::{Objective, SearchSession};
 //! use gcode_core::search::{RandomSearch, SearchConfig};
 //! use gcode_core::space::DesignSpace;
 //! use gcode_hardware::SystemConfig;
 //!
 //! let space = DesignSpace::paper(WorkloadProfile::modelnet40());
-//! let eval = AnalyticEvaluator {
+//! let eval = AnalyticBackend {
 //!     profile: space.profile,
 //!     sys: SystemConfig::tx2_to_i7(40.0),
 //!     accuracy_fn: |_| 0.92,
 //! };
 //! let objective = Objective::new(0.1, 0.5, 3.0);
 //! let cfg = SearchConfig { iterations: 50, seed: 1, ..SearchConfig::default() };
-//! let mut session = SearchSession::new(&space, &eval).with_objective(objective);
+//! let mut session = SearchSession::new(&space, &eval)
+//!     .with_objective(objective)
+//!     .with_workers(4); // sharded evaluation, bit-identical to serial
 //! let result = session.run(&RandomSearch::new(cfg));
 //! assert!(result.best().is_some());
 //! assert!(session.cache_stats().lookups() >= 50);
 //! ```
+
+pub mod backend;
 
 use crate::arch::Architecture;
 use crate::search::{ScoredArch, SearchResult};
@@ -59,9 +69,11 @@ pub struct Metrics {
 /// Produces [`Metrics`] for candidate architectures.
 ///
 /// `evaluate` takes `&self` so one evaluator can serve many concurrent
-/// lookups; backends needing interior state (a supernet being fine-tuned,
-/// say) wrap it in a cell. The batched entry point exists so backends can
-/// amortize setup across candidates — the default simply loops.
+/// lookups, and the trait requires [`Sync`] so the session's parallel
+/// driver can shard a batch across scoped worker threads; backends needing
+/// interior state (a supernet being fine-tuned, say) wrap it in a lock.
+/// The batched entry point exists so backends can amortize setup across
+/// candidates — the default simply loops.
 ///
 /// Unlike the paper's Alg. 1 narration, all three metrics — accuracy
 /// included — are produced per candidate, even ones a strategy later
@@ -71,7 +83,7 @@ pub struct Metrics {
 /// architecture; an evaluator whose accuracy model is genuinely expensive
 /// (a supernet) can additionally gate its own accuracy computation behind
 /// cheap internal feasibility screens if it chooses.
-pub trait Evaluator {
+pub trait Evaluator: Sync {
     /// Evaluates one architecture.
     fn evaluate(&self, arch: &Architecture) -> Metrics;
 
@@ -80,6 +92,21 @@ pub trait Evaluator {
     /// pools).
     fn evaluate_batch(&self, archs: &[Architecture]) -> Vec<Metrics> {
         archs.iter().map(|a| self.evaluate(a)).collect()
+    }
+
+    /// Evaluates a batch across `workers` scoped threads, merging results
+    /// in input order so serial and parallel runs are bit-identical.
+    ///
+    /// The default shards the batch into contiguous chunks and runs
+    /// [`Evaluator::evaluate_batch`] on each — correct whenever batching is
+    /// *pointwise* (each candidate's metrics are independent of its batch
+    /// mates; true for every measurement oracle in this workspace). A
+    /// backend whose batch semantics are batch-scoped — the multi-fidelity
+    /// [`backend::CascadeBackend`] screens the *whole* batch before
+    /// re-pricing — must override this so worker count never changes what a
+    /// candidate's metrics are.
+    fn evaluate_batch_workers(&self, archs: &[Architecture], workers: usize) -> Vec<Metrics> {
+        backend::shard_batch(self, archs, workers)
     }
 }
 
@@ -172,31 +199,37 @@ pub trait SearchStrategy {
 }
 
 /// Builder-style driver owning the evaluation plumbing every strategy
-/// shares: the design space, the [`Objective`], the evaluator and a
-/// hash-keyed memo cache of evaluated architectures with hit-rate stats.
+/// shares: the design space, the [`Objective`], the evaluator, a
+/// hash-keyed memo cache of evaluated architectures with hit-rate stats,
+/// and the worker count for the deterministic parallel batch driver.
 ///
 /// Searches in the fused space resample identical candidates often
 /// (especially at small `num_layers` or under tight validity rules); the
 /// cache turns each repeat into a lookup, and the batched path deduplicates
-/// within a batch before the evaluator sees it.
+/// within a batch before the evaluator sees it. Whatever survives
+/// deduplication is handed to [`Evaluator::evaluate_batch_workers`], which
+/// shards it across scoped threads and merges in input order — worker
+/// count never changes results, only wall-clock time.
 pub struct SearchSession<'a> {
     space: &'a DesignSpace,
     evaluator: &'a dyn Evaluator,
     objective: Objective,
     memoize: bool,
+    workers: usize,
     cache: HashMap<Architecture, Metrics>,
     stats: CacheStats,
 }
 
 impl<'a> SearchSession<'a> {
     /// Creates a session over `space` scoring through `evaluator`, with the
-    /// default [`Objective`] and memoization enabled.
+    /// default [`Objective`], memoization enabled and a single worker.
     pub fn new(space: &'a DesignSpace, evaluator: &'a dyn Evaluator) -> Self {
         Self {
             space,
             evaluator,
             objective: Objective::default(),
             memoize: true,
+            workers: 1,
             cache: HashMap::new(),
             stats: CacheStats::default(),
         }
@@ -218,6 +251,15 @@ impl<'a> SearchSession<'a> {
         self
     }
 
+    /// Sets how many worker threads the batch driver shards deduplicated
+    /// batches across (default 1 = serial). Results are bit-identical for
+    /// any worker count; `0` is treated as `1`.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
     /// The design space being searched.
     pub fn space(&self) -> &'a DesignSpace {
         self.space
@@ -231,6 +273,11 @@ impl<'a> SearchSession<'a> {
     /// Cache hit/miss counters so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Worker threads used by the parallel batch driver.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Number of distinct architectures held in the cache.
@@ -256,11 +303,12 @@ impl<'a> SearchSession<'a> {
 
     /// Evaluates a batch through the cache: cached entries are reused,
     /// in-batch duplicates are evaluated once, and only the remaining
-    /// unique candidates reach [`Evaluator::evaluate_batch`].
+    /// unique candidates reach the evaluator — sharded across the
+    /// session's workers via [`Evaluator::evaluate_batch_workers`].
     pub fn evaluate_batch(&mut self, archs: &[Architecture]) -> Vec<Metrics> {
         if !self.memoize {
             self.stats.misses += archs.len() as u64;
-            return self.evaluator.evaluate_batch(archs);
+            return self.evaluator.evaluate_batch_workers(archs, self.workers);
         }
         let mut fresh: Vec<Architecture> = Vec::new();
         let mut pending: HashSet<&Architecture> = HashSet::new();
@@ -274,7 +322,7 @@ impl<'a> SearchSession<'a> {
             }
         }
         if !fresh.is_empty() {
-            let metrics = self.evaluator.evaluate_batch(&fresh);
+            let metrics = self.evaluator.evaluate_batch_workers(&fresh, self.workers);
             debug_assert_eq!(metrics.len(), fresh.len(), "evaluator broke batch contract");
             for (arch, m) in fresh.into_iter().zip(metrics) {
                 self.cache.insert(arch, m);
@@ -290,6 +338,46 @@ impl<'a> SearchSession<'a> {
     pub fn run(&mut self, strategy: &dyn SearchStrategy) -> SearchResult {
         strategy.search(self)
     }
+
+    /// Packs the session's evaluation-side counters and a result's summary
+    /// into a serializable [`SearchReport`] for CLI/bench JSON output.
+    pub fn report(&self, backend: impl Into<String>, result: &SearchResult) -> SearchReport {
+        SearchReport {
+            backend: backend.into(),
+            workers: self.workers,
+            cache: self.stats,
+            unique_architectures: self.cache.len(),
+            zoo_len: result.zoo.len(),
+            best_score: result.best().map(|b| b.score),
+            constraint_misses: result.constraint_misses,
+            trials: result.history.len(),
+        }
+    }
+}
+
+/// Serializable summary of one search run: which backend priced the
+/// candidates, how the parallel driver was configured, and how effective
+/// the memo cache was — the numbers the CLI and the bench/ablation
+/// generators surface alongside the zoo.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchReport {
+    /// Name of the evaluation backend that priced the candidates.
+    pub backend: String,
+    /// Worker threads used by the batch driver.
+    pub workers: usize,
+    /// Memo-cache hit/miss counters (derive the hit rate via
+    /// [`CacheStats::hit_rate`]).
+    pub cache: CacheStats,
+    /// Distinct architectures actually evaluated (cache entries).
+    pub unique_architectures: usize,
+    /// Entries in the final zoo.
+    pub zoo_len: usize,
+    /// Best score found, if any trial passed the constraints.
+    pub best_score: Option<f64>,
+    /// Trials that failed the performance constraints.
+    pub constraint_misses: usize,
+    /// Total trials recorded in the history.
+    pub trials: usize,
 }
 
 #[cfg(test)]
@@ -299,16 +387,26 @@ mod tests {
     use crate::op::{Op, SampleFn};
     use gcode_nn::agg::AggMode;
     use gcode_nn::pool::PoolMode;
-    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// Evaluator that counts every real evaluation it performs.
     struct Counting {
-        calls: Cell<u64>,
+        calls: AtomicU64,
+    }
+
+    impl Counting {
+        fn new() -> Self {
+            Self { calls: AtomicU64::new(0) }
+        }
+
+        fn count(&self) -> u64 {
+            self.calls.load(Ordering::Relaxed)
+        }
     }
 
     impl Evaluator for Counting {
         fn evaluate(&self, arch: &Architecture) -> Metrics {
-            self.calls.set(self.calls.get() + 1);
+            self.calls.fetch_add(1, Ordering::Relaxed);
             Metrics {
                 accuracy: 0.9,
                 latency_s: 0.001 * arch.len() as f64,
@@ -342,13 +440,13 @@ mod tests {
     #[test]
     fn cache_serves_repeats_without_reevaluating() {
         let space = crate::space::DesignSpace::paper(WorkloadProfile::modelnet40());
-        let eval = Counting { calls: Cell::new(0) };
+        let eval = Counting::new();
         let mut session = SearchSession::new(&space, &eval);
         let a = arch(16);
         let first = session.evaluate(&a);
         let second = session.evaluate(&a);
         assert_eq!(first, second);
-        assert_eq!(eval.calls.get(), 1);
+        assert_eq!(eval.count(), 1);
         assert_eq!(session.cache_stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(session.cache_len(), 1);
     }
@@ -356,7 +454,7 @@ mod tests {
     #[test]
     fn batch_deduplicates_before_the_evaluator() {
         let space = crate::space::DesignSpace::paper(WorkloadProfile::modelnet40());
-        let eval = Counting { calls: Cell::new(0) };
+        let eval = Counting::new();
         let mut session = SearchSession::new(&space, &eval);
         // Warm the cache with one entry.
         session.evaluate(&arch(16));
@@ -365,7 +463,7 @@ mod tests {
         assert_eq!(metrics.len(), 4);
         // arch(16) was cached; arch(32) is an in-batch duplicate: only 32
         // and 64 hit the evaluator.
-        assert_eq!(eval.calls.get(), 3);
+        assert_eq!(eval.count(), 3);
         let stats = session.cache_stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 3);
@@ -377,13 +475,13 @@ mod tests {
     #[test]
     fn disabled_memoization_always_reevaluates() {
         let space = crate::space::DesignSpace::paper(WorkloadProfile::modelnet40());
-        let eval = Counting { calls: Cell::new(0) };
+        let eval = Counting::new();
         let mut session = SearchSession::new(&space, &eval).with_memoization(false);
         let a = arch(16);
         session.evaluate(&a);
         session.evaluate(&a);
         session.evaluate_batch(&[a.clone(), a.clone()]);
-        assert_eq!(eval.calls.get(), 4);
+        assert_eq!(eval.count(), 4);
         assert_eq!(session.cache_stats().hits, 0);
         assert_eq!(session.cache_len(), 0);
     }
@@ -391,7 +489,7 @@ mod tests {
     #[test]
     fn cached_metrics_are_bit_identical_to_fresh() {
         let space = crate::space::DesignSpace::paper(WorkloadProfile::modelnet40());
-        let eval = Counting { calls: Cell::new(0) };
+        let eval = Counting::new();
         let fresh = eval.evaluate(&arch(32));
         let mut session = SearchSession::new(&space, &eval);
         let via_cache_miss = session.evaluate(&arch(32));

@@ -1,0 +1,599 @@
+//! The evaluation-backend layer: fidelity-tagged measurement oracles and
+//! the deterministic parallel batch driver.
+//!
+//! The paper prices thousands of candidates with a cheap LUT estimate and
+//! closes the estimate-vs-measured gap with higher-fidelity measurement
+//! (Sec. 3.5). This module makes that an explicit architecture instead of
+//! scattered call sites: every oracle implements [`EvalBackend`] — an
+//! [`Evaluator`] that also declares *what it is* ([`Fidelity`]) and *what
+//! it costs* ([`EvalBackend::cost_hint`]) — so strategy code never names a
+//! concrete estimator, and new oracles (the live TCP engine, say) register
+//! without touching any search code.
+//!
+//! Three backends live in the workspace today:
+//!
+//! * [`AnalyticBackend`] (here) — LUT-style cost estimation plus the
+//!   analytic energy model; the cheap screen.
+//! * `gcode_sim::SimBackend` — the discrete-event co-inference simulator;
+//!   the expensive "measured" oracle that sees runtime overheads.
+//! * [`CascadeBackend`] (here) — multi-fidelity search: screens every
+//!   batch with a cheap backend and re-prices only the top fraction with
+//!   an expensive one.
+//!
+//! [`shard_batch`] is the parallel driver behind
+//! [`Evaluator::evaluate_batch_workers`]: contiguous shards across scoped
+//! worker threads, merged in input order, so serial and parallel runs are
+//! bit-identical.
+
+use crate::arch::{Architecture, WorkloadProfile};
+use crate::cost::trace;
+use crate::estimate::{breakdown_from_trace, energy_from_parts};
+use crate::eval::{Evaluator, Metrics, Objective};
+use gcode_hardware::SystemConfig;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How trustworthy (and how expensive) a backend's numbers are, ordered
+/// from cheapest estimate to ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Closed-form LUT accumulation — no runtime overheads.
+    Analytic,
+    /// A trained predictor interpolating measured data.
+    Predicted,
+    /// Discrete-event simulation with runtime overheads charged.
+    Simulated,
+    /// Live measurement on real hardware (the TCP engine).
+    Measured,
+}
+
+/// An [`Evaluator`] that declares its fidelity tier and relative cost, the
+/// unit every oracle plugs into. `Sync` is inherited from [`Evaluator`],
+/// so any backend can be sharded by the parallel driver or stacked under a
+/// [`CascadeBackend`].
+pub trait EvalBackend: Evaluator {
+    /// The fidelity tier of the metrics this backend produces.
+    fn fidelity(&self) -> Fidelity;
+
+    /// Rough per-candidate cost relative to the analytic estimator (1.0).
+    /// Cascades use this to report how much work screening saved.
+    fn cost_hint(&self) -> f64;
+
+    /// Short human-readable name for reports and CLI output.
+    fn name(&self) -> &str;
+}
+
+/// Shards `archs` into `workers` contiguous chunks, evaluates each chunk
+/// on its own scoped thread via [`Evaluator::evaluate_batch`], and merges
+/// the results in input order.
+///
+/// Determinism: shard boundaries depend only on `archs.len()` and
+/// `workers`, the merge consumes join handles in spawn order, and each
+/// candidate's metrics are computed by the same pointwise code that a
+/// serial run would execute — so the output is bit-identical to
+/// `evaluator.evaluate_batch(archs)` for any pointwise backend, regardless
+/// of thread scheduling.
+pub fn shard_batch<E: Evaluator + ?Sized>(
+    evaluator: &E,
+    archs: &[Architecture],
+    workers: usize,
+) -> Vec<Metrics> {
+    let workers = workers.max(1).min(archs.len());
+    if workers <= 1 {
+        return evaluator.evaluate_batch(archs);
+    }
+    let shard_len = archs.len().div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = archs
+            .chunks(shard_len)
+            .map(|shard| s.spawn(move |_| evaluator.evaluate_batch(shard)))
+            .collect();
+        let mut merged = Vec::with_capacity(archs.len());
+        for handle in handles {
+            merged.extend(handle.join().expect("evaluation worker panicked"));
+        }
+        merged
+    })
+    .expect("worker scope")
+}
+
+/// [`EvalBackend`] backed by the analytic cost/energy estimators plus a
+/// user-supplied accuracy function (surrogate model or supernet query) —
+/// the paper's LUT-style estimate and the cheap tier of every cascade.
+/// Latency and energy come from a single shape trace per candidate.
+pub struct AnalyticBackend<F: Fn(&Architecture) -> f64 + Sync> {
+    /// Workload being optimized for.
+    pub profile: WorkloadProfile,
+    /// Target system.
+    pub sys: SystemConfig,
+    /// Accuracy callback.
+    pub accuracy_fn: F,
+}
+
+impl<F: Fn(&Architecture) -> f64 + Sync> Evaluator for AnalyticBackend<F> {
+    fn evaluate(&self, arch: &Architecture) -> Metrics {
+        let traced = trace(arch, &self.profile);
+        let b = breakdown_from_trace(&traced, arch, &self.sys);
+        Metrics {
+            accuracy: (self.accuracy_fn)(arch),
+            latency_s: b.total_s(),
+            energy_j: energy_from_parts(&traced, &b, arch, &self.sys),
+        }
+    }
+}
+
+impl<F: Fn(&Architecture) -> f64 + Sync> EvalBackend for AnalyticBackend<F> {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Analytic
+    }
+
+    fn cost_hint(&self) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &str {
+        "analytic"
+    }
+}
+
+/// How many evaluations each tier of a [`CascadeBackend`] has performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CascadeStats {
+    /// Candidates priced by the cheap (screening) backend.
+    pub cheap_evals: u64,
+    /// Candidates re-priced by the expensive backend.
+    pub expensive_evals: u64,
+}
+
+impl CascadeStats {
+    /// Fraction of screened candidates that were re-priced expensively
+    /// (0 when nothing was screened).
+    pub fn escalation_rate(&self) -> f64 {
+        if self.cheap_evals == 0 {
+            0.0
+        } else {
+            self.expensive_evals as f64 / self.cheap_evals as f64
+        }
+    }
+}
+
+/// Multi-fidelity backend: screens every batch with the cheap backend,
+/// ranks the candidates under the screening [`Objective`], and re-prices
+/// only the top `keep_frac` fraction with the expensive backend. The rest
+/// keep their cheap metrics — exactly the paper's "estimate thousands,
+/// measure the promising few" economy, packaged as just another backend so
+/// strategies stay oblivious.
+///
+/// Because the cheap tier is optimistic (it misses the runtime overheads
+/// the expensive tier charges), a fixed top-k cut would systematically
+/// leave a just-below-cutoff candidate holding an inflated cheap score
+/// above every honestly re-priced one. After the top-k pass the cascade
+/// therefore keeps escalating the batch's current argmax until the
+/// best-scoring candidate of the batch is expensive-priced — so a batch's
+/// winner (and hence the search winner, which is some batch's argmax)
+/// always carries top-tier metrics. Candidates that never led their batch
+/// may retain cheap metrics; only escalation order, not results, depends
+/// on the tiers' relative bias. Setting `keep_frac` to 0 with
+/// [`CascadeBackend::with_min_keep`] 0 disables escalation entirely
+/// (pure-cheap screening mode).
+///
+/// Determinism: ranking sorts by screening score with the batch index as
+/// tie-break, and both tiers run through
+/// [`Evaluator::evaluate_batch_workers`] on the *whole* batch — so results
+/// never depend on worker count. They do depend on batch composition
+/// (screening is batch-scoped by design), so runs are reproducible for a
+/// fixed `SearchConfig::batch_size`.
+///
+/// Single-candidate lookups ([`Evaluator::evaluate`], e.g. Alg. 1's
+/// stage-2 tuning probes) always go straight to the expensive backend:
+/// screening a batch of one is pure overhead.
+pub struct CascadeBackend<'a> {
+    cheap: &'a dyn EvalBackend,
+    expensive: &'a dyn EvalBackend,
+    objective: Objective,
+    keep_frac: f64,
+    min_keep: usize,
+    name: String,
+    cheap_evals: AtomicU64,
+    expensive_evals: AtomicU64,
+}
+
+impl<'a> CascadeBackend<'a> {
+    /// Builds a cascade screening with `cheap` and re-pricing the top
+    /// quarter of each batch (by `objective` score) with `expensive`.
+    pub fn new(
+        cheap: &'a dyn EvalBackend,
+        expensive: &'a dyn EvalBackend,
+        objective: Objective,
+    ) -> Self {
+        debug_assert!(
+            cheap.cost_hint() <= expensive.cost_hint(),
+            "cascade tiers look inverted: {} costs more than {}",
+            cheap.name(),
+            expensive.name()
+        );
+        Self {
+            name: format!("cascade({}->{})", cheap.name(), expensive.name()),
+            cheap,
+            expensive,
+            objective,
+            keep_frac: 0.25,
+            min_keep: 1,
+            cheap_evals: AtomicU64::new(0),
+            expensive_evals: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the fraction of each batch re-priced expensively (clamped to
+    /// `[0, 1]`; at least `min_keep` candidates are always re-priced).
+    #[must_use]
+    pub fn with_keep_frac(mut self, keep_frac: f64) -> Self {
+        self.keep_frac = keep_frac.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the minimum number of candidates re-priced per batch
+    /// (default 1; 0 allows pure-cheap batches at `keep_frac` 0).
+    #[must_use]
+    pub fn with_min_keep(mut self, min_keep: usize) -> Self {
+        self.min_keep = min_keep;
+        self
+    }
+
+    /// Per-tier evaluation counters so far.
+    pub fn stats(&self) -> CascadeStats {
+        CascadeStats {
+            cheap_evals: self.cheap_evals.load(Ordering::Relaxed),
+            expensive_evals: self.expensive_evals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// How many of a batch of `n` survive screening.
+    fn keep_of(&self, n: usize) -> usize {
+        ((self.keep_frac * n as f64).ceil() as usize).max(self.min_keep).min(n)
+    }
+
+    /// Screening rank: feasible candidates by score, infeasible ones at
+    /// the sentinel −1 (matching [`Objective::scored`] semantics).
+    fn screen_score(&self, m: &Metrics) -> f64 {
+        if self.objective.feasible(m) {
+            self.objective.score(m)
+        } else {
+            -1.0
+        }
+    }
+
+    /// The batch-scoped screen-then-re-price pipeline shared by the serial
+    /// and parallel entry points.
+    fn rescore(&self, archs: &[Architecture], workers: usize) -> Vec<Metrics> {
+        if archs.is_empty() {
+            return Vec::new();
+        }
+        let mut metrics = self.cheap.evaluate_batch_workers(archs, workers);
+        self.cheap_evals.fetch_add(archs.len() as u64, Ordering::Relaxed);
+        let keep = self.keep_of(archs.len());
+        if keep == 0 {
+            return metrics;
+        }
+        let mut order: Vec<usize> = (0..archs.len()).collect();
+        order.sort_by(|&i, &j| {
+            self.screen_score(&metrics[j])
+                .total_cmp(&self.screen_score(&metrics[i]))
+                .then(i.cmp(&j))
+        });
+        let mut chosen: Vec<usize> = order[..keep].to_vec();
+        // Re-price in batch order so the expensive tier sees a stable
+        // sub-batch regardless of score ties.
+        chosen.sort_unstable();
+        let chosen_archs: Vec<Architecture> = chosen.iter().map(|&i| archs[i].clone()).collect();
+        let refined = self.expensive.evaluate_batch_workers(&chosen_archs, workers);
+        self.expensive_evals.fetch_add(chosen.len() as u64, Ordering::Relaxed);
+        let mut escalated = vec![false; archs.len()];
+        for (&i, m) in chosen.iter().zip(refined) {
+            metrics[i] = m;
+            escalated[i] = true;
+        }
+        // Escalate-until-fixpoint: re-pricing lowers scores, so the batch
+        // argmax may now be a cheap-priced candidate holding an optimistic
+        // estimate. Keep re-pricing the current argmax until the batch's
+        // best score belongs to an expensive-priced candidate.
+        loop {
+            let top = (0..archs.len())
+                .max_by(|&i, &j| {
+                    self.screen_score(&metrics[i])
+                        .total_cmp(&self.screen_score(&metrics[j]))
+                        .then(j.cmp(&i))
+                })
+                .expect("non-empty batch");
+            if escalated[top] {
+                break;
+            }
+            metrics[top] = self.expensive.evaluate(&archs[top]);
+            escalated[top] = true;
+            self.expensive_evals.fetch_add(1, Ordering::Relaxed);
+        }
+        metrics
+    }
+}
+
+impl Evaluator for CascadeBackend<'_> {
+    fn evaluate(&self, arch: &Architecture) -> Metrics {
+        self.expensive_evals.fetch_add(1, Ordering::Relaxed);
+        self.expensive.evaluate(arch)
+    }
+
+    fn evaluate_batch(&self, archs: &[Architecture]) -> Vec<Metrics> {
+        self.rescore(archs, 1)
+    }
+
+    fn evaluate_batch_workers(&self, archs: &[Architecture], workers: usize) -> Vec<Metrics> {
+        self.rescore(archs, workers)
+    }
+}
+
+impl EvalBackend for CascadeBackend<'_> {
+    /// A cascade can hand back metrics from either tier; it reports the
+    /// fidelity of its *top* tier, which is what the zoo's winners carry.
+    fn fidelity(&self) -> Fidelity {
+        self.expensive.fidelity()
+    }
+
+    fn cost_hint(&self) -> f64 {
+        self.cheap.cost_hint() + self.keep_frac * self.expensive.cost_hint()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, SampleFn};
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    fn pc() -> WorkloadProfile {
+        WorkloadProfile::modelnet40()
+    }
+
+    fn arch(dim: usize) -> Architecture {
+        Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 20 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim },
+            Op::GlobalPool(PoolMode::Max),
+        ])
+    }
+
+    fn analytic() -> AnalyticBackend<fn(&Architecture) -> f64> {
+        AnalyticBackend {
+            profile: pc(),
+            sys: SystemConfig::tx2_to_i7(40.0),
+            accuracy_fn: |a: &Architecture| 0.85 + 0.001 * a.len() as f64,
+        }
+    }
+
+    /// An "expensive" backend distinguishable from the analytic one. The
+    /// inflation is tiny so re-pricing never re-ranks the batch — which
+    /// keeps the top-k escalation tests focused on the cut itself (the
+    /// [`Inflating`] backend below exercises the re-ranking fixpoint).
+    struct Marked {
+        inner: AnalyticBackend<fn(&Architecture) -> f64>,
+        calls: AtomicU64,
+    }
+
+    impl Marked {
+        fn new() -> Self {
+            Self { inner: analytic(), calls: AtomicU64::new(0) }
+        }
+    }
+
+    impl Evaluator for Marked {
+        fn evaluate(&self, arch: &Architecture) -> Metrics {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let m = self.inner.evaluate(arch);
+            Metrics { latency_s: m.latency_s * (1.0 + 1e-9), ..m }
+        }
+    }
+
+    impl EvalBackend for Marked {
+        fn fidelity(&self) -> Fidelity {
+            Fidelity::Simulated
+        }
+
+        fn cost_hint(&self) -> f64 {
+            25.0
+        }
+
+        fn name(&self) -> &str {
+            "marked"
+        }
+    }
+
+    fn batch(n: usize) -> Vec<Architecture> {
+        (0..n).map(|i| arch(8 * (i + 1))).collect()
+    }
+
+    #[test]
+    fn analytic_backend_reports_identity() {
+        let a = analytic();
+        assert_eq!(a.fidelity(), Fidelity::Analytic);
+        assert_eq!(a.name(), "analytic");
+        assert_eq!(a.cost_hint(), 1.0);
+        assert!(Fidelity::Analytic < Fidelity::Simulated);
+        assert!(Fidelity::Simulated < Fidelity::Measured);
+    }
+
+    #[test]
+    fn shard_batch_is_bit_identical_to_serial_for_any_worker_count() {
+        let a = analytic();
+        let archs = batch(13);
+        let serial = a.evaluate_batch(&archs);
+        for workers in [2usize, 3, 4, 8, 16, 64] {
+            let parallel = shard_batch(&a, &archs, workers);
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.latency_s.to_bits(), s.latency_s.to_bits(), "workers {workers}");
+                assert_eq!(p.energy_j.to_bits(), s.energy_j.to_bits());
+                assert_eq!(p.accuracy.to_bits(), s.accuracy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_batch_handles_degenerate_sizes() {
+        let a = analytic();
+        assert!(shard_batch(&a, &[], 8).is_empty());
+        let one = batch(1);
+        assert_eq!(shard_batch(&a, &one, 8).len(), 1);
+        // workers = 0 is treated as serial.
+        assert_eq!(shard_batch(&a, &one, 0).len(), 1);
+    }
+
+    #[test]
+    fn cascade_reprices_only_the_top_fraction() {
+        let cheap = analytic();
+        let expensive = Marked::new();
+        let objective = Objective::new(0.1, 10.0, 100.0);
+        let cascade = CascadeBackend::new(&cheap, &expensive, objective).with_keep_frac(0.25);
+        let archs = batch(16);
+        let metrics = cascade.evaluate_batch(&archs);
+        assert_eq!(metrics.len(), 16);
+        let stats = cascade.stats();
+        assert_eq!(stats.cheap_evals, 16);
+        assert_eq!(stats.expensive_evals, 4, "ceil(0.25 * 16)");
+        assert_eq!(expensive.calls.load(Ordering::Relaxed), 4);
+        assert!((stats.escalation_rate() - 0.25).abs() < 1e-12);
+        // Exactly the re-priced candidates carry the expensive (inflated)
+        // latency.
+        let cheap_metrics = cheap.evaluate_batch(&archs);
+        let inflated =
+            metrics.iter().zip(&cheap_metrics).filter(|(m, c)| m.latency_s > c.latency_s).count();
+        assert_eq!(inflated, 4);
+    }
+
+    #[test]
+    fn cascade_is_worker_invariant() {
+        let cheap = analytic();
+        let expensive = Marked::new();
+        let objective = Objective::new(0.1, 10.0, 100.0);
+        let cascade = CascadeBackend::new(&cheap, &expensive, objective).with_keep_frac(0.3);
+        let archs = batch(11);
+        let serial = cascade.evaluate_batch_workers(&archs, 1);
+        for workers in [2usize, 4, 8] {
+            let parallel = cascade.evaluate_batch_workers(&archs, workers);
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.latency_s.to_bits(), s.latency_s.to_bits(), "workers {workers}");
+            }
+        }
+    }
+
+    /// Expensive backend whose latency is so much higher than the cheap
+    /// estimate that every top-k escalation dethrones itself.
+    struct Inflating {
+        inner: AnalyticBackend<fn(&Architecture) -> f64>,
+    }
+
+    impl Evaluator for Inflating {
+        fn evaluate(&self, arch: &Architecture) -> Metrics {
+            let m = self.inner.evaluate(arch);
+            Metrics { latency_s: m.latency_s * 50.0, ..m }
+        }
+    }
+
+    impl EvalBackend for Inflating {
+        fn fidelity(&self) -> Fidelity {
+            Fidelity::Simulated
+        }
+
+        fn cost_hint(&self) -> f64 {
+            50.0
+        }
+
+        fn name(&self) -> &str {
+            "inflating"
+        }
+    }
+
+    #[test]
+    fn batch_argmax_is_always_expensive_priced() {
+        // The cheap tier is optimistic, so after the top-k pass the batch
+        // argmax may hold an unverified estimate; the fixpoint loop must
+        // keep escalating until the winner is honestly priced — even when
+        // the expensive tier dethrones every candidate it re-prices.
+        let cheap = analytic();
+        let expensive = Inflating { inner: analytic() };
+        let objective = Objective::new(0.1, 10.0, 100.0);
+        let cascade = CascadeBackend::new(&cheap, &expensive, objective).with_keep_frac(0.25);
+        let archs = batch(16);
+        let metrics = cascade.evaluate_batch(&archs);
+        // The argmax by screening score carries the 50x-inflated
+        // (expensive-tier) latency, not a cheap estimate.
+        let top = (0..archs.len())
+            .max_by(|&i, &j| {
+                let s = |m: &Metrics| {
+                    if objective.feasible(m) {
+                        objective.score(m)
+                    } else {
+                        -1.0
+                    }
+                };
+                s(&metrics[i]).total_cmp(&s(&metrics[j])).then(j.cmp(&i))
+            })
+            .expect("non-empty");
+        let honest = expensive.evaluate(&archs[top]);
+        assert_eq!(metrics[top].latency_s.to_bits(), honest.latency_s.to_bits());
+        // Escalation went beyond the initial top-k but stayed counted.
+        let stats = cascade.stats();
+        assert!(stats.expensive_evals > 4, "fixpoint must escalate past the top-k cut");
+        assert!(stats.expensive_evals <= 16);
+    }
+
+    #[test]
+    fn cascade_single_lookups_are_full_fidelity() {
+        let cheap = analytic();
+        let expensive = Marked::new();
+        let cascade = CascadeBackend::new(&cheap, &expensive, Objective::default());
+        let m = cascade.evaluate(&arch(16));
+        assert_eq!(m.latency_s.to_bits(), expensive.evaluate(&arch(16)).latency_s.to_bits());
+        assert_eq!(cascade.stats().expensive_evals, 1);
+        assert_eq!(cascade.stats().cheap_evals, 0);
+    }
+
+    #[test]
+    fn cascade_keep_bounds() {
+        let cheap = analytic();
+        let expensive = Marked::new();
+        let objective = Objective::default();
+        let c = CascadeBackend::new(&cheap, &expensive, objective);
+        assert_eq!(c.keep_of(16), 4);
+        assert_eq!(c.keep_of(1), 1, "min_keep floors the escalation");
+        let none =
+            CascadeBackend::new(&cheap, &expensive, objective).with_keep_frac(0.0).with_min_keep(0);
+        assert_eq!(none.keep_of(16), 0, "keep_frac 0 + min_keep 0 = pure cheap");
+        let all = CascadeBackend::new(&cheap, &expensive, objective).with_keep_frac(1.0);
+        assert_eq!(all.keep_of(7), 7);
+    }
+
+    #[test]
+    fn cascade_reports_top_tier_identity() {
+        let cheap = analytic();
+        let expensive = Marked::new();
+        let c = CascadeBackend::new(&cheap, &expensive, Objective::default());
+        assert_eq!(c.fidelity(), Fidelity::Simulated);
+        assert_eq!(c.name(), "cascade(analytic->marked)");
+        assert!(c.cost_hint() < expensive.cost_hint());
+        assert!(c.cost_hint() > cheap.cost_hint());
+    }
+
+    #[test]
+    fn cascade_empty_batch_is_empty() {
+        let cheap = analytic();
+        let expensive = Marked::new();
+        let c = CascadeBackend::new(&cheap, &expensive, Objective::default());
+        assert!(c.evaluate_batch(&[]).is_empty());
+        assert_eq!(c.stats(), CascadeStats::default());
+    }
+}

@@ -8,11 +8,16 @@
 //!    [`op::Op::Communicate`] is an ordinary operation;
 //! 2. an [`eval::SearchSession`] drives a [`eval::SearchStrategy`] —
 //!    [`search::RandomSearch`] (Alg. 1), with [`ea::Ea`] as the ablation
-//!    baseline — scoring candidates through a batched, memoized
-//!    [`eval::Evaluator`] against one shared [`eval::Objective`];
-//! 3. latency comes from [`estimate`] (LUT-style cost estimation) or from
-//!    the trained [`predictor`] (GIN over the architecture graph), energy
-//!    from [`estimate::estimate_device_energy`];
+//!    baseline — scoring candidates through a batched, memoized,
+//!    worker-sharded [`eval::Evaluator`] against one shared
+//!    [`eval::Objective`];
+//! 3. metrics come from a fidelity-tagged
+//!    [`eval::backend::EvalBackend`]: the analytic
+//!    [`eval::backend::AnalyticBackend`] (LUT-style [`estimate`]), the
+//!    trained [`predictor`] (GIN over the architecture graph), the
+//!    discrete-event simulator (`gcode_sim::SimBackend`), or a
+//!    multi-fidelity [`eval::backend::CascadeBackend`] that screens
+//!    cheaply and re-prices only the promising fraction expensively;
 //! 4. accuracy comes from the one-shot [`supernet`] or the calibrated
 //!    [`surrogate`] model;
 //! 5. winners land in the [`zoo`], from which the runtime dispatcher picks.
@@ -21,14 +26,14 @@
 //!
 //! ```
 //! use gcode_core::arch::WorkloadProfile;
-//! use gcode_core::estimate::AnalyticEvaluator;
+//! use gcode_core::eval::backend::AnalyticBackend;
 //! use gcode_core::eval::{Objective, SearchSession};
 //! use gcode_core::search::{RandomSearch, SearchConfig};
 //! use gcode_core::space::DesignSpace;
 //! use gcode_hardware::SystemConfig;
 //!
 //! let space = DesignSpace::paper(WorkloadProfile::modelnet40());
-//! let eval = AnalyticEvaluator {
+//! let eval = AnalyticBackend {
 //!     profile: space.profile,
 //!     sys: SystemConfig::tx2_to_i7(40.0),
 //!     accuracy_fn: |_| 0.92,

@@ -161,4 +161,73 @@ mod tests {
         let hv = hypervolume(&[p(0.75, 0.1)], 0.8, 0.3);
         assert_eq!(hv, 0.0);
     }
+
+    #[test]
+    fn hypervolume_of_empty_front_is_zero() {
+        assert_eq!(hypervolume(&[], 0.8, 0.3), 0.0);
+    }
+
+    #[test]
+    fn ties_on_one_objective_keep_only_the_dominating_point() {
+        // Same accuracy, different latency: the faster point dominates.
+        let same_acc = pareto_front(&[p(0.9, 0.1), p(0.9, 0.2), p(0.9, 0.3)]);
+        assert_eq!(same_acc, vec![p(0.9, 0.1)]);
+        // Same latency, different accuracy: the more accurate dominates.
+        let same_lat = pareto_front(&[p(0.85, 0.1), p(0.95, 0.1), p(0.90, 0.1)]);
+        assert_eq!(same_lat, vec![p(0.95, 0.1)]);
+        // A tie on one objective with a trade-off on the other keeps both.
+        let trade = pareto_front(&[p(0.9, 0.1), p(0.95, 0.2)]);
+        assert_eq!(trade.len(), 2);
+    }
+
+    #[test]
+    fn front_is_insertion_order_independent() {
+        let pts = [
+            p(0.92, 0.05),
+            p(0.90, 0.01),
+            p(0.91, 0.06),
+            p(0.85, 0.02),
+            p(0.90, 0.01),
+            p(0.95, 0.09),
+        ];
+        let baseline = pareto_front(&pts);
+        // Exhaustively check a handful of distinct orderings, including
+        // reversed and interleaved ones.
+        let orders: [Vec<usize>; 4] = [
+            vec![5, 4, 3, 2, 1, 0],
+            vec![1, 3, 5, 0, 2, 4],
+            vec![2, 0, 4, 5, 3, 1],
+            vec![4, 5, 0, 1, 2, 3],
+        ];
+        for order in orders {
+            let shuffled: Vec<ParetoPoint> = order.iter().map(|&i| pts[i]).collect();
+            assert_eq!(pareto_front(&shuffled), baseline, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_collapse_regardless_of_multiplicity() {
+        let pts = vec![p(0.9, 0.1); 5];
+        assert_eq!(pareto_front(&pts), vec![p(0.9, 0.1)]);
+        // Duplicates of a dominated point still vanish entirely.
+        let mixed = vec![p(0.8, 0.2), p(0.8, 0.2), p(0.9, 0.1)];
+        assert_eq!(pareto_front(&mixed), vec![p(0.9, 0.1)]);
+    }
+
+    #[test]
+    fn front_of_scored_archs_maps_fields() {
+        use crate::arch::Architecture;
+        use crate::op::{Op, SampleFn};
+
+        let arch = Architecture::new(vec![Op::Sample(SampleFn::Knn { k: 20 })]);
+        let mk = |accuracy: f64, latency_s: f64| ScoredArch {
+            arch: arch.clone(),
+            score: 0.0,
+            accuracy,
+            latency_s,
+            energy_j: 0.1,
+        };
+        let front = front_of(&[mk(0.9, 0.1), mk(0.8, 0.2), mk(0.92, 0.3)]);
+        assert_eq!(front, vec![p(0.9, 0.1), p(0.92, 0.3)]);
+    }
 }

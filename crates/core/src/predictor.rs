@@ -465,14 +465,14 @@ mod tests {
 /// predictor ensures that the explored architecture meets the strict
 /// latency requirements", Sec. 3.5). Energy still comes from the analytic
 /// estimator, accuracy from the supplied callback.
-pub struct PredictorEvaluator<F: Fn(&Architecture) -> f64> {
+pub struct PredictorEvaluator<F: Fn(&Architecture) -> f64 + Sync> {
     /// Trained latency predictor (carries profile + system).
     pub predictor: LatencyPredictor,
     /// Accuracy callback.
     pub accuracy_fn: F,
 }
 
-impl<F: Fn(&Architecture) -> f64> crate::eval::Evaluator for PredictorEvaluator<F> {
+impl<F: Fn(&Architecture) -> f64 + Sync> crate::eval::Evaluator for PredictorEvaluator<F> {
     fn evaluate(&self, arch: &Architecture) -> crate::eval::Metrics {
         crate::eval::Metrics {
             accuracy: (self.accuracy_fn)(arch),
@@ -483,6 +483,24 @@ impl<F: Fn(&Architecture) -> f64> crate::eval::Evaluator for PredictorEvaluator<
                 &self.predictor.sys,
             ),
         }
+    }
+}
+
+impl<F: Fn(&Architecture) -> f64 + Sync> crate::eval::backend::EvalBackend
+    for PredictorEvaluator<F>
+{
+    fn fidelity(&self) -> crate::eval::backend::Fidelity {
+        crate::eval::backend::Fidelity::Predicted
+    }
+
+    fn cost_hint(&self) -> f64 {
+        // One GIN forward pass per candidate: pricier than LUT
+        // accumulation, far cheaper than a simulator run.
+        3.0
+    }
+
+    fn name(&self) -> &str {
+        "predictor"
     }
 }
 

@@ -196,7 +196,7 @@ pub(crate) fn insert_into_zoo(zoo: &mut Vec<ScoredArch>, candidate: ScoredArch, 
 mod tests {
     use super::*;
     use crate::arch::WorkloadProfile;
-    use crate::estimate::AnalyticEvaluator;
+    use crate::eval::backend::AnalyticBackend;
     use gcode_hardware::SystemConfig;
 
     fn setup() -> (DesignSpace, SearchConfig, Objective) {
@@ -215,8 +215,8 @@ mod tests {
         (space, cfg, objective)
     }
 
-    fn evaluator(sys: SystemConfig) -> AnalyticEvaluator<impl Fn(&Architecture) -> f64> {
-        AnalyticEvaluator {
+    fn evaluator(sys: SystemConfig) -> AnalyticBackend<impl Fn(&Architecture) -> f64 + Sync> {
+        AnalyticBackend {
             profile: WorkloadProfile::modelnet40(),
             sys,
             // Accuracy proxy: mildly rewards more Combine capacity.

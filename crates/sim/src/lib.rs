@@ -44,6 +44,7 @@ pub use dynamic::{simulate_adaptive, AdaptiveReport, BandwidthTrace, DispatchedF
 
 use gcode_core::arch::{Architecture, WorkloadProfile};
 use gcode_core::cost::trace;
+use gcode_core::eval::backend::{EvalBackend, Fidelity};
 use gcode_core::eval::{Evaluator, Metrics};
 use gcode_core::op::{OpKind, Placement};
 use gcode_hardware::SystemConfig;
@@ -281,11 +282,13 @@ fn arch_noise(arch: &Architecture) -> f64 {
     ((h.finish() % 8192) as f64 / 8192.0) * 2.0 - 1.0
 }
 
-/// [`Evaluator`] backed by the simulator — the "measured" oracle used to
+/// [`EvalBackend`] backed by the simulator — the "measured" oracle used to
 /// train the predictor and to fill the paper's tables. One simulator run
 /// per candidate prices latency and energy together (the old per-metric
-/// interface simulated the same architecture twice).
-pub struct SimEvaluator<F: Fn(&Architecture) -> f64> {
+/// interface simulated the same architecture twice). As the expensive tier
+/// of a `gcode_core::eval::backend::CascadeBackend` it re-prices only the
+/// candidates that survive the cheap analytic screen.
+pub struct SimBackend<F: Fn(&Architecture) -> f64 + Sync> {
     /// Workload being optimized.
     pub profile: WorkloadProfile,
     /// Target system.
@@ -296,7 +299,7 @@ pub struct SimEvaluator<F: Fn(&Architecture) -> f64> {
     pub accuracy_fn: F,
 }
 
-impl<F: Fn(&Architecture) -> f64> Evaluator for SimEvaluator<F> {
+impl<F: Fn(&Architecture) -> f64 + Sync> Evaluator for SimBackend<F> {
     fn evaluate(&self, arch: &Architecture) -> Metrics {
         let report = simulate(arch, &self.profile, &self.sys, &self.sim);
         Metrics {
@@ -304,6 +307,23 @@ impl<F: Fn(&Architecture) -> f64> Evaluator for SimEvaluator<F> {
             latency_s: report.frame_latency_s,
             energy_j: report.device_energy_j,
         }
+    }
+}
+
+impl<F: Fn(&Architecture) -> f64 + Sync> EvalBackend for SimBackend<F> {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Simulated
+    }
+
+    fn cost_hint(&self) -> f64 {
+        // A discrete-event pipeline pass over `sim.frames` frames vs one
+        // LUT accumulation; single-frame probes still pay the stage build
+        // plus the event loop.
+        10.0 + self.sim.frames as f64
+    }
+
+    fn name(&self) -> &str {
+        "sim"
     }
 }
 
@@ -462,7 +482,7 @@ mod tests {
 
     #[test]
     fn evaluator_interface_works() {
-        let eval = SimEvaluator {
+        let eval = SimBackend {
             profile: pc(),
             sys: SystemConfig::tx2_to_i7(40.0),
             sim: SimConfig::single_frame(),

@@ -35,10 +35,11 @@ fn main() {
     println!("supernet holds {} shared weight tensors", supernet.num_weights());
 
     // Search with real one-shot accuracy + simulated system latency. The
-    // supernet needs mutable access for its forward passes, so the
-    // evaluator wraps it in a RefCell behind the shared `&self` interface.
+    // supernet needs mutable access for its forward passes, and `Evaluator`
+    // is `Sync` (the session may shard batches across workers), so the
+    // evaluator wraps it in a Mutex behind the shared `&self` interface.
     struct SupernetEval<'a> {
-        supernet: std::cell::RefCell<&'a mut SuperNet>,
+        supernet: std::sync::Mutex<&'a mut SuperNet>,
         val: &'a [gcode::graph::datasets::Sample],
         profile: WorkloadProfile,
         sys: SystemConfig,
@@ -47,7 +48,7 @@ fn main() {
         fn evaluate(&self, arch: &Architecture) -> gcode::core::eval::Metrics {
             let report = simulate(arch, &self.profile, &self.sys, &SimConfig::single_frame());
             gcode::core::eval::Metrics {
-                accuracy: self.supernet.borrow_mut().accuracy(arch, self.val),
+                accuracy: self.supernet.lock().expect("supernet lock").accuracy(arch, self.val),
                 latency_s: report.frame_latency_s,
                 energy_j: report.device_energy_j,
             }
@@ -56,7 +57,7 @@ fn main() {
     let cfg = SearchConfig { iterations: 60, seed: 5, ..SearchConfig::default() };
     let objective = Objective::new(0.2, 0.2, 1.0);
     let eval =
-        SupernetEval { supernet: std::cell::RefCell::new(&mut supernet), val: &val, profile, sys };
+        SupernetEval { supernet: std::sync::Mutex::new(&mut supernet), val: &val, profile, sys };
     // The supernet advances internal state on every accuracy query, so its
     // output is call-order dependent — exactly the case the SearchSession
     // docs say to run without memoization.

@@ -11,7 +11,7 @@ use gcode::core::search::{RandomSearch, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::hardware::SystemConfig;
-use gcode::sim::{SimConfig, SimEvaluator};
+use gcode::sim::{SimBackend, SimConfig};
 
 fn main() {
     // 1. User requirements: workload, system, constraints. The objective
@@ -27,7 +27,7 @@ fn main() {
     // 3. Evaluate candidates on the co-inference simulator, with the
     //    calibrated surrogate accuracy model.
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    let eval = SimEvaluator {
+    let eval = SimBackend {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),

@@ -13,14 +13,14 @@ use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
 use gcode::hardware::SystemConfig;
-use gcode::sim::{SimConfig, SimEvaluator};
+use gcode::sim::{SimBackend, SimConfig};
 
 fn main() {
     let profile = WorkloadProfile::modelnet40();
     let sys = SystemConfig::pi_to_1060(40.0);
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    let eval = SimEvaluator {
+    let eval = SimBackend {
         profile,
         sys,
         sim: SimConfig::single_frame(),

@@ -14,7 +14,7 @@ use gcode::core::supernet::SuperNet;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::graph::datasets::TextGraphDataset;
 use gcode::hardware::SystemConfig;
-use gcode::sim::{SimConfig, SimEvaluator};
+use gcode::sim::{SimBackend, SimConfig};
 
 fn main() {
     // MR regime: ~17-node word graphs, wide embeddings (64 here for speed;
@@ -31,7 +31,7 @@ fn main() {
     // Fast surrogate-driven search, as the table benches do.
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(SurrogateTask::Mr);
-    let eval = SimEvaluator {
+    let eval = SimBackend {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),

@@ -4,23 +4,27 @@
 //! any [`core::eval::SearchStrategy`] (constraint-based
 //! [`core::search::RandomSearch`], the [`core::ea::Ea`] ablation, the
 //! single-device [`baselines::nas::SingleDeviceNas`] baseline) over a
-//! [`core::space::DesignSpace`] through a batched, memoized
-//! [`core::eval::Evaluator`] — analytic cost model
-//! ([`core::estimate::AnalyticEvaluator`]), discrete-event simulator
-//! ([`sim::SimEvaluator`]) or trained latency predictor
-//! ([`core::predictor::PredictorEvaluator`]). Search winners land in a
-//! [`core::zoo::ArchitectureZoo`], which the [`engine`] deploys over TCP.
+//! [`core::space::DesignSpace`] through a batched, memoized, worker-sharded
+//! [`core::eval::Evaluator`]. Metrics come from a fidelity-tagged
+//! [`core::eval::backend::EvalBackend`] — analytic cost model
+//! ([`core::eval::backend::AnalyticBackend`]), discrete-event simulator
+//! ([`sim::SimBackend`]), trained latency predictor
+//! ([`core::predictor::PredictorEvaluator`]), or the multi-fidelity
+//! [`core::eval::backend::CascadeBackend`] that screens each batch cheaply
+//! and re-prices only the top fraction with the simulator. Search winners
+//! land in a [`core::zoo::ArchitectureZoo`], which the [`engine`] deploys
+//! over TCP.
 //!
 //! ```
 //! use gcode::core::arch::WorkloadProfile;
 //! use gcode::core::eval::{Objective, SearchSession};
 //! use gcode::core::search::{RandomSearch, SearchConfig};
 //! use gcode::core::space::DesignSpace;
-//! use gcode::core::estimate::AnalyticEvaluator;
+//! use gcode::core::eval::backend::AnalyticBackend;
 //! use gcode::hardware::SystemConfig;
 //!
 //! let space = DesignSpace::paper(WorkloadProfile::modelnet40());
-//! let eval = AnalyticEvaluator {
+//! let eval = AnalyticBackend {
 //!     profile: space.profile,
 //!     sys: SystemConfig::tx2_to_i7(40.0),
 //!     accuracy_fn: |_| 0.92,

@@ -3,21 +3,23 @@
 //!
 //! ```text
 //! gcode search   --device tx2 --edge i7 --mbps 40 --task modelnet40 \
+//!                [--backend analytic|sim|cascade] [--workers N] [--keep-frac F]
 //!                [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
-//!                [--seed N] [--zoo-out FILE]
+//!                [--seed N] [--zoo-out FILE] [--report-out FILE]
 //! gcode systems                       # list built-in device/edge pairs
 //! gcode describe --zoo FILE [--index N]
 //! gcode dispatch --zoo FILE [--latency-ms F] [--energy-j F]
 //! ```
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
-use gcode::core::eval::Objective;
-use gcode::core::search::{random_search, SearchConfig};
+use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
+use gcode::core::eval::{Objective, SearchSession};
+use gcode::core::search::{RandomSearch, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
 use gcode::hardware::{Link, Processor, SystemConfig};
-use gcode::sim::{SimConfig, SimEvaluator};
+use gcode::sim::{SimBackend, SimConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -52,8 +54,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   gcode search   --device <tx2|pi> --edge <i7|1060> [--mbps F] [--task <modelnet40|mr>]
+                 [--backend <analytic|sim|cascade>] [--workers N] [--keep-frac F]
                  [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
-                 [--seed N] [--zoo-out FILE]
+                 [--seed N] [--zoo-out FILE] [--report-out FILE]
   gcode systems
   gcode describe --zoo FILE [--index N]
   gcode dispatch --zoo FILE [--latency-ms F] [--energy-j F]";
@@ -125,16 +128,74 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         get_f64(opts, "latency-ms", 300.0)? / 1e3,
         get_f64(opts, "energy-j", 3.0)?,
     );
+    let workers = get_usize(opts, "workers", 1)?;
+    let keep_frac = get_f64(opts, "keep-frac", 0.25)?;
+    let backend_name = opts.get("backend").map(String::as_str).unwrap_or("sim");
     let space = DesignSpace::paper(profile);
-    let surrogate = SurrogateAccuracy::new(task);
-    let eval = SimEvaluator {
+
+    // All three backends share the calibrated surrogate accuracy; the
+    // cascade screens with the analytic tier and re-prices the top
+    // `keep_frac` of each batch with the simulator.
+    let s1 = SurrogateAccuracy::new(task);
+    let analytic = AnalyticBackend {
+        profile,
+        sys: sys.clone(),
+        accuracy_fn: move |a: &Architecture| s1.overall_accuracy(a),
+    };
+    let s2 = SurrogateAccuracy::new(task);
+    let sim = SimBackend {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),
-        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+        accuracy_fn: move |a: &Architecture| s2.overall_accuracy(a),
     };
-    println!("searching {} on {} …", cfg.iterations, sys.label());
-    let result = random_search(&space, &cfg, &objective, &eval);
+    let cascade;
+    let mut cascade_stats = None;
+    let backend: &dyn EvalBackend = match backend_name {
+        "analytic" => &analytic,
+        "sim" => &sim,
+        "cascade" => {
+            cascade = CascadeBackend::new(&analytic, &sim, objective).with_keep_frac(keep_frac);
+            cascade_stats = Some(&cascade);
+            &cascade
+        }
+        other => return Err(format!("unknown backend `{other}` (analytic|sim|cascade)")),
+    };
+
+    println!(
+        "searching {} on {} via `{}` ({:?} fidelity, {} worker{}) …",
+        cfg.iterations,
+        sys.label(),
+        backend.name(),
+        backend.fidelity(),
+        workers,
+        if workers == 1 { "" } else { "s" }
+    );
+    let mut session =
+        SearchSession::new(&space, backend).with_objective(objective).with_workers(workers);
+    let result = session.run(&RandomSearch::new(cfg));
+    let report = session.report(backend.name(), &result);
+    println!(
+        "evaluations: {} unique ({} cache hits of {} lookups, {:.1}% hit rate)",
+        report.unique_architectures,
+        report.cache.hits,
+        report.cache.lookups(),
+        report.cache.hit_rate() * 100.0
+    );
+    if let Some(c) = cascade_stats {
+        let stats = c.stats();
+        println!(
+            "cascade: {} screened cheaply, {} re-priced by sim ({:.1}% escalated)",
+            stats.cheap_evals,
+            stats.expensive_evals,
+            stats.escalation_rate() * 100.0
+        );
+    }
+    if let Some(path) = opts.get("report-out") {
+        let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("search report written to {path}");
+    }
     let Some(best) = result.best() else {
         return Err("no candidate met the constraints; relax --latency-ms/--energy-j".into());
     };

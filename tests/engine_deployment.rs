@@ -12,7 +12,7 @@ use gcode::graph::datasets::PointCloudDataset;
 use gcode::nn::agg::AggMode;
 use gcode::nn::pool::PoolMode;
 use gcode::nn::seq::{forward, GraphInput, WeightBank};
-use gcode::sim::{SimConfig, SimEvaluator};
+use gcode::sim::{SimBackend, SimConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -21,7 +21,7 @@ fn searched_design_deploys_and_matches_local_inference() {
     // Search a design (fast surrogate accuracy) at mini scale.
     let profile = WorkloadProfile::modelnet40_mini(24, 4);
     let space = DesignSpace::paper(profile);
-    let eval = SimEvaluator {
+    let eval = SimBackend {
         profile,
         sys: gcode::hardware::SystemConfig::tx2_to_i7(40.0),
         sim: SimConfig::single_frame(),

@@ -10,7 +10,7 @@ use gcode::core::search::{random_search, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::hardware::SystemConfig;
-use gcode::sim::{simulate, SimConfig, SimEvaluator};
+use gcode::sim::{simulate, SimBackend, SimConfig};
 
 fn gcode_best(
     sys: &SystemConfig,
@@ -20,7 +20,7 @@ fn gcode_best(
 ) -> Architecture {
     let space = DesignSpace::paper(profile);
     let surrogate = SurrogateAccuracy::new(task);
-    let eval = SimEvaluator {
+    let eval = SimBackend {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),
@@ -88,7 +88,7 @@ fn tab3_gcode_wins_the_text_workload() {
     for sys in SystemConfig::paper_systems(40.0) {
         let space = DesignSpace::paper(profile);
         let surrogate = SurrogateAccuracy::new(SurrogateTask::Mr);
-        let eval = SimEvaluator {
+        let eval = SimBackend {
             profile,
             sys: sys.clone(),
             sim,
@@ -146,7 +146,7 @@ fn fig10a_random_search_outperforms_ea_in_the_fused_space() {
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
     let cfg = SearchConfig { iterations: 600, seed: 3, ..SearchConfig::default() };
     let objective = Objective::new(0.25, 0.15, 1.5);
-    let mk_eval = || SimEvaluator {
+    let mk_eval = || SimBackend {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),

@@ -1,0 +1,108 @@
+//! Serial-vs-parallel equivalence: the session's worker-sharded batch
+//! driver must be invisible in the results. Same seed, `--workers 1` vs
+//! `--workers 8` → bit-identical zoo contents and metrics, for both the
+//! constraint-based random search and the EA ablation, on the analytic and
+//! simulator backends.
+
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::ea::{Ea, EaConfig};
+use gcode::core::eval::backend::AnalyticBackend;
+use gcode::core::eval::{Objective, SearchSession, SearchStrategy};
+use gcode::core::search::{RandomSearch, SearchConfig, SearchResult};
+use gcode::core::space::DesignSpace;
+use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode::hardware::SystemConfig;
+use gcode::sim::{SimBackend, SimConfig};
+
+fn analytic_backend() -> AnalyticBackend<impl Fn(&Architecture) -> f64 + Sync> {
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    AnalyticBackend {
+        profile: WorkloadProfile::modelnet40(),
+        sys: SystemConfig::tx2_to_i7(40.0),
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    }
+}
+
+fn sim_backend() -> SimBackend<impl Fn(&Architecture) -> f64 + Sync> {
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    SimBackend {
+        profile: WorkloadProfile::modelnet40(),
+        sys: SystemConfig::tx2_to_i7(40.0),
+        sim: SimConfig::single_frame(),
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    }
+}
+
+fn run(
+    evaluator: &dyn gcode::core::eval::Evaluator,
+    strategy: &dyn SearchStrategy,
+    workers: usize,
+) -> SearchResult {
+    let space = DesignSpace::paper(WorkloadProfile::modelnet40());
+    let objective = Objective::new(0.25, 0.5, 3.0);
+    let mut session =
+        SearchSession::new(&space, evaluator).with_objective(objective).with_workers(workers);
+    session.run(strategy)
+}
+
+/// Asserts two search results are bit-identical: same history, same zoo
+/// architectures, same metric bits.
+fn assert_bit_identical(a: &SearchResult, b: &SearchResult, label: &str) {
+    assert_eq!(a.history.len(), b.history.len(), "{label}: history length");
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: history entry");
+    }
+    assert_eq!(a.zoo.len(), b.zoo.len(), "{label}: zoo size");
+    for (x, y) in a.zoo.iter().zip(&b.zoo) {
+        assert_eq!(x.arch, y.arch, "{label}: zoo architecture");
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "{label}: score");
+        assert_eq!(x.accuracy.to_bits(), y.accuracy.to_bits(), "{label}: accuracy");
+        assert_eq!(x.latency_s.to_bits(), y.latency_s.to_bits(), "{label}: latency");
+        assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits(), "{label}: energy");
+    }
+    assert_eq!(a.constraint_misses, b.constraint_misses, "{label}: misses");
+}
+
+#[test]
+fn random_search_is_worker_invariant_on_the_analytic_backend() {
+    let cfg = SearchConfig { iterations: 300, seed: 42, ..SearchConfig::default() };
+    let strategy = RandomSearch::new(cfg);
+    let serial = run(&analytic_backend(), &strategy, 1);
+    for workers in [2usize, 4, 8] {
+        let parallel = run(&analytic_backend(), &strategy, workers);
+        assert_bit_identical(&serial, &parallel, &format!("random/analytic/workers={workers}"));
+    }
+    assert!(serial.best().is_some(), "equivalence over an empty zoo proves nothing");
+}
+
+#[test]
+fn random_search_is_worker_invariant_on_the_sim_backend() {
+    let cfg = SearchConfig { iterations: 200, seed: 7, ..SearchConfig::default() };
+    let strategy = RandomSearch::new(cfg);
+    let serial = run(&sim_backend(), &strategy, 1);
+    let parallel = run(&sim_backend(), &strategy, 8);
+    assert_bit_identical(&serial, &parallel, "random/sim/workers=8");
+    assert!(serial.best().is_some());
+}
+
+#[test]
+fn ea_is_worker_invariant() {
+    let cfg = SearchConfig { iterations: 200, seed: 21, ..SearchConfig::default() };
+    let ea = Ea::new(cfg, EaConfig { valid_init: true, ..EaConfig::default() });
+    let serial = run(&analytic_backend(), &ea, 1);
+    let parallel = run(&analytic_backend(), &ea, 8);
+    assert_bit_identical(&serial, &parallel, "ea/analytic/workers=8");
+}
+
+#[test]
+fn worker_invariance_holds_across_batch_sizes() {
+    // Batching and sharding compose: any (batch_size, workers) pair gives
+    // the same results as the serial single-batch run.
+    let base = SearchConfig { iterations: 150, seed: 3, batch_size: 1, ..SearchConfig::default() };
+    let baseline = run(&analytic_backend(), &RandomSearch::new(base), 1);
+    for (batch_size, workers) in [(4usize, 2usize), (16, 8), (64, 4), (1000, 8)] {
+        let cfg = SearchConfig { batch_size, ..base };
+        let r = run(&analytic_backend(), &RandomSearch::new(cfg), workers);
+        assert_bit_identical(&baseline, &r, &format!("batch={batch_size}/workers={workers}"));
+    }
+}

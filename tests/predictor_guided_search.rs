@@ -10,7 +10,7 @@ use gcode::core::search::{random_search, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::hardware::SystemConfig;
-use gcode::sim::{simulate, SimConfig, SimEvaluator};
+use gcode::sim::{simulate, SimBackend, SimConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -75,7 +75,7 @@ fn predictor_guided_matches_simulator_guided_quality() {
     let pred_best = pred_result.best().expect("found").arch.clone();
 
     let surrogate2 = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    let sim_eval = SimEvaluator {
+    let sim_eval = SimBackend {
         profile,
         sys: sys.clone(),
         sim: SimConfig::single_frame(),

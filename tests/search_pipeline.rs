@@ -8,11 +8,11 @@ use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
 use gcode::hardware::SystemConfig;
-use gcode::sim::{simulate, SimConfig, SimEvaluator};
+use gcode::sim::{simulate, SimBackend, SimConfig};
 
-fn evaluator(sys: SystemConfig) -> SimEvaluator<impl Fn(&Architecture) -> f64> {
+fn evaluator(sys: SystemConfig) -> SimBackend<impl Fn(&Architecture) -> f64 + Sync> {
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    SimEvaluator {
+    SimBackend {
         profile: WorkloadProfile::modelnet40(),
         sys,
         sim: SimConfig::single_frame(),

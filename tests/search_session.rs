@@ -9,7 +9,7 @@ use gcode::core::search::{RandomSearch, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::hardware::SystemConfig;
-use gcode::sim::{SimConfig, SimEvaluator};
+use gcode::sim::{SimBackend, SimConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Wraps any evaluator and counts how many candidates actually reach it.
@@ -42,9 +42,9 @@ fn small_space() -> DesignSpace {
     space
 }
 
-fn sim_evaluator() -> Counted<SimEvaluator<impl Fn(&Architecture) -> f64>> {
+fn sim_evaluator() -> Counted<SimBackend<impl Fn(&Architecture) -> f64 + Sync>> {
     let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
-    Counted::new(SimEvaluator {
+    Counted::new(SimBackend {
         profile: WorkloadProfile::modelnet40(),
         sys: SystemConfig::tx2_to_i7(40.0),
         sim: SimConfig::single_frame(),
