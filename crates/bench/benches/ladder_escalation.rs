@@ -1,0 +1,80 @@
+//! Overhead of the fidelity-ladder machinery itself: `CascadeBackend`'s
+//! screen/rank/escalate plumbing on a fixed 64-candidate batch, from the
+//! free-floor (pure screening, nothing escalates) through a classic pair
+//! to a three-rung ladder. Engine tiers are excluded on purpose — sockets
+//! would drown the plumbing cost this bench isolates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::eval::backend::{AnalyticBackend, CascadeBackend};
+use gcode_core::eval::{Evaluator, Objective};
+use gcode_core::space::DesignSpace;
+use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode_hardware::SystemConfig;
+use gcode_sim::{SimBackend, SimConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const BATCH: usize = 64;
+
+fn analytic() -> AnalyticBackend<impl Fn(&Architecture) -> f64 + Sync> {
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    AnalyticBackend {
+        profile: WorkloadProfile::modelnet40(),
+        sys: SystemConfig::tx2_to_i7(40.0),
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    }
+}
+
+fn sim(frames: usize) -> SimBackend<impl Fn(&Architecture) -> f64 + Sync> {
+    let surrogate = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    SimBackend {
+        profile: WorkloadProfile::modelnet40(),
+        sys: SystemConfig::tx2_to_i7(40.0),
+        sim: SimConfig { frames, pipelined: frames > 1, ..SimConfig::default() },
+        accuracy_fn: move |a: &Architecture| surrogate.overall_accuracy(a),
+    }
+}
+
+fn bench_ladder_escalation(c: &mut Criterion) {
+    let space = DesignSpace::paper(WorkloadProfile::modelnet40());
+    let mut rng = ChaCha8Rng::seed_from_u64(73);
+    let batch: Vec<Architecture> =
+        (0..BATCH).map(|_| space.sample_valid(&mut rng, 100_000).0).collect();
+    let objective = Objective::new(0.25, 0.5, 3.0);
+
+    let cheap = analytic();
+    let mid = sim(1);
+    let top = sim(32);
+
+    let mut group = c.benchmark_group(format!("ladder_escalation/{BATCH}"));
+    group.bench_function("analytic_only", |b| {
+        b.iter(|| black_box(cheap.evaluate_batch(black_box(&batch))));
+    });
+    // Pure screening: the rank/cut plumbing with zero escalations — the
+    // ladder's overhead floor relative to `analytic_only`.
+    let screen_only =
+        CascadeBackend::new(&cheap, &mid, objective).with_keep_frac(0.0).with_min_keep(0);
+    group.bench_function("pair_keep0", |b| {
+        b.iter(|| black_box(screen_only.evaluate_batch(black_box(&batch))));
+    });
+    let pair = CascadeBackend::new(&cheap, &mid, objective).with_keep_frac(0.25);
+    group.bench_function("pair_keep25", |b| {
+        b.iter(|| black_box(pair.evaluate_batch(black_box(&batch))));
+    });
+    let ladder =
+        CascadeBackend::ladder(vec![&cheap, &mid, &top], objective).with_keep_fracs(&[0.25, 0.5]);
+    group.bench_function("three_tier_25_50", |b| {
+        b.iter(|| black_box(ladder.evaluate_batch(black_box(&batch))));
+    });
+    let adaptive = CascadeBackend::ladder(vec![&cheap, &mid, &top], objective)
+        .with_keep_fracs(&[0.25, 0.5])
+        .with_adaptive_keep();
+    group.bench_function("three_tier_adaptive", |b| {
+        b.iter(|| black_box(adaptive.evaluate_batch(black_box(&batch))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ladder_escalation);
+criterion_main!(benches);

@@ -6,7 +6,14 @@
 //! 4. adaptive runtime dispatch vs a pinned design under a fluctuating link;
 //! 5. multi-fidelity search: the analytic→sim cascade backend vs a pure
 //!    simulator-in-the-loop search (expensive evaluations saved, memo-cache
-//!    effectiveness, end score).
+//!    effectiveness, end score);
+//! 6. closing the loop: a three-tier analytic→sim→engine fidelity ladder
+//!    that prices escalated candidates on the live TCP runtime, vs the
+//!    pure-sim search, with live p50/p95/p99 frame latencies in the
+//!    `SearchReport`.
+//!
+//! Sections 5–6 also emit a `BENCH_eval.json` perf artifact (wall time and
+//! evaluation counts per search mode) next to the working directory.
 
 use gcode_baselines::models;
 use gcode_bench::{
@@ -20,8 +27,11 @@ use gcode_core::search::RandomSearch;
 use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_core::zoo::ArchitectureZoo;
+use gcode_engine::EngineBackend;
+use gcode_graph::datasets::PointCloudDataset;
 use gcode_hardware::SystemConfig;
 use gcode_sim::{simulate, simulate_adaptive, BandwidthTrace, SimBackend, SimConfig};
+use std::time::Instant;
 
 fn main() {
     let profile = WorkloadProfile::modelnet40();
@@ -130,8 +140,10 @@ fn main() {
     let (cfg5, obj5) =
         table_search_config(dgcnn_anchor.frame_latency_s, dgcnn_anchor.device_energy_j, 29);
 
+    let pure_start = Instant::now();
     let (pure, pure_report) =
         run_gcode_search_reported(profile, SurrogateTask::ModelNet40, &sys, &cfg5, &obj5);
+    let pure_wall_s = pure_start.elapsed().as_secs_f64();
     println!(
         "  pure sim:  best score {:6.3}  sim evals {:5}  cache hit rate {:4.1}%",
         pure.best().map_or(-1.0, |b| b.score),
@@ -154,8 +166,10 @@ fn main() {
         accuracy_fn: move |a: &Architecture| s_dear.overall_accuracy(a),
     };
     let cascade = CascadeBackend::new(&cheap, &expensive, obj5).with_keep_frac(0.25);
+    let cascade_start = Instant::now();
     let mut session = SearchSession::new(&space, &cascade).with_objective(obj5);
     let result = session.run(&RandomSearch::new(cfg5));
+    let cascade_wall_s = cascade_start.elapsed().as_secs_f64();
     let report = session.report(cascade.name(), &result);
     let stats = cascade.stats();
     println!(
@@ -175,4 +189,104 @@ fn main() {
         "\n  cascade search report (JSON):\n  {}",
         serde_json::to_string(&report).expect("report serializes")
     );
+
+    // ——— 6. Closing the loop: the measured tier ———
+    header("Ablation 6 — fidelity ladder with the live engine: analytic→sim→engine");
+    // Smaller budget: the top tier deploys real TCP pairs per candidate.
+    let cfg6 = gcode_core::search::SearchConfig { iterations: 200, seed: 31, ..cfg5 };
+    let (pure6, pure6_report) =
+        run_gcode_search_reported(profile, SurrogateTask::ModelNet40, &sys, &cfg6, &obj5);
+
+    let s_screen = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let screen = AnalyticBackend {
+        profile,
+        sys: sys.clone(),
+        accuracy_fn: move |a: &Architecture| s_screen.overall_accuracy(a),
+    };
+    let s_mid = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let mid = SimBackend {
+        profile,
+        sys: sys.clone(),
+        sim: SimConfig::single_frame(),
+        accuracy_fn: move |a: &Architecture| s_mid.overall_accuracy(a),
+    };
+    let s_top = SurrogateAccuracy::new(SurrogateTask::ModelNet40);
+    let frames = PointCloudDataset::generate(8, 24, 4, 11);
+    let engine = EngineBackend::new(frames.samples().to_vec(), 4, sys.clone(), move |a| {
+        s_top.overall_accuracy(a)
+    })
+    .with_frames(4)
+    .with_warmup(1)
+    .with_uplink_mbps(40.0);
+    let ladder =
+        CascadeBackend::ladder(vec![&screen, &mid, &engine], obj5).with_keep_fracs(&[0.25, 0.5]);
+    let ladder_start = Instant::now();
+    let mut session6 = SearchSession::new(&space, &ladder).with_objective(obj5);
+    let result6 = session6.run(&RandomSearch::new(cfg6));
+    let ladder_wall_s = ladder_start.elapsed().as_secs_f64();
+    let measured = engine.measured_profile();
+    let report6 = session6.report(ladder.name(), &result6).with_measured(measured);
+    println!(
+        "  pure sim ({} iters): best score {:6.3}  sim evals {:5}",
+        cfg6.iterations,
+        pure6.best().map_or(-1.0, |b| b.score),
+        pure6_report.cache.misses
+    );
+    println!(
+        "  ladder:              best score {:6.3}  tier evals:",
+        result6.best().map_or(-1.0, |b| b.score)
+    );
+    for t in ladder.tier_stats() {
+        println!(
+            "    {:<10} {:?} fidelity, cost {:>6.1}x → {} evals",
+            t.name, t.fidelity, t.cost_hint, t.evals
+        );
+    }
+    println!(
+        "  live engine: {} measured frames  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  ({} bytes, {} errors)",
+        measured.frames,
+        measured.p50_s * 1e3,
+        measured.p95_s * 1e3,
+        measured.p99_s * 1e3,
+        measured.bytes_sent,
+        measured.errors
+    );
+    println!(
+        "\n  ladder search report (JSON):\n  {}",
+        serde_json::to_string(&report6).expect("report serializes")
+    );
+
+    // ——— Perf artifact ———
+    let tiers = ladder.tier_stats();
+    let bench = serde_json::to_string_pretty(&EvalBench {
+        pure_sim_wall_s: pure_wall_s,
+        pure_sim_evals: pure_report.cache.misses,
+        cascade_wall_s,
+        cascade_sim_evals: stats.expensive_evals,
+        ladder_wall_s,
+        ladder_sim_evals: tiers[1].evals,
+        ladder_engine_evals: tiers[2].evals,
+        measured_p50_s: measured.p50_s,
+        measured_p95_s: measured.p95_s,
+        measured_p99_s: measured.p99_s,
+    })
+    .expect("bench artifact serializes");
+    std::fs::write("BENCH_eval.json", &bench).expect("write BENCH_eval.json");
+    println!("\n  perf artifact written to BENCH_eval.json");
+}
+
+/// The `BENCH_eval.json` payload: wall time and evaluation economics of
+/// the three search modes, plus the live engine's latency percentiles.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct EvalBench {
+    pure_sim_wall_s: f64,
+    pure_sim_evals: u64,
+    cascade_wall_s: f64,
+    cascade_sim_evals: u64,
+    ladder_wall_s: f64,
+    ladder_sim_evals: u64,
+    ladder_engine_evals: u64,
+    measured_p50_s: f64,
+    measured_p95_s: f64,
+    measured_p99_s: f64,
 }

@@ -351,8 +351,31 @@ impl<'a> SearchSession<'a> {
             best_score: result.best().map(|b| b.score),
             constraint_misses: result.constraint_misses,
             trials: result.history.len(),
+            measured: None,
         }
     }
+}
+
+/// Live-measurement telemetry for `Fidelity::Measured` runs: per-frame
+/// latency percentiles and traffic observed on the deployed engine across
+/// every candidate a search actually measured. Produced by
+/// `gcode_engine::EngineBackend::measured_profile` and attached to a
+/// [`SearchReport`] via [`SearchReport::with_measured`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredProfile {
+    /// Measured (post-warmup) frames across all engine deployments.
+    pub frames: u64,
+    /// Median per-frame latency, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile per-frame latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile per-frame latency, seconds.
+    pub p99_s: f64,
+    /// Compressed application bytes shipped device→edge.
+    pub bytes_sent: u64,
+    /// Candidate deployments that failed (socket/protocol errors) and were
+    /// priced with the infeasible sentinel instead.
+    pub errors: u64,
 }
 
 /// Serializable summary of one search run: which backend priced the
@@ -378,6 +401,18 @@ pub struct SearchReport {
     pub constraint_misses: usize,
     /// Total trials recorded in the history.
     pub trials: usize,
+    /// Live-engine telemetry, present only when a `Measured`-fidelity
+    /// backend took part in the run.
+    pub measured: Option<MeasuredProfile>,
+}
+
+impl SearchReport {
+    /// Attaches live-measurement telemetry to the report.
+    #[must_use]
+    pub fn with_measured(mut self, measured: MeasuredProfile) -> Self {
+        self.measured = Some(measured);
+        self
+    }
 }
 
 #[cfg(test)]

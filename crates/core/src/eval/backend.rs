@@ -10,15 +10,19 @@
 //! concrete estimator, and new oracles (the live TCP engine, say) register
 //! without touching any search code.
 //!
-//! Three backends live in the workspace today:
+//! The workspace's backends, cheapest first:
 //!
 //! * [`AnalyticBackend`] (here) — LUT-style cost estimation plus the
 //!   analytic energy model; the cheap screen.
 //! * `gcode_sim::SimBackend` — the discrete-event co-inference simulator;
 //!   the expensive "measured" oracle that sees runtime overheads.
-//! * [`CascadeBackend`] (here) — multi-fidelity search: screens every
-//!   batch with a cheap backend and re-prices only the top fraction with
-//!   an expensive one.
+//! * [`CascadeBackend`] (here) — multi-fidelity search over an ordered
+//!   *fidelity ladder*: screens every batch with the cheapest tier and
+//!   escalates only the top fraction rung by rung, with the batch winner
+//!   always priced by the top tier. `gcode_engine::EngineBackend` — the
+//!   live TCP engine, tagged [`Fidelity::Measured`] — slots in as the top
+//!   rung of an `analytic → sim → engine` ladder to close the loop against
+//!   the deployed runtime.
 //!
 //! [`shard_batch`] is the parallel driver behind
 //! [`Evaluator::evaluate_batch_workers`]: contiguous shards across scoped
@@ -32,6 +36,7 @@ use crate::eval::{Evaluator, Metrics, Objective};
 use gcode_hardware::SystemConfig;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// How trustworthy (and how expensive) a backend's numbers are, ordered
 /// from cheapest estimate to ground truth.
@@ -136,12 +141,15 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EvalBackend for AnalyticBackend<F> {
     }
 }
 
-/// How many evaluations each tier of a [`CascadeBackend`] has performed.
+/// How many evaluations the bottom and top tiers of a [`CascadeBackend`]
+/// have performed — the two ends of the ladder, which is all a two-tier
+/// cascade has. For the per-tier breakdown of a taller ladder see
+/// [`CascadeBackend::tier_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CascadeStats {
-    /// Candidates priced by the cheap (screening) backend.
+    /// Candidates priced by the cheapest (screening) tier.
     pub cheap_evals: u64,
-    /// Candidates re-priced by the expensive backend.
+    /// Candidates re-priced by the most expensive (top) tier.
     pub expensive_evals: u64,
 }
 
@@ -157,82 +165,157 @@ impl CascadeStats {
     }
 }
 
-/// Multi-fidelity backend: screens every batch with the cheap backend,
-/// ranks the candidates under the screening [`Objective`], and re-prices
-/// only the top `keep_frac` fraction with the expensive backend. The rest
-/// keep their cheap metrics — exactly the paper's "estimate thousands,
-/// measure the promising few" economy, packaged as just another backend so
-/// strategies stay oblivious.
+/// One rung of a ladder's per-tier breakdown: identity, configured
+/// escalation fraction (the *current* value when adaptive escalation is
+/// on) and how many candidates the tier has priced so far.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierStats {
+    /// The tier backend's [`EvalBackend::name`].
+    pub name: String,
+    /// The tier's fidelity tag.
+    pub fidelity: Fidelity,
+    /// The tier's relative cost hint.
+    pub cost_hint: f64,
+    /// Fraction of the previous tier's survivors escalated into this tier
+    /// (1.0 for the bottom tier, which sees every candidate).
+    pub keep_frac: f64,
+    /// Candidates this tier has evaluated so far.
+    pub evals: u64,
+}
+
+/// Multi-fidelity backend: an ordered *ladder* of [`EvalBackend`] tiers,
+/// cheapest first. Every batch is priced by the bottom tier; each higher
+/// tier then re-prices only the top `keep_frac` fraction (by the screening
+/// [`Objective`] score) of the candidates that reached the tier below it.
+/// Whatever a candidate's last-visited tier produced is what it keeps —
+/// exactly the paper's "estimate thousands, measure the promising few"
+/// economy, packaged as just another backend so strategies stay oblivious.
+/// The classic two-tier cascade is [`CascadeBackend::new`]; taller ladders
+/// (`analytic → predictor → sim → engine`) come from
+/// [`CascadeBackend::ladder`].
 ///
-/// Because the cheap tier is optimistic (it misses the runtime overheads
-/// the expensive tier charges), a fixed top-k cut would systematically
-/// leave a just-below-cutoff candidate holding an inflated cheap score
-/// above every honestly re-priced one. After the top-k pass the cascade
-/// therefore keeps escalating the batch's current argmax until the
-/// best-scoring candidate of the batch is expensive-priced — so a batch's
-/// winner (and hence the search winner, which is some batch's argmax)
-/// always carries top-tier metrics. Candidates that never led their batch
-/// may retain cheap metrics; only escalation order, not results, depends
-/// on the tiers' relative bias. Setting `keep_frac` to 0 with
-/// [`CascadeBackend::with_min_keep`] 0 disables escalation entirely
+/// Because cheap tiers are optimistic (they miss the runtime overheads the
+/// expensive tiers charge), a fixed top-k cut would systematically leave a
+/// just-below-cutoff candidate holding an inflated cheap score above every
+/// honestly re-priced one. After the tier sweep the ladder therefore keeps
+/// escalating the batch's current argmax *straight to the top tier* until
+/// the best-scoring candidate of the batch is top-tier priced — so a
+/// batch's winner (and hence the search winner, which is some batch's
+/// argmax) always carries top-tier metrics. Candidates that never led
+/// their batch may retain lower-tier metrics; only escalation order, not
+/// results, depends on the tiers' relative bias. Setting `keep_frac` to 0
+/// with [`CascadeBackend::with_min_keep`] 0 disables escalation entirely
 /// (pure-cheap screening mode).
 ///
 /// Determinism: ranking sorts by screening score with the batch index as
-/// tie-break, and both tiers run through
-/// [`Evaluator::evaluate_batch_workers`] on the *whole* batch — so results
-/// never depend on worker count. They do depend on batch composition
-/// (screening is batch-scoped by design), so runs are reproducible for a
-/// fixed `SearchConfig::batch_size`.
+/// tie-break, and every tier runs through
+/// [`Evaluator::evaluate_batch_workers`] — so results never depend on
+/// worker count. They do depend on batch composition (screening is
+/// batch-scoped by design), so runs are reproducible for a fixed
+/// `SearchConfig::batch_size`. With
+/// [`CascadeBackend::with_adaptive_keep`] the per-step fractions also
+/// evolve deterministically from the observed batches.
 ///
 /// Single-candidate lookups ([`Evaluator::evaluate`], e.g. Alg. 1's
-/// stage-2 tuning probes) always go straight to the expensive backend:
-/// screening a batch of one is pure overhead.
+/// stage-2 tuning probes) always go straight to the top tier: screening a
+/// batch of one is pure overhead.
 pub struct CascadeBackend<'a> {
-    cheap: &'a dyn EvalBackend,
-    expensive: &'a dyn EvalBackend,
+    tiers: Vec<&'a dyn EvalBackend>,
     objective: Objective,
-    keep_frac: f64,
+    /// One escalation fraction per step `tiers[t-1] → tiers[t]`
+    /// (`tiers.len() - 1` entries). Behind a mutex so adaptive escalation
+    /// can retune it from `&self` (the `Evaluator` methods all take
+    /// `&self`); contention is nil — one lock per batch.
+    keep_fracs: Mutex<Vec<f64>>,
     min_keep: usize,
+    adaptive: bool,
+    nominal_batch: usize,
     name: String,
-    cheap_evals: AtomicU64,
-    expensive_evals: AtomicU64,
+    evals: Vec<AtomicU64>,
 }
 
+/// Escalation fractions stay in this band under adaptive tuning.
+const ADAPTIVE_FRAC_MIN: f64 = 0.05;
+/// Rank correlation at which the screen is considered trustworthy; above
+/// it the escalated fraction shrinks, below it the fraction grows.
+const ADAPTIVE_RHO_TARGET: f64 = 0.9;
+
 impl<'a> CascadeBackend<'a> {
-    /// Builds a cascade screening with `cheap` and re-pricing the top
-    /// quarter of each batch (by `objective` score) with `expensive`.
+    /// Builds a fidelity ladder from `tiers`, cheapest first. Every
+    /// escalation step starts at the default `keep_frac` 0.25 and
+    /// `min_keep` 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two tiers are given or if the tiers are not
+    /// sorted by ascending [`EvalBackend::cost_hint`] — a ladder that gets
+    /// *more* expensive to screen than to measure is a configuration bug,
+    /// not a tuning choice.
+    pub fn ladder(tiers: Vec<&'a dyn EvalBackend>, objective: Objective) -> Self {
+        assert!(tiers.len() >= 2, "a fidelity ladder needs at least two tiers");
+        for pair in tiers.windows(2) {
+            assert!(
+                pair[0].cost_hint() <= pair[1].cost_hint(),
+                "ladder tiers out of order: {} (cost {}) precedes {} (cost {})",
+                pair[0].name(),
+                pair[0].cost_hint(),
+                pair[1].name(),
+                pair[1].cost_hint()
+            );
+        }
+        let name =
+            format!("cascade({})", tiers.iter().map(|t| t.name()).collect::<Vec<_>>().join("->"));
+        let steps = tiers.len() - 1;
+        Self {
+            name,
+            evals: (0..tiers.len()).map(|_| AtomicU64::new(0)).collect(),
+            keep_fracs: Mutex::new(vec![0.25; steps]),
+            min_keep: 1,
+            adaptive: false,
+            nominal_batch: 16,
+            tiers,
+            objective,
+        }
+    }
+
+    /// Builds the classic two-tier cascade: screen with `cheap`, re-price
+    /// the top quarter of each batch (by `objective` score) with
+    /// `expensive`. Equivalent to a two-rung [`CascadeBackend::ladder`].
     pub fn new(
         cheap: &'a dyn EvalBackend,
         expensive: &'a dyn EvalBackend,
         objective: Objective,
     ) -> Self {
-        debug_assert!(
-            cheap.cost_hint() <= expensive.cost_hint(),
-            "cascade tiers look inverted: {} costs more than {}",
-            cheap.name(),
-            expensive.name()
-        );
-        Self {
-            name: format!("cascade({}->{})", cheap.name(), expensive.name()),
-            cheap,
-            expensive,
-            objective,
-            keep_frac: 0.25,
-            min_keep: 1,
-            cheap_evals: AtomicU64::new(0),
-            expensive_evals: AtomicU64::new(0),
-        }
+        Self::ladder(vec![cheap, expensive], objective)
     }
 
-    /// Sets the fraction of each batch re-priced expensively (clamped to
-    /// `[0, 1]`; at least `min_keep` candidates are always re-priced).
+    /// Sets every escalation step's fraction (clamped to `[0, 1]`; at
+    /// least `min_keep` candidates are always re-priced per step).
     #[must_use]
-    pub fn with_keep_frac(mut self, keep_frac: f64) -> Self {
-        self.keep_frac = keep_frac.clamp(0.0, 1.0);
+    pub fn with_keep_frac(self, keep_frac: f64) -> Self {
+        let steps = self.tiers.len() - 1;
+        self.with_keep_fracs(&vec![keep_frac; steps])
+    }
+
+    /// Sets each escalation step's fraction individually, bottom step
+    /// first (clamped to `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly `tiers.len() - 1` fractions are given.
+    #[must_use]
+    pub fn with_keep_fracs(self, keep_fracs: &[f64]) -> Self {
+        assert_eq!(
+            keep_fracs.len(),
+            self.tiers.len() - 1,
+            "need one keep_frac per escalation step"
+        );
+        *self.keep_fracs.lock().expect("keep_fracs lock") =
+            keep_fracs.iter().map(|f| f.clamp(0.0, 1.0)).collect();
         self
     }
 
-    /// Sets the minimum number of candidates re-priced per batch
+    /// Sets the minimum number of candidates re-priced per step
     /// (default 1; 0 allows pure-cheap batches at `keep_frac` 0).
     #[must_use]
     pub fn with_min_keep(mut self, min_keep: usize) -> Self {
@@ -240,17 +323,65 @@ impl<'a> CascadeBackend<'a> {
         self
     }
 
-    /// Per-tier evaluation counters so far.
+    /// Sets the batch size [`EvalBackend::cost_hint`] assumes when folding
+    /// `min_keep` into the per-candidate cost estimate (default 16, the
+    /// default `SearchConfig::batch_size`).
+    #[must_use]
+    pub fn with_nominal_batch(mut self, nominal_batch: usize) -> Self {
+        self.nominal_batch = nominal_batch.max(1);
+        self
+    }
+
+    /// Enables cross-batch adaptive escalation: after each batch, every
+    /// step's `keep_frac` is retuned from the observed rank correlation
+    /// between the screening scores and the re-priced scores of the
+    /// candidates it escalated. A screen whose ranking the tier above
+    /// keeps confirming (Spearman ρ above [`ADAPTIVE_RHO_TARGET`]) earns a
+    /// smaller escalated fraction; a screen that keeps being re-ranked
+    /// pays with a larger one. The update is a pure function of the batch
+    /// stream, so searches stay deterministic and worker-invariant.
+    #[must_use]
+    pub fn with_adaptive_keep(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
+    /// Bottom- and top-tier evaluation counters so far (the full ladder
+    /// breakdown is [`CascadeBackend::tier_stats`]).
     pub fn stats(&self) -> CascadeStats {
         CascadeStats {
-            cheap_evals: self.cheap_evals.load(Ordering::Relaxed),
-            expensive_evals: self.expensive_evals.load(Ordering::Relaxed),
+            cheap_evals: self.evals[0].load(Ordering::Relaxed),
+            expensive_evals: self.evals[self.tiers.len() - 1].load(Ordering::Relaxed),
         }
     }
 
-    /// How many of a batch of `n` survive screening.
-    fn keep_of(&self, n: usize) -> usize {
-        ((self.keep_frac * n as f64).ceil() as usize).max(self.min_keep).min(n)
+    /// Per-tier identity, current escalation fraction and evaluation
+    /// count, bottom tier first.
+    pub fn tier_stats(&self) -> Vec<TierStats> {
+        let fracs = self.keep_fracs.lock().expect("keep_fracs lock");
+        self.tiers
+            .iter()
+            .enumerate()
+            .map(|(t, tier)| TierStats {
+                name: tier.name().to_string(),
+                fidelity: tier.fidelity(),
+                cost_hint: tier.cost_hint(),
+                keep_frac: if t == 0 { 1.0 } else { fracs[t - 1] },
+                evals: self.evals[t].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// The escalation fractions currently in force, bottom step first —
+    /// the configured values, or the adapted ones once
+    /// [`CascadeBackend::with_adaptive_keep`] has seen batches.
+    pub fn keep_fracs(&self) -> Vec<f64> {
+        self.keep_fracs.lock().expect("keep_fracs lock").clone()
+    }
+
+    /// How many of `n` candidates survive a step screening at `keep_frac`.
+    fn keep_of(&self, keep_frac: f64, n: usize) -> usize {
+        ((keep_frac * n as f64).ceil() as usize).max(self.min_keep).min(n)
     }
 
     /// Screening rank: feasible candidates by score, infeasible ones at
@@ -269,34 +400,60 @@ impl<'a> CascadeBackend<'a> {
         if archs.is_empty() {
             return Vec::new();
         }
-        let mut metrics = self.cheap.evaluate_batch_workers(archs, workers);
-        self.cheap_evals.fetch_add(archs.len() as u64, Ordering::Relaxed);
-        let keep = self.keep_of(archs.len());
-        if keep == 0 {
-            return metrics;
-        }
-        let mut order: Vec<usize> = (0..archs.len()).collect();
-        order.sort_by(|&i, &j| {
-            self.screen_score(&metrics[j])
-                .total_cmp(&self.screen_score(&metrics[i]))
-                .then(i.cmp(&j))
-        });
-        let mut chosen: Vec<usize> = order[..keep].to_vec();
-        // Re-price in batch order so the expensive tier sees a stable
-        // sub-batch regardless of score ties.
-        chosen.sort_unstable();
-        let chosen_archs: Vec<Architecture> = chosen.iter().map(|&i| archs[i].clone()).collect();
-        let refined = self.expensive.evaluate_batch_workers(&chosen_archs, workers);
-        self.expensive_evals.fetch_add(chosen.len() as u64, Ordering::Relaxed);
-        let mut escalated = vec![false; archs.len()];
-        for (&i, m) in chosen.iter().zip(refined) {
-            metrics[i] = m;
-            escalated[i] = true;
+        let top_tier = self.tiers.len() - 1;
+        let mut metrics = self.tiers[0].evaluate_batch_workers(archs, workers);
+        self.evals[0].fetch_add(archs.len() as u64, Ordering::Relaxed);
+        let fracs = self.keep_fracs.lock().expect("keep_fracs lock").clone();
+
+        // Tier sweep: each step re-prices the top fraction of the
+        // candidates that reached the tier below it.
+        let mut pool: Vec<usize> = (0..archs.len()).collect();
+        let mut reached = vec![0usize; archs.len()];
+        let mut rho_observed: Vec<Option<f64>> = vec![None; fracs.len()];
+        for (step, &frac) in fracs.iter().enumerate() {
+            let tier = step + 1;
+            let keep = self.keep_of(frac, pool.len());
+            if keep == 0 {
+                // Escalation disabled from this step on. If nothing ever
+                // left the bottom tier this is pure-cheap screening mode —
+                // no honest-winner pass either.
+                if tier == 1 {
+                    return metrics;
+                }
+                break;
+            }
+            pool.sort_by(|&i, &j| {
+                self.screen_score(&metrics[j])
+                    .total_cmp(&self.screen_score(&metrics[i]))
+                    .then(i.cmp(&j))
+            });
+            let mut chosen: Vec<usize> = pool[..keep].to_vec();
+            // Re-price in batch order so the tier sees a stable sub-batch
+            // regardless of score ties.
+            chosen.sort_unstable();
+            let chosen_archs: Vec<Architecture> =
+                chosen.iter().map(|&i| archs[i].clone()).collect();
+            let refined = self.tiers[tier].evaluate_batch_workers(&chosen_archs, workers);
+            self.evals[tier].fetch_add(chosen.len() as u64, Ordering::Relaxed);
+            // Snapshot the screening scores before they are overwritten —
+            // only when adaptive escalation will actually consume them.
+            let before: Option<Vec<f64>> = (self.adaptive && chosen.len() >= 3)
+                .then(|| chosen.iter().map(|&i| self.screen_score(&metrics[i])).collect());
+            for (&i, m) in chosen.iter().zip(refined) {
+                metrics[i] = m;
+                reached[i] = tier;
+            }
+            if let Some(before) = before {
+                let after: Vec<f64> =
+                    chosen.iter().map(|&i| self.screen_score(&metrics[i])).collect();
+                rho_observed[step] = Some(spearman_rho(&before, &after));
+            }
+            pool = chosen;
         }
         // Escalate-until-fixpoint: re-pricing lowers scores, so the batch
-        // argmax may now be a cheap-priced candidate holding an optimistic
-        // estimate. Keep re-pricing the current argmax until the batch's
-        // best score belongs to an expensive-priced candidate.
+        // argmax may hold an optimistic lower-tier estimate. Keep pricing
+        // the current argmax with the top tier until the batch's best
+        // score belongs to a top-tier-priced candidate.
         loop {
             let top = (0..archs.len())
                 .max_by(|&i, &j| {
@@ -305,21 +462,67 @@ impl<'a> CascadeBackend<'a> {
                         .then(j.cmp(&i))
                 })
                 .expect("non-empty batch");
-            if escalated[top] {
+            if reached[top] == top_tier {
                 break;
             }
-            metrics[top] = self.expensive.evaluate(&archs[top]);
-            escalated[top] = true;
-            self.expensive_evals.fetch_add(1, Ordering::Relaxed);
+            metrics[top] = self.tiers[top_tier].evaluate(&archs[top]);
+            reached[top] = top_tier;
+            self.evals[top_tier].fetch_add(1, Ordering::Relaxed);
+        }
+        if self.adaptive {
+            self.adapt_keep_fracs(&rho_observed);
         }
         metrics
     }
+
+    /// Applies the cross-batch adaptive update: per step, nudge the
+    /// fraction down when the observed rank correlation beat the target
+    /// and up when it fell short, clamped to `[ADAPTIVE_FRAC_MIN, 1]`.
+    fn adapt_keep_fracs(&self, rho_observed: &[Option<f64>]) {
+        let mut fracs = self.keep_fracs.lock().expect("keep_fracs lock");
+        for (step, rho) in rho_observed.iter().enumerate() {
+            if let Some(rho) = rho {
+                let factor = (1.0 + 0.5 * (ADAPTIVE_RHO_TARGET - rho)).clamp(0.75, 1.5);
+                fracs[step] = (fracs[step] * factor).clamp(ADAPTIVE_FRAC_MIN, 1.0);
+            }
+        }
+    }
+}
+
+/// Spearman rank correlation of two equally long samples; index order
+/// breaks ties so the result is deterministic.
+fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let rank = |xs: &[f64]| -> Vec<usize> {
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        order.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]).then(i.cmp(&j)));
+        let mut ranks = vec![0usize; xs.len()];
+        for (r, &i) in order.iter().enumerate() {
+            ranks[i] = r;
+        }
+        ranks
+    };
+    let (ra, rb) = (rank(a), rank(b));
+    let d2: f64 = ra
+        .iter()
+        .zip(&rb)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    1.0 - 6.0 * d2 / (n as f64 * (n as f64 * n as f64 - 1.0))
 }
 
 impl Evaluator for CascadeBackend<'_> {
     fn evaluate(&self, arch: &Architecture) -> Metrics {
-        self.expensive_evals.fetch_add(1, Ordering::Relaxed);
-        self.expensive.evaluate(arch)
+        let top = self.tiers.len() - 1;
+        self.evals[top].fetch_add(1, Ordering::Relaxed);
+        self.tiers[top].evaluate(arch)
     }
 
     fn evaluate_batch(&self, archs: &[Architecture]) -> Vec<Metrics> {
@@ -332,14 +535,30 @@ impl Evaluator for CascadeBackend<'_> {
 }
 
 impl EvalBackend for CascadeBackend<'_> {
-    /// A cascade can hand back metrics from either tier; it reports the
+    /// A ladder can hand back metrics from any tier; it reports the
     /// fidelity of its *top* tier, which is what the zoo's winners carry.
     fn fidelity(&self) -> Fidelity {
-        self.expensive.fidelity()
+        self.tiers[self.tiers.len() - 1].fidelity()
     }
 
+    /// Expected per-candidate cost at the nominal batch size, with
+    /// `min_keep` folded in: each step's effective escalated fraction is
+    /// `keep_of(survivors)/nominal`, which exceeds the raw `keep_frac`
+    /// whenever the floor binds (small batches, tiny fractions).
     fn cost_hint(&self) -> f64 {
-        self.cheap.cost_hint() + self.keep_frac * self.expensive.cost_hint()
+        let fracs = self.keep_fracs.lock().expect("keep_fracs lock");
+        let nominal = self.nominal_batch;
+        let mut total = self.tiers[0].cost_hint();
+        let mut survivors = nominal;
+        for (step, &frac) in fracs.iter().enumerate() {
+            let keep = self.keep_of(frac, survivors);
+            if keep == 0 {
+                break;
+            }
+            total += keep as f64 / nominal as f64 * self.tiers[step + 1].cost_hint();
+            survivors = keep;
+        }
+        total
     }
 
     fn name(&self) -> &str {
@@ -568,13 +787,13 @@ mod tests {
         let expensive = Marked::new();
         let objective = Objective::default();
         let c = CascadeBackend::new(&cheap, &expensive, objective);
-        assert_eq!(c.keep_of(16), 4);
-        assert_eq!(c.keep_of(1), 1, "min_keep floors the escalation");
+        assert_eq!(c.keep_of(0.25, 16), 4);
+        assert_eq!(c.keep_of(0.25, 1), 1, "min_keep floors the escalation");
         let none =
             CascadeBackend::new(&cheap, &expensive, objective).with_keep_frac(0.0).with_min_keep(0);
-        assert_eq!(none.keep_of(16), 0, "keep_frac 0 + min_keep 0 = pure cheap");
+        assert_eq!(none.keep_of(0.0, 16), 0, "keep_frac 0 + min_keep 0 = pure cheap");
         let all = CascadeBackend::new(&cheap, &expensive, objective).with_keep_frac(1.0);
-        assert_eq!(all.keep_of(7), 7);
+        assert_eq!(all.keep_of(1.0, 7), 7);
     }
 
     #[test]
@@ -595,5 +814,195 @@ mod tests {
         let c = CascadeBackend::new(&cheap, &expensive, Objective::default());
         assert!(c.evaluate_batch(&[]).is_empty());
         assert_eq!(c.stats(), CascadeStats::default());
+    }
+
+    /// A middle tier for three-rung ladders: analytic numbers with a
+    /// distinguishable tiny inflation and its own cost/fidelity identity.
+    struct Mid {
+        inner: AnalyticBackend<fn(&Architecture) -> f64>,
+        calls: AtomicU64,
+    }
+
+    impl Mid {
+        fn new() -> Self {
+            Self { inner: analytic(), calls: AtomicU64::new(0) }
+        }
+    }
+
+    impl Evaluator for Mid {
+        fn evaluate(&self, arch: &Architecture) -> Metrics {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let m = self.inner.evaluate(arch);
+            Metrics { latency_s: m.latency_s * (1.0 + 1e-10), ..m }
+        }
+    }
+
+    impl EvalBackend for Mid {
+        fn fidelity(&self) -> Fidelity {
+            Fidelity::Predicted
+        }
+
+        fn cost_hint(&self) -> f64 {
+            5.0
+        }
+
+        fn name(&self) -> &str {
+            "mid"
+        }
+    }
+
+    #[test]
+    fn three_tier_ladder_narrows_at_every_rung() {
+        let cheap = analytic();
+        let mid = Mid::new();
+        let top = Marked::new();
+        let objective = Objective::new(0.1, 10.0, 100.0);
+        let ladder = CascadeBackend::ladder(vec![&cheap, &mid, &top], objective)
+            .with_keep_fracs(&[0.5, 0.5]);
+        let archs = batch(16);
+        let metrics = ladder.evaluate_batch(&archs);
+        assert_eq!(metrics.len(), 16);
+        let tiers = ladder.tier_stats();
+        assert_eq!(tiers.len(), 3);
+        assert_eq!(tiers[0].evals, 16, "bottom tier sees everything");
+        assert_eq!(tiers[1].evals, 8, "half escalate to the middle tier");
+        // ceil(0.5 * 8) = 4 from the sweep; the honest-winner fixpoint may
+        // add a few more, never more than the batch.
+        assert!((4..=16).contains(&(tiers[2].evals as usize)));
+        assert!(tiers[1].evals > tiers[2].evals, "each rung must narrow");
+        assert_eq!(mid.calls.load(Ordering::Relaxed), 8);
+        // The two-ended compat view matches the ladder's ends.
+        let stats = ladder.stats();
+        assert_eq!(stats.cheap_evals, tiers[0].evals);
+        assert_eq!(stats.expensive_evals, tiers[2].evals);
+    }
+
+    #[test]
+    fn ladder_winner_is_top_tier_priced() {
+        let cheap = analytic();
+        let mid = Mid::new();
+        let top = Inflating { inner: analytic() };
+        let objective = Objective::new(0.1, 10.0, 100.0);
+        let ladder = CascadeBackend::ladder(vec![&cheap, &mid, &top], objective)
+            .with_keep_fracs(&[0.25, 0.5]);
+        let archs = batch(12);
+        let metrics = ladder.evaluate_batch(&archs);
+        let s = |m: &Metrics| {
+            if objective.feasible(m) {
+                objective.score(m)
+            } else {
+                -1.0
+            }
+        };
+        let winner = (0..archs.len())
+            .max_by(|&i, &j| s(&metrics[i]).total_cmp(&s(&metrics[j])).then(j.cmp(&i)))
+            .expect("non-empty");
+        let honest = top.evaluate(&archs[winner]);
+        assert_eq!(metrics[winner].latency_s.to_bits(), honest.latency_s.to_bits());
+    }
+
+    #[test]
+    fn ladder_reports_identity_and_cost() {
+        let cheap = analytic();
+        let mid = Mid::new();
+        let top = Marked::new();
+        let ladder = CascadeBackend::ladder(vec![&cheap, &mid, &top], Objective::default());
+        assert_eq!(ladder.name(), "cascade(analytic->mid->marked)");
+        assert_eq!(ladder.fidelity(), Fidelity::Simulated);
+        assert!(ladder.cost_hint() > cheap.cost_hint());
+        assert!(ladder.cost_hint() < top.cost_hint());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn inverted_ladder_is_rejected() {
+        let cheap = analytic();
+        let top = Marked::new();
+        let _ = CascadeBackend::ladder(vec![&top, &cheap], Objective::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two tiers")]
+    fn single_rung_ladder_is_rejected() {
+        let cheap = analytic();
+        let _ = CascadeBackend::ladder(vec![&cheap], Objective::default());
+    }
+
+    #[test]
+    fn cost_hint_folds_min_keep() {
+        let cheap = analytic();
+        let expensive = Marked::new();
+        let objective = Objective::default();
+        // keep_frac 0.01 on a nominal batch of 16 would suggest ~0.16
+        // escalations per batch, but min_keep = 1 floors it at one: the
+        // effective fraction is 1/16, not 0.01.
+        let c = CascadeBackend::new(&cheap, &expensive, objective)
+            .with_keep_frac(0.01)
+            .with_nominal_batch(16);
+        let expected = 1.0 + (1.0 / 16.0) * expensive.cost_hint();
+        assert!((c.cost_hint() - expected).abs() < 1e-12, "got {}", c.cost_hint());
+        // A naive keep_frac-only estimate under-reports.
+        assert!(c.cost_hint() > 1.0 + 0.01 * expensive.cost_hint());
+        // min_keep 4 floors harder still.
+        let floored = CascadeBackend::new(&cheap, &expensive, objective)
+            .with_keep_frac(0.01)
+            .with_min_keep(4)
+            .with_nominal_batch(16);
+        let expected = 1.0 + (4.0 / 16.0) * expensive.cost_hint();
+        assert!((floored.cost_hint() - expected).abs() < 1e-12);
+        // min_keep 0 + keep_frac 0 = pure screening: only the cheap cost.
+        let none =
+            CascadeBackend::new(&cheap, &expensive, objective).with_keep_frac(0.0).with_min_keep(0);
+        assert_eq!(none.cost_hint(), cheap.cost_hint());
+    }
+
+    #[test]
+    fn adaptive_keep_is_deterministic_and_bounded() {
+        let objective = Objective::new(0.1, 10.0, 100.0);
+        let run = || {
+            let cheap = analytic();
+            let expensive = Marked::new();
+            let cascade = CascadeBackend::new(&cheap, &expensive, objective)
+                .with_keep_frac(0.5)
+                .with_adaptive_keep();
+            let mut out = Vec::new();
+            for round in 0..6 {
+                let archs: Vec<Architecture> =
+                    (0..12).map(|i| arch(8 * (i + round % 3 + 1))).collect();
+                out.push(cascade.evaluate_batch(&archs));
+            }
+            (out, cascade.keep_fracs(), cascade.stats())
+        };
+        let (m1, fracs1, stats1) = run();
+        let (m2, fracs2, stats2) = run();
+        assert_eq!(stats1, stats2);
+        assert_eq!(fracs1, fracs2, "adaptation must be a pure function of the batches");
+        for (a, b) in m1.iter().flatten().zip(m2.iter().flatten()) {
+            assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+        }
+        // Marked's tiny inflation preserves ranks, so the screen keeps
+        // being confirmed and the fraction anneals downward within bounds.
+        assert!(fracs1[0] < 0.5, "confirmed screen must shrink the fraction: {fracs1:?}");
+        assert!(fracs1[0] >= ADAPTIVE_FRAC_MIN);
+    }
+
+    #[test]
+    fn non_adaptive_keep_fracs_never_move() {
+        let cheap = analytic();
+        let expensive = Marked::new();
+        let objective = Objective::new(0.1, 10.0, 100.0);
+        let cascade = CascadeBackend::new(&cheap, &expensive, objective).with_keep_frac(0.5);
+        for _ in 0..3 {
+            cascade.evaluate_batch(&batch(12));
+        }
+        assert_eq!(cascade.keep_fracs(), vec![0.5]);
+    }
+
+    #[test]
+    fn spearman_rho_agrees_with_hand_values() {
+        assert!((spearman_rho(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+        let mixed = spearman_rho(&[1.0, 2.0, 3.0, 4.0], &[2.0, 1.0, 4.0, 3.0]);
+        assert!((mixed - 0.6).abs() < 1e-12);
     }
 }

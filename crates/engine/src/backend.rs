@@ -1,0 +1,339 @@
+//! The `Measured`-fidelity evaluation backend: price candidates on the
+//! *deployed* pipelined engine instead of a model of it.
+//!
+//! This closes the paper's loop (Sec. 3.6): the searched architecture is
+//! lowered to an [`ExecutionPlan`], deployed to a loopback
+//! [`EdgeServer`]/[`DeviceClient`] pair, and driven with a real frame
+//! stream over real sockets — compression, framing, pipelining and
+//! (optionally) a throttled uplink all charged at face value. As the top
+//! rung of a `gcode_core::eval::backend::CascadeBackend` ladder
+//! (`analytic → sim → engine`), it prices exactly the few candidates the
+//! cheaper tiers promote, so every search winner carries live-runtime
+//! metrics.
+
+use crate::plan::ExecutionPlan;
+use crate::runtime::{latency_percentiles, DeviceClient, EdgeServer, EngineStats};
+use crate::EngineError;
+use gcode_core::arch::Architecture;
+use gcode_core::eval::backend::{EvalBackend, Fidelity};
+use gcode_core::eval::{Evaluator, MeasuredProfile, Metrics};
+use gcode_graph::datasets::Sample;
+use gcode_hardware::SystemConfig;
+use gcode_nn::seq::WeightBank;
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+
+/// Latency/energy assigned to a candidate whose deployment failed
+/// (socket or protocol error): large but finite so it serializes cleanly
+/// and can never pass a sane constraint.
+pub const DEPLOY_FAILURE_SENTINEL: f64 = 1e9;
+
+/// Accumulated live-measurement telemetry across every candidate this
+/// backend has deployed.
+#[derive(Default)]
+struct Telemetry {
+    /// Post-warmup per-frame latencies from every successful deployment.
+    latencies_s: Vec<f64>,
+    /// Compressed device→edge bytes across deployments.
+    bytes_sent: u64,
+    /// Deployments that errored and were priced with the sentinel.
+    errors: u64,
+    /// Successful deployments.
+    deployments: u64,
+}
+
+/// [`EvalBackend`] that measures candidates on the live TCP engine —
+/// [`Fidelity::Measured`], the ground truth every cheaper tier
+/// approximates.
+///
+/// Per candidate: lower to an [`ExecutionPlan`], spawn a loopback
+/// [`EdgeServer`], connect a [`DeviceClient`] (with the configured uplink
+/// throttle), stream `warmup + frames` real samples through the pipelined
+/// runtime, then tear the pair down. Warmup frames prime the pipeline and
+/// are excluded from pricing; the reported latency is the mean post-warmup
+/// per-frame latency, and energy is modeled from the measured times and
+/// traffic (run power over the measured frame latency plus link energy
+/// for the measured bytes — the busy/idle split is not observable from
+/// wall clock).
+///
+/// Deployment failures never poison a search: a candidate whose engine run
+/// errors is priced at [`DEPLOY_FAILURE_SENTINEL`] (infeasible under any
+/// sane constraint), the error is counted in
+/// [`EngineBackend::measured_profile`], and the backend remains usable for
+/// the next candidate.
+///
+/// Being a wall-clock measurement, metrics are *not* bit-reproducible
+/// across runs — that is the point of the tier. Memoization still holds
+/// within a `SearchSession` (each unique candidate is measured once).
+pub struct EngineBackend<F: Fn(&Architecture) -> f64 + Sync> {
+    samples: Vec<Sample>,
+    num_classes: usize,
+    sys: SystemConfig,
+    frames: usize,
+    warmup: usize,
+    uplink_mbps: Option<f64>,
+    bank_seed: u64,
+    run_seed: u64,
+    remote_edge: Option<SocketAddr>,
+    accuracy_fn: F,
+    telemetry: Mutex<Telemetry>,
+}
+
+impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
+    /// Creates a backend that streams `samples` (cycled as needed) through
+    /// each candidate's deployed pipeline. `num_classes` sizes the shared
+    /// [`WeightBank`]; `sys` supplies the power/link model used to convert
+    /// measured times and bytes into energy; `accuracy_fn` prices accuracy
+    /// (surrogate or supernet — the synthetic frame stream's own hit rate
+    /// stays available in the telemetry).
+    ///
+    /// Defaults: measure every sample once, no warmup, no uplink throttle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty — the engine needs frames to drive.
+    pub fn new(
+        samples: Vec<Sample>,
+        num_classes: usize,
+        sys: SystemConfig,
+        accuracy_fn: F,
+    ) -> Self {
+        assert!(!samples.is_empty(), "EngineBackend needs at least one sample frame");
+        Self {
+            frames: samples.len(),
+            samples,
+            num_classes,
+            sys,
+            warmup: 0,
+            uplink_mbps: None,
+            bank_seed: 0x5EED,
+            run_seed: 0xE261,
+            remote_edge: None,
+            accuracy_fn,
+            telemetry: Mutex::new(Telemetry::default()),
+        }
+    }
+
+    /// Sets how many frames are measured per candidate (at least 1;
+    /// samples are cycled when the count exceeds the dataset).
+    #[must_use]
+    pub fn with_frames(mut self, frames: usize) -> Self {
+        self.frames = frames.max(1);
+        self
+    }
+
+    /// Sets how many warmup frames prime the pipeline before measurement
+    /// starts (excluded from pricing and telemetry).
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Caps the device uplink at `mbps`, reproducing the paper's router
+    /// bandwidth limits on loopback.
+    #[must_use]
+    pub fn with_uplink_mbps(mut self, mbps: f64) -> Self {
+        self.uplink_mbps = Some(mbps);
+        self
+    }
+
+    /// Seeds the shared weight bank (device and edge halves always agree).
+    #[must_use]
+    pub fn with_bank_seed(mut self, seed: u64) -> Self {
+        self.bank_seed = seed;
+        self
+    }
+
+    /// Connects every deployment to an already-running edge at `addr`
+    /// instead of spawning a loopback [`EdgeServer`] per candidate — for
+    /// pre-deployed LAN edges, and for fault-injection tests that stand up
+    /// a misbehaving peer.
+    #[must_use]
+    pub fn with_remote_edge(mut self, addr: SocketAddr) -> Self {
+        self.remote_edge = Some(addr);
+        self
+    }
+
+    /// Percentiles and traffic accumulated over every measured frame so
+    /// far — the payload a `SearchReport` surfaces for Measured runs.
+    pub fn measured_profile(&self) -> MeasuredProfile {
+        let t = self.telemetry.lock();
+        let (p50_s, p95_s, p99_s) = latency_percentiles(&t.latencies_s);
+        MeasuredProfile {
+            frames: t.latencies_s.len() as u64,
+            p50_s,
+            p95_s,
+            p99_s,
+            bytes_sent: t.bytes_sent,
+            errors: t.errors,
+        }
+    }
+
+    /// Successful deployments so far.
+    pub fn deployments(&self) -> u64 {
+        self.telemetry.lock().deployments
+    }
+
+    /// The warmup+measured frame stream for one candidate.
+    fn stream(&self) -> Vec<Sample> {
+        (0..self.warmup + self.frames)
+            .map(|i| self.samples[i % self.samples.len()].clone())
+            .collect()
+    }
+
+    /// Deploys one candidate and runs the frame stream through it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol errors from either half; the pair
+    /// is torn down either way.
+    fn run_candidate(&self, arch: &Architecture) -> Result<EngineStats, EngineError> {
+        let plan = ExecutionPlan::from_architecture(arch);
+        let bank = WeightBank::new(self.num_classes, self.bank_seed);
+        let stream = self.stream();
+        let (addr, server) = match self.remote_edge {
+            Some(addr) => (addr, None),
+            None => {
+                let server = EdgeServer::spawn(plan.clone(), bank.clone(), self.run_seed)?;
+                (server.addr(), Some(server))
+            }
+        };
+        let mut client = DeviceClient::connect(addr, plan, bank, self.run_seed)?;
+        if let Some(mbps) = self.uplink_mbps {
+            client = client.with_uplink_mbps(mbps);
+        }
+        let result = client.run_pipelined(&stream);
+        // Teardown: dropping the client closes the socket, which ends the
+        // edge's serve loop; join so no server thread outlives the
+        // candidate. On a client-side error the edge may report its own
+        // mirror error — the client's is the one worth surfacing.
+        drop(client);
+        if let Some(server) = server {
+            match &result {
+                Ok(_) => server.join()?,
+                Err(_) => {
+                    let _ = server.join();
+                }
+            }
+        }
+        result.map(|(_, stats)| stats)
+    }
+}
+
+impl<F: Fn(&Architecture) -> f64 + Sync> Evaluator for EngineBackend<F> {
+    fn evaluate(&self, arch: &Architecture) -> Metrics {
+        match self.run_candidate(arch) {
+            Ok(stats) => {
+                let measured = &stats.frame_latencies_s[self.warmup.min(stats.frames)..];
+                let mean_s = if measured.is_empty() {
+                    stats.wall_s / stats.frames.max(1) as f64
+                } else {
+                    measured.iter().sum::<f64>() / measured.len() as f64
+                };
+                let bytes_per_frame = stats.bytes_sent / stats.frames.max(1);
+                let energy_j = self.sys.device.run_power_w * mean_s
+                    + self.sys.power.device_comm_energy(&self.sys.link, bytes_per_frame, 0);
+                let mut t = self.telemetry.lock();
+                t.latencies_s.extend_from_slice(measured);
+                t.bytes_sent += stats.bytes_sent as u64;
+                t.deployments += 1;
+                Metrics { accuracy: (self.accuracy_fn)(arch), latency_s: mean_s, energy_j }
+            }
+            Err(_) => {
+                self.telemetry.lock().errors += 1;
+                Metrics {
+                    accuracy: 0.0,
+                    latency_s: DEPLOY_FAILURE_SENTINEL,
+                    energy_j: DEPLOY_FAILURE_SENTINEL,
+                }
+            }
+        }
+    }
+}
+
+impl<F: Fn(&Architecture) -> f64 + Sync> EvalBackend for EngineBackend<F> {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Measured
+    }
+
+    fn cost_hint(&self) -> f64 {
+        // Real kernels over real sockets, per frame streamed: orders of
+        // magnitude above the analytic LUT walk and well above a
+        // discrete-event pass, scaling with the configured stream length.
+        50.0 * (self.warmup + self.frames) as f64
+    }
+
+    fn name(&self) -> &str {
+        "engine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcode_core::op::{Op, SampleFn};
+    use gcode_graph::datasets::PointCloudDataset;
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    fn split_arch() -> Architecture {
+        Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 4 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 8 },
+            Op::Communicate,
+            Op::GlobalPool(PoolMode::Max),
+        ])
+    }
+
+    fn backend() -> EngineBackend<fn(&Architecture) -> f64> {
+        let ds = PointCloudDataset::generate(4, 12, 2, 7);
+        EngineBackend::new(
+            ds.samples().to_vec(),
+            2,
+            SystemConfig::tx2_to_i7(40.0),
+            |a: &Architecture| 0.8 + 0.001 * a.len() as f64,
+        )
+    }
+
+    #[test]
+    fn measures_offloaded_candidate_with_real_sockets() {
+        let b = backend().with_frames(3).with_warmup(1);
+        let m = b.evaluate(&split_arch());
+        assert!(m.latency_s > 0.0 && m.latency_s < DEPLOY_FAILURE_SENTINEL);
+        assert!(m.energy_j > 0.0 && m.energy_j < DEPLOY_FAILURE_SENTINEL);
+        assert!(m.accuracy > 0.0);
+        let profile = b.measured_profile();
+        assert_eq!(profile.frames, 3, "warmup frames are excluded");
+        assert_eq!(profile.errors, 0);
+        assert!(profile.bytes_sent > 0, "a split design must ship traffic");
+        assert!(profile.p50_s <= profile.p95_s && profile.p95_s <= profile.p99_s);
+        assert_eq!(b.deployments(), 1);
+    }
+
+    #[test]
+    fn measures_device_only_candidate_without_traffic() {
+        let arch = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 4 }),
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let b = backend().with_frames(2);
+        let m = b.evaluate(&arch);
+        assert!(m.latency_s < DEPLOY_FAILURE_SENTINEL);
+        assert_eq!(b.measured_profile().bytes_sent, 0);
+        // A second candidate reuses the backend cleanly.
+        let m2 = b.evaluate(&split_arch());
+        assert!(m2.latency_s < DEPLOY_FAILURE_SENTINEL);
+        assert_eq!(b.deployments(), 2);
+    }
+
+    #[test]
+    fn reports_measured_identity() {
+        let b = backend().with_frames(4).with_warmup(2);
+        assert_eq!(b.fidelity(), Fidelity::Measured);
+        assert_eq!(b.name(), "engine");
+        assert_eq!(b.cost_hint(), 50.0 * 6.0);
+    }
+}

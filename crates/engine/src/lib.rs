@@ -13,6 +13,11 @@
 //! Architectures typically arrive from a `gcode_core::eval::SearchSession`
 //! run: the zoo's winners lower to an [`ExecutionPlan`] here, and the
 //! [`EngineDispatcher`] swaps deployed plans as runtime constraints move.
+//! The loop closes in the other direction too: [`EngineBackend`] registers
+//! this runtime as a `Measured`-fidelity evaluation backend, so a search
+//! can price its most promising candidates on the deployed engine itself
+//! (typically as the top rung of an `analytic → sim → engine` fidelity
+//! ladder).
 //!
 //! # Example
 //!
@@ -36,12 +41,14 @@
 //! # Ok::<(), gcode_engine::EngineError>(())
 //! ```
 
+mod backend;
 mod dispatcher;
 mod plan;
 mod proto;
 mod runtime;
 mod throttle;
 
+pub use backend::{EngineBackend, DEPLOY_FAILURE_SENTINEL};
 pub use dispatcher::EngineDispatcher;
 pub use plan::ExecutionPlan;
 pub use proto::{decode_state, encode_state, read_message, write_message, WireState};

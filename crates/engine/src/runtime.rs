@@ -14,8 +14,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Throughput/latency statistics from one engine run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Throughput/latency statistics from one engine run. Alongside the
+/// aggregates, every run records its full per-frame latency distribution:
+/// frame `f`'s latency runs from the moment its device prefix starts to
+/// the moment its result arrives back — queueing included, which is what a
+/// deployed client experiences.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineStats {
     /// Frames processed.
     pub frames: usize,
@@ -27,6 +31,30 @@ pub struct EngineStats {
     pub bytes_sent: usize,
     /// Fraction of frames whose prediction matched the label.
     pub accuracy: f64,
+    /// Median per-frame latency, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile per-frame latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile per-frame latency, seconds.
+    pub p99_s: f64,
+    /// Per-frame latencies in frame order, seconds.
+    pub frame_latencies_s: Vec<f64>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// `(p50, p95, p99)` of an unsorted per-frame latency sample.
+pub(crate) fn latency_percentiles(latencies: &[f64]) -> (f64, f64, f64) {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    (percentile(&sorted, 50.0), percentile(&sorted, 95.0), percentile(&sorted, 99.0))
 }
 
 /// The edge half: accepts one device connection and serves edge-side
@@ -218,8 +246,9 @@ impl DeviceClient {
         });
 
         let expected = samples.len();
+        let epoch = start;
         let receiver =
-            std::thread::spawn(move || -> Result<Vec<(u64, usize, u32)>, EngineError> {
+            std::thread::spawn(move || -> Result<Vec<(u64, usize, u32, f64)>, EngineError> {
                 let mut results = Vec::with_capacity(expected);
                 while results.len() < expected {
                     let Some(body) = read_message(&mut reader)? else {
@@ -228,14 +257,22 @@ impl DeviceClient {
                         ));
                     };
                     let state = decode_state(&body)?;
-                    results.push((state.frame_id, state.features.argmax_row(0), state.label));
+                    let done_s = epoch.elapsed().as_secs_f64();
+                    results.push((
+                        state.frame_id,
+                        state.features.argmax_row(0),
+                        state.label,
+                        done_s,
+                    ));
                 }
                 Ok(results)
             });
 
         // Main thread: device prefix per frame; never blocks on results.
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xDE71CE);
+        let mut starts_s = Vec::with_capacity(samples.len());
         for (frame_id, sample) in samples.iter().enumerate() {
+            starts_s.push(start.elapsed().as_secs_f64());
             let (h, graph) = forward_features(
                 &self.plan.device_specs,
                 0,
@@ -258,10 +295,25 @@ impl DeviceClient {
         let mut results = receiver
             .join()
             .map_err(|_| EngineError::Protocol("receiver panicked".to_string()))??;
-        results.sort_by_key(|&(frame_id, _, _)| frame_id);
+        results.sort_by_key(|&(frame_id, _, _, _)| frame_id);
+        // Exactly the ids we sent, each once — a duplicate or out-of-range
+        // id from a rogue edge must be a protocol error, not a panic or a
+        // silent prediction/latency misalignment.
+        if let Some(&(bad, ..)) =
+            results.iter().enumerate().find(|(i, &(fid, ..))| fid != *i as u64).map(|(_, r)| r)
+        {
+            return Err(EngineError::Protocol(format!(
+                "edge returned unexpected frame id {bad} (expected 0..{expected})"
+            )));
+        }
 
-        let predictions: Vec<usize> = results.iter().map(|&(_, p, _)| p).collect();
-        let correct = results.iter().filter(|&&(_, p, l)| p == l as usize).count();
+        let predictions: Vec<usize> = results.iter().map(|&(_, p, _, _)| p).collect();
+        let correct = results.iter().filter(|&&(_, p, l, _)| p == l as usize).count();
+        let frame_latencies_s: Vec<f64> = results
+            .iter()
+            .map(|&(frame_id, _, _, done_s)| (done_s - starts_s[frame_id as usize]).max(0.0))
+            .collect();
+        let (p50_s, p95_s, p99_s) = latency_percentiles(&frame_latencies_s);
         let wall_s = start.elapsed().as_secs_f64();
         let stats = EngineStats {
             frames: samples.len(),
@@ -269,6 +321,10 @@ impl DeviceClient {
             fps: samples.len() as f64 / wall_s.max(1e-12),
             bytes_sent: *bytes_sent.lock(),
             accuracy: correct as f64 / samples.len().max(1) as f64,
+            p50_s,
+            p95_s,
+            p99_s,
+            frame_latencies_s,
         };
         Ok((predictions, stats))
     }
@@ -280,8 +336,10 @@ impl DeviceClient {
     ) -> Result<(Vec<usize>, EngineStats), EngineError> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xDE71CE);
         let mut predictions = Vec::with_capacity(samples.len());
+        let mut frame_latencies_s = Vec::with_capacity(samples.len());
         let mut correct = 0usize;
         for sample in samples {
+            let frame_start = start.elapsed().as_secs_f64();
             let (h, _) = forward_features(
                 &self.plan.device_specs,
                 0,
@@ -295,16 +353,22 @@ impl DeviceClient {
                 correct += 1;
             }
             predictions.push(pred);
+            frame_latencies_s.push((start.elapsed().as_secs_f64() - frame_start).max(0.0));
         }
+        let (p50_s, p95_s, p99_s) = latency_percentiles(&frame_latencies_s);
         let wall_s = start.elapsed().as_secs_f64();
         Ok((
-            predictions.clone(),
+            predictions,
             EngineStats {
                 frames: samples.len(),
                 wall_s,
                 fps: samples.len() as f64 / wall_s.max(1e-12),
                 bytes_sent: 0,
                 accuracy: correct as f64 / samples.len().max(1) as f64,
+                p50_s,
+                p95_s,
+                p99_s,
+                frame_latencies_s,
             },
         ))
     }

@@ -130,6 +130,47 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mbps_rejected() {
+        let _ = Throttle::mbps(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_rate_rejected() {
+        let _ = Throttle::new(-1.0, 100.0);
+    }
+
+    #[test]
+    fn burst_capacity_exhaustion_grows_debt_monotonically() {
+        // Once the bucket is dry, every further consume deepens the debt:
+        // each successive wait must cover everything still owed.
+        let mut t = Throttle::new(1_000_000.0, 1_000.0);
+        assert_eq!(t.consume(1_000), Duration::ZERO, "burst within capacity is free");
+        let mut last = Duration::ZERO;
+        for _ in 0..4 {
+            let wait = t.consume(100_000);
+            assert!(wait > last, "debt must deepen: {wait:?} after {last:?}");
+            last = wait;
+        }
+        // Total owed ≈ 400 KB at 1 MB/s ≈ 0.4 s (minus the instants the
+        // loop itself consumed).
+        assert!(last >= Duration::from_millis(300), "got {last:?}");
+    }
+
+    #[test]
+    fn refill_after_idle_is_capped_at_capacity() {
+        // A long idle period must not bank more than one bucket of burst:
+        // after the free capacity-sized send, the next byte owes time.
+        let mut t = Throttle::new(1_000_000.0, 1_000.0);
+        t.consume(1_000); // drain
+        std::thread::sleep(Duration::from_millis(20)); // would refill 20 KB uncapped
+        assert_eq!(t.consume(1_000), Duration::ZERO, "one bucket is free after idle");
+        let wait = t.consume(10_000);
+        assert!(wait > Duration::ZERO, "beyond capacity the idle credit is gone");
+    }
+
+    #[test]
     fn paced_transfer_takes_expected_wall_time() {
         // 200 KB at 8 Mbps (= 1 MB/s) should take ≈ 0.2 s.
         let mut t = Throttle::new(1_000_000.0, 1_024.0);

@@ -3,23 +3,34 @@
 //!
 //! ```text
 //! gcode search   --device tx2 --edge i7 --mbps 40 --task modelnet40 \
-//!                [--backend analytic|sim|cascade] [--workers N] [--keep-frac F]
+//!                [--backend analytic|sim|cascade|engine|ladder]
+//!                [--tiers analytic,predictor,sim,engine] [--adaptive-keep true]
+//!                [--frames N] [--warmup N] [--workers N] [--keep-frac F[,F…]]
 //!                [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
 //!                [--seed N] [--zoo-out FILE] [--report-out FILE]
 //! gcode systems                       # list built-in device/edge pairs
 //! gcode describe --zoo FILE [--index N]
 //! gcode dispatch --zoo FILE [--latency-ms F] [--energy-j F]
 //! ```
+//!
+//! `--tiers` builds a fidelity ladder (implies `--backend ladder`); the
+//! `engine` tier deploys each escalated candidate to a loopback TCP
+//! device/edge pair and prices it on the live pipelined runtime.
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
 use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
 use gcode::core::eval::{Objective, SearchSession};
+use gcode::core::predictor::{LatencyPredictor, PredictorConfig, PredictorEvaluator};
 use gcode::core::search::{RandomSearch, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
+use gcode::engine::EngineBackend;
+use gcode::graph::datasets::{PointCloudDataset, TextGraphDataset};
 use gcode::hardware::{Link, Processor, SystemConfig};
-use gcode::sim::{SimBackend, SimConfig};
+use gcode::sim::{simulate, SimBackend, SimConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -54,7 +65,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   gcode search   --device <tx2|pi> --edge <i7|1060> [--mbps F] [--task <modelnet40|mr>]
-                 [--backend <analytic|sim|cascade>] [--workers N] [--keep-frac F]
+                 [--backend <analytic|sim|cascade|engine|ladder>]
+                 [--tiers <analytic,predictor,sim,engine>] [--adaptive-keep <true|false>]
+                 [--frames N] [--warmup N] [--workers N] [--keep-frac F[,F...]]
                  [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
                  [--seed N] [--zoo-out FILE] [--report-out FILE]
   gcode systems
@@ -108,6 +121,31 @@ fn cmd_systems() -> Result<(), String> {
     Ok(())
 }
 
+/// Which fidelity ladder a `--backend`/`--tiers` combination asks for.
+fn tier_names(opts: &HashMap<String, String>) -> Result<Vec<String>, String> {
+    let backend_name = opts.get("backend").map(String::as_str);
+    if let Some(tiers) = opts.get("tiers") {
+        let names: Vec<String> = tiers.split(',').map(|t| t.trim().to_string()).collect();
+        if let Some(b) = backend_name {
+            if b != "ladder" {
+                return Err(format!("--tiers implies --backend ladder, not `{b}`"));
+            }
+        }
+        if names.len() < 2 {
+            return Err("--tiers needs at least two comma-separated tiers".into());
+        }
+        return Ok(names);
+    }
+    match backend_name.unwrap_or("sim") {
+        "analytic" => Ok(vec!["analytic".into()]),
+        "sim" => Ok(vec!["sim".into()]),
+        "engine" => Ok(vec!["engine".into()]),
+        "cascade" => Ok(vec!["analytic".into(), "sim".into()]),
+        "ladder" => Err("--backend ladder needs --tiers a,b[,c…]".into()),
+        other => Err(format!("unknown backend `{other}` (analytic|sim|cascade|engine|ladder)")),
+    }
+}
+
 fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
     let dev = device(opts.get("device").ok_or("--device is required")?)?;
     let edg = edge(opts.get("edge").ok_or("--edge is required")?)?;
@@ -129,38 +167,143 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         get_f64(opts, "energy-j", 3.0)?,
     );
     let workers = get_usize(opts, "workers", 1)?;
-    let keep_frac = get_f64(opts, "keep-frac", 0.25)?;
-    let backend_name = opts.get("backend").map(String::as_str).unwrap_or("sim");
+    let keep_fracs: Vec<f64> = opts
+        .get("keep-frac")
+        .map(String::as_str)
+        .unwrap_or("0.25")
+        .split(',')
+        .map(|f| f.trim().parse::<f64>().map_err(|_| format!("--keep-frac: bad number `{f}`")))
+        .collect::<Result<_, _>>()?;
+    let adaptive = matches!(
+        opts.get("adaptive-keep").map(String::as_str),
+        Some("true") | Some("1") | Some("yes")
+    );
+    let frames = get_usize(opts, "frames", 8)?.max(1);
+    let warmup = get_usize(opts, "warmup", 2)?;
+    let tiers = tier_names(opts)?;
     let space = DesignSpace::paper(profile);
 
-    // All three backends share the calibrated surrogate accuracy; the
-    // cascade screens with the analytic tier and re-prices the top
-    // `keep_frac` of each batch with the simulator.
-    let s1 = SurrogateAccuracy::new(task);
-    let analytic = AnalyticBackend {
-        profile,
-        sys: sys.clone(),
-        accuracy_fn: move |a: &Architecture| s1.overall_accuracy(a),
-    };
-    let s2 = SurrogateAccuracy::new(task);
-    let sim = SimBackend {
-        profile,
-        sys: sys.clone(),
-        sim: SimConfig::single_frame(),
-        accuracy_fn: move |a: &Architecture| s2.overall_accuracy(a),
-    };
-    let cascade;
-    let mut cascade_stats = None;
-    let backend: &dyn EvalBackend = match backend_name {
-        "analytic" => &analytic,
-        "sim" => &sim,
-        "cascade" => {
-            cascade = CascadeBackend::new(&analytic, &sim, objective).with_keep_frac(keep_frac);
-            cascade_stats = Some(&cascade);
-            &cascade
+    // Build each requested tier once; all share the calibrated surrogate
+    // accuracy. The engine tier is kept concrete so its live telemetry can
+    // be read back after the search.
+    let mut boxed: HashMap<&str, Box<dyn EvalBackend>> = HashMap::new();
+    let mut engine_backend = None;
+    for name in tiers.iter().map(String::as_str) {
+        match name {
+            "analytic" => {
+                let s = SurrogateAccuracy::new(task);
+                boxed.insert(
+                    "analytic",
+                    Box::new(AnalyticBackend {
+                        profile,
+                        sys: sys.clone(),
+                        accuracy_fn: move |a: &Architecture| s.overall_accuracy(a),
+                    }),
+                );
+            }
+            "sim" => {
+                let s = SurrogateAccuracy::new(task);
+                boxed.insert(
+                    "sim",
+                    Box::new(SimBackend {
+                        profile,
+                        sys: sys.clone(),
+                        sim: SimConfig::single_frame(),
+                        accuracy_fn: move |a: &Architecture| s.overall_accuracy(a),
+                    }),
+                );
+            }
+            "predictor" => {
+                // The training-data pipeline in the search loop: price a
+                // small seed population with the simulator and fit the GIN
+                // latency predictor on it before the search starts.
+                const TRAIN_SAMPLES: usize = 48;
+                println!("training predictor tier on {TRAIN_SAMPLES} sim-priced samples …");
+                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9D1C70);
+                let data: Vec<(Architecture, f64)> = (0..TRAIN_SAMPLES)
+                    .map(|_| {
+                        let a = space.sample_valid(&mut rng, 100_000).0;
+                        let lat = simulate(&a, &profile, &sys, &SimConfig::single_frame())
+                            .frame_latency_s;
+                        (a, lat)
+                    })
+                    .collect();
+                let predictor = LatencyPredictor::train(
+                    PredictorConfig { hidden: 32, epochs: 60, ..PredictorConfig::default() },
+                    profile,
+                    sys.clone(),
+                    &data,
+                );
+                let s = SurrogateAccuracy::new(task);
+                boxed.insert(
+                    "predictor",
+                    Box::new(PredictorEvaluator {
+                        predictor,
+                        accuracy_fn: move |a: &Architecture| s.overall_accuracy(a),
+                    }),
+                );
+            }
+            "engine" => {
+                // Mini synthetic stream: the engine runs the candidate's
+                // real kernels over real sockets; frame content only needs
+                // the right feature width.
+                let (samples, classes) = if matches!(task, SurrogateTask::ModelNet40) {
+                    let ds = PointCloudDataset::generate(8, 24, 4, cfg.seed ^ 0xF4);
+                    (ds.samples().to_vec(), 4)
+                } else {
+                    let ds = TextGraphDataset::generate(8, 12, 24, cfg.seed ^ 0xF4);
+                    (ds.samples().to_vec(), 2)
+                };
+                let s = SurrogateAccuracy::new(task);
+                engine_backend = Some(
+                    EngineBackend::new(samples, classes, sys.clone(), move |a: &Architecture| {
+                        s.overall_accuracy(a)
+                    })
+                    .with_frames(frames)
+                    .with_warmup(warmup)
+                    .with_uplink_mbps(mbps),
+                );
+            }
+            other => return Err(format!("unknown tier `{other}` (analytic|predictor|sim|engine)")),
         }
-        other => return Err(format!("unknown backend `{other}` (analytic|sim|cascade)")),
+    }
+    let tier_refs: Vec<&dyn EvalBackend> = tiers
+        .iter()
+        .map(|name| match name.as_str() {
+            "engine" => engine_backend.as_ref().expect("engine tier built") as &dyn EvalBackend,
+            other => boxed[other].as_ref(),
+        })
+        .collect();
+    let ladder = if tier_refs.len() == 1 {
+        None
+    } else {
+        if let Some(pair) = tier_refs.windows(2).find(|p| p[0].cost_hint() > p[1].cost_hint()) {
+            return Err(format!(
+                "--tiers must be ordered cheapest-first: `{}` (cost {:.0}x) precedes `{}` (cost {:.0}x)",
+                pair[0].name(),
+                pair[0].cost_hint(),
+                pair[1].name(),
+                pair[1].cost_hint()
+            ));
+        }
+        let fracs = if keep_fracs.len() == 1 {
+            vec![keep_fracs[0]; tier_refs.len() - 1]
+        } else if keep_fracs.len() == tier_refs.len() - 1 {
+            keep_fracs.clone()
+        } else {
+            return Err(format!(
+                "--keep-frac: need 1 or {} fractions for {} tiers",
+                tier_refs.len() - 1,
+                tier_refs.len()
+            ));
+        };
+        let mut c = CascadeBackend::ladder(tier_refs.clone(), objective).with_keep_fracs(&fracs);
+        if adaptive {
+            c = c.with_adaptive_keep();
+        }
+        Some(c)
     };
+    let backend: &dyn EvalBackend = ladder.as_ref().map_or(tier_refs[0], |l| l as &dyn EvalBackend);
 
     println!(
         "searching {} on {} via `{}` ({:?} fidelity, {} worker{}) …",
@@ -174,7 +317,7 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut session =
         SearchSession::new(&space, backend).with_objective(objective).with_workers(workers);
     let result = session.run(&RandomSearch::new(cfg));
-    let report = session.report(backend.name(), &result);
+    let mut report = session.report(backend.name(), &result);
     println!(
         "evaluations: {} unique ({} cache hits of {} lookups, {:.1}% hit rate)",
         report.unique_architectures,
@@ -182,13 +325,26 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         report.cache.lookups(),
         report.cache.hit_rate() * 100.0
     );
-    if let Some(c) = cascade_stats {
-        let stats = c.stats();
+    if let Some(ladder) = &ladder {
+        println!("fidelity ladder (bottom → top):");
+        for t in ladder.tier_stats() {
+            println!(
+                "  {:<10} {:?} fidelity, cost {:>6.1}x, keep {:4.2} → {} evals",
+                t.name, t.fidelity, t.cost_hint, t.keep_frac, t.evals
+            );
+        }
+    }
+    if let Some(e) = &engine_backend {
+        let profile = e.measured_profile();
+        report = report.with_measured(profile);
         println!(
-            "cascade: {} screened cheaply, {} re-priced by sim ({:.1}% escalated)",
-            stats.cheap_evals,
-            stats.expensive_evals,
-            stats.escalation_rate() * 100.0
+            "measured on the live engine: {} frames (p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms), {} bytes sent, {} failed deployments",
+            profile.frames,
+            profile.p50_s * 1e3,
+            profile.p95_s * 1e3,
+            profile.p99_s * 1e3,
+            profile.bytes_sent,
+            profile.errors
         );
     }
     if let Some(path) = opts.get("report-out") {
