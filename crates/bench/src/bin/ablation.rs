@@ -10,10 +10,15 @@
 //! 6. closing the loop: a three-tier analytic→sim→engine fidelity ladder
 //!    that prices escalated candidates on the live TCP runtime, vs the
 //!    pure-sim search, with live p50/p95/p99 frame latencies in the
-//!    `SearchReport`.
+//!    `SearchReport`;
+//! 7. persistent edge pool: per-candidate spawn/connect/teardown vs one
+//!    warm pair hot-swapping plans (`SwapPlan` control frames) — deploy
+//!    throughput and p50 per mode.
 //!
-//! Sections 5–6 also emit a `BENCH_eval.json` perf artifact (wall time and
-//! evaluation counts per search mode) next to the working directory.
+//! Sections 5–7 also emit a `BENCH_eval.json` perf artifact (wall time,
+//! evaluation counts and deploy throughput per mode) next to the working
+//! directory. `--quick` runs only section 7 at tiny frame counts and still
+//! emits the artifact — the CI smoke path.
 
 use gcode_baselines::models;
 use gcode_bench::{
@@ -21,7 +26,8 @@ use gcode_bench::{
 };
 use gcode_core::arch::{Architecture, WorkloadProfile};
 use gcode_core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
-use gcode_core::eval::SearchSession;
+use gcode_core::eval::{Evaluator, SearchSession};
+use gcode_core::op::{Op, SampleFn};
 use gcode_core::pareto::{front_of, hypervolume};
 use gcode_core::search::RandomSearch;
 use gcode_core::space::DesignSpace;
@@ -30,10 +36,106 @@ use gcode_core::zoo::ArchitectureZoo;
 use gcode_engine::EngineBackend;
 use gcode_graph::datasets::PointCloudDataset;
 use gcode_hardware::SystemConfig;
+use gcode_nn::agg::AggMode;
+use gcode_nn::pool::PoolMode;
 use gcode_sim::{simulate, simulate_adaptive, BandwidthTrace, SimBackend, SimConfig};
 use std::time::Instant;
 
+/// Deploy-throughput numbers from the pooled-vs-spawn ablation.
+struct PoolAblation {
+    candidates: usize,
+    spawn_wall_s: f64,
+    pooled_wall_s: f64,
+    spawn_p50_s: f64,
+    pooled_p50_s: f64,
+    pool_spawns: u64,
+}
+
+/// Distinct split candidates so neither mode benefits from memoization.
+fn pool_candidates(n: usize) -> Vec<Architecture> {
+    (0..n)
+        .map(|i| {
+            Architecture::new(vec![
+                Op::Sample(SampleFn::Knn { k: 4 + i % 3 }),
+                Op::Aggregate(AggMode::Max),
+                Op::Combine { dim: 8 + 8 * (i % 4) },
+                Op::Communicate,
+                Op::GlobalPool(PoolMode::Max),
+            ])
+        })
+        .collect()
+}
+
+/// Section 7 body: price the same candidate list on a fresh pair per
+/// candidate vs one persistent hot-swapping pair, and time both.
+fn run_pool_ablation(candidates: usize, frames: usize, warmup: usize) -> PoolAblation {
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let ds = PointCloudDataset::generate(6, 20, 4, 47);
+    let accuracy = |a: &Architecture| 0.8 + 0.001 * a.len() as f64;
+    let archs = pool_candidates(candidates);
+
+    let spawn_backend = EngineBackend::new(ds.samples().to_vec(), 4, sys.clone(), accuracy)
+        .with_frames(frames)
+        .with_warmup(warmup);
+    let spawn_start = Instant::now();
+    for arch in &archs {
+        spawn_backend.evaluate(arch);
+    }
+    let spawn_wall_s = spawn_start.elapsed().as_secs_f64();
+
+    let pooled_backend = EngineBackend::new(ds.samples().to_vec(), 4, sys, accuracy)
+        .with_frames(frames)
+        .with_warmup(warmup)
+        .with_persistent_edge();
+    let pooled_start = Instant::now();
+    for arch in &archs {
+        pooled_backend.evaluate(arch);
+    }
+    let pooled_wall_s = pooled_start.elapsed().as_secs_f64();
+
+    PoolAblation {
+        candidates,
+        spawn_wall_s,
+        pooled_wall_s,
+        spawn_p50_s: spawn_backend.measured_profile().p50_s,
+        pooled_p50_s: pooled_backend.measured_profile().p50_s,
+        pool_spawns: pooled_backend.pool_spawns(),
+    }
+}
+
+fn print_pool_ablation(pool: &PoolAblation) {
+    header("Ablation 7 — persistent edge pool: per-candidate spawn vs hot-swap");
+    println!(
+        "  per-candidate spawn: {:2} deployments in {:7.1} ms  ({:6.1} deploys/s)  p50 {:.3} ms",
+        pool.candidates,
+        pool.spawn_wall_s * 1e3,
+        pool.candidates as f64 / pool.spawn_wall_s.max(1e-12),
+        pool.spawn_p50_s * 1e3
+    );
+    println!(
+        "  pooled hot-swap:     {:2} deployments in {:7.1} ms  ({:6.1} deploys/s)  p50 {:.3} ms  ({} pair spawned)",
+        pool.candidates,
+        pool.pooled_wall_s * 1e3,
+        pool.candidates as f64 / pool.pooled_wall_s.max(1e-12),
+        pool.pooled_p50_s * 1e3,
+        pool.pool_spawns
+    );
+    println!(
+        "  deployment overhead amortized: {:.2}x faster end-to-end, p50 delta {:+.3} ms",
+        pool.spawn_wall_s / pool.pooled_wall_s.max(1e-12),
+        (pool.pooled_p50_s - pool.spawn_p50_s) * 1e3
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        // CI smoke: section 7 only, tiny frame counts, artifact still
+        // emitted (search-mode fields zeroed).
+        let pool = run_pool_ablation(4, 2, 1);
+        print_pool_ablation(&pool);
+        write_bench(&EvalBench::with_pool(&pool));
+        return;
+    }
     let profile = WorkloadProfile::modelnet40();
 
     // ——— 1. Pipelining ———
@@ -256,9 +358,13 @@ fn main() {
         serde_json::to_string(&report6).expect("report serializes")
     );
 
+    // ——— 7. Persistent edge pool ———
+    let pool = run_pool_ablation(8, 4, 1);
+    print_pool_ablation(&pool);
+
     // ——— Perf artifact ———
     let tiers = ladder.tier_stats();
-    let bench = serde_json::to_string_pretty(&EvalBench {
+    write_bench(&EvalBench {
         pure_sim_wall_s: pure_wall_s,
         pure_sim_evals: pure_report.cache.misses,
         cascade_wall_s,
@@ -269,15 +375,20 @@ fn main() {
         measured_p50_s: measured.p50_s,
         measured_p95_s: measured.p95_s,
         measured_p99_s: measured.p99_s,
-    })
-    .expect("bench artifact serializes");
-    std::fs::write("BENCH_eval.json", &bench).expect("write BENCH_eval.json");
+        ..EvalBench::with_pool(&pool)
+    });
+}
+
+fn write_bench(bench: &EvalBench) {
+    let json = serde_json::to_string_pretty(bench).expect("bench artifact serializes");
+    std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
     println!("\n  perf artifact written to BENCH_eval.json");
 }
 
 /// The `BENCH_eval.json` payload: wall time and evaluation economics of
-/// the three search modes, plus the live engine's latency percentiles.
-#[derive(serde::Serialize, serde::Deserialize)]
+/// the three search modes, the live engine's latency percentiles, and the
+/// pooled-vs-spawn deployment throughput.
+#[derive(Default, serde::Serialize, serde::Deserialize)]
 struct EvalBench {
     pure_sim_wall_s: f64,
     pure_sim_evals: u64,
@@ -289,4 +400,26 @@ struct EvalBench {
     measured_p50_s: f64,
     measured_p95_s: f64,
     measured_p99_s: f64,
+    spawn_deploys_per_s: f64,
+    pooled_deploys_per_s: f64,
+    spawn_p50_s: f64,
+    pooled_p50_s: f64,
+    pooled_p50_delta_s: f64,
+    pool_spawns: u64,
+}
+
+impl EvalBench {
+    /// A zeroed payload carrying only the section-7 pool numbers — the
+    /// full run fills the search-mode fields on top via struct update.
+    fn with_pool(pool: &PoolAblation) -> Self {
+        Self {
+            spawn_deploys_per_s: pool.candidates as f64 / pool.spawn_wall_s.max(1e-12),
+            pooled_deploys_per_s: pool.candidates as f64 / pool.pooled_wall_s.max(1e-12),
+            spawn_p50_s: pool.spawn_p50_s,
+            pooled_p50_s: pool.pooled_p50_s,
+            pooled_p50_delta_s: pool.pooled_p50_s - pool.spawn_p50_s,
+            pool_spawns: pool.pool_spawns,
+            ..Self::default()
+        }
+    }
 }

@@ -12,6 +12,7 @@
 //! metrics.
 
 use crate::plan::ExecutionPlan;
+use crate::pool::EdgePool;
 use crate::runtime::{latency_percentiles, DeviceClient, EdgeServer, EngineStats};
 use crate::EngineError;
 use gcode_core::arch::Architecture;
@@ -29,32 +30,52 @@ use std::net::SocketAddr;
 pub const DEPLOY_FAILURE_SENTINEL: f64 = 1e9;
 
 /// Accumulated live-measurement telemetry across every candidate this
-/// backend has deployed.
+/// backend has deployed. Warmup frames appear nowhere in here: only the
+/// measured window contributes latencies, bytes and stream hits.
 #[derive(Default)]
 struct Telemetry {
     /// Post-warmup per-frame latencies from every successful deployment.
     latencies_s: Vec<f64>,
-    /// Compressed device→edge bytes across deployments.
+    /// Compressed device→edge bytes across deployments, measured frames
+    /// only (warmup traffic is excluded).
     bytes_sent: u64,
     /// Deployments that errored and were priced with the sentinel.
     errors: u64,
     /// Successful deployments.
     deployments: u64,
+    /// Measured-window frames whose live prediction matched the label.
+    stream_correct: u64,
+    /// Persistent pools spawned (0 unless `with_persistent_edge`; 1 for a
+    /// whole healthy search — respawns after contained failures add more).
+    pool_spawns: u64,
 }
 
 /// [`EvalBackend`] that measures candidates on the live TCP engine —
 /// [`Fidelity::Measured`], the ground truth every cheaper tier
 /// approximates.
 ///
-/// Per candidate: lower to an [`ExecutionPlan`], spawn a loopback
-/// [`EdgeServer`], connect a [`DeviceClient`] (with the configured uplink
-/// throttle), stream `warmup + frames` real samples through the pipelined
-/// runtime, then tear the pair down. Warmup frames prime the pipeline and
-/// are excluded from pricing; the reported latency is the mean post-warmup
-/// per-frame latency, and energy is modeled from the measured times and
-/// traffic (run power over the measured frame latency plus link energy
-/// for the measured bytes — the busy/idle split is not observable from
-/// wall clock).
+/// Per candidate: lower to an [`ExecutionPlan`], deploy it, and stream
+/// `warmup + frames` real samples through the pipelined runtime. Two
+/// deployment modes exist:
+///
+/// * **Fresh spawn** (default): spawn a loopback [`EdgeServer`], connect a
+///   [`DeviceClient`] (with the configured uplink throttle), tear the pair
+///   down after the run.
+/// * **Persistent pool** ([`with_persistent_edge`](Self::with_persistent_edge)):
+///   spawn one [`EdgePool`] lazily on the first candidate and hot-swap
+///   each subsequent candidate's plan onto the warm pair via a `SwapPlan`
+///   control frame — no process spawn, TCP handshake or teardown per
+///   candidate, exactly the paper's Sec. 3.6 dispatcher move (the shared
+///   supernet `WeightBank` makes a swap weight-transfer-free). Weights are
+///   keyed and seeded per slot and the edge RNG restarts on every swap, so
+///   pooled predictions are bit-identical to fresh spawns.
+///
+/// Warmup frames prime the pipeline and are excluded from pricing and
+/// telemetry: latency is the mean *post-warmup* per-frame latency, energy
+/// prices the measured window's own traffic (run power over the measured
+/// frame latency plus link energy for measured bytes per measured frame —
+/// the busy/idle split is not observable from wall clock), and the live
+/// stream hit rate in the telemetry counts measured frames only.
 ///
 /// Deployment failures never poison a search: a candidate whose engine run
 /// errors is priced at [`DEPLOY_FAILURE_SENTINEL`] (infeasible under any
@@ -75,8 +96,10 @@ pub struct EngineBackend<F: Fn(&Architecture) -> f64 + Sync> {
     bank_seed: u64,
     run_seed: u64,
     remote_edge: Option<SocketAddr>,
+    persistent: bool,
     accuracy_fn: F,
     telemetry: Mutex<Telemetry>,
+    pool: Mutex<Option<EdgePool>>,
 }
 
 impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
@@ -109,8 +132,10 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
             bank_seed: 0x5EED,
             run_seed: 0xE261,
             remote_edge: None,
+            persistent: false,
             accuracy_fn,
             telemetry: Mutex::new(Telemetry::default()),
+            pool: Mutex::new(None),
         }
     }
 
@@ -148,15 +173,33 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
     /// Connects every deployment to an already-running edge at `addr`
     /// instead of spawning a loopback [`EdgeServer`] per candidate — for
     /// pre-deployed LAN edges, and for fault-injection tests that stand up
-    /// a misbehaving peer.
+    /// a misbehaving peer. Composes with
+    /// [`with_persistent_edge`](Self::with_persistent_edge): the pool then
+    /// keeps one session connection to the remote edge.
     #[must_use]
     pub fn with_remote_edge(mut self, addr: SocketAddr) -> Self {
         self.remote_edge = Some(addr);
         self
     }
 
-    /// Percentiles and traffic accumulated over every measured frame so
+    /// Switches to the persistent edge pool: one warm
+    /// [`EdgePool`] pair is spawned lazily on the first candidate and every
+    /// later candidate hot-swaps its plan onto it, cutting the
+    /// per-candidate deployment cost to a single control frame. A deploy
+    /// failure discards the broken pool (counted in the telemetry error
+    /// tally) and the next candidate respawns a fresh one, so the backend
+    /// stays usable mid-search. The pool shuts down cleanly when the
+    /// backend drops.
+    #[must_use]
+    pub fn with_persistent_edge(mut self) -> Self {
+        self.persistent = true;
+        self
+    }
+
+    /// Percentiles and traffic accumulated over every *measured* frame so
     /// far — the payload a `SearchReport` surfaces for Measured runs.
+    /// Warmup frames contribute nothing here: their latencies, bytes and
+    /// hit/miss outcomes are all dropped before accumulation.
     pub fn measured_profile(&self) -> MeasuredProfile {
         let t = self.telemetry.lock();
         let (p50_s, p95_s, p99_s) = latency_percentiles(&t.latencies_s);
@@ -175,6 +218,21 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
         self.telemetry.lock().deployments
     }
 
+    /// Persistent pools spawned so far: 0 in fresh-spawn mode, exactly 1
+    /// for a healthy `with_persistent_edge` search (contained deploy
+    /// failures discard the pool, so the respawn for the next candidate
+    /// increments this).
+    pub fn pool_spawns(&self) -> u64 {
+        self.telemetry.lock().pool_spawns
+    }
+
+    /// Fraction of measured frames whose live prediction matched its
+    /// label, across every successful deployment (warmup excluded).
+    pub fn stream_accuracy(&self) -> f64 {
+        let t = self.telemetry.lock();
+        t.stream_correct as f64 / (t.latencies_s.len().max(1)) as f64
+    }
+
     /// The warmup+measured frame stream for one candidate.
     fn stream(&self) -> Vec<Sample> {
         (0..self.warmup + self.frames)
@@ -182,16 +240,21 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
             .collect()
     }
 
-    /// Deploys one candidate and runs the frame stream through it.
+    /// Deploys one candidate (fresh pair or pooled hot-swap) and runs the
+    /// frame stream through it.
     ///
     /// # Errors
     ///
-    /// Propagates socket and protocol errors from either half; the pair
-    /// is torn down either way.
-    fn run_candidate(&self, arch: &Architecture) -> Result<EngineStats, EngineError> {
+    /// Propagates socket and protocol errors from either half; a fresh
+    /// pair is torn down either way, a broken pool is discarded so the
+    /// next candidate respawns one.
+    fn run_candidate(&self, arch: &Architecture) -> Result<(Vec<usize>, EngineStats), EngineError> {
         let plan = ExecutionPlan::from_architecture(arch);
-        let bank = WeightBank::new(self.num_classes, self.bank_seed);
         let stream = self.stream();
+        if self.persistent {
+            return self.run_pooled(plan, &stream);
+        }
+        let bank = WeightBank::new(self.num_classes, self.bank_seed);
         let (addr, server) = match self.remote_edge {
             Some(addr) => (addr, None),
             None => {
@@ -217,27 +280,81 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
                 }
             }
         }
-        result.map(|(_, stats)| stats)
+        result
+    }
+
+    /// Pooled deployment: ensure the warm pair exists (spawning or
+    /// connecting it lazily on first use), hot-swap the candidate's plan
+    /// in, and stream. On any error the pool is discarded — its drop path
+    /// shuts the serve thread down — so one broken deployment never
+    /// poisons the candidates after it.
+    fn run_pooled(
+        &self,
+        plan: ExecutionPlan,
+        stream: &[Sample],
+    ) -> Result<(Vec<usize>, EngineStats), EngineError> {
+        let mut guard = self.pool.lock();
+        if guard.is_none() {
+            let bank = WeightBank::new(self.num_classes, self.bank_seed);
+            let mut pool = match self.remote_edge {
+                Some(addr) => EdgePool::connect(addr, bank, self.run_seed)?,
+                None => EdgePool::spawn(bank, self.run_seed)?,
+            };
+            if let Some(mbps) = self.uplink_mbps {
+                pool = pool.with_uplink_mbps(mbps);
+            }
+            self.telemetry.lock().pool_spawns += 1;
+            *guard = Some(pool);
+        }
+        let pool = guard.as_mut().expect("pool just ensured");
+        let result = pool.deploy(plan).and_then(|()| pool.run(stream));
+        if result.is_err() {
+            *guard = None;
+        }
+        result
+    }
+}
+
+impl<F: Fn(&Architecture) -> f64 + Sync> Drop for EngineBackend<F> {
+    /// Shuts the persistent pool (if any) down cleanly — `Shutdown`
+    /// control frame, then join — so no serve thread outlives the backend.
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.lock().take() {
+            let _ = pool.shutdown();
+        }
     }
 }
 
 impl<F: Fn(&Architecture) -> f64 + Sync> Evaluator for EngineBackend<F> {
     fn evaluate(&self, arch: &Architecture) -> Metrics {
         match self.run_candidate(arch) {
-            Ok(stats) => {
-                let measured = &stats.frame_latencies_s[self.warmup.min(stats.frames)..];
+            Ok((predictions, stats)) => {
+                // Everything priced or accumulated below comes from the
+                // measured window only — warmup frames primed the pipeline
+                // and must not leak into latency, traffic, energy or the
+                // live hit rate.
+                let cut = self.warmup.min(stats.frames);
+                let measured = &stats.frame_latencies_s[cut..];
                 let mean_s = if measured.is_empty() {
                     stats.wall_s / stats.frames.max(1) as f64
                 } else {
                     measured.iter().sum::<f64>() / measured.len() as f64
                 };
-                let bytes_per_frame = stats.bytes_sent / stats.frames.max(1);
+                let measured_bytes: usize = stats.frame_bytes[cut..].iter().sum();
+                let bytes_per_frame = measured_bytes / (stats.frames - cut).max(1);
                 let energy_j = self.sys.device.run_power_w * mean_s
                     + self.sys.power.device_comm_energy(&self.sys.link, bytes_per_frame, 0);
+                let correct = predictions
+                    .iter()
+                    .enumerate()
+                    .skip(cut)
+                    .filter(|&(i, &p)| p == self.samples[i % self.samples.len()].label)
+                    .count();
                 let mut t = self.telemetry.lock();
                 t.latencies_s.extend_from_slice(measured);
-                t.bytes_sent += stats.bytes_sent as u64;
+                t.bytes_sent += measured_bytes as u64;
                 t.deployments += 1;
+                t.stream_correct += correct as u64;
                 Metrics { accuracy: (self.accuracy_fn)(arch), latency_s: mean_s, energy_j }
             }
             Err(_) => {

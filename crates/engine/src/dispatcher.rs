@@ -7,23 +7,51 @@
 //! Because all zoo members were trained through the shared supernet
 //! [`WeightBank`], one bank serves every dispatched plan — switching
 //! architectures at runtime costs no weight transfer.
+//!
+//! With a live [`EdgePool`] attached ([`EngineDispatcher::attach_pool`]),
+//! that claim is executed literally: a constraint switch hot-swaps the
+//! picked plan onto the warm pair via one `SwapPlan` control frame — the
+//! edge process, TCP connection and weights all survive the switch.
 
 use crate::plan::ExecutionPlan;
+use crate::pool::EdgePool;
+use crate::runtime::EngineStats;
+use crate::EngineError;
 use gcode_core::search::ScoredArch;
 use gcode_core::zoo::{ArchitectureZoo, RuntimeConstraint};
+use gcode_graph::datasets::Sample;
 use gcode_nn::seq::WeightBank;
 
-/// A zoo bound to the shared weights that can serve it.
+/// A zoo bound to the shared weights that can serve it, optionally wired
+/// to a live deployed pair.
 pub struct EngineDispatcher {
     zoo: ArchitectureZoo,
     bank: WeightBank,
+    pool: Option<EdgePool>,
 }
 
 impl EngineDispatcher {
     /// Couples a searched zoo with the supernet weight bank its members
     /// were trained in.
     pub fn new(zoo: ArchitectureZoo, bank: WeightBank) -> Self {
-        Self { zoo, bank }
+        Self { zoo, bank, pool: None }
+    }
+
+    /// Spawns a persistent [`EdgePool`] over the shared bank and attaches
+    /// it, so [`dispatch_live`](Self::dispatch_live) can hot-swap plans on
+    /// a warm deployed pair instead of merely returning them.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind/connect errors from the pool spawn.
+    pub fn attach_pool(&mut self, seed: u64) -> Result<(), EngineError> {
+        self.pool = Some(EdgePool::spawn(self.bank.clone(), seed)?);
+        Ok(())
+    }
+
+    /// Whether a live pool is currently attached.
+    pub fn has_pool(&self) -> bool {
+        self.pool.is_some()
     }
 
     /// The underlying zoo.
@@ -41,6 +69,63 @@ impl EngineDispatcher {
     pub fn dispatch(&self, constraint: RuntimeConstraint) -> Option<(ExecutionPlan, &ScoredArch)> {
         let entry = self.zoo.dispatch(constraint)?;
         Some((ExecutionPlan::from_architecture(&entry.arch), entry))
+    }
+
+    /// Picks the architecture for `constraint` and hot-swaps its plan onto
+    /// the attached live pool — the runtime dispatcher acting on a
+    /// deployed pair: one `SwapPlan` control frame, no redeployment, no
+    /// weight transfer. Returns the chosen zoo entry, or `Ok(None)` for an
+    /// empty zoo (the live plan is left untouched).
+    ///
+    /// # Errors
+    ///
+    /// Errors if no pool is attached ([`attach_pool`](Self::attach_pool)
+    /// first) or the swap fails on the wire.
+    pub fn dispatch_live(
+        &mut self,
+        constraint: RuntimeConstraint,
+    ) -> Result<Option<ScoredArch>, EngineError> {
+        let pool = self.pool.as_mut().ok_or_else(|| {
+            EngineError::Protocol("no live pool attached; call attach_pool first".to_string())
+        })?;
+        let Some(entry) = self.zoo.dispatch(constraint) else {
+            return Ok(None);
+        };
+        pool.deploy(ExecutionPlan::from_architecture(&entry.arch))?;
+        Ok(Some(entry.clone()))
+    }
+
+    /// Streams `samples` through the currently dispatched plan on the live
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Errors if no pool is attached or the run fails.
+    pub fn run_live(
+        &mut self,
+        samples: &[Sample],
+    ) -> Result<(Vec<usize>, EngineStats), EngineError> {
+        let pool = self.pool.as_mut().ok_or_else(|| {
+            EngineError::Protocol("no live pool attached; call attach_pool first".to_string())
+        })?;
+        pool.run(samples)
+    }
+
+    /// Plans hot-swapped onto the live pool so far (0 with no pool).
+    pub fn live_swaps(&self) -> u64 {
+        self.pool.as_ref().map_or(0, EdgePool::swaps)
+    }
+
+    /// Detaches and cleanly shuts down the live pool, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serve-thread errors from the pool teardown.
+    pub fn detach_pool(&mut self) -> Result<(), EngineError> {
+        match self.pool.take() {
+            Some(pool) => pool.shutdown(),
+            None => Ok(()),
+        }
     }
 }
 
@@ -98,5 +183,44 @@ mod tests {
         let d = dispatcher();
         assert_eq!(d.bank().num_classes(), 4);
         assert_eq!(d.zoo().len(), 2);
+    }
+
+    #[test]
+    fn live_dispatch_requires_a_pool() {
+        let mut d = dispatcher();
+        assert!(!d.has_pool());
+        assert!(d.dispatch_live(RuntimeConstraint::none()).is_err());
+        assert_eq!(d.live_swaps(), 0);
+        d.detach_pool().expect("detaching nothing is fine");
+    }
+
+    #[test]
+    fn constraint_switches_hot_swap_the_live_pair() {
+        use gcode_graph::datasets::PointCloudDataset;
+        let ds = PointCloudDataset::generate(3, 14, 3, 17);
+        let mut d = dispatcher();
+        d.attach_pool(5).expect("pool up");
+        assert!(d.has_pool());
+
+        // Relaxed constraint → offloaded pick; run frames through it.
+        let relaxed =
+            d.dispatch_live(RuntimeConstraint::none()).expect("swap").expect("non-empty zoo");
+        assert_eq!(relaxed.accuracy, 0.93);
+        let (preds, stats) = d.run_live(ds.samples()).expect("stream");
+        assert_eq!(preds.len(), 3);
+        assert!(stats.bytes_sent > 0, "offloaded pick ships traffic");
+
+        // Tight latency → local pick; the same warm pair serves it.
+        let tight = d
+            .dispatch_live(RuntimeConstraint::latency(0.020))
+            .expect("swap")
+            .expect("non-empty zoo");
+        assert_eq!(tight.accuracy, 0.90);
+        let (preds, stats) = d.run_live(ds.samples()).expect("stream");
+        assert_eq!(preds.len(), 3);
+        assert_eq!(stats.bytes_sent, 0, "local pick stays on-device");
+
+        assert_eq!(d.live_swaps(), 2, "two constraint switches, two swaps, one pair");
+        d.detach_pool().expect("clean pool shutdown");
     }
 }

@@ -19,6 +19,14 @@
 //! (typically as the top rung of an `analytic → sim → engine` fidelity
 //! ladder).
 //!
+//! Deployment is cheap to repeat: the wire protocol carries control
+//! frames (`SwapPlan`, `Shutdown`) alongside data frames, so an
+//! [`EdgePool`] — one persistent [`EdgeServer`] plus a session-mode
+//! [`DeviceClient`] — serves an arbitrary sequence of plans over one warm
+//! TCP connection and the shared supernet `WeightBank`, with no process
+//! spawn or weight transfer per switch (the paper's Sec. 3.6 runtime
+//! dispatcher, applied to search-time measurement as well).
+//!
 //! # Example
 //!
 //! ```no_run
@@ -44,6 +52,7 @@
 mod backend;
 mod dispatcher;
 mod plan;
+mod pool;
 mod proto;
 mod runtime;
 mod throttle;
@@ -51,7 +60,11 @@ mod throttle;
 pub use backend::{EngineBackend, DEPLOY_FAILURE_SENTINEL};
 pub use dispatcher::EngineDispatcher;
 pub use plan::ExecutionPlan;
-pub use proto::{decode_state, encode_state, read_message, write_message, WireState};
+pub use pool::EdgePool;
+pub use proto::{
+    decode_frame, decode_state, encode_frame, encode_state, read_message, write_message, Frame,
+    WireState,
+};
 pub use runtime::{DeviceClient, EdgeServer, EngineStats};
 pub use throttle::Throttle;
 

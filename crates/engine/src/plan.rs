@@ -3,6 +3,7 @@
 use gcode_core::arch::Architecture;
 use gcode_core::op::{OpKind, Placement};
 use gcode_nn::seq::LayerSpec;
+use serde::{Deserialize, Serialize};
 
 /// Executable deployment plan: the device runs `device_specs`, ships the
 /// intermediate state, the edge runs `edge_specs` and returns the logits.
@@ -11,7 +12,10 @@ use gcode_nn::seq::LayerSpec;
 /// lower to `Identity` inside the edge part (they are compute-free), which
 /// keeps every op at its original slot index so split execution shares the
 /// exact weights a monolithic forward would use.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so a `SwapPlan` control frame can carry the next plan to a
+/// persistent edge over the wire (`crate::proto::Frame::SwapPlan`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionPlan {
     /// Layers executed on the device before transmission (slots `0..n`).
     pub device_specs: Vec<LayerSpec>,

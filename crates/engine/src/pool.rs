@@ -1,0 +1,201 @@
+//! Persistent edge pool: one warm [`EdgeServer`]/[`DeviceClient`] pair
+//! reused across candidates via plan hot-swap.
+//!
+//! The paper's runtime dispatcher (Sec. 3.6) switches architectures
+//! without redeploying the edge because every zoo member shares the one
+//! supernet `WeightBank`. The pool is that idea applied to *search-time
+//! measurement*: instead of a fresh process + TCP handshake + teardown per
+//! candidate, spawn once, then ship a `SwapPlan` control frame per
+//! candidate — the connection, serve thread and lazily materialized
+//! weights all stay warm, and each weight tensor is keyed and seeded by
+//! slot, so a swapped-in candidate computes bit-for-bit what a freshly
+//! spawned pair would.
+
+use crate::plan::ExecutionPlan;
+use crate::runtime::{DeviceClient, EdgeServer, EngineStats};
+use crate::EngineError;
+use gcode_graph::datasets::Sample;
+use gcode_nn::seq::WeightBank;
+use std::net::SocketAddr;
+
+/// A warm device/edge pair serving an arbitrary sequence of plans.
+///
+/// Deploy a candidate with [`deploy`](Self::deploy), stream frames with
+/// [`run`](Self::run), repeat; [`shutdown`](Self::shutdown) (or drop)
+/// ends the serve thread cleanly via the `Shutdown` control frame. A pool
+/// holds at most one spawned [`EdgeServer`] for its whole lifetime —
+/// `gcode_core` search sessions route every `Measured`-tier candidate
+/// through it when `EngineBackend::with_persistent_edge` is set.
+pub struct EdgePool {
+    // Field order is drop order: the client's socket must close first so
+    // a persistent edge falls back to `accept`, where the server's drop
+    // nudge reaches it immediately.
+    client: DeviceClient,
+    server: Option<EdgeServer>,
+    swaps: u64,
+}
+
+/// An inert plan for the moment between connecting and the first
+/// [`EdgePool::deploy`]: nothing offloaded, nothing executed.
+fn placeholder_plan() -> ExecutionPlan {
+    ExecutionPlan {
+        device_specs: Vec::new(),
+        edge_specs: Vec::new(),
+        edge_slot_offset: 0,
+        offloaded: false,
+    }
+}
+
+impl EdgePool {
+    /// Spawns a persistent loopback [`EdgeServer`] over `bank` and
+    /// connects a session-mode [`DeviceClient`] to it. The pair stays
+    /// warm until [`shutdown`](Self::shutdown) or drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind/connect errors.
+    pub fn spawn(bank: WeightBank, seed: u64) -> Result<Self, EngineError> {
+        let server = EdgeServer::spawn_persistent(bank.clone(), seed)?;
+        let client =
+            DeviceClient::connect(server.addr(), placeholder_plan(), bank, seed)?.with_session();
+        Ok(Self { server: Some(server), client, swaps: 0 })
+    }
+
+    /// Connects a session-mode client to an already-running persistent
+    /// edge at `addr` (a pre-deployed LAN edge, or a test double) instead
+    /// of spawning one.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors.
+    pub fn connect(addr: SocketAddr, bank: WeightBank, seed: u64) -> Result<Self, EngineError> {
+        let client = DeviceClient::connect(addr, placeholder_plan(), bank, seed)?.with_session();
+        Ok(Self { server: None, client, swaps: 0 })
+    }
+
+    /// Caps the device uplink at `mbps` for every subsequent run.
+    #[must_use]
+    pub fn with_uplink_mbps(mut self, mbps: f64) -> Self {
+        self.client = self.client.with_uplink_mbps(mbps);
+        self
+    }
+
+    /// Hot-swaps `plan` onto the warm pair (one `SwapPlan` control frame;
+    /// no reconnect, no weight transfer).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection is gone.
+    pub fn deploy(&mut self, plan: ExecutionPlan) -> Result<(), EngineError> {
+        self.client.swap_plan(plan)?;
+        self.swaps += 1;
+        Ok(())
+    }
+
+    /// Streams `samples` through the currently deployed plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol errors; after an error the pool
+    /// should be discarded (the caller respawns a fresh one).
+    pub fn run(&mut self, samples: &[Sample]) -> Result<(Vec<usize>, EngineStats), EngineError> {
+        self.client.run_pipelined(samples)
+    }
+
+    /// Plans deployed over this pool's lifetime.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Address of the edge this pool talks to.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().map(EdgeServer::addr)
+    }
+
+    /// Cleanly ends the pool. For a pool that spawned its own edge, a
+    /// `Shutdown` control frame stops the serve loop and the serve thread
+    /// is joined — no thread outlives the pool. A [`connect`](Self::connect)-mode
+    /// pool does *not* own its edge: it only closes its session (the
+    /// remote persistent edge sees a clean disconnect and loops back to
+    /// `accept` for its next client), never terminating a shared
+    /// pre-deployed edge out from under other users.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error the serve thread hit.
+    pub fn shutdown(self) -> Result<(), EngineError> {
+        let Self { server, client, .. } = self;
+        match server {
+            Some(server) => {
+                client.shutdown()?;
+                server.shutdown()
+            }
+            None => {
+                // Not ours to stop: dropping the client closes the socket,
+                // which the remote edge handles as PeerClosed.
+                drop(client);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcode_core::arch::Architecture;
+    use gcode_core::op::{Op, SampleFn};
+    use gcode_graph::datasets::PointCloudDataset;
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    fn arch(dim: usize) -> Architecture {
+        Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 4 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim },
+            Op::Communicate,
+            Op::GlobalPool(PoolMode::Max),
+        ])
+    }
+
+    #[test]
+    fn pool_swaps_and_shuts_down_cleanly() {
+        let ds = PointCloudDataset::generate(4, 14, 2, 3);
+        let mut pool = EdgePool::spawn(WeightBank::new(2, 5), 9).expect("pool");
+        for dim in [8, 16, 8] {
+            pool.deploy(ExecutionPlan::from_architecture(&arch(dim))).expect("swap");
+            let (preds, stats) = pool.run(ds.samples()).expect("run");
+            assert_eq!(preds.len(), 4);
+            assert!(stats.bytes_sent > 0);
+        }
+        assert_eq!(pool.swaps(), 3);
+        pool.shutdown().expect("clean pool shutdown");
+    }
+
+    #[test]
+    fn device_only_plans_run_without_touching_the_connection() {
+        let ds = PointCloudDataset::generate(3, 12, 2, 7);
+        let local = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 4 }),
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let mut pool = EdgePool::spawn(WeightBank::new(2, 5), 9).expect("pool");
+        pool.deploy(ExecutionPlan::from_architecture(&local)).expect("swap");
+        let (preds, stats) = pool.run(ds.samples()).expect("run");
+        assert_eq!(preds.len(), 3);
+        assert_eq!(stats.bytes_sent, 0);
+        // The connection is still healthy for an offloaded plan next.
+        pool.deploy(ExecutionPlan::from_architecture(&arch(8))).expect("swap");
+        let (_, stats) = pool.run(ds.samples()).expect("run");
+        assert!(stats.bytes_sent > 0);
+        pool.shutdown().expect("clean");
+    }
+
+    #[test]
+    fn dropping_an_unused_pool_leaks_nothing() {
+        let pool = EdgePool::spawn(WeightBank::new(2, 5), 9).expect("pool");
+        drop(pool); // EdgeServer::drop nudges + joins the serve thread
+    }
+}

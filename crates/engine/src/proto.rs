@@ -1,10 +1,16 @@
-//! Wire protocol: length-prefixed, compressed intermediate states.
+//! Wire protocol: length-prefixed frames — compressed intermediate states
+//! as data frames, plus the control frames that drive a persistent edge.
 //!
-//! Layout of one message: `[u32 total_len][u64 frame_id][u8 kind][body…]`.
-//! The body of a state message is the compressed feature tensor plus the
-//! optional CSR graph (the paper's Fig. 2 point: splits after KNN must also
-//! ship graph data).
+//! Layout of one message: `[u32 total_len][u8 kind][body…]`. Three kinds
+//! exist (see [`Frame`]): a `State` data frame whose body is the compressed
+//! feature tensor plus the optional CSR graph (the paper's Fig. 2 point:
+//! splits after KNN must also ship graph data), a `SwapPlan` control frame
+//! carrying the next [`ExecutionPlan`] a persistent edge should serve (the
+//! paper's Sec. 3.6 dispatcher: all zoo members share one supernet
+//! `WeightBank`, so a swap ships a plan, never weights), and a bodiless
+//! `Shutdown` control frame that ends the serve loop cleanly.
 
+use crate::plan::ExecutionPlan;
 use crate::EngineError;
 use gcode_compress::{compress, compress_floats, decompress, decompress_floats};
 use gcode_graph::CsrGraph;
@@ -28,6 +34,13 @@ pub struct WireState {
 /// Encodes a state into a framed, compressed message body.
 pub fn encode_state(state: &WireState) -> Vec<u8> {
     let mut body = Vec::new();
+    encode_state_into(state, &mut body);
+    body
+}
+
+/// Appends the encoded state to `body` — lets [`encode_frame`] seed the
+/// kind byte first instead of shifting the whole buffer afterwards.
+fn encode_state_into(state: &WireState, body: &mut Vec<u8>) {
     body.extend_from_slice(&state.frame_id.to_le_bytes());
     body.extend_from_slice(&state.label.to_le_bytes());
     body.extend_from_slice(&(state.features.rows() as u32).to_le_bytes());
@@ -53,7 +66,6 @@ pub fn encode_state(state: &WireState) -> Vec<u8> {
             body.extend_from_slice(&packed_graph);
         }
     }
-    body
 }
 
 fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, EngineError> {
@@ -131,6 +143,81 @@ pub fn decode_state(body: &[u8]) -> Result<WireState, EngineError> {
     Ok(WireState { frame_id, features, graph, label })
 }
 
+/// One framed message on the device↔edge link: either a data frame (an
+/// intermediate [`WireState`] crossing the split, in both directions) or
+/// one of the control frames that drive a persistent edge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Intermediate execution state (device→edge) or result logits
+    /// (edge→device).
+    State(WireState),
+    /// Hot-swap the edge's active plan in place: the connection, process
+    /// and shared [`gcode_nn::seq::WeightBank`] all survive — only the
+    /// layer assignment changes, exactly the paper's runtime-dispatcher
+    /// claim.
+    SwapPlan(Box<ExecutionPlan>),
+    /// End the serve loop cleanly (the edge replies nothing and returns).
+    Shutdown,
+}
+
+const KIND_STATE: u8 = 0;
+const KIND_SWAP_PLAN: u8 = 1;
+const KIND_SHUTDOWN: u8 = 2;
+
+/// Encodes a frame into a message body (pass to [`write_message`]).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::State(state) => {
+            let mut body = vec![KIND_STATE];
+            encode_state_into(state, &mut body);
+            body
+        }
+        Frame::SwapPlan(plan) => {
+            let mut body = vec![KIND_SWAP_PLAN];
+            body.extend_from_slice(
+                serde_json::to_string(plan.as_ref())
+                    .expect("ExecutionPlan always serializes")
+                    .as_bytes(),
+            );
+            body
+        }
+        Frame::Shutdown => vec![KIND_SHUTDOWN],
+    }
+}
+
+/// Decodes a message body produced by [`encode_frame`].
+///
+/// # Errors
+///
+/// Returns [`EngineError`] on an empty body, an unknown kind byte, or a
+/// malformed frame body.
+pub fn decode_frame(body: &[u8]) -> Result<Frame, EngineError> {
+    let (&kind, rest) = body
+        .split_first()
+        .ok_or_else(|| EngineError::Protocol("empty frame (missing kind byte)".to_string()))?;
+    match kind {
+        KIND_STATE => Ok(Frame::State(decode_state(rest)?)),
+        KIND_SWAP_PLAN => {
+            let text = std::str::from_utf8(rest)
+                .map_err(|_| EngineError::Protocol("swap-plan body is not UTF-8".to_string()))?;
+            let plan: ExecutionPlan = serde_json::from_str(text)
+                .map_err(|e| EngineError::Protocol(format!("malformed swap-plan body: {e}")))?;
+            Ok(Frame::SwapPlan(Box::new(plan)))
+        }
+        KIND_SHUTDOWN => {
+            if rest.is_empty() {
+                Ok(Frame::Shutdown)
+            } else {
+                Err(EngineError::Protocol(format!(
+                    "shutdown frame carries {} unexpected body bytes",
+                    rest.len()
+                )))
+            }
+        }
+        other => Err(EngineError::Protocol(format!("unknown frame kind {other}"))),
+    }
+}
+
 /// Writes one length-prefixed message to a stream.
 ///
 /// # Errors
@@ -147,8 +234,12 @@ pub fn write_message<W: Write>(mut w: W, body: &[u8]) -> Result<(), EngineError>
             body.len()
         )));
     }
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(body)?;
+    // One contiguous write: a separate 4-byte prefix write would tickle
+    // Nagle + delayed-ACK (40 ms stalls) on sockets without nodelay.
+    let mut framed = Vec::with_capacity(4 + body.len());
+    framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    framed.extend_from_slice(body);
+    w.write_all(&framed)?;
     w.flush()?;
     Ok(())
 }
@@ -240,6 +331,38 @@ mod tests {
         assert_eq!(read_message(&mut cursor).expect("read").expect("some"), b"hello");
         assert_eq!(read_message(&mut cursor).expect("read").expect("some"), b"");
         assert!(read_message(&mut cursor).expect("eof").is_none());
+    }
+
+    #[test]
+    fn frame_kinds_round_trip() {
+        let state = Frame::State(state_with_graph());
+        assert_eq!(decode_frame(&encode_frame(&state)).expect("state"), state);
+
+        let plan = ExecutionPlan {
+            device_specs: vec![gcode_nn::seq::LayerSpec::BuildKnn { k: 4 }],
+            edge_specs: vec![gcode_nn::seq::LayerSpec::Identity],
+            edge_slot_offset: 2,
+            offloaded: true,
+        };
+        let swap = Frame::SwapPlan(Box::new(plan));
+        assert_eq!(decode_frame(&encode_frame(&swap)).expect("swap"), swap);
+
+        assert_eq!(
+            decode_frame(&encode_frame(&Frame::Shutdown)).expect("shutdown"),
+            Frame::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert!(decode_frame(&[]).is_err(), "empty body");
+        assert!(decode_frame(&[99]).is_err(), "unknown kind");
+        assert!(decode_frame(&[super::KIND_STATE]).is_err(), "state with no body");
+        assert!(decode_frame(&[super::KIND_SWAP_PLAN, b'{']).is_err(), "truncated plan json");
+        assert!(decode_frame(&[super::KIND_SHUTDOWN, 0]).is_err(), "shutdown with a body");
+        // Truncating a state frame mid-body must fail, never mis-decode.
+        let body = encode_frame(&Frame::State(state_with_graph()));
+        assert!(decode_frame(&body[..body.len() - 3]).is_err());
     }
 
     #[test]

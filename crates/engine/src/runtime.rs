@@ -1,16 +1,14 @@
 //! Device client and edge server: the running halves of the engine.
 
 use crate::plan::ExecutionPlan;
-use crate::proto::{decode_state, encode_state, read_message, write_message, WireState};
+use crate::proto::{decode_frame, encode_frame, read_message, write_message, Frame, WireState};
 use crate::EngineError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gcode_graph::datasets::Sample;
 use gcode_nn::seq::{classify, forward_features, GraphInput, WeightBank};
-use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -29,7 +27,13 @@ pub struct EngineStats {
     pub fps: f64,
     /// Application bytes sent device→edge (after compression).
     pub bytes_sent: usize,
-    /// Fraction of frames whose prediction matched the label.
+    /// Wire bytes per frame in frame order (length prefix included; all
+    /// zeros for a non-offloaded plan). Callers that prepend warmup frames
+    /// to the stream slice this to price only the measured window.
+    pub frame_bytes: Vec<usize>,
+    /// Fraction of frames whose prediction matched the label — over the
+    /// *whole* stream; a caller that prepended warmup frames must
+    /// recompute from its predictions to exclude them.
     pub accuracy: f64,
     /// Median per-frame latency, seconds.
     pub p50_s: f64,
@@ -41,13 +45,15 @@ pub struct EngineStats {
     pub frame_latencies_s: Vec<f64>,
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty):
+/// the smallest element with at least `p`% of the sample at or below it,
+/// i.e. the element at rank `⌈p/100 · n⌉` (1-based, clamped to `1..=n`).
 pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// `(p50, p95, p99)` of an unsorted per-frame latency sample.
@@ -57,8 +63,12 @@ pub(crate) fn latency_percentiles(latencies: &[f64]) -> (f64, f64, f64) {
     (percentile(&sorted, 50.0), percentile(&sorted, 95.0), percentile(&sorted, 99.0))
 }
 
-/// The edge half: accepts one device connection and serves edge-side
-/// inference for every incoming frame.
+/// The edge half: accepts device connections and serves edge-side
+/// inference for every incoming frame. [`spawn`](Self::spawn) serves one
+/// connection for one fixed plan; [`spawn_persistent`](Self::spawn_persistent)
+/// keeps serving across connections and hot-swaps its active plan on
+/// `SwapPlan` control frames — the paper's runtime dispatcher: the process,
+/// socket and shared supernet [`WeightBank`] all survive a plan switch.
 pub struct EdgeServer {
     addr: SocketAddr,
     handle: Option<JoinHandle<Result<(), EngineError>>>,
@@ -75,7 +85,36 @@ impl EdgeServer {
         let addr = listener.local_addr()?;
         let handle = std::thread::spawn(move || -> Result<(), EngineError> {
             let (stream, _) = listener.accept()?;
-            serve_connection(stream, &plan, bank, seed)
+            let mut bank = bank;
+            serve_frames(stream, Some(plan), &mut bank, seed).map(|_| ())
+        });
+        Ok(Self { addr, handle: Some(handle) })
+    }
+
+    /// Binds to an ephemeral loopback port and serves *indefinitely*: no
+    /// initial plan — the first `SwapPlan` control frame deploys one, later
+    /// swaps replace it in place (same shared `bank`, so no weight
+    /// transfer), and a client disconnect loops back to `accept` instead of
+    /// exiting. Only a `Shutdown` control frame (see
+    /// [`shutdown`](Self::shutdown)) or a connection error ends the serve
+    /// thread. A reconnecting client must re-send `SwapPlan` before its
+    /// first data frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn_persistent(bank: WeightBank, seed: u64) -> Result<Self, EngineError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let handle = std::thread::spawn(move || -> Result<(), EngineError> {
+            let mut bank = bank;
+            loop {
+                let (stream, _) = listener.accept()?;
+                match serve_frames(stream, None, &mut bank, seed)? {
+                    ServeOutcome::Shutdown => return Ok(()),
+                    ServeOutcome::PeerClosed => {}
+                }
+            }
         });
         Ok(Self { addr, handle: Some(handle) })
     }
@@ -101,9 +140,9 @@ impl EdgeServer {
             for client in 0..max_clients {
                 let (stream, _) = listener.accept()?;
                 let plan = plan.clone();
-                let bank = bank.clone();
+                let mut bank = bank.clone();
                 workers.push(std::thread::spawn(move || {
-                    serve_connection(stream, &plan, bank, seed ^ client as u64)
+                    serve_frames(stream, Some(plan), &mut bank, seed ^ client as u64).map(|_| ())
                 }));
             }
             for w in workers {
@@ -121,7 +160,8 @@ impl EdgeServer {
     }
 
     /// Waits for the serving thread to finish (the device closing its
-    /// connection ends the loop).
+    /// connection ends a one-shot loop; persistent servers finish on
+    /// `Shutdown`).
     ///
     /// # Errors
     ///
@@ -134,37 +174,131 @@ impl EdgeServer {
             None => Ok(()),
         }
     }
+
+    /// Ends the serving thread cleanly and joins it, even when no device
+    /// ever connected: loopback connections carrying `Shutdown` control
+    /// frames wake the thread out of `accept` (the early-`?`-return leak —
+    /// a client that failed to connect used to strand the accept thread
+    /// forever). Call after the last client has disconnected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error the serving thread hit (a `Shutdown`-triggered
+    /// exit itself is clean). If a peer still holds a live connection the
+    /// serve thread cannot be woken; rather than hanging the caller, the
+    /// wait is bounded (~2 s) and an error is returned, leaving the thread
+    /// to finish when that peer disconnects (a `Shutdown` nudge stays
+    /// queued for it).
+    pub fn shutdown(mut self) -> Result<(), EngineError> {
+        let Some(handle) = self.handle.take() else { return Ok(()) };
+        for _ in 0..4000 {
+            if handle.is_finished() {
+                return handle
+                    .join()
+                    .map_err(|_| EngineError::Protocol("edge thread panicked".to_string()))?;
+            }
+            nudge_shutdown(self.addr);
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+        Err(EngineError::Protocol(
+            "edge still serving a live connection; disconnect clients before shutdown".to_string(),
+        ))
+    }
+
+    /// Whether the serving thread has exited (joined or finished running).
+    pub fn is_finished(&self) -> bool {
+        self.handle.as_ref().is_none_or(JoinHandle::is_finished)
+    }
 }
 
-fn serve_connection(
+/// Wakes a (possibly accept-blocked) edge thread with a `Shutdown` frame.
+/// The timeout matters: connecting to a listener whose backlog is full (or
+/// that stopped accepting) would otherwise block indefinitely.
+fn nudge_shutdown(addr: SocketAddr) {
+    if let Ok(mut stream) = TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(50))
+    {
+        let _ = write_message(&mut stream, &encode_frame(&Frame::Shutdown));
+    }
+}
+
+impl Drop for EdgeServer {
+    /// Best-effort clean teardown for servers that were never joined —
+    /// including ones whose device never managed to connect, which would
+    /// otherwise strand the accept thread forever. One `Shutdown` nudge is
+    /// queued (it ends the thread now if the edge is accept-blocked, or as
+    /// soon as the current peer disconnects otherwise), then the wait is
+    /// bounded: a peer that keeps its connection open must not block drop.
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            if !handle.is_finished() {
+                nudge_shutdown(self.addr);
+            }
+            for _ in 0..200 {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        }
+    }
+}
+
+/// How one served connection ended.
+enum ServeOutcome {
+    /// The peer closed its socket at a frame boundary.
+    PeerClosed,
+    /// The peer sent a `Shutdown` control frame.
+    Shutdown,
+}
+
+/// Serves one device connection frame by frame. `plan` is the initially
+/// active plan (`None` for a persistent edge awaiting its first
+/// `SwapPlan`); a `SwapPlan` frame replaces it in place and restarts the
+/// edge RNG stream, so a swapped-in candidate computes exactly what a
+/// freshly spawned edge would.
+fn serve_frames(
     stream: TcpStream,
-    plan: &ExecutionPlan,
-    mut bank: WeightBank,
+    mut plan: Option<ExecutionPlan>,
+    bank: &mut WeightBank,
     seed: u64,
-) -> Result<(), EngineError> {
+) -> Result<ServeOutcome, EngineError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xED6E);
+    stream.set_nodelay(true)?;
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
-    let slot_offset = plan.edge_slot_offset;
     while let Some(body) = read_message(&mut reader)? {
-        let state = decode_state(&body)?;
-        let (h, _) = forward_features(
-            &plan.edge_specs,
-            slot_offset,
-            GraphInput { features: &state.features, graph: state.graph.as_ref() },
-            &mut bank,
-            &mut rng,
-        );
-        let logits = classify(&h, &mut bank);
-        let reply = WireState {
-            frame_id: state.frame_id,
-            features: logits,
-            graph: None,
-            label: state.label,
-        };
-        write_message(&mut writer, &encode_state(&reply))?;
+        match decode_frame(&body)? {
+            Frame::Shutdown => return Ok(ServeOutcome::Shutdown),
+            Frame::SwapPlan(next) => {
+                plan = Some(*next);
+                rng = ChaCha8Rng::seed_from_u64(seed ^ 0xED6E);
+            }
+            Frame::State(state) => {
+                let active = plan.as_ref().ok_or_else(|| {
+                    EngineError::Protocol(
+                        "state frame arrived before any plan was deployed".to_string(),
+                    )
+                })?;
+                let (h, _) = forward_features(
+                    &active.edge_specs,
+                    active.edge_slot_offset,
+                    GraphInput { features: &state.features, graph: state.graph.as_ref() },
+                    bank,
+                    &mut rng,
+                );
+                let logits = classify(&h, bank);
+                let reply = WireState {
+                    frame_id: state.frame_id,
+                    features: logits,
+                    graph: None,
+                    label: state.label,
+                };
+                write_message(&mut writer, &encode_frame(&Frame::State(reply)))?;
+            }
+        }
     }
-    Ok(())
+    Ok(ServeOutcome::PeerClosed)
 }
 
 /// The device half: runs prefixes, streams intermediates, collects results.
@@ -173,7 +307,8 @@ pub struct DeviceClient {
     bank: WeightBank,
     stream: Option<TcpStream>,
     seed: u64,
-    throttle: Option<crate::Throttle>,
+    uplink_mbps: Option<f64>,
+    session: bool,
 }
 
 impl DeviceClient {
@@ -191,15 +326,62 @@ impl DeviceClient {
     ) -> Result<Self, EngineError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { plan, bank, stream: Some(stream), seed, throttle: None })
+        Ok(Self { plan, bank, stream: Some(stream), seed, uplink_mbps: None, session: false })
     }
 
     /// Caps the uplink at `mbps`, emulating the paper's router bandwidth
     /// limits (10/40 Mbps) on loopback. The pacing runs inside the sender
-    /// thread so device compute stays unthrottled.
+    /// thread so device compute stays unthrottled. The throttle is rebuilt
+    /// per run, so every run (session or one-shot) starts with a full
+    /// token bucket.
     pub fn with_uplink_mbps(mut self, mbps: f64) -> Self {
-        self.throttle = Some(crate::Throttle::mbps(mbps));
+        self.uplink_mbps = Some(mbps);
         self
+    }
+
+    /// Switches to session mode: [`run_pipelined`](Self::run_pipelined)
+    /// keeps the connection open afterwards instead of closing it, so one
+    /// warm device/edge pair serves many candidates —
+    /// [`swap_plan`](Self::swap_plan) between runs, and
+    /// [`shutdown`](Self::shutdown) (or drop) when done. Pair with
+    /// [`EdgeServer::spawn_persistent`].
+    #[must_use]
+    pub fn with_session(mut self) -> Self {
+        self.session = true;
+        self
+    }
+
+    /// Hot-swaps the active plan on both halves: sends a `SwapPlan`
+    /// control frame to the edge (which keeps its process, socket and
+    /// shared [`WeightBank`], restarting only its RNG stream) and adopts
+    /// the plan locally. The shared supernet bank means no weight transfer
+    /// accompanies the switch — the paper's Sec. 3.6 dispatcher claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection is gone or the send fails.
+    pub fn swap_plan(&mut self, plan: ExecutionPlan) -> Result<(), EngineError> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| EngineError::Protocol("client connection closed".to_string()))?;
+        write_message(stream, &encode_frame(&Frame::SwapPlan(Box::new(plan.clone()))))?;
+        self.plan = plan;
+        Ok(())
+    }
+
+    /// Tells the edge to end its serve loop (a `Shutdown` control frame)
+    /// and closes the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the send fails; the connection is dropped
+    /// either way.
+    pub fn shutdown(mut self) -> Result<(), EngineError> {
+        match self.stream.take() {
+            Some(mut stream) => write_message(&mut stream, &encode_frame(&Frame::Shutdown)),
+            None => Ok(()),
+        }
     }
 
     /// Processes `samples` through the co-inference pipeline and returns
@@ -210,6 +392,10 @@ impl DeviceClient {
     /// thread collects results — the paper's separate send/recv threads
     /// with message queues. The device never waits for frame `f`'s result
     /// before starting frame `f+1`.
+    ///
+    /// One-shot clients close the connection when the run completes;
+    /// session clients ([`with_session`](Self::with_session)) keep it open
+    /// for the next [`swap_plan`](Self::swap_plan)/run cycle.
     ///
     /// # Errors
     ///
@@ -230,43 +416,45 @@ impl DeviceClient {
         let mut reader = stream;
 
         let (send_q, send_rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
-        let bytes_sent = Arc::new(Mutex::new(0usize));
-        let sent_counter = Arc::clone(&bytes_sent);
-        let mut throttle = self.throttle.take();
-        let sender = std::thread::spawn(move || -> Result<(), EngineError> {
+        let mut throttle = self.uplink_mbps.map(crate::Throttle::mbps);
+        let sender = std::thread::spawn(move || -> Result<Vec<usize>, EngineError> {
+            // Frames leave in frame order (a single queue feeds a single
+            // sender), so the per-frame byte log indexes by frame id.
+            let mut frame_bytes = Vec::new();
             for body in send_rx.iter() {
                 if let Some(t) = throttle.as_mut() {
                     t.pace(body.len() + 4);
                 }
-                *sent_counter.lock() += body.len() + 4;
+                frame_bytes.push(body.len() + 4);
                 write_message(&mut writer, &body)?;
             }
-            // Closing the write half tells the edge the stream is over.
-            Ok(())
+            Ok(frame_bytes)
         });
 
+        // One collected result: `(frame_id, prediction, label, done_s)`;
+        // the receiver hands the socket back for session reuse.
+        type Collected = (Vec<(u64, usize, u32, f64)>, TcpStream);
         let expected = samples.len();
         let epoch = start;
-        let receiver =
-            std::thread::spawn(move || -> Result<Vec<(u64, usize, u32, f64)>, EngineError> {
-                let mut results = Vec::with_capacity(expected);
-                while results.len() < expected {
-                    let Some(body) = read_message(&mut reader)? else {
-                        return Err(EngineError::Protocol(
-                            "edge closed before all results arrived".to_string(),
-                        ));
-                    };
-                    let state = decode_state(&body)?;
-                    let done_s = epoch.elapsed().as_secs_f64();
-                    results.push((
-                        state.frame_id,
-                        state.features.argmax_row(0),
-                        state.label,
-                        done_s,
+        let receiver = std::thread::spawn(move || -> Result<Collected, EngineError> {
+            let mut results = Vec::with_capacity(expected);
+            while results.len() < expected {
+                let Some(body) = read_message(&mut reader)? else {
+                    return Err(EngineError::Protocol(
+                        "edge closed before all results arrived".to_string(),
                     ));
-                }
-                Ok(results)
-            });
+                };
+                let Frame::State(state) = decode_frame(&body)? else {
+                    return Err(EngineError::Protocol(
+                        "edge sent a control frame where a result was expected".to_string(),
+                    ));
+                };
+                let done_s = epoch.elapsed().as_secs_f64();
+                results.push((state.frame_id, state.features.argmax_row(0), state.label, done_s));
+            }
+            // Hand the socket back so a session client can reuse it.
+            Ok((results, reader))
+        });
 
         // Main thread: device prefix per frame; never blocks on results.
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xDE71CE);
@@ -287,14 +475,21 @@ impl DeviceClient {
                 label: sample.label as u32,
             };
             send_q
-                .send(encode_state(&state))
+                .send(encode_frame(&Frame::State(state)))
                 .map_err(|_| EngineError::Protocol("sender thread died".to_string()))?;
         }
         drop(send_q);
-        sender.join().map_err(|_| EngineError::Protocol("sender panicked".to_string()))??;
-        let mut results = receiver
+        let frame_bytes =
+            sender.join().map_err(|_| EngineError::Protocol("sender panicked".to_string()))??;
+        let (mut results, reader) = receiver
             .join()
             .map_err(|_| EngineError::Protocol("receiver panicked".to_string()))??;
+        if self.session {
+            // Keep the warm connection: the next candidate swaps its plan
+            // in over the same socket. One-shot clients drop it here,
+            // which the edge sees as a clean end of stream.
+            self.stream = Some(reader);
+        }
         results.sort_by_key(|&(frame_id, _, _, _)| frame_id);
         // Exactly the ids we sent, each once — a duplicate or out-of-range
         // id from a rogue edge must be a protocol error, not a panic or a
@@ -319,7 +514,8 @@ impl DeviceClient {
             frames: samples.len(),
             wall_s,
             fps: samples.len() as f64 / wall_s.max(1e-12),
-            bytes_sent: *bytes_sent.lock(),
+            bytes_sent: frame_bytes.iter().sum(),
+            frame_bytes,
             accuracy: correct as f64 / samples.len().max(1) as f64,
             p50_s,
             p95_s,
@@ -364,6 +560,7 @@ impl DeviceClient {
                 wall_s,
                 fps: samples.len() as f64 / wall_s.max(1e-12),
                 bytes_sent: 0,
+                frame_bytes: vec![0; samples.len()],
                 accuracy: correct as f64 / samples.len().max(1) as f64,
                 p50_s,
                 p95_s,
@@ -441,7 +638,93 @@ mod tests {
         let (preds, stats) = client.run_pipelined(ds.samples()).expect("run");
         assert_eq!(preds.len(), 4);
         assert_eq!(stats.bytes_sent, 0);
-        drop(server); // never contacted; dropping aborts the accept thread at process exit
+        // Never contacted with data frames: dropping nudges the accept
+        // thread with a Shutdown frame and joins it — no leak.
+        drop(server);
+    }
+
+    #[test]
+    fn shutdown_terminates_an_uncontacted_server() {
+        let plan = ExecutionPlan::from_architecture(&split_arch());
+        let server = EdgeServer::spawn(plan, WeightBank::new(2, 1), 7).expect("spawn");
+        // No client ever connects; shutdown must still join the thread.
+        server.shutdown().expect("clean shutdown without any client");
+    }
+
+    #[test]
+    fn shutdown_terminates_an_uncontacted_persistent_server() {
+        let server = EdgeServer::spawn_persistent(WeightBank::new(2, 1), 7).expect("spawn");
+        server.shutdown().expect("clean shutdown without any client");
+    }
+
+    #[test]
+    fn persistent_edge_hot_swaps_plans_bit_identically() {
+        let arch_a = split_arch();
+        let arch_b = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 4 }),
+            Op::Communicate,
+            Op::Aggregate(AggMode::Mean),
+            Op::Combine { dim: 8 },
+            Op::GlobalPool(PoolMode::Mean),
+        ]);
+        let ds = PointCloudDataset::generate(5, 18, 3, 29);
+        let bank = WeightBank::new(3, 41);
+        let seed = 11;
+
+        // Reference: a fresh spawn/connect/teardown per candidate.
+        let mut fresh = Vec::new();
+        for arch in [&arch_a, &arch_b, &arch_a] {
+            let plan = ExecutionPlan::from_architecture(arch);
+            let server = EdgeServer::spawn(plan.clone(), bank.clone(), seed).expect("spawn");
+            let mut client =
+                DeviceClient::connect(server.addr(), plan, bank.clone(), seed).expect("connect");
+            let (preds, _) = client.run_pipelined(ds.samples()).expect("run");
+            drop(client);
+            server.join().expect("clean");
+            fresh.push(preds);
+        }
+
+        // One persistent pair, three hot swaps (A → B → A again).
+        let server = EdgeServer::spawn_persistent(bank.clone(), seed).expect("spawn");
+        let placeholder = ExecutionPlan {
+            device_specs: Vec::new(),
+            edge_specs: Vec::new(),
+            edge_slot_offset: 0,
+            offloaded: false,
+        };
+        let mut client = DeviceClient::connect(server.addr(), placeholder, bank, seed)
+            .expect("connect")
+            .with_session();
+        for (&arch, expected) in [&arch_a, &arch_b, &arch_a].iter().zip(&fresh) {
+            client.swap_plan(ExecutionPlan::from_architecture(arch)).expect("swap");
+            let (preds, stats) = client.run_pipelined(ds.samples()).expect("run");
+            assert_eq!(&preds, expected, "hot-swapped run must match a fresh spawn");
+            assert_eq!(stats.frame_bytes.len(), 5);
+            assert_eq!(stats.bytes_sent, stats.frame_bytes.iter().sum::<usize>());
+        }
+        client.shutdown().expect("shutdown frame sent");
+        server.join().expect("persistent edge exits on Shutdown");
+    }
+
+    #[test]
+    fn nearest_rank_percentile_boundaries() {
+        // 1-element sample: every percentile is that element.
+        assert_eq!(percentile(&[4.0], 0.0), 4.0);
+        assert_eq!(percentile(&[4.0], 50.0), 4.0);
+        assert_eq!(percentile(&[4.0], 99.0), 4.0);
+        // 2-element sample: p50 is the *first* element under nearest-rank
+        // (⌈0.5·2⌉ = rank 1), anything above 50% is the second.
+        assert_eq!(percentile(&[1.0, 9.0], 50.0), 1.0);
+        assert_eq!(percentile(&[1.0, 9.0], 51.0), 9.0);
+        assert_eq!(percentile(&[1.0, 9.0], 100.0), 9.0);
+        // Small samples: p99 over n=10 is rank ⌈9.9⌉ = 10 → the maximum.
+        let v: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&v, 99.0), 10.0);
+        assert_eq!(percentile(&v, 90.0), 9.0);
+        assert_eq!(percentile(&v, 91.0), 10.0);
+        assert_eq!(percentile(&v, 10.0), 1.0);
+        // Empty sample stays 0.
+        assert_eq!(percentile(&[], 50.0), 0.0);
     }
 
     #[test]

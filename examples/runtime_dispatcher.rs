@@ -1,6 +1,9 @@
 //! Runtime dispatching from the architecture zoo: one search produces a zoo
 //! of optima; as runtime constraints fluctuate (battery sag, latency SLO
-//! changes, congested link), the dispatcher swaps the deployed design.
+//! changes, congested link), the dispatcher swaps the deployed design —
+//! and with a persistent edge pool attached, the swap happens *live* on a
+//! warm TCP pair via one `SwapPlan` control frame (no redeploy, no weight
+//! transfer: every zoo member shares the supernet `WeightBank`).
 //!
 //! ```sh
 //! cargo run --release --example runtime_dispatcher
@@ -12,7 +15,10 @@ use gcode::core::search::{random_search, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
+use gcode::engine::EngineDispatcher;
+use gcode::graph::datasets::PointCloudDataset;
 use gcode::hardware::SystemConfig;
+use gcode::nn::seq::WeightBank;
 use gcode::sim::{SimBackend, SimConfig};
 
 fn main() {
@@ -50,8 +56,8 @@ fn main() {
         ("both tight", RuntimeConstraint { max_latency_s: Some(0.025), max_energy_j: Some(0.05) }),
     ];
     println!("\ndispatcher decisions:");
-    for (label, constraint) in scenarios {
-        match zoo.dispatch(constraint) {
+    for (label, constraint) in &scenarios {
+        match zoo.dispatch(*constraint) {
             Some(pick) => println!(
                 "  {label:<28} -> {:.1}% acc, {:.1} ms, {:.3} J",
                 pick.accuracy * 100.0,
@@ -65,4 +71,29 @@ fn main() {
     // The zoo serializes for deployment next to the engine binaries.
     let json = zoo.to_json().expect("serializable");
     println!("\nzoo serializes to {} bytes of JSON for deployment", json.len());
+
+    // Now do it live: one persistent device/edge pair, and every
+    // constraint switch hot-swaps the deployed plan in place.
+    let mut dispatcher = EngineDispatcher::new(zoo, WeightBank::new(4, 7));
+    dispatcher.attach_pool(7).expect("persistent edge pool up");
+    let frames = PointCloudDataset::generate(4, 24, 4, 3);
+    println!("\nlive hot-swaps on one warm pair:");
+    for (label, constraint) in &scenarios {
+        let Some(pick) = dispatcher.dispatch_live(*constraint).expect("swap") else {
+            continue;
+        };
+        let (_, stats) = dispatcher.run_live(frames.samples()).expect("stream");
+        println!(
+            "  {label:<28} -> {:.1}% acc promised, measured p50 {:.2} ms, {} bytes shipped",
+            pick.accuracy * 100.0,
+            stats.p50_s * 1e3,
+            stats.bytes_sent
+        );
+    }
+    println!(
+        "{} constraint switches served by 1 edge process ({} plan swaps, 0 redeployments)",
+        scenarios.len(),
+        dispatcher.live_swaps()
+    );
+    dispatcher.detach_pool().expect("clean shutdown");
 }

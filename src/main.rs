@@ -5,7 +5,8 @@
 //! gcode search   --device tx2 --edge i7 --mbps 40 --task modelnet40 \
 //!                [--backend analytic|sim|cascade|engine|ladder]
 //!                [--tiers analytic,predictor,sim,engine] [--adaptive-keep true]
-//!                [--frames N] [--warmup N] [--workers N] [--keep-frac F[,F…]]
+//!                [--frames N] [--warmup N] [--persistent-edge true]
+//!                [--workers N] [--keep-frac F[,F…]]
 //!                [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
 //!                [--seed N] [--zoo-out FILE] [--report-out FILE]
 //! gcode systems                       # list built-in device/edge pairs
@@ -16,6 +17,9 @@
 //! `--tiers` builds a fidelity ladder (implies `--backend ladder`); the
 //! `engine` tier deploys each escalated candidate to a loopback TCP
 //! device/edge pair and prices it on the live pipelined runtime.
+//! `--persistent-edge` keeps *one* warm pair for the whole search and
+//! hot-swaps each candidate's plan onto it (`SwapPlan` control frames)
+//! instead of spawning/tearing down a pair per candidate.
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
 use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
@@ -67,7 +71,8 @@ const USAGE: &str = "usage:
   gcode search   --device <tx2|pi> --edge <i7|1060> [--mbps F] [--task <modelnet40|mr>]
                  [--backend <analytic|sim|cascade|engine|ladder>]
                  [--tiers <analytic,predictor,sim,engine>] [--adaptive-keep <true|false>]
-                 [--frames N] [--warmup N] [--workers N] [--keep-frac F[,F...]]
+                 [--frames N] [--warmup N] [--persistent-edge <true|false>]
+                 [--workers N] [--keep-frac F[,F...]]
                  [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
                  [--seed N] [--zoo-out FILE] [--report-out FILE]
   gcode systems
@@ -180,6 +185,10 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     let frames = get_usize(opts, "frames", 8)?.max(1);
     let warmup = get_usize(opts, "warmup", 2)?;
+    let persistent_edge = matches!(
+        opts.get("persistent-edge").map(String::as_str),
+        Some("true") | Some("1") | Some("yes")
+    );
     let tiers = tier_names(opts)?;
     let space = DesignSpace::paper(profile);
 
@@ -255,14 +264,17 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
                     (ds.samples().to_vec(), 2)
                 };
                 let s = SurrogateAccuracy::new(task);
-                engine_backend = Some(
+                let mut engine =
                     EngineBackend::new(samples, classes, sys.clone(), move |a: &Architecture| {
                         s.overall_accuracy(a)
                     })
                     .with_frames(frames)
                     .with_warmup(warmup)
-                    .with_uplink_mbps(mbps),
-                );
+                    .with_uplink_mbps(mbps);
+                if persistent_edge {
+                    engine = engine.with_persistent_edge();
+                }
+                engine_backend = Some(engine);
             }
             other => return Err(format!("unknown tier `{other}` (analytic|predictor|sim|engine)")),
         }
@@ -346,6 +358,14 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
             profile.bytes_sent,
             profile.errors
         );
+        if persistent_edge {
+            println!(
+                "persistent edge pool: {} deployments hot-swapped over {} spawned pair{}",
+                e.deployments(),
+                e.pool_spawns(),
+                if e.pool_spawns() == 1 { "" } else { "s" }
+            );
+        }
     }
     if let Some(path) = opts.get("report-out") {
         let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;

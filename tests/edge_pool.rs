@@ -1,0 +1,288 @@
+//! Persistent edge pool integration: pooled hot-swap must be
+//! indistinguishable from fresh-spawn measurement (bit-identical
+//! predictions), survive deploy failures mid-search, account warmup
+//! frames out of telemetry exactly, and leave no threads behind on
+//! shutdown.
+
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend};
+use gcode::core::eval::{Evaluator, Objective, SearchSession};
+use gcode::core::op::{Op, SampleFn};
+use gcode::core::search::{RandomSearch, SearchConfig};
+use gcode::core::space::DesignSpace;
+use gcode::engine::{
+    decode_frame, encode_frame, read_message, write_message, DeviceClient, EdgePool, EdgeServer,
+    EngineBackend, ExecutionPlan, Frame, WireState, DEPLOY_FAILURE_SENTINEL,
+};
+use gcode::graph::datasets::{PointCloudDataset, Sample};
+use gcode::hardware::SystemConfig;
+use gcode::nn::agg::AggMode;
+use gcode::nn::pool::PoolMode;
+use gcode::nn::seq::{classify, forward_features, GraphInput, WeightBank};
+use gcode::sim::{SimBackend, SimConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener};
+
+const BANK_SEED: u64 = 71;
+const RUN_SEED: u64 = 23;
+
+fn accuracy(a: &Architecture) -> f64 {
+    0.8 + 0.001 * a.len() as f64
+}
+
+fn split_arch(dim: usize) -> Architecture {
+    Architecture::new(vec![
+        Op::Sample(SampleFn::Knn { k: 4 }),
+        Op::Aggregate(AggMode::Max),
+        Op::Combine { dim },
+        Op::Communicate,
+        Op::GlobalPool(PoolMode::Max),
+    ])
+}
+
+/// Fresh-spawn reference deployment: one `EdgeServer`/`DeviceClient` pair
+/// for this candidate only.
+fn run_fresh(arch: &Architecture, samples: &[Sample]) -> Vec<usize> {
+    let plan = ExecutionPlan::from_architecture(arch);
+    let bank = WeightBank::new(4, BANK_SEED);
+    let server = EdgeServer::spawn(plan.clone(), bank.clone(), RUN_SEED).expect("spawn");
+    let mut client = DeviceClient::connect(server.addr(), plan, bank, RUN_SEED).expect("connect");
+    let (preds, _) = client.run_pipelined(samples).expect("run");
+    drop(client);
+    server.join().expect("clean");
+    preds
+}
+
+#[test]
+fn pooled_ladder_search_spawns_one_edge_and_matches_fresh_predictions() {
+    let profile = WorkloadProfile::modelnet40_mini(24, 4);
+    let space = DesignSpace::paper(profile);
+    let objective = Objective::new(0.25, 1.0, 5.0);
+    let cfg = SearchConfig { iterations: 48, seed: 9, ..SearchConfig::default() };
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let ds = PointCloudDataset::generate(6, 24, 4, 13);
+
+    let cheap = AnalyticBackend { profile, sys: sys.clone(), accuracy_fn: accuracy };
+    let mid = SimBackend {
+        profile,
+        sys: sys.clone(),
+        sim: SimConfig::single_frame(),
+        accuracy_fn: accuracy,
+    };
+    let engine = EngineBackend::new(ds.samples().to_vec(), 4, sys, accuracy)
+        .with_frames(3)
+        .with_warmup(1)
+        .with_bank_seed(BANK_SEED)
+        .with_persistent_edge();
+    let ladder = CascadeBackend::ladder(vec![&cheap, &mid, &engine], objective)
+        .with_keep_fracs(&[0.25, 0.5]);
+    let mut session = SearchSession::new(&space, &ladder).with_objective(objective);
+    let result = session.run(&RandomSearch::new(cfg));
+    let best = result.best().expect("winner").clone();
+
+    // The whole Measured tier ran on exactly one spawned edge pair.
+    assert!(engine.deployments() > 1, "several candidates escalated to the engine tier");
+    assert_eq!(engine.pool_spawns(), 1, "one EdgeServer for the whole search");
+    assert_eq!(engine.measured_profile().errors, 0);
+    assert!(best.latency_s < DEPLOY_FAILURE_SENTINEL);
+    drop(ladder);
+    drop(engine); // clean pool shutdown on drop must not hang
+
+    // The winner's deployed predictions are bit-for-bit identical whether
+    // it is measured on a fresh pair or hot-swapped onto a warm pool.
+    let fresh = run_fresh(&best.arch, ds.samples());
+    let mut pool = EdgePool::spawn(WeightBank::new(4, BANK_SEED), RUN_SEED).expect("pool");
+    // Swap an unrelated plan in first: residue from a previous candidate
+    // must not leak into the winner's run.
+    pool.deploy(ExecutionPlan::from_architecture(&split_arch(16))).expect("warm the pool");
+    pool.run(ds.samples()).expect("unrelated candidate runs");
+    pool.deploy(ExecutionPlan::from_architecture(&best.arch)).expect("swap winner in");
+    let (pooled, _) = pool.run(ds.samples()).expect("winner runs pooled");
+    assert_eq!(pooled, fresh, "pooled hot-swap must reproduce the fresh-spawn predictions");
+    pool.shutdown().expect("no threads left behind");
+}
+
+/// A scripted remote edge: the first connection dies mid-stream (deploy
+/// failure), every later connection serves the real persistent protocol —
+/// built from the same public wire/nn primitives the engine uses. Like a
+/// real long-lived LAN edge it keeps accepting new sessions after a
+/// client disconnects, until a `Shutdown` frame arrives.
+fn spawn_flaky_then_healthy_edge(classes: usize) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        // Connection 1: read a few bytes, then drop mid-message.
+        if let Ok((mut stream, _)) = listener.accept() {
+            let mut header = [0u8; 4];
+            let _ = stream.read_exact(&mut header);
+        }
+        // Later connections: a faithful persistent serve loop per session.
+        let mut bank = WeightBank::new(classes, BANK_SEED);
+        loop {
+            let Ok((stream, _)) = listener.accept() else { return };
+            stream.set_nodelay(true).expect("nodelay");
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            let mut reader = stream.try_clone().expect("clone");
+            let mut writer = stream;
+            let mut plan: Option<ExecutionPlan> = None;
+            while let Ok(Some(body)) = read_message(&mut reader) {
+                match decode_frame(&body).expect("well-formed frame") {
+                    Frame::Shutdown => return,
+                    Frame::SwapPlan(next) => plan = Some(*next),
+                    Frame::State(state) => {
+                        let p = plan.as_ref().expect("plan deployed before data");
+                        let (h, _) = forward_features(
+                            &p.edge_specs,
+                            p.edge_slot_offset,
+                            GraphInput { features: &state.features, graph: state.graph.as_ref() },
+                            &mut bank,
+                            &mut rng,
+                        );
+                        let logits = classify(&h, &mut bank);
+                        let reply = WireState {
+                            frame_id: state.frame_id,
+                            features: logits,
+                            graph: None,
+                            label: state.label,
+                        };
+                        write_message(&mut writer, &encode_frame(&Frame::State(reply)))
+                            .expect("reply");
+                    }
+                }
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn pool_survives_a_deploy_failure_mid_search_and_measures_the_next_candidate() {
+    let ds = PointCloudDataset::generate(4, 16, 2, 5);
+    let backend = EngineBackend::new(
+        ds.samples().to_vec(),
+        2,
+        SystemConfig::tx2_to_i7(40.0),
+        accuracy as fn(&Architecture) -> f64,
+    )
+    .with_frames(2)
+    .with_bank_seed(BANK_SEED)
+    .with_remote_edge(spawn_flaky_then_healthy_edge(2))
+    .with_persistent_edge();
+
+    // Candidate 1: the pool's first connection dies mid-stream — a
+    // contained sentinel-priced failure, and the broken pool is discarded.
+    let m1 = backend.evaluate(&split_arch(8));
+    assert_eq!(m1.latency_s, DEPLOY_FAILURE_SENTINEL);
+    assert_eq!(backend.measured_profile().errors, 1);
+    assert_eq!(backend.pool_spawns(), 1);
+    assert_eq!(backend.deployments(), 0);
+
+    // Candidate 2: the backend respawns a pool and measures normally.
+    let m2 = backend.evaluate(&split_arch(16));
+    assert!(m2.latency_s > 0.0 && m2.latency_s < DEPLOY_FAILURE_SENTINEL, "search continues");
+    assert_eq!(backend.pool_spawns(), 2, "one respawn after the contained failure");
+    assert_eq!(backend.deployments(), 1);
+    assert_eq!(backend.measured_profile().errors, 1, "no new errors");
+
+    // A connect-mode pool does not own the shared edge: dropping this
+    // backend must close its session without shutting the edge down, so a
+    // later backend can still measure against it.
+    let addr = spawn_flaky_then_healthy_edge(2);
+    let first = EngineBackend::new(
+        ds.samples().to_vec(),
+        2,
+        SystemConfig::tx2_to_i7(40.0),
+        accuracy as fn(&Architecture) -> f64,
+    )
+    .with_frames(2)
+    .with_bank_seed(BANK_SEED)
+    .with_remote_edge(addr)
+    .with_persistent_edge();
+    assert_eq!(first.evaluate(&split_arch(8)).latency_s, DEPLOY_FAILURE_SENTINEL);
+    assert!(first.evaluate(&split_arch(8)).latency_s < DEPLOY_FAILURE_SENTINEL);
+    drop(first);
+    let second = EngineBackend::new(
+        ds.samples().to_vec(),
+        2,
+        SystemConfig::tx2_to_i7(40.0),
+        accuracy as fn(&Architecture) -> f64,
+    )
+    .with_frames(2)
+    .with_bank_seed(BANK_SEED)
+    .with_remote_edge(addr)
+    .with_persistent_edge();
+    let m = second.evaluate(&split_arch(16));
+    assert!(
+        m.latency_s < DEPLOY_FAILURE_SENTINEL,
+        "the shared remote edge must outlive the first backend's drop"
+    );
+}
+
+#[test]
+fn warmup_frames_are_excluded_from_telemetry_energy_and_accuracy() {
+    let ds = PointCloudDataset::generate(4, 16, 4, 21);
+    let frames = 3;
+    let warmup = 2;
+    let arch = split_arch(8);
+
+    // Reference run: the exact stream the backend will drive (samples
+    // cycled to warmup+frames), measured manually to get per-frame bytes.
+    let stream: Vec<Sample> =
+        (0..warmup + frames).map(|i| ds.samples()[i % ds.samples().len()].clone()).collect();
+    let plan = ExecutionPlan::from_architecture(&arch);
+    let bank = WeightBank::new(4, BANK_SEED);
+    let server = EdgeServer::spawn(plan.clone(), bank.clone(), RUN_SEED).expect("spawn");
+    let mut client = DeviceClient::connect(server.addr(), plan, bank, RUN_SEED).expect("connect");
+    let (preds, stats) = client.run_pipelined(&stream).expect("run");
+    drop(client);
+    server.join().expect("clean");
+    assert_eq!(stats.frame_bytes.len(), warmup + frames, "one byte count per frame");
+    assert!(stats.frame_bytes.iter().all(|&b| b > 0), "split design ships every frame");
+    assert_eq!(stats.bytes_sent, stats.frame_bytes.iter().sum::<usize>());
+    let measured_bytes: usize = stats.frame_bytes[warmup..].iter().sum();
+    assert!(measured_bytes < stats.bytes_sent, "warmup traffic is non-trivial");
+
+    // The backend must report exactly the measured window: frames, bytes
+    // and live hit rate all exclude the warmup prefix.
+    let backend = EngineBackend::new(
+        ds.samples().to_vec(),
+        4,
+        SystemConfig::tx2_to_i7(40.0),
+        accuracy as fn(&Architecture) -> f64,
+    )
+    .with_frames(frames)
+    .with_warmup(warmup)
+    .with_bank_seed(BANK_SEED);
+    let m = backend.evaluate(&arch);
+    assert!(m.latency_s > 0.0 && m.latency_s < DEPLOY_FAILURE_SENTINEL);
+    let profile = backend.measured_profile();
+    assert_eq!(profile.frames as usize, frames, "exactly the post-warmup frames");
+    assert_eq!(
+        profile.bytes_sent as usize, measured_bytes,
+        "telemetry bytes are the measured window only"
+    );
+    let expected_correct = preds
+        .iter()
+        .enumerate()
+        .skip(warmup)
+        .filter(|&(i, &p)| p == ds.samples()[i % ds.samples().len()].label)
+        .count();
+    let expected_accuracy = expected_correct as f64 / frames as f64;
+    assert!(
+        (backend.stream_accuracy() - expected_accuracy).abs() < 1e-12,
+        "live hit rate averages measured frames only"
+    );
+}
+
+#[test]
+fn pool_shutdown_after_real_use_leaves_no_live_threads() {
+    let ds = PointCloudDataset::generate(3, 14, 2, 3);
+    let mut pool = EdgePool::spawn(WeightBank::new(2, BANK_SEED), RUN_SEED).expect("pool");
+    pool.deploy(ExecutionPlan::from_architecture(&split_arch(8))).expect("deploy");
+    pool.run(ds.samples()).expect("run");
+    // shutdown() sends the Shutdown control frame and *joins* the serve
+    // thread — returning Ok proves the thread is gone, not detached.
+    pool.shutdown().expect("serve thread joined cleanly");
+}

@@ -142,11 +142,11 @@ fn spawn_rogue_edge(connections: usize) -> std::net::SocketAddr {
     addr
 }
 
-/// A rogue edge that *replies*, but with frame ids the device never sent —
-/// those must surface as a protocol error, never a panic or a silent
-/// prediction misalignment.
+/// A rogue edge that *replies* well-formed frames, but with frame ids the
+/// device never sent — those must surface as a protocol error, never a
+/// panic or a silent prediction misalignment.
 fn spawn_bad_frame_id_edge(replies: usize) -> std::net::SocketAddr {
-    use gcode::engine::{encode_state, write_message, WireState};
+    use gcode::engine::{encode_frame, write_message, Frame, WireState};
     use gcode::tensor::Matrix;
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind rogue edge");
     let addr = listener.local_addr().expect("addr");
@@ -159,7 +159,7 @@ fn spawn_bad_frame_id_edge(replies: usize) -> std::net::SocketAddr {
                 graph: None,
                 label: 0,
             };
-            if write_message(&mut stream, &encode_state(&reply)).is_err() {
+            if write_message(&mut stream, &encode_frame(&Frame::State(reply))).is_err() {
                 return;
             }
         }
