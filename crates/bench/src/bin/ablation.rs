@@ -13,12 +13,15 @@
 //!    `SearchReport`;
 //! 7. persistent edge pool: per-candidate spawn/connect/teardown vs one
 //!    warm pair hot-swapping plans (`SwapPlan` control frames) — deploy
-//!    throughput and p50 per mode.
+//!    throughput and p50 per mode;
+//! 8. edge fleet: Measured-tier deploy throughput as the same candidate
+//!    batch is sharded across 1 → 2 → 4 loopback pools (`EdgeFleet`).
 //!
-//! Sections 5–7 also emit a `BENCH_eval.json` perf artifact (wall time,
-//! evaluation counts and deploy throughput per mode) next to the working
-//! directory. `--quick` runs only section 7 at tiny frame counts and still
-//! emits the artifact — the CI smoke path.
+//! Sections 5–8 also emit a `BENCH_eval.json` perf artifact (wall time,
+//! evaluation counts and deploy throughput per mode; schema documented in
+//! `docs/BENCHMARKS.md`) next to the working directory. `--quick` runs
+//! only sections 7–8 at tiny frame counts and still emits the artifact —
+//! the CI smoke path.
 
 use gcode_baselines::models;
 use gcode_bench::{
@@ -26,6 +29,7 @@ use gcode_bench::{
 };
 use gcode_core::arch::{Architecture, WorkloadProfile};
 use gcode_core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
+use gcode_core::eval::FleetStats;
 use gcode_core::eval::{Evaluator, SearchSession};
 use gcode_core::op::{Op, SampleFn};
 use gcode_core::pareto::{front_of, hypervolume};
@@ -33,7 +37,7 @@ use gcode_core::search::RandomSearch;
 use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_core::zoo::ArchitectureZoo;
-use gcode_engine::EngineBackend;
+use gcode_engine::{EngineBackend, FleetSpec};
 use gcode_graph::datasets::PointCloudDataset;
 use gcode_hardware::SystemConfig;
 use gcode_nn::agg::AggMode;
@@ -103,6 +107,68 @@ fn run_pool_ablation(candidates: usize, frames: usize, warmup: usize) -> PoolAbl
     }
 }
 
+/// One fleet size's deploy-throughput numbers from the scaling ablation.
+struct FleetPoint {
+    pools: usize,
+    wall_s: f64,
+    stats: FleetStats,
+}
+
+/// Section 8 results: the same candidate batch at 1/2/4 pools.
+struct FleetAblation {
+    candidates: usize,
+    points: Vec<FleetPoint>,
+}
+
+/// Section 8 body: price one candidate batch through `EngineBackend`
+/// fleets of 1, 2 and 4 loopback pools and time each pass. Distinct
+/// candidates (no memoization anywhere on this path) and identical
+/// seeding mean every fleet size measures exactly the same work — only
+/// the sharding width changes. An untimed pass over the same batch warms
+/// every pool first, so the timed number is steady-state sharding
+/// throughput (what a long search sees per batch), not pool-spawn cost —
+/// a wider fleet would otherwise be charged more spawns than a narrow
+/// one and the curve would measure setup, not scaling.
+fn run_fleet_ablation(candidates: usize, frames: usize, warmup: usize) -> FleetAblation {
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let ds = PointCloudDataset::generate(6, 20, 4, 47);
+    let accuracy = |a: &Architecture| 0.8 + 0.001 * a.len() as f64;
+    let archs = pool_candidates(candidates);
+    let points = [1usize, 2, 4]
+        .iter()
+        .map(|&pools| {
+            let backend = EngineBackend::new(ds.samples().to_vec(), 4, sys.clone(), accuracy)
+                .with_frames(frames)
+                .with_warmup(warmup)
+                .with_fleet(FleetSpec::loopback(pools));
+            backend.evaluate_batch(&archs); // warm: spawn pools untimed
+            let start = Instant::now();
+            backend.evaluate_batch(&archs);
+            let wall_s = start.elapsed().as_secs_f64();
+            let stats = backend.fleet_stats().expect("fleet configured");
+            FleetPoint { pools, wall_s, stats }
+        })
+        .collect();
+    FleetAblation { candidates, points }
+}
+
+fn print_fleet_ablation(fleet: &FleetAblation) {
+    header("Ablation 8 — edge fleet: Measured-tier throughput vs pool count");
+    let base = fleet.points[0].wall_s;
+    for p in &fleet.points {
+        println!(
+            "  {} pool{}: {:2} deployments in {:7.1} ms  ({:6.1} deploys/s, {:4.2}x vs 1 pool)  {} failures",
+            p.pools,
+            if p.pools == 1 { " " } else { "s" },
+            fleet.candidates,
+            p.wall_s * 1e3,
+            fleet.candidates as f64 / p.wall_s.max(1e-12),
+            base / p.wall_s.max(1e-12),
+            p.stats.failures()
+        );
+    }
+}
+
 fn print_pool_ablation(pool: &PoolAblation) {
     header("Ablation 7 — persistent edge pool: per-candidate spawn vs hot-swap");
     println!(
@@ -129,11 +195,13 @@ fn print_pool_ablation(pool: &PoolAblation) {
 
 fn main() {
     if std::env::args().any(|a| a == "--quick") {
-        // CI smoke: section 7 only, tiny frame counts, artifact still
+        // CI smoke: sections 7–8 only, tiny frame counts, artifact still
         // emitted (search-mode fields zeroed).
         let pool = run_pool_ablation(4, 2, 1);
         print_pool_ablation(&pool);
-        write_bench(&EvalBench::with_pool(&pool));
+        let fleet = run_fleet_ablation(4, 2, 1);
+        print_fleet_ablation(&fleet);
+        write_bench(&EvalBench::with_pool(&pool).with_fleet(&fleet));
         return;
     }
     let profile = WorkloadProfile::modelnet40();
@@ -362,6 +430,12 @@ fn main() {
     let pool = run_pool_ablation(8, 4, 1);
     print_pool_ablation(&pool);
 
+    // ——— 8. Edge fleet ———
+    // A batch wide and deep enough for sharding to matter: 16 candidates
+    // at 16 measured frames each keep every pool busy for whole shards.
+    let fleet = run_fleet_ablation(16, 16, 2);
+    print_fleet_ablation(&fleet);
+
     // ——— Perf artifact ———
     let tiers = ladder.tier_stats();
     write_bench(&EvalBench {
@@ -375,7 +449,7 @@ fn main() {
         measured_p50_s: measured.p50_s,
         measured_p95_s: measured.p95_s,
         measured_p99_s: measured.p99_s,
-        ..EvalBench::with_pool(&pool)
+        ..EvalBench::with_pool(&pool).with_fleet(&fleet)
     });
 }
 
@@ -386,8 +460,9 @@ fn write_bench(bench: &EvalBench) {
 }
 
 /// The `BENCH_eval.json` payload: wall time and evaluation economics of
-/// the three search modes, the live engine's latency percentiles, and the
-/// pooled-vs-spawn deployment throughput.
+/// the three search modes, the live engine's latency percentiles, the
+/// pooled-vs-spawn deployment throughput, and the fleet scaling curve.
+/// Every key is documented in `docs/BENCHMARKS.md` — update both together.
 #[derive(Default, serde::Serialize, serde::Deserialize)]
 struct EvalBench {
     pure_sim_wall_s: f64,
@@ -406,6 +481,11 @@ struct EvalBench {
     pooled_p50_s: f64,
     pooled_p50_delta_s: f64,
     pool_spawns: u64,
+    fleet_deploys_per_s_1: f64,
+    fleet_deploys_per_s_2: f64,
+    fleet_deploys_per_s_4: f64,
+    fleet_speedup_4v1: f64,
+    fleet_pool_failures: u64,
 }
 
 impl EvalBench {
@@ -421,5 +501,21 @@ impl EvalBench {
             pool_spawns: pool.pool_spawns,
             ..Self::default()
         }
+    }
+
+    /// Folds the section-8 fleet scaling numbers in.
+    fn with_fleet(mut self, fleet: &FleetAblation) -> Self {
+        let per_s = |p: &FleetPoint| fleet.candidates as f64 / p.wall_s.max(1e-12);
+        for p in &fleet.points {
+            match p.pools {
+                1 => self.fleet_deploys_per_s_1 = per_s(p),
+                2 => self.fleet_deploys_per_s_2 = per_s(p),
+                4 => self.fleet_deploys_per_s_4 = per_s(p),
+                other => unreachable!("unexpected fleet size {other}"),
+            }
+        }
+        self.fleet_speedup_4v1 = self.fleet_deploys_per_s_4 / self.fleet_deploys_per_s_1.max(1e-12);
+        self.fleet_pool_failures = fleet.points.iter().map(|p| p.stats.failures()).sum();
+        self
     }
 }

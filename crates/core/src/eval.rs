@@ -352,6 +352,7 @@ impl<'a> SearchSession<'a> {
             constraint_misses: result.constraint_misses,
             trials: result.history.len(),
             measured: None,
+            fleet: None,
         }
     }
 }
@@ -376,6 +377,54 @@ pub struct MeasuredProfile {
     /// Candidate deployments that failed (socket/protocol errors) and were
     /// priced with the infeasible sentinel instead.
     pub errors: u64,
+}
+
+/// One pool's share of a fleet-sharded Measured run: where it pointed,
+/// how many candidates it measured, and how its lifecycle went. Produced
+/// by `gcode_engine::EdgeFleet` and carried inside [`FleetStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Endpoint label: `"loopback"` for a pool that spawned its own edge,
+    /// or the remote `host:port` it connected to.
+    pub endpoint: String,
+    /// Candidates this pool successfully deployed and measured.
+    pub deployments: u64,
+    /// Times this pool died (socket/protocol error mid-shard, or a failed
+    /// spawn/reconnect attempt) and was discarded for the round.
+    pub failures: u64,
+    /// Times a pool was spawned/connected at this endpoint — 1 for a
+    /// healthy run, +1 per respawn after a contained failure.
+    pub spawns: u64,
+}
+
+/// Per-pool telemetry for a fleet-sharded `Fidelity::Measured` run: one
+/// [`PoolStats`] per configured endpoint plus the fleet-level recovery
+/// counters. Produced by `gcode_engine::EngineBackend::fleet_stats` and
+/// attached to a [`SearchReport`] via [`SearchReport::with_fleet`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// One entry per configured fleet endpoint, in spec order.
+    pub pools: Vec<PoolStats>,
+    /// Candidates re-sharded onto surviving pools after a pool died
+    /// mid-batch (each re-routed candidate counts once per extra round).
+    pub resharded: u64,
+}
+
+impl FleetStats {
+    /// Total successful deployments across every pool.
+    pub fn deployments(&self) -> u64 {
+        self.pools.iter().map(|p| p.deployments).sum()
+    }
+
+    /// Total pool deaths (and failed spawn attempts) across the fleet.
+    pub fn failures(&self) -> u64 {
+        self.pools.iter().map(|p| p.failures).sum()
+    }
+
+    /// Total pool spawns/connects across the fleet.
+    pub fn spawns(&self) -> u64 {
+        self.pools.iter().map(|p| p.spawns).sum()
+    }
 }
 
 /// Serializable summary of one search run: which backend priced the
@@ -404,6 +453,9 @@ pub struct SearchReport {
     /// Live-engine telemetry, present only when a `Measured`-fidelity
     /// backend took part in the run.
     pub measured: Option<MeasuredProfile>,
+    /// Per-pool fleet telemetry, present only when the Measured tier was
+    /// sharded across an edge fleet (`--fleet`).
+    pub fleet: Option<FleetStats>,
 }
 
 impl SearchReport {
@@ -411,6 +463,13 @@ impl SearchReport {
     #[must_use]
     pub fn with_measured(mut self, measured: MeasuredProfile) -> Self {
         self.measured = Some(measured);
+        self
+    }
+
+    /// Attaches per-pool fleet telemetry to the report.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: FleetStats) -> Self {
+        self.fleet = Some(fleet);
         self
     }
 }

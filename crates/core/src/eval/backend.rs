@@ -336,7 +336,7 @@ impl<'a> CascadeBackend<'a> {
     /// step's `keep_frac` is retuned from the observed rank correlation
     /// between the screening scores and the re-priced scores of the
     /// candidates it escalated. A screen whose ranking the tier above
-    /// keeps confirming (Spearman ρ above [`ADAPTIVE_RHO_TARGET`]) earns a
+    /// keeps confirming (Spearman ρ above the internal target, 0.9) earns a
     /// smaller escalated fraction; a screen that keeps being re-ranked
     /// pays with a larger one. The update is a pure function of the batch
     /// stream, so searches stay deterministic and worker-invariant.

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 /// Search hyper-parameters (Alg. 1 inputs). The objective — `λ` and the
 /// performance constraints — lives separately in
-/// [`Objective`](crate::eval::Objective).
+/// [`crate::eval::Objective`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchConfig {
     /// Stage-1 iterations `T` (paper: 2000).

@@ -11,13 +11,14 @@
 //! cheaper tiers promote, so every search winner carries live-runtime
 //! metrics.
 
+use crate::fleet::{EdgeFleet, FleetSpec};
 use crate::plan::ExecutionPlan;
 use crate::pool::EdgePool;
 use crate::runtime::{latency_percentiles, DeviceClient, EdgeServer, EngineStats};
 use crate::EngineError;
 use gcode_core::arch::Architecture;
-use gcode_core::eval::backend::{EvalBackend, Fidelity};
-use gcode_core::eval::{Evaluator, MeasuredProfile, Metrics};
+use gcode_core::eval::backend::{shard_batch, EvalBackend, Fidelity};
+use gcode_core::eval::{Evaluator, FleetStats, MeasuredProfile, Metrics, PoolStats};
 use gcode_graph::datasets::Sample;
 use gcode_hardware::SystemConfig;
 use gcode_nn::seq::WeightBank;
@@ -55,7 +56,7 @@ struct Telemetry {
 /// approximates.
 ///
 /// Per candidate: lower to an [`ExecutionPlan`], deploy it, and stream
-/// `warmup + frames` real samples through the pipelined runtime. Two
+/// `warmup + frames` real samples through the pipelined runtime. Three
 /// deployment modes exist:
 ///
 /// * **Fresh spawn** (default): spawn a loopback [`EdgeServer`], connect a
@@ -69,6 +70,12 @@ struct Telemetry {
 ///   supernet `WeightBank` makes a swap weight-transfer-free). Weights are
 ///   keyed and seeded per slot and the edge RNG restarts on every swap, so
 ///   pooled predictions are bit-identical to fresh spawns.
+/// * **Edge fleet** ([`with_fleet`](Self::with_fleet)): N persistent pools
+///   — loopback and/or remote endpoints from a [`FleetSpec`] — measuring
+///   each escalated batch concurrently, contiguous input-order shards per
+///   pool. Identical per-slot seeding on every pool keeps predictions
+///   bit-identical for any pool count; a pool death re-shards its
+///   candidates onto the survivors (see [`EdgeFleet`]).
 ///
 /// Warmup frames prime the pipeline and are excluded from pricing and
 /// telemetry: latency is the mean *post-warmup* per-frame latency, energy
@@ -86,6 +93,39 @@ struct Telemetry {
 /// Being a wall-clock measurement, metrics are *not* bit-reproducible
 /// across runs — that is the point of the tier. Memoization still holds
 /// within a `SearchSession` (each unique candidate is measured once).
+///
+/// # Example
+///
+/// ```
+/// use gcode_core::arch::Architecture;
+/// use gcode_core::eval::Evaluator;
+/// use gcode_core::op::{Op, SampleFn};
+/// use gcode_engine::EngineBackend;
+/// use gcode_graph::datasets::PointCloudDataset;
+/// use gcode_hardware::SystemConfig;
+/// use gcode_nn::{agg::AggMode, pool::PoolMode};
+///
+/// let ds = PointCloudDataset::generate(3, 12, 2, 7);
+/// let backend = EngineBackend::new(
+///     ds.samples().to_vec(),
+///     2,
+///     SystemConfig::tx2_to_i7(40.0),
+///     |a: &Architecture| 0.8 + 0.001 * a.len() as f64,
+/// )
+/// .with_frames(2)
+/// .with_warmup(1);
+///
+/// let arch = Architecture::new(vec![
+///     Op::Sample(SampleFn::Knn { k: 4 }),
+///     Op::Aggregate(AggMode::Max),
+///     Op::Communicate,
+///     Op::GlobalPool(PoolMode::Max),
+/// ]);
+/// let metrics = backend.evaluate(&arch); // deploys over real loopback TCP
+/// assert!(metrics.latency_s > 0.0);
+/// let profile = backend.measured_profile();
+/// assert_eq!(profile.frames, 2); // the warmup frame is excluded
+/// ```
 pub struct EngineBackend<F: Fn(&Architecture) -> f64 + Sync> {
     samples: Vec<Sample>,
     num_classes: usize,
@@ -97,9 +137,11 @@ pub struct EngineBackend<F: Fn(&Architecture) -> f64 + Sync> {
     run_seed: u64,
     remote_edge: Option<SocketAddr>,
     persistent: bool,
+    fleet_spec: Option<FleetSpec>,
     accuracy_fn: F,
     telemetry: Mutex<Telemetry>,
     pool: Mutex<Option<EdgePool>>,
+    fleet: Mutex<Option<EdgeFleet>>,
 }
 
 impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
@@ -133,9 +175,11 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
             run_seed: 0xE261,
             remote_edge: None,
             persistent: false,
+            fleet_spec: None,
             accuracy_fn,
             telemetry: Mutex::new(Telemetry::default()),
             pool: Mutex::new(None),
+            fleet: Mutex::new(None),
         }
     }
 
@@ -196,6 +240,23 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
         self
     }
 
+    /// Shards the Measured tier across an [`EdgeFleet`] of `spec`'s
+    /// endpoints: every escalated batch is cut into contiguous input-order
+    /// shards, one per live pool, and the shards run concurrently — the
+    /// fleet generalizes [`with_persistent_edge`](Self::with_persistent_edge)
+    /// (which it supersedes when both are set) from one warm pair to N.
+    /// Predictions are bit-identical for any pool count; per-pool lifecycle
+    /// counters surface via [`fleet_stats`](Self::fleet_stats). A pool that
+    /// dies mid-batch is respawned/excluded and its candidates re-shard
+    /// onto the survivors, so one dead machine costs throughput, not
+    /// results. [`with_remote_edge`](Self::with_remote_edge) is ignored in
+    /// fleet mode — remote endpoints belong in the spec itself.
+    #[must_use]
+    pub fn with_fleet(mut self, spec: FleetSpec) -> Self {
+        self.fleet_spec = Some(spec);
+        self
+    }
+
     /// Percentiles and traffic accumulated over every *measured* frame so
     /// far — the payload a `SearchReport` surfaces for Measured runs.
     /// Warmup frames contribute nothing here: their latencies, bytes and
@@ -224,6 +285,24 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
     /// increments this).
     pub fn pool_spawns(&self) -> u64 {
         self.telemetry.lock().pool_spawns
+    }
+
+    /// Per-pool fleet telemetry: `Some` whenever
+    /// [`with_fleet`](Self::with_fleet) configured a fleet (all-zero
+    /// counters until the first batch spawns it), `None` otherwise.
+    pub fn fleet_stats(&self) -> Option<FleetStats> {
+        let guard = self.fleet.lock();
+        if let Some(fleet) = guard.as_ref() {
+            return Some(fleet.stats());
+        }
+        self.fleet_spec.as_ref().map(|spec| FleetStats {
+            pools: spec
+                .endpoints()
+                .iter()
+                .map(|e| PoolStats { endpoint: e.to_string(), ..PoolStats::default() })
+                .collect(),
+            resharded: 0,
+        })
     }
 
     /// Fraction of measured frames whose live prediction matched its
@@ -313,59 +392,138 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
         }
         result
     }
+
+    /// Converts one successful deployment's raw predictions and
+    /// [`EngineStats`] into [`Metrics`], accumulating the measured window
+    /// into the telemetry — the shared pricing path of the single-pair,
+    /// pooled and fleet-sharded modes. Everything priced here comes from
+    /// the measured window only: warmup frames primed the pipeline and
+    /// must not leak into latency, traffic, energy or the live hit rate.
+    fn price_measured(
+        &self,
+        arch: &Architecture,
+        predictions: &[usize],
+        stats: &EngineStats,
+    ) -> Metrics {
+        let cut = self.warmup.min(stats.frames);
+        let measured = &stats.frame_latencies_s[cut..];
+        let mean_s = if measured.is_empty() {
+            stats.wall_s / stats.frames.max(1) as f64
+        } else {
+            measured.iter().sum::<f64>() / measured.len() as f64
+        };
+        let measured_bytes: usize = stats.frame_bytes[cut..].iter().sum();
+        let bytes_per_frame = measured_bytes / (stats.frames - cut).max(1);
+        let energy_j = self.sys.device.run_power_w * mean_s
+            + self.sys.power.device_comm_energy(&self.sys.link, bytes_per_frame, 0);
+        let correct = predictions
+            .iter()
+            .enumerate()
+            .skip(cut)
+            .filter(|&(i, &p)| p == self.samples[i % self.samples.len()].label)
+            .count();
+        let mut t = self.telemetry.lock();
+        t.latencies_s.extend_from_slice(measured);
+        t.bytes_sent += measured_bytes as u64;
+        t.deployments += 1;
+        t.stream_correct += correct as u64;
+        Metrics { accuracy: (self.accuracy_fn)(arch), latency_s: mean_s, energy_j }
+    }
+
+    /// Sentinel metrics for a candidate whose deployment failed, with the
+    /// error counted in the telemetry.
+    fn price_failure(&self) -> Metrics {
+        self.telemetry.lock().errors += 1;
+        Metrics {
+            accuracy: 0.0,
+            latency_s: DEPLOY_FAILURE_SENTINEL,
+            energy_j: DEPLOY_FAILURE_SENTINEL,
+        }
+    }
+
+    /// Fleet path: lower the whole batch to plans, let the [`EdgeFleet`]
+    /// shard it across its pools (spawning the fleet lazily on first use),
+    /// and price each outcome. Fleet-internal recoveries are invisible
+    /// here — only candidates the fleet definitively gave up on come back
+    /// as errors.
+    fn run_fleet_batch(&self, archs: &[Architecture]) -> Vec<Metrics> {
+        let plans: Vec<ExecutionPlan> =
+            archs.iter().map(ExecutionPlan::from_architecture).collect();
+        let stream = self.stream();
+        let mut guard = self.fleet.lock();
+        let fleet = guard.get_or_insert_with(|| {
+            let spec = self.fleet_spec.clone().expect("fleet batch requires a spec");
+            let mut fleet = EdgeFleet::new(spec, self.num_classes, self.bank_seed, self.run_seed);
+            if let Some(mbps) = self.uplink_mbps {
+                fleet = fleet.with_uplink_mbps(mbps);
+            }
+            fleet
+        });
+        let spawns_before = fleet.spawns();
+        let outcomes = fleet.run_batch(&plans, &stream);
+        let spawned = fleet.spawns() - spawns_before;
+        drop(guard);
+        if spawned > 0 {
+            self.telemetry.lock().pool_spawns += spawned;
+        }
+        archs
+            .iter()
+            .zip(outcomes)
+            .map(|(arch, outcome)| match outcome {
+                Ok((predictions, stats)) => self.price_measured(arch, &predictions, &stats),
+                Err(_) => self.price_failure(),
+            })
+            .collect()
+    }
 }
 
 impl<F: Fn(&Architecture) -> f64 + Sync> Drop for EngineBackend<F> {
-    /// Shuts the persistent pool (if any) down cleanly — `Shutdown`
-    /// control frame, then join — so no serve thread outlives the backend.
+    /// Shuts the persistent pool and the fleet (if any) down cleanly —
+    /// `Shutdown` control frames, then join — so no serve thread outlives
+    /// the backend.
     fn drop(&mut self) {
         if let Some(pool) = self.pool.lock().take() {
             let _ = pool.shutdown();
+        }
+        if let Some(fleet) = self.fleet.lock().take() {
+            let _ = fleet.shutdown();
         }
     }
 }
 
 impl<F: Fn(&Architecture) -> f64 + Sync> Evaluator for EngineBackend<F> {
     fn evaluate(&self, arch: &Architecture) -> Metrics {
-        match self.run_candidate(arch) {
-            Ok((predictions, stats)) => {
-                // Everything priced or accumulated below comes from the
-                // measured window only — warmup frames primed the pipeline
-                // and must not leak into latency, traffic, energy or the
-                // live hit rate.
-                let cut = self.warmup.min(stats.frames);
-                let measured = &stats.frame_latencies_s[cut..];
-                let mean_s = if measured.is_empty() {
-                    stats.wall_s / stats.frames.max(1) as f64
-                } else {
-                    measured.iter().sum::<f64>() / measured.len() as f64
-                };
-                let measured_bytes: usize = stats.frame_bytes[cut..].iter().sum();
-                let bytes_per_frame = measured_bytes / (stats.frames - cut).max(1);
-                let energy_j = self.sys.device.run_power_w * mean_s
-                    + self.sys.power.device_comm_energy(&self.sys.link, bytes_per_frame, 0);
-                let correct = predictions
-                    .iter()
-                    .enumerate()
-                    .skip(cut)
-                    .filter(|&(i, &p)| p == self.samples[i % self.samples.len()].label)
-                    .count();
-                let mut t = self.telemetry.lock();
-                t.latencies_s.extend_from_slice(measured);
-                t.bytes_sent += measured_bytes as u64;
-                t.deployments += 1;
-                t.stream_correct += correct as u64;
-                Metrics { accuracy: (self.accuracy_fn)(arch), latency_s: mean_s, energy_j }
-            }
-            Err(_) => {
-                self.telemetry.lock().errors += 1;
-                Metrics {
-                    accuracy: 0.0,
-                    latency_s: DEPLOY_FAILURE_SENTINEL,
-                    energy_j: DEPLOY_FAILURE_SENTINEL,
-                }
-            }
+        if self.fleet_spec.is_some() {
+            // Single lookups (the ladder's honest-winner escalations) ride
+            // the fleet too, as a batch of one, so every deployment shares
+            // the warm pools and the per-pool accounting.
+            return self
+                .run_fleet_batch(std::slice::from_ref(arch))
+                .pop()
+                .expect("one metric for one candidate");
         }
+        match self.run_candidate(arch) {
+            Ok((predictions, stats)) => self.price_measured(arch, &predictions, &stats),
+            Err(_) => self.price_failure(),
+        }
+    }
+
+    fn evaluate_batch(&self, archs: &[Architecture]) -> Vec<Metrics> {
+        if self.fleet_spec.is_some() {
+            return self.run_fleet_batch(archs);
+        }
+        archs.iter().map(|a| self.evaluate(a)).collect()
+    }
+
+    /// In fleet mode the fleet is its own parallel driver: the batch is
+    /// handed over whole so sharding follows pools, not `workers` — the
+    /// session's worker count must never change how a Measured batch is
+    /// cut. Without a fleet the default contiguous-shard driver applies.
+    fn evaluate_batch_workers(&self, archs: &[Architecture], workers: usize) -> Vec<Metrics> {
+        if self.fleet_spec.is_some() {
+            return self.run_fleet_batch(archs);
+        }
+        shard_batch(self, archs, workers)
     }
 }
 

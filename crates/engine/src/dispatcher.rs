@@ -24,6 +24,46 @@ use gcode_nn::seq::WeightBank;
 
 /// A zoo bound to the shared weights that can serve it, optionally wired
 /// to a live deployed pair.
+///
+/// # Example
+///
+/// ```
+/// use gcode_core::arch::Architecture;
+/// use gcode_core::op::{Op, SampleFn};
+/// use gcode_core::search::ScoredArch;
+/// use gcode_core::zoo::{ArchitectureZoo, RuntimeConstraint};
+/// use gcode_engine::EngineDispatcher;
+/// use gcode_nn::seq::WeightBank;
+/// use gcode_nn::{agg::AggMode, pool::PoolMode};
+///
+/// let entry = |latency_s: f64, accuracy: f64, split: bool| {
+///     let mut ops = vec![Op::Sample(SampleFn::Knn { k: 8 }), Op::Aggregate(AggMode::Max)];
+///     if split {
+///         ops.push(Op::Communicate);
+///     }
+///     ops.push(Op::GlobalPool(PoolMode::Max));
+///     ScoredArch {
+///         arch: Architecture::new(ops),
+///         score: accuracy,
+///         accuracy,
+///         latency_s,
+///         energy_j: latency_s,
+///     }
+/// };
+/// // An accurate co-inference design and a fast on-device fallback.
+/// let zoo = ArchitectureZoo::new(vec![
+///     entry(0.080, 0.93, true),
+///     entry(0.010, 0.90, false),
+/// ]);
+/// let dispatcher = EngineDispatcher::new(zoo, WeightBank::new(4, 1));
+///
+/// // Relaxed constraints pick the accurate offloaded design…
+/// let (plan, _) = dispatcher.dispatch(RuntimeConstraint::none()).expect("entry");
+/// assert!(plan.offloaded);
+/// // …a tight latency budget switches to the on-device one.
+/// let (plan, _) = dispatcher.dispatch(RuntimeConstraint::latency(0.020)).expect("entry");
+/// assert!(!plan.offloaded);
+/// ```
 pub struct EngineDispatcher {
     zoo: ArchitectureZoo,
     bank: WeightBank,

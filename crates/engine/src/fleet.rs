@@ -1,0 +1,561 @@
+//! Fleet-sharded Measured tier: N warm [`EdgePool`]s serving one
+//! escalated candidate batch.
+//!
+//! One persistent pool (PR 4) removed the per-candidate deploy cost; the
+//! fleet removes the *serialization*: an [`EdgeFleet`] owns one pool per
+//! configured endpoint ([`FleetSpec`] — spawned loopback edges, remote
+//! pre-deployed edges, or a mix), shards each batch across them in input
+//! order, and runs the shards concurrently on scoped threads. A pool per
+//! machine is the natural sharding unit for distributed measurement: every
+//! endpoint serves the same per-slot-seeded supernet `WeightBank`, so a
+//! candidate's predictions are bit-identical no matter which pool measures
+//! it — and therefore bit-identical for *any* pool count, mirroring the
+//! worker-sharding guarantee of the parallel batch driver.
+//!
+//! Failures stay contained per pool: a pool that dies mid-shard is
+//! discarded, its unmeasured candidates are re-sharded across the
+//! surviving pools (the dead endpoint is respawned/reconnected for the
+//! next round, or excluded if that fails), and the whole episode is
+//! counted in [`FleetStats`]. A candidate only gets the deploy-failure
+//! sentinel when it has killed pools repeatedly or no pool is left.
+//!
+//! # Example
+//!
+//! ```
+//! use gcode_core::arch::Architecture;
+//! use gcode_core::op::{Op, SampleFn};
+//! use gcode_engine::{EdgeFleet, ExecutionPlan, FleetSpec};
+//! use gcode_graph::datasets::PointCloudDataset;
+//! use gcode_nn::{agg::AggMode, pool::PoolMode};
+//!
+//! let ds = PointCloudDataset::generate(3, 12, 2, 7);
+//! let arch = Architecture::new(vec![
+//!     Op::Sample(SampleFn::Knn { k: 4 }),
+//!     Op::Aggregate(AggMode::Max),
+//!     Op::Communicate,
+//!     Op::GlobalPool(PoolMode::Max),
+//! ]);
+//! let plans = vec![ExecutionPlan::from_architecture(&arch); 4];
+//!
+//! // Two loopback pools; the four candidates shard 2 + 2 across them.
+//! let spec: FleetSpec = "loopback:2".parse().expect("spec");
+//! let mut fleet = EdgeFleet::new(spec, 2, 0x5EED, 0xE261);
+//! let outcomes = fleet.run_batch(&plans, ds.samples());
+//! assert!(outcomes.iter().all(Result::is_ok));
+//! assert_eq!(fleet.stats().deployments(), 4);
+//! fleet.shutdown().expect("all pools joined");
+//! ```
+
+use crate::plan::ExecutionPlan;
+use crate::pool::EdgePool;
+use crate::runtime::EngineStats;
+use crate::EngineError;
+use gcode_core::eval::{FleetStats, PoolStats};
+use gcode_graph::datasets::Sample;
+use gcode_nn::seq::WeightBank;
+use std::net::SocketAddr;
+use std::str::FromStr;
+
+/// Where one fleet pool points: a loopback [`crate::EdgeServer`] the pool
+/// spawns (and respawns) itself, or an already-running remote edge it
+/// connects to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEndpoint {
+    /// Spawn a private loopback edge for this pool.
+    Loopback,
+    /// Connect to a persistent edge at this address (one session per
+    /// pool — the remote edge is shared, never shut down by the fleet).
+    Remote(SocketAddr),
+}
+
+impl std::fmt::Display for FleetEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetEndpoint::Loopback => write!(f, "loopback"),
+            FleetEndpoint::Remote(addr) => write!(f, "{addr}"),
+        }
+    }
+}
+
+/// Parsed fleet endpoint spec: which pools an [`EdgeFleet`] should run.
+///
+/// The textual form (CLI `--fleet`) is a comma-separated list where each
+/// entry is either `loopback[:N]` (N spawned loopback pools, default 1) or
+/// a remote `host:port` socket address:
+///
+/// ```
+/// use gcode_engine::FleetSpec;
+///
+/// let local: FleetSpec = "loopback:4".parse().expect("4 loopback pools");
+/// assert_eq!(local.len(), 4);
+///
+/// let lan: FleetSpec = "10.0.0.7:9000,10.0.0.8:9000".parse().expect("2 remotes");
+/// assert_eq!(lan.len(), 2);
+///
+/// let mixed: FleetSpec = "loopback:2,10.0.0.7:9000".parse().expect("mixed");
+/// assert_eq!(mixed.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    endpoints: Vec<FleetEndpoint>,
+}
+
+/// Upper bound on pools per fleet — a typo like `loopback:4000` should be
+/// a parse error, not four thousand spawned edge processes.
+pub const MAX_FLEET_POOLS: usize = 64;
+
+impl FleetSpec {
+    /// A fleet of `n` spawned loopback pools (1 ≤ n ≤ [`MAX_FLEET_POOLS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is 0 or above the cap.
+    pub fn loopback(n: usize) -> Self {
+        assert!((1..=MAX_FLEET_POOLS).contains(&n), "fleet size {n} outside 1..={MAX_FLEET_POOLS}");
+        Self { endpoints: vec![FleetEndpoint::Loopback; n] }
+    }
+
+    /// The configured endpoints, in spec order.
+    pub fn endpoints(&self) -> &[FleetEndpoint] {
+        &self.endpoints
+    }
+
+    /// Number of pools this spec configures.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the spec is empty (never true for a parsed spec).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+}
+
+impl FromStr for FleetSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut endpoints = Vec::new();
+        for entry in s.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err("empty fleet entry (stray comma?)".to_string());
+            }
+            if entry == "loopback" {
+                endpoints.push(FleetEndpoint::Loopback);
+            } else if let Some(count) = entry.strip_prefix("loopback:") {
+                let n: usize =
+                    count.parse().map_err(|_| format!("bad loopback pool count `{count}`"))?;
+                if n == 0 {
+                    return Err("loopback pool count must be at least 1".to_string());
+                }
+                endpoints.extend((0..n).map(|_| FleetEndpoint::Loopback));
+            } else {
+                let addr: SocketAddr = entry.parse().map_err(|_| {
+                    format!("`{entry}` is neither `loopback[:N]` nor a host:port address")
+                })?;
+                endpoints.push(FleetEndpoint::Remote(addr));
+            }
+        }
+        if endpoints.is_empty() {
+            return Err("a fleet needs at least one endpoint".to_string());
+        }
+        if endpoints.len() > MAX_FLEET_POOLS {
+            return Err(format!(
+                "{} endpoints exceed the {MAX_FLEET_POOLS}-pool fleet cap",
+                endpoints.len()
+            ));
+        }
+        Ok(Self { endpoints })
+    }
+}
+
+/// One fleet slot: a (possibly currently dead) pool plus its counters.
+struct PoolSlot {
+    endpoint: FleetEndpoint,
+    pool: Option<EdgePool>,
+    stats: PoolStats,
+    /// Spawn/connect attempts that failed since the last success; at
+    /// [`MAX_SPAWN_FAILURES`] the slot is excluded for good.
+    spawn_failures_in_a_row: u8,
+}
+
+/// Consecutive failed spawn/connect attempts after which a slot is
+/// permanently excluded — an endpoint that is down stays down for the
+/// batch timescale, and probing it once per round would pay the connect
+/// timeout on every single batch of the search.
+const MAX_SPAWN_FAILURES: u8 = 3;
+
+/// Upper bound on one remote connect attempt. A LAN edge answers in
+/// milliseconds; a powered-off machine whose SYNs vanish would otherwise
+/// hold the coordinating thread for the OS default (minutes).
+const REMOTE_CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
+/// Retries per candidate before it is written off as a deploy failure: a
+/// candidate whose plan keeps killing pools must not chew through the
+/// whole fleet.
+const MAX_TRIES_PER_CANDIDATE: u8 = 2;
+
+/// One candidate's measurement through the fleet: predictions plus the
+/// run's [`EngineStats`], or the error that exhausted its retries.
+pub type FleetOutcome = Result<(Vec<usize>, EngineStats), EngineError>;
+
+/// N warm [`EdgePool`]s sharding candidate batches — the Measured tier at
+/// fleet scale.
+///
+/// Construction does no I/O: each slot's pool is spawned (loopback) or
+/// connected (remote) lazily on the first [`run_batch`](Self::run_batch)
+/// and respawned after a contained failure. All pools share one seeding
+/// scheme, so *which* pool measures a candidate never changes its
+/// predictions — see the module docs for the determinism argument.
+pub struct EdgeFleet {
+    slots: Vec<PoolSlot>,
+    num_classes: usize,
+    bank_seed: u64,
+    run_seed: u64,
+    uplink_mbps: Option<f64>,
+    resharded: u64,
+}
+
+impl EdgeFleet {
+    /// Creates a fleet over `spec`'s endpoints. `num_classes` and
+    /// `bank_seed` define the shared [`WeightBank`] every pool serves;
+    /// `run_seed` seeds each deployment's RNG streams exactly as a single
+    /// [`EdgePool`] would be seeded.
+    pub fn new(spec: FleetSpec, num_classes: usize, bank_seed: u64, run_seed: u64) -> Self {
+        let slots = spec
+            .endpoints
+            .into_iter()
+            .map(|endpoint| PoolSlot {
+                endpoint,
+                pool: None,
+                stats: PoolStats { endpoint: endpoint.to_string(), ..PoolStats::default() },
+                spawn_failures_in_a_row: 0,
+            })
+            .collect();
+        Self { slots, num_classes, bank_seed, run_seed, uplink_mbps: None, resharded: 0 }
+    }
+
+    /// Caps every pool's device uplink at `mbps`.
+    #[must_use]
+    pub fn with_uplink_mbps(mut self, mbps: f64) -> Self {
+        self.uplink_mbps = Some(mbps);
+        self
+    }
+
+    /// Number of configured pool slots (live or not).
+    pub fn pools(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total pool spawns/connects so far, across every slot.
+    pub fn spawns(&self) -> u64 {
+        self.slots.iter().map(|s| s.stats.spawns).sum()
+    }
+
+    /// Per-pool counters plus the fleet-level recovery tally.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            pools: self.slots.iter().map(|s| s.stats.clone()).collect(),
+            resharded: self.resharded,
+        }
+    }
+
+    /// Spawns/connects the slot's pool if it is currently dead. A failed
+    /// attempt counts against the slot and leaves it excluded for the
+    /// round; [`MAX_SPAWN_FAILURES`] failures in a row exclude it for
+    /// good (a later successful respawn after a mid-shard death resets
+    /// the count). Remote connects are bounded by
+    /// [`REMOTE_CONNECT_TIMEOUT`] so a dead machine cannot stall the
+    /// fleet.
+    fn ensure_pool(&mut self, idx: usize) {
+        if self.slots[idx].pool.is_some()
+            || self.slots[idx].spawn_failures_in_a_row >= MAX_SPAWN_FAILURES
+        {
+            return;
+        }
+        let bank = WeightBank::new(self.num_classes, self.bank_seed);
+        let spawned = match self.slots[idx].endpoint {
+            FleetEndpoint::Loopback => EdgePool::spawn(bank, self.run_seed),
+            FleetEndpoint::Remote(addr) => {
+                EdgePool::connect_with_timeout(addr, bank, self.run_seed, REMOTE_CONNECT_TIMEOUT)
+            }
+        };
+        let slot = &mut self.slots[idx];
+        match spawned {
+            Ok(mut pool) => {
+                if let Some(mbps) = self.uplink_mbps {
+                    pool = pool.with_uplink_mbps(mbps);
+                }
+                slot.stats.spawns += 1;
+                slot.spawn_failures_in_a_row = 0;
+                slot.pool = Some(pool);
+            }
+            Err(_) => {
+                slot.stats.failures += 1;
+                slot.spawn_failures_in_a_row += 1;
+            }
+        }
+    }
+
+    /// Deploys and measures every plan in `plans`, streaming `stream`
+    /// through each, sharded across the fleet's live pools.
+    ///
+    /// Sharding is deterministic: the batch is cut into contiguous chunks
+    /// by input order, one per live pool, and results are merged back at
+    /// their input positions — so predictions are bit-identical for any
+    /// pool count. Shards run concurrently on scoped threads. When a pool
+    /// dies mid-shard its unfinished candidates are re-sharded across the
+    /// pools that survive (the dead slot respawns for the next round);
+    /// only a candidate that repeatedly kills pools, or outlives every
+    /// pool, comes back as an `Err`.
+    pub fn run_batch(&mut self, plans: &[ExecutionPlan], stream: &[Sample]) -> Vec<FleetOutcome> {
+        let mut out: Vec<Option<FleetOutcome>> = (0..plans.len()).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..plans.len()).collect();
+        let mut tries = vec![0u8; plans.len()];
+        let mut round = 0usize;
+        while !pending.is_empty() {
+            // Spawn/connect only as many pools as there are candidates to
+            // shard: a batch of one on a 64-slot fleet must not stand up
+            // 64 edges. Dead slots are ensured lazily in spec order as
+            // later (or wider) rounds need them.
+            let mut live = self.slots.iter().filter(|s| s.pool.is_some()).count();
+            for idx in 0..self.slots.len() {
+                if live >= pending.len() {
+                    break;
+                }
+                if self.slots[idx].pool.is_none() {
+                    self.ensure_pool(idx);
+                    live += usize::from(self.slots[idx].pool.is_some());
+                }
+            }
+            // Take at most one live pool per shard out of its slot; pools
+            // beyond the candidate count stay put.
+            let live_idx: Vec<usize> =
+                (0..self.slots.len()).filter(|&i| self.slots[i].pool.is_some()).collect();
+            let used = live_idx.len().min(pending.len());
+            if used == 0 {
+                break; // every endpoint is dead and would not come back
+            }
+            if round > 0 {
+                self.resharded += pending.len() as u64;
+            }
+            round += 1;
+            // ceil-length chunks can come out one short of `used` (5
+            // candidates over 4 pools is 3 chunks of ≤2), so cut the
+            // shards first and only take that many pools out of their
+            // slots — an unused pool must stay warm where it is.
+            let shard_len = pending.len().div_ceil(used);
+            let shards: Vec<&[usize]> = pending.chunks(shard_len).collect();
+            let taken: Vec<(usize, EdgePool)> = live_idx[..shards.len()]
+                .iter()
+                .map(|&i| (i, self.slots[i].pool.take().expect("live slot")))
+                .collect();
+            type ShardOutcome = (usize, Option<EdgePool>, Vec<(usize, FleetOutcome)>);
+            let finished: Vec<ShardOutcome> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = taken
+                    .into_iter()
+                    .zip(shards)
+                    .map(|((slot, mut pool), shard)| {
+                        s.spawn(move |_| {
+                            let mut outcomes = Vec::with_capacity(shard.len());
+                            let mut dead = false;
+                            for &cand in shard {
+                                let run = pool
+                                    .deploy(plans[cand].clone())
+                                    .and_then(|()| pool.run(stream));
+                                dead = run.is_err();
+                                outcomes.push((cand, run));
+                                if dead {
+                                    // The rest of the shard is re-sharded;
+                                    // the broken pool is dropped here.
+                                    break;
+                                }
+                            }
+                            (slot, (!dead).then_some(pool), outcomes)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("fleet shard worker")).collect()
+            })
+            .expect("fleet scope");
+            for (slot, pool, outcomes) in finished {
+                match pool {
+                    Some(pool) => self.slots[slot].pool = Some(pool),
+                    None => self.slots[slot].stats.failures += 1,
+                }
+                for (cand, run) in outcomes {
+                    match run {
+                        Ok(ok) => {
+                            self.slots[slot].stats.deployments += 1;
+                            out[cand] = Some(Ok(ok));
+                        }
+                        Err(e) => {
+                            tries[cand] += 1;
+                            if tries[cand] >= MAX_TRIES_PER_CANDIDATE {
+                                out[cand] = Some(Err(e));
+                            }
+                        }
+                    }
+                }
+            }
+            pending.retain(|&c| out[c].is_none()); // stays input-ordered
+        }
+        out.into_iter()
+            .map(|o| {
+                o.unwrap_or_else(|| {
+                    Err(EngineError::Protocol(
+                        "no live fleet pool left to measure this candidate".to_string(),
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// Shuts every live pool down cleanly (loopback pools join their serve
+    /// threads; remote sessions just disconnect — a shared edge is never
+    /// terminated).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pool-teardown error after attempting all pools.
+    pub fn shutdown(self) -> Result<(), EngineError> {
+        let mut first_err = None;
+        for slot in self.slots {
+            if let Some(pool) = slot.pool {
+                if let Err(e) = pool.shutdown() {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcode_core::arch::Architecture;
+    use gcode_core::op::{Op, SampleFn};
+    use gcode_graph::datasets::PointCloudDataset;
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    fn split_plan(dim: usize) -> ExecutionPlan {
+        ExecutionPlan::from_architecture(&Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 4 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim },
+            Op::Communicate,
+            Op::GlobalPool(PoolMode::Max),
+        ]))
+    }
+
+    #[test]
+    fn spec_parses_loopback_counts_remotes_and_mixes() {
+        assert_eq!("loopback".parse::<FleetSpec>().expect("one").len(), 1);
+        assert_eq!("loopback:4".parse::<FleetSpec>().expect("four").len(), 4);
+        let lan: FleetSpec = "127.0.0.1:9000, 127.0.0.1:9001".parse().expect("two remotes");
+        assert_eq!(lan.len(), 2);
+        assert!(matches!(lan.endpoints()[0], FleetEndpoint::Remote(_)));
+        let mixed: FleetSpec = "loopback:2,127.0.0.1:9000".parse().expect("mixed");
+        assert_eq!(mixed.len(), 3);
+        assert_eq!(mixed.endpoints()[2].to_string(), "127.0.0.1:9000");
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!("".parse::<FleetSpec>().is_err());
+        assert!("loopback:0".parse::<FleetSpec>().is_err());
+        assert!("loopback:many".parse::<FleetSpec>().is_err());
+        assert!("loopback:4,".parse::<FleetSpec>().is_err(), "stray comma");
+        assert!("example.com".parse::<FleetSpec>().is_err(), "no port, no DNS");
+        assert!(format!("loopback:{}", MAX_FLEET_POOLS + 1).parse::<FleetSpec>().is_err());
+    }
+
+    #[test]
+    fn batch_shards_across_loopback_pools_and_merges_in_input_order() {
+        let ds = PointCloudDataset::generate(3, 12, 2, 7);
+        let plans: Vec<ExecutionPlan> = [8, 16, 8, 32, 16].iter().map(|&d| split_plan(d)).collect();
+        let mut fleet = EdgeFleet::new(FleetSpec::loopback(2), 2, 9, 5);
+        let outcomes = fleet.run_batch(&plans, ds.samples());
+        assert_eq!(outcomes.len(), 5);
+        for o in &outcomes {
+            let (preds, stats) = o.as_ref().expect("healthy pools measure everything");
+            assert_eq!(preds.len(), 3);
+            assert!(stats.bytes_sent > 0, "split plans ship traffic");
+        }
+        let stats = fleet.stats();
+        assert_eq!(stats.pools.len(), 2);
+        assert_eq!(stats.deployments(), 5);
+        assert_eq!(stats.failures(), 0);
+        assert_eq!(stats.spawns(), 2, "one spawn per slot");
+        assert_eq!(stats.resharded, 0);
+        fleet.shutdown().expect("clean fleet shutdown");
+    }
+
+    #[test]
+    fn small_batches_leave_excess_pools_unspawned_threads_unleaked() {
+        let ds = PointCloudDataset::generate(2, 10, 2, 3);
+        let mut fleet = EdgeFleet::new(FleetSpec::loopback(4), 2, 9, 5);
+        let outcomes = fleet.run_batch(&[split_plan(8)], ds.samples());
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].is_ok());
+        assert_eq!(fleet.stats().deployments(), 1);
+        // A batch of one needs one pool: the other three slots never
+        // spawn an edge (a ladder's honest-winner single escalations
+        // must not stand up the whole fleet).
+        assert_eq!(fleet.spawns(), 1, "excess slots stay unspawned");
+        // A wider batch later widens the fleet on demand.
+        let plans: Vec<ExecutionPlan> = [8, 16, 24].iter().map(|&d| split_plan(d)).collect();
+        let outcomes = fleet.run_batch(&plans, ds.samples());
+        assert!(outcomes.iter().all(Result::is_ok));
+        assert_eq!(fleet.spawns(), 3, "two more slots spawned for a 3-candidate batch");
+        fleet.shutdown().expect("all pools join");
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let ds = PointCloudDataset::generate(2, 10, 2, 3);
+        let mut fleet = EdgeFleet::new(FleetSpec::loopback(2), 2, 9, 5);
+        assert!(fleet.run_batch(&[], ds.samples()).is_empty());
+        assert_eq!(fleet.spawns(), 0, "no batch, no spawns");
+        fleet.shutdown().expect("nothing to tear down");
+    }
+
+    #[test]
+    fn repeatedly_dead_endpoint_stops_being_probed() {
+        let ds = PointCloudDataset::generate(2, 10, 2, 3);
+        // Port 1 on loopback: nothing listens, every connect fails fast.
+        let spec: FleetSpec = "127.0.0.1:1".parse().expect("spec");
+        let mut fleet = EdgeFleet::new(spec, 2, 9, 5);
+        for _ in 0..5 {
+            let outcomes = fleet.run_batch(&[split_plan(8)], ds.samples());
+            assert!(outcomes[0].is_err(), "no pool can ever measure");
+        }
+        assert_eq!(
+            fleet.stats().failures(),
+            u64::from(MAX_SPAWN_FAILURES),
+            "a dead endpoint is excluded for good instead of re-probed every batch"
+        );
+        fleet.shutdown().expect("nothing to tear down");
+    }
+
+    #[test]
+    fn unreachable_remote_endpoint_is_excluded_not_fatal() {
+        let ds = PointCloudDataset::generate(2, 10, 2, 3);
+        // Port 1 on loopback: nothing listens, connect fails fast.
+        let spec: FleetSpec = "loopback:1,127.0.0.1:1".parse().expect("spec");
+        let mut fleet = EdgeFleet::new(spec, 2, 9, 5);
+        let outcomes = fleet.run_batch(&[split_plan(8), split_plan(16)], ds.samples());
+        assert!(outcomes.iter().all(Result::is_ok), "the loopback pool covers the batch");
+        let stats = fleet.stats();
+        assert_eq!(stats.pools[0].deployments, 2);
+        assert!(stats.pools[1].failures >= 1, "dead remote counted");
+        assert_eq!(stats.pools[1].spawns, 0);
+        fleet.shutdown().expect("clean");
+    }
+}

@@ -25,7 +25,13 @@
 //! [`DeviceClient`] — serves an arbitrary sequence of plans over one warm
 //! TCP connection and the shared supernet `WeightBank`, with no process
 //! spawn or weight transfer per switch (the paper's Sec. 3.6 runtime
-//! dispatcher, applied to search-time measurement as well).
+//! dispatcher, applied to search-time measurement as well). At fleet
+//! scale, an [`EdgeFleet`] shards each escalated batch across N such
+//! pools — spawned loopback edges or remote machines, per a parsed
+//! [`FleetSpec`] — concurrently and deterministically.
+//!
+//! The byte-level wire format and the full pool/fleet lifecycle are
+//! documented in `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! # Example
 //!
@@ -49,16 +55,18 @@
 //! # Ok::<(), gcode_engine::EngineError>(())
 //! ```
 
-mod backend;
-mod dispatcher;
-mod plan;
-mod pool;
-mod proto;
-mod runtime;
-mod throttle;
+pub mod backend;
+pub mod dispatcher;
+pub mod fleet;
+pub mod plan;
+pub mod pool;
+pub mod proto;
+pub mod runtime;
+pub mod throttle;
 
 pub use backend::{EngineBackend, DEPLOY_FAILURE_SENTINEL};
 pub use dispatcher::EngineDispatcher;
+pub use fleet::{EdgeFleet, FleetEndpoint, FleetOutcome, FleetSpec, MAX_FLEET_POOLS};
 pub use plan::ExecutionPlan;
 pub use pool::EdgePool;
 pub use proto::{

@@ -26,6 +26,36 @@ use std::net::SocketAddr;
 /// holds at most one spawned [`EdgeServer`] for its whole lifetime —
 /// `gcode_core` search sessions route every `Measured`-tier candidate
 /// through it when `EngineBackend::with_persistent_edge` is set.
+///
+/// # Example
+///
+/// ```
+/// use gcode_core::arch::Architecture;
+/// use gcode_core::op::{Op, SampleFn};
+/// use gcode_engine::{EdgePool, ExecutionPlan};
+/// use gcode_graph::datasets::PointCloudDataset;
+/// use gcode_nn::seq::WeightBank;
+/// use gcode_nn::{agg::AggMode, pool::PoolMode};
+///
+/// let ds = PointCloudDataset::generate(2, 12, 2, 3);
+/// let mut pool = EdgePool::spawn(WeightBank::new(2, 7), 9)?;
+/// for dim in [8, 16] {
+///     let arch = Architecture::new(vec![
+///         Op::Sample(SampleFn::Knn { k: 4 }),
+///         Op::Aggregate(AggMode::Max),
+///         Op::Combine { dim },
+///         Op::Communicate,
+///         Op::GlobalPool(PoolMode::Max),
+///     ]);
+///     pool.deploy(ExecutionPlan::from_architecture(&arch))?; // one SwapPlan frame
+///     let (predictions, stats) = pool.run(ds.samples())?;
+///     assert_eq!(predictions.len(), 2);
+///     assert!(stats.bytes_sent > 0);
+/// }
+/// assert_eq!(pool.swaps(), 2);
+/// pool.shutdown()?; // serve thread joined — nothing leaks
+/// # Ok::<(), gcode_engine::EngineError>(())
+/// ```
 pub struct EdgePool {
     // Field order is drop order: the client's socket must close first so
     // a persistent edge falls back to `accept`, where the server's drop
@@ -70,6 +100,25 @@ impl EdgePool {
     /// Returns connection errors.
     pub fn connect(addr: SocketAddr, bank: WeightBank, seed: u64) -> Result<Self, EngineError> {
         let client = DeviceClient::connect(addr, placeholder_plan(), bank, seed)?.with_session();
+        Ok(Self { server: None, client, swaps: 0 })
+    }
+
+    /// [`connect`](Self::connect) with an upper bound on how long the TCP
+    /// connect may block — a machine that silently drops SYNs then costs
+    /// `timeout`, not the OS default of minutes. Used by `EdgeFleet` so a
+    /// dead endpoint cannot stall the coordinating thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors, including the timeout.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        bank: WeightBank,
+        seed: u64,
+        timeout: std::time::Duration,
+    ) -> Result<Self, EngineError> {
+        let client = DeviceClient::connect_timeout(addr, placeholder_plan(), bank, seed, timeout)?
+            .with_session();
         Ok(Self { server: None, client, swaps: 0 })
     }
 

@@ -9,6 +9,28 @@
 //! paper's Sec. 3.6 dispatcher: all zoo members share one supernet
 //! `WeightBank`, so a swap ships a plan, never weights), and a bodiless
 //! `Shutdown` control frame that ends the serve loop cleanly.
+//!
+//! The byte-level layout of every frame kind is diagrammed in
+//! `docs/ARCHITECTURE.md`; this module is the implementation.
+//!
+//! # Example
+//!
+//! Every frame round-trips through the message layer:
+//!
+//! ```
+//! use gcode_engine::proto::{
+//!     decode_frame, encode_frame, read_message, write_message, Frame,
+//! };
+//!
+//! let mut wire = Vec::new();
+//! write_message(&mut wire, &encode_frame(&Frame::Shutdown)).expect("write");
+//!
+//! let mut cursor = std::io::Cursor::new(wire);
+//! let body = read_message(&mut cursor).expect("read").expect("one message");
+//! assert_eq!(decode_frame(&body).expect("decode"), Frame::Shutdown);
+//! // The stream ends at a message boundary: a clean EOF, not an error.
+//! assert!(read_message(&mut cursor).expect("eof").is_none());
+//! ```
 
 use crate::plan::ExecutionPlan;
 use crate::EngineError;

@@ -329,6 +329,27 @@ impl DeviceClient {
         Ok(Self { plan, bank, stream: Some(stream), seed, uplink_mbps: None, session: false })
     }
 
+    /// Like [`connect`](Self::connect), but gives up after `timeout`
+    /// instead of blocking for the OS default (minutes against a host
+    /// that silently drops SYNs) — for callers that must stay responsive
+    /// when an edge machine is down, like a fleet reconnecting a dead
+    /// endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors, including the timeout.
+    pub fn connect_timeout(
+        addr: SocketAddr,
+        plan: ExecutionPlan,
+        bank: WeightBank,
+        seed: u64,
+        timeout: std::time::Duration,
+    ) -> Result<Self, EngineError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { plan, bank, stream: Some(stream), seed, uplink_mbps: None, session: false })
+    }
+
     /// Caps the uplink at `mbps`, emulating the paper's router bandwidth
     /// limits (10/40 Mbps) on loopback. The pacing runs inside the sender
     /// thread so device compute stays unthrottled. The throttle is rebuilt

@@ -6,6 +6,7 @@
 //!                [--backend analytic|sim|cascade|engine|ladder]
 //!                [--tiers analytic,predictor,sim,engine] [--adaptive-keep true]
 //!                [--frames N] [--warmup N] [--persistent-edge true]
+//!                [--fleet loopback:N|host:port,host:port,…]
 //!                [--workers N] [--keep-frac F[,F…]]
 //!                [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
 //!                [--seed N] [--zoo-out FILE] [--report-out FILE]
@@ -19,7 +20,10 @@
 //! device/edge pair and prices it on the live pipelined runtime.
 //! `--persistent-edge` keeps *one* warm pair for the whole search and
 //! hot-swaps each candidate's plan onto it (`SwapPlan` control frames)
-//! instead of spawning/tearing down a pair per candidate.
+//! instead of spawning/tearing down a pair per candidate. `--fleet`
+//! shards the Measured tier across N warm pairs (spawned loopback pools
+//! and/or remote pre-deployed edges), sharding each escalated batch in
+//! input order — predictions stay bit-identical for any pool count.
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
 use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
@@ -29,7 +33,7 @@ use gcode::core::search::{RandomSearch, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
-use gcode::engine::EngineBackend;
+use gcode::engine::{EngineBackend, FleetSpec};
 use gcode::graph::datasets::{PointCloudDataset, TextGraphDataset};
 use gcode::hardware::{Link, Processor, SystemConfig};
 use gcode::sim::{simulate, SimBackend, SimConfig};
@@ -72,6 +76,7 @@ const USAGE: &str = "usage:
                  [--backend <analytic|sim|cascade|engine|ladder>]
                  [--tiers <analytic,predictor,sim,engine>] [--adaptive-keep <true|false>]
                  [--frames N] [--warmup N] [--persistent-edge <true|false>]
+                 [--fleet <loopback:N|host:port,...>]
                  [--workers N] [--keep-frac F[,F...]]
                  [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
                  [--seed N] [--zoo-out FILE] [--report-out FILE]
@@ -189,7 +194,17 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         opts.get("persistent-edge").map(String::as_str),
         Some("true") | Some("1") | Some("yes")
     );
+    let fleet_spec = opts
+        .get("fleet")
+        .map(|s| s.parse::<FleetSpec>())
+        .transpose()
+        .map_err(|e| format!("--fleet: {e}"))?;
     let tiers = tier_names(opts)?;
+    if fleet_spec.is_some() && !tiers.iter().any(|t| t == "engine") {
+        return Err("--fleet shards the Measured tier; add the `engine` tier (e.g. \
+                    --backend engine or --tiers analytic,sim,engine)"
+            .into());
+    }
     let space = DesignSpace::paper(profile);
 
     // Build each requested tier once; all share the calibrated surrogate
@@ -273,6 +288,9 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
                     .with_uplink_mbps(mbps);
                 if persistent_edge {
                     engine = engine.with_persistent_edge();
+                }
+                if let Some(spec) = &fleet_spec {
+                    engine = engine.with_fleet(spec.clone());
                 }
                 engine_backend = Some(engine);
             }
@@ -358,7 +376,22 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
             profile.bytes_sent,
             profile.errors
         );
-        if persistent_edge {
+        if let Some(fleet) = e.fleet_stats() {
+            println!(
+                "edge fleet: {} pools, {} deployments, {} pool failures, {} candidates re-sharded",
+                fleet.pools.len(),
+                fleet.deployments(),
+                fleet.failures(),
+                fleet.resharded
+            );
+            for p in &fleet.pools {
+                println!(
+                    "  {:<22} {:>4} deployments  {} spawns  {} failures",
+                    p.endpoint, p.deployments, p.spawns, p.failures
+                );
+            }
+            report = report.with_fleet(fleet);
+        } else if persistent_edge {
             println!(
                 "persistent edge pool: {} deployments hot-swapped over {} spawned pair{}",
                 e.deployments(),

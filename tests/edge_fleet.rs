@@ -1,0 +1,174 @@
+//! Fleet-sharded Measured tier integration: sharding a candidate batch
+//! across N warm pools must be invisible in the results — bit-identical
+//! predictions for any pool count, matching a fresh spawn per candidate —
+//! and a pool dying mid-batch must cost throughput, never candidates.
+
+mod common;
+
+use common::{spawn_flaky_then_healthy_edge, spawn_scripted_edge};
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend};
+use gcode::core::eval::{Evaluator, Objective, SearchSession};
+use gcode::core::op::{Op, SampleFn};
+use gcode::core::search::{RandomSearch, SearchConfig};
+use gcode::core::space::DesignSpace;
+use gcode::engine::{
+    DeviceClient, EdgeFleet, EdgeServer, EngineBackend, ExecutionPlan, FleetSpec,
+    DEPLOY_FAILURE_SENTINEL,
+};
+use gcode::graph::datasets::{PointCloudDataset, Sample};
+use gcode::hardware::SystemConfig;
+use gcode::nn::agg::AggMode;
+use gcode::nn::pool::PoolMode;
+use gcode::nn::seq::WeightBank;
+use gcode::sim::{SimBackend, SimConfig};
+
+const BANK_SEED: u64 = 71;
+const RUN_SEED: u64 = 23;
+
+fn accuracy(a: &Architecture) -> f64 {
+    0.8 + 0.001 * a.len() as f64
+}
+
+fn split_arch(dim: usize) -> Architecture {
+    Architecture::new(vec![
+        Op::Sample(SampleFn::Knn { k: 4 }),
+        Op::Aggregate(AggMode::Max),
+        Op::Combine { dim },
+        Op::Communicate,
+        Op::GlobalPool(PoolMode::Max),
+    ])
+}
+
+/// Fresh-spawn reference deployment: one `EdgeServer`/`DeviceClient` pair
+/// for this candidate only.
+fn run_fresh(arch: &Architecture, classes: usize, samples: &[Sample]) -> Vec<usize> {
+    let plan = ExecutionPlan::from_architecture(arch);
+    let bank = WeightBank::new(classes, BANK_SEED);
+    let server = EdgeServer::spawn(plan.clone(), bank.clone(), RUN_SEED).expect("spawn");
+    let mut client = DeviceClient::connect(server.addr(), plan, bank, RUN_SEED).expect("connect");
+    let (preds, _) = client.run_pipelined(samples).expect("run");
+    drop(client);
+    server.join().expect("clean");
+    preds
+}
+
+#[test]
+fn fleet_predictions_are_bit_identical_for_any_pool_count() {
+    let ds = PointCloudDataset::generate(5, 18, 4, 13);
+    let archs: Vec<Architecture> =
+        [8, 16, 32, 8, 24, 16, 48].iter().map(|&d| split_arch(d)).collect();
+    let plans: Vec<ExecutionPlan> = archs.iter().map(ExecutionPlan::from_architecture).collect();
+    let fresh: Vec<Vec<usize>> = archs.iter().map(|a| run_fresh(a, 4, ds.samples())).collect();
+
+    for pools in [1usize, 2, 3, 4] {
+        let mut fleet = EdgeFleet::new(FleetSpec::loopback(pools), 4, BANK_SEED, RUN_SEED);
+        let outcomes = fleet.run_batch(&plans, ds.samples());
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let (preds, _) = outcome.as_ref().expect("healthy fleet measures everything");
+            assert_eq!(
+                preds, &fresh[i],
+                "candidate {i} on a {pools}-pool fleet must reproduce fresh-spawn predictions"
+            );
+        }
+        let stats = fleet.stats();
+        assert_eq!(stats.deployments(), plans.len() as u64);
+        assert_eq!(stats.failures(), 0);
+        assert_eq!(stats.resharded, 0);
+        fleet.shutdown().expect("every pool joins cleanly");
+    }
+}
+
+#[test]
+fn fleet_ladder_search_shards_the_measured_tier_and_matches_fresh_winner() {
+    let profile = WorkloadProfile::modelnet40_mini(24, 4);
+    let space = DesignSpace::paper(profile);
+    let objective = Objective::new(0.25, 1.0, 5.0);
+    let cfg = SearchConfig { iterations: 48, seed: 9, ..SearchConfig::default() };
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let ds = PointCloudDataset::generate(6, 24, 4, 13);
+
+    let cheap = AnalyticBackend { profile, sys: sys.clone(), accuracy_fn: accuracy };
+    let mid = SimBackend {
+        profile,
+        sys: sys.clone(),
+        sim: SimConfig::single_frame(),
+        accuracy_fn: accuracy,
+    };
+    let engine = EngineBackend::new(ds.samples().to_vec(), 4, sys, accuracy)
+        .with_frames(3)
+        .with_warmup(1)
+        .with_bank_seed(BANK_SEED)
+        .with_fleet(FleetSpec::loopback(2));
+    let ladder = CascadeBackend::ladder(vec![&cheap, &mid, &engine], objective)
+        .with_keep_fracs(&[0.25, 0.5]);
+    let mut session = SearchSession::new(&space, &ladder).with_objective(objective);
+    let result = session.run(&RandomSearch::new(cfg));
+    let best = result.best().expect("winner").clone();
+
+    assert!(engine.deployments() > 1, "several candidates escalated to the engine tier");
+    assert_eq!(engine.measured_profile().errors, 0);
+    assert!(best.latency_s < DEPLOY_FAILURE_SENTINEL);
+    let fleet_stats = engine.fleet_stats().expect("fleet configured");
+    assert_eq!(fleet_stats.pools.len(), 2);
+    assert_eq!(fleet_stats.spawns(), 2, "both pools spawned exactly once");
+    assert_eq!(fleet_stats.failures(), 0);
+    assert_eq!(
+        fleet_stats.deployments(),
+        engine.deployments(),
+        "fleet accounting matches backend accounting"
+    );
+    drop(ladder);
+    drop(engine); // clean fleet shutdown on drop must not hang
+
+    // The winner's deployed predictions are bit-for-bit identical whether
+    // it is measured on a fresh pair or on fleets of any width.
+    let fresh = run_fresh(&best.arch, 4, ds.samples());
+    let winner_plan = vec![ExecutionPlan::from_architecture(&best.arch)];
+    for pools in [1usize, 3] {
+        let mut fleet = EdgeFleet::new(FleetSpec::loopback(pools), 4, BANK_SEED, RUN_SEED);
+        let (preds, _) = fleet.run_batch(&winner_plan, ds.samples())[0]
+            .as_ref()
+            .expect("winner deploys")
+            .clone();
+        assert_eq!(preds, fresh, "{pools}-pool fleet must reproduce the fresh-spawn winner");
+        fleet.shutdown().expect("clean");
+    }
+}
+
+#[test]
+fn fleet_survives_a_pool_death_mid_batch_by_resharding_its_candidates() {
+    let ds = PointCloudDataset::generate(4, 16, 2, 5);
+    // Two "remote machines": the first one's initial connection dies
+    // mid-stream, the second serves faithfully from the start.
+    let flaky = spawn_flaky_then_healthy_edge(2, BANK_SEED);
+    let healthy = spawn_scripted_edge(2, BANK_SEED, 0);
+    let spec: FleetSpec = format!("{flaky},{healthy}").parse().expect("remote fleet spec");
+    let backend = EngineBackend::new(
+        ds.samples().to_vec(),
+        2,
+        SystemConfig::tx2_to_i7(40.0),
+        accuracy as fn(&Architecture) -> f64,
+    )
+    .with_frames(2)
+    .with_bank_seed(BANK_SEED)
+    .with_fleet(spec);
+
+    let archs: Vec<Architecture> = [8, 16, 24, 32].iter().map(|&d| split_arch(d)).collect();
+    let metrics = backend.evaluate_batch(&archs);
+
+    // Every candidate ends up measured: the dead pool's share is
+    // re-sharded onto the survivor while the dead endpoint reconnects.
+    for (i, m) in metrics.iter().enumerate() {
+        assert!(
+            m.latency_s > 0.0 && m.latency_s < DEPLOY_FAILURE_SENTINEL,
+            "candidate {i} must be measured despite the pool death"
+        );
+    }
+    assert_eq!(backend.measured_profile().errors, 0, "recovery is not an error");
+    assert_eq!(backend.deployments(), 4);
+    let stats = backend.fleet_stats().expect("fleet configured");
+    assert!(stats.failures() >= 1, "the dead pool is counted");
+    assert!(stats.resharded >= 1, "its candidates were re-sharded");
+    assert_eq!(stats.deployments(), 4);
+}

@@ -4,6 +4,9 @@
 //! frames out of telemetry exactly, and leave no threads behind on
 //! shutdown.
 
+mod common;
+
+use common::spawn_flaky_then_healthy_edge;
 use gcode::core::arch::{Architecture, WorkloadProfile};
 use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend};
 use gcode::core::eval::{Evaluator, Objective, SearchSession};
@@ -11,19 +14,14 @@ use gcode::core::op::{Op, SampleFn};
 use gcode::core::search::{RandomSearch, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::engine::{
-    decode_frame, encode_frame, read_message, write_message, DeviceClient, EdgePool, EdgeServer,
-    EngineBackend, ExecutionPlan, Frame, WireState, DEPLOY_FAILURE_SENTINEL,
+    DeviceClient, EdgePool, EdgeServer, EngineBackend, ExecutionPlan, DEPLOY_FAILURE_SENTINEL,
 };
 use gcode::graph::datasets::{PointCloudDataset, Sample};
 use gcode::hardware::SystemConfig;
 use gcode::nn::agg::AggMode;
 use gcode::nn::pool::PoolMode;
-use gcode::nn::seq::{classify, forward_features, GraphInput, WeightBank};
+use gcode::nn::seq::WeightBank;
 use gcode::sim::{SimBackend, SimConfig};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener};
 
 const BANK_SEED: u64 = 71;
 const RUN_SEED: u64 = 23;
@@ -104,59 +102,6 @@ fn pooled_ladder_search_spawns_one_edge_and_matches_fresh_predictions() {
     pool.shutdown().expect("no threads left behind");
 }
 
-/// A scripted remote edge: the first connection dies mid-stream (deploy
-/// failure), every later connection serves the real persistent protocol —
-/// built from the same public wire/nn primitives the engine uses. Like a
-/// real long-lived LAN edge it keeps accepting new sessions after a
-/// client disconnects, until a `Shutdown` frame arrives.
-fn spawn_flaky_then_healthy_edge(classes: usize) -> SocketAddr {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-    let addr = listener.local_addr().expect("addr");
-    std::thread::spawn(move || {
-        // Connection 1: read a few bytes, then drop mid-message.
-        if let Ok((mut stream, _)) = listener.accept() {
-            let mut header = [0u8; 4];
-            let _ = stream.read_exact(&mut header);
-        }
-        // Later connections: a faithful persistent serve loop per session.
-        let mut bank = WeightBank::new(classes, BANK_SEED);
-        loop {
-            let Ok((stream, _)) = listener.accept() else { return };
-            stream.set_nodelay(true).expect("nodelay");
-            let mut rng = ChaCha8Rng::seed_from_u64(0);
-            let mut reader = stream.try_clone().expect("clone");
-            let mut writer = stream;
-            let mut plan: Option<ExecutionPlan> = None;
-            while let Ok(Some(body)) = read_message(&mut reader) {
-                match decode_frame(&body).expect("well-formed frame") {
-                    Frame::Shutdown => return,
-                    Frame::SwapPlan(next) => plan = Some(*next),
-                    Frame::State(state) => {
-                        let p = plan.as_ref().expect("plan deployed before data");
-                        let (h, _) = forward_features(
-                            &p.edge_specs,
-                            p.edge_slot_offset,
-                            GraphInput { features: &state.features, graph: state.graph.as_ref() },
-                            &mut bank,
-                            &mut rng,
-                        );
-                        let logits = classify(&h, &mut bank);
-                        let reply = WireState {
-                            frame_id: state.frame_id,
-                            features: logits,
-                            graph: None,
-                            label: state.label,
-                        };
-                        write_message(&mut writer, &encode_frame(&Frame::State(reply)))
-                            .expect("reply");
-                    }
-                }
-            }
-        }
-    });
-    addr
-}
-
 #[test]
 fn pool_survives_a_deploy_failure_mid_search_and_measures_the_next_candidate() {
     let ds = PointCloudDataset::generate(4, 16, 2, 5);
@@ -168,7 +113,7 @@ fn pool_survives_a_deploy_failure_mid_search_and_measures_the_next_candidate() {
     )
     .with_frames(2)
     .with_bank_seed(BANK_SEED)
-    .with_remote_edge(spawn_flaky_then_healthy_edge(2))
+    .with_remote_edge(spawn_flaky_then_healthy_edge(2, BANK_SEED))
     .with_persistent_edge();
 
     // Candidate 1: the pool's first connection dies mid-stream — a
@@ -189,7 +134,7 @@ fn pool_survives_a_deploy_failure_mid_search_and_measures_the_next_candidate() {
     // A connect-mode pool does not own the shared edge: dropping this
     // backend must close its session without shutting the edge down, so a
     // later backend can still measure against it.
-    let addr = spawn_flaky_then_healthy_edge(2);
+    let addr = spawn_flaky_then_healthy_edge(2, BANK_SEED);
     let first = EngineBackend::new(
         ds.samples().to_vec(),
         2,
