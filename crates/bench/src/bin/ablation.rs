@@ -15,12 +15,15 @@
 //!    warm pair hot-swapping plans (`SwapPlan` control frames) — deploy
 //!    throughput and p50 per mode;
 //! 8. edge fleet: Measured-tier deploy throughput as the same candidate
-//!    batch is sharded across 1 → 2 → 4 loopback pools (`EdgeFleet`).
+//!    batch is sharded across 1 → 2 → 4 loopback pools (`EdgeFleet`);
+//! 9. search-as-a-service: an in-process `gcode-serve` daemon at 1, 8 and
+//!    64 concurrent tenant sessions over one warm fleet — sustained
+//!    sessions/sec and p99 time-to-winner per concurrency level.
 //!
-//! Sections 5–8 also emit a `BENCH_eval.json` perf artifact (wall time,
+//! Sections 5–9 also emit a `BENCH_eval.json` perf artifact (wall time,
 //! evaluation counts and deploy throughput per mode; schema documented in
 //! `docs/BENCHMARKS.md`) next to the working directory. `--quick` runs
-//! only sections 7–8 at tiny frame counts and still emits the artifact —
+//! only sections 7–9 at tiny frame counts and still emits the artifact —
 //! the CI smoke path.
 
 use gcode_baselines::models;
@@ -30,20 +33,21 @@ use gcode_bench::{
 use gcode_core::arch::{Architecture, WorkloadProfile};
 use gcode_core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
 use gcode_core::eval::FleetStats;
-use gcode_core::eval::{Evaluator, SearchSession};
+use gcode_core::eval::{Evaluator, Objective, SearchSession};
 use gcode_core::op::{Op, SampleFn};
 use gcode_core::pareto::{front_of, hypervolume};
-use gcode_core::search::RandomSearch;
+use gcode_core::search::{RandomSearch, SearchConfig};
 use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_core::zoo::ArchitectureZoo;
-use gcode_engine::{EngineBackend, FleetSpec};
+use gcode_engine::{EngineBackend, FleetSpec, SessionSpec, SessionTask};
 use gcode_graph::datasets::PointCloudDataset;
 use gcode_hardware::SystemConfig;
 use gcode_nn::agg::AggMode;
 use gcode_nn::pool::PoolMode;
+use gcode_server::{SearchServer, ServerClient, ServerConfig};
 use gcode_sim::{simulate, simulate_adaptive, BandwidthTrace, SimBackend, SimConfig};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Deploy-throughput numbers from the pooled-vs-spawn ablation.
 struct PoolAblation {
@@ -169,6 +173,98 @@ fn print_fleet_ablation(fleet: &FleetAblation) {
     }
 }
 
+/// One concurrency level of the search-service ablation.
+struct ServePoint {
+    concurrency: usize,
+    wall_s: f64,
+    p99_time_to_winner_s: f64,
+}
+
+/// Section 9 results: the same session spec served at 1/8/64 tenants.
+struct ServeAblation {
+    points: Vec<ServePoint>,
+}
+
+/// Section 9 body: one resident `gcode-serve` daemon (two warm loopback
+/// pools, eight concurrent session slots), hammered by 1, 8 and 64
+/// client threads. Each tenant runs the full protocol — handshake, open
+/// with backoff on `Busy`, submit, poll to the winner — and times its
+/// own submit→result span; the batch wall clock gives sustained
+/// sessions/sec. Seeds differ per tenant so no result is memoized into
+/// another's, and the daemon stays up across all three levels: the
+/// 8- and 64-tenant points run over pools the 1-tenant point warmed.
+fn run_serve_ablation(iterations: usize, zoo_size: usize) -> ServeAblation {
+    let server = SearchServer::start(
+        "127.0.0.1:0",
+        ServerConfig::new(FleetSpec::loopback(2)).with_max_sessions(8),
+    )
+    .expect("serve ablation server starts");
+    let addr = server.addr();
+    let points = [1usize, 8, 64]
+        .iter()
+        .map(|&concurrency| {
+            let start = Instant::now();
+            let mut times: Vec<f64> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..concurrency)
+                    .map(|i| {
+                        scope.spawn(move || {
+                            let spec = SessionSpec {
+                                config: SearchConfig {
+                                    iterations,
+                                    zoo_size,
+                                    seed: 1000 * concurrency as u64 + i as u64,
+                                    ..SearchConfig::default()
+                                },
+                                objective: Objective::new(0.25, 1.0, 5.0),
+                                task: if i % 2 == 0 {
+                                    SessionTask::ModelNet40
+                                } else {
+                                    SessionTask::Mr
+                                },
+                                measure_zoo: true,
+                            };
+                            let mut client = ServerClient::connect(addr).expect("handshake");
+                            let id = client
+                                .open_session_retry(&spec, 10_000, Duration::from_millis(5))
+                                .expect("admitted");
+                            let submitted = Instant::now();
+                            client.submit(id).expect("submitted");
+                            let outcome = client
+                                .wait_result(id, Duration::from_millis(5), Duration::from_secs(300))
+                                .expect("winner");
+                            client.close_session(id).expect("closed");
+                            assert!(outcome.report.measured.is_some(), "zoo was measured");
+                            submitted.elapsed().as_secs_f64()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("tenant thread")).collect()
+            });
+            let wall_s = start.elapsed().as_secs_f64();
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let p99 = times[((times.len() as f64 * 0.99).ceil() as usize - 1).min(times.len() - 1)];
+            ServePoint { concurrency, wall_s, p99_time_to_winner_s: p99 }
+        })
+        .collect();
+    server.shutdown().expect("serve ablation server shuts down");
+    ServeAblation { points }
+}
+
+fn print_serve_ablation(serve: &ServeAblation) {
+    header("Ablation 9 — search-as-a-service: concurrent tenants on one warm fleet");
+    for p in &serve.points {
+        println!(
+            "  {:2} tenant{}: {:2} sessions in {:7.1} ms  ({:6.2} sessions/s)  p99 time-to-winner {:7.1} ms",
+            p.concurrency,
+            if p.concurrency == 1 { " " } else { "s" },
+            p.concurrency,
+            p.wall_s * 1e3,
+            p.concurrency as f64 / p.wall_s.max(1e-12),
+            p.p99_time_to_winner_s * 1e3
+        );
+    }
+}
+
 fn print_pool_ablation(pool: &PoolAblation) {
     header("Ablation 7 — persistent edge pool: per-candidate spawn vs hot-swap");
     println!(
@@ -195,13 +291,15 @@ fn print_pool_ablation(pool: &PoolAblation) {
 
 fn main() {
     if std::env::args().any(|a| a == "--quick") {
-        // CI smoke: sections 7–8 only, tiny frame counts, artifact still
+        // CI smoke: sections 7–9 only, tiny budgets, artifact still
         // emitted (search-mode fields zeroed).
         let pool = run_pool_ablation(4, 2, 1);
         print_pool_ablation(&pool);
         let fleet = run_fleet_ablation(4, 2, 1);
         print_fleet_ablation(&fleet);
-        write_bench(&EvalBench::with_pool(&pool).with_fleet(&fleet));
+        let serve = run_serve_ablation(6, 2);
+        print_serve_ablation(&serve);
+        write_bench(&EvalBench::with_pool(&pool).with_fleet(&fleet).with_serve(&serve));
         return;
     }
     let profile = WorkloadProfile::modelnet40();
@@ -436,6 +534,10 @@ fn main() {
     let fleet = run_fleet_ablation(16, 16, 2);
     print_fleet_ablation(&fleet);
 
+    // ——— 9. Search-as-a-service ———
+    let serve = run_serve_ablation(24, 2);
+    print_serve_ablation(&serve);
+
     // ——— Perf artifact ———
     let tiers = ladder.tier_stats();
     write_bench(&EvalBench {
@@ -449,7 +551,7 @@ fn main() {
         measured_p50_s: measured.p50_s,
         measured_p95_s: measured.p95_s,
         measured_p99_s: measured.p99_s,
-        ..EvalBench::with_pool(&pool).with_fleet(&fleet)
+        ..EvalBench::with_pool(&pool).with_fleet(&fleet).with_serve(&serve)
     });
 }
 
@@ -486,6 +588,10 @@ struct EvalBench {
     fleet_deploys_per_s_4: f64,
     fleet_speedup_4v1: f64,
     fleet_pool_failures: u64,
+    serve_sessions_per_s: f64,
+    serve_p99_time_to_winner_s_1: f64,
+    serve_p99_time_to_winner_s_8: f64,
+    serve_p99_time_to_winner_s_64: f64,
 }
 
 impl EvalBench {
@@ -516,6 +622,24 @@ impl EvalBench {
         }
         self.fleet_speedup_4v1 = self.fleet_deploys_per_s_4 / self.fleet_deploys_per_s_1.max(1e-12);
         self.fleet_pool_failures = fleet.points.iter().map(|p| p.stats.failures()).sum();
+        self
+    }
+
+    /// Folds the section-9 serve numbers in: sustained throughput at the
+    /// widest concurrency, p99 time-to-winner per level.
+    fn with_serve(mut self, serve: &ServeAblation) -> Self {
+        for p in &serve.points {
+            let per_s = p.concurrency as f64 / p.wall_s.max(1e-12);
+            match p.concurrency {
+                1 => self.serve_p99_time_to_winner_s_1 = p.p99_time_to_winner_s,
+                8 => self.serve_p99_time_to_winner_s_8 = p.p99_time_to_winner_s,
+                64 => {
+                    self.serve_p99_time_to_winner_s_64 = p.p99_time_to_winner_s;
+                    self.serve_sessions_per_s = per_s;
+                }
+                other => unreachable!("unexpected serve concurrency {other}"),
+            }
+        }
         self
     }
 }

@@ -43,7 +43,7 @@ impl Default for SearchConfig {
 }
 
 /// A fully evaluated candidate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScoredArch {
     /// The architecture.
     pub arch: Architecture,
@@ -58,7 +58,7 @@ pub struct ScoredArch {
 }
 
 /// Outcome of a search run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchResult {
     /// Top candidates by score, best first — the architecture-zoo payload.
     pub zoo: Vec<ScoredArch>,

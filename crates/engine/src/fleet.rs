@@ -98,11 +98,18 @@ impl std::fmt::Display for FleetEndpoint {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetSpec {
     endpoints: Vec<FleetEndpoint>,
+    connect_timeout: std::time::Duration,
 }
 
 /// Upper bound on pools per fleet — a typo like `loopback:4000` should be
 /// a parse error, not four thousand spawned edge processes.
 pub const MAX_FLEET_POOLS: usize = 64;
+
+/// Default upper bound on one remote connect attempt. A LAN edge answers
+/// in milliseconds; a powered-off machine whose SYNs vanish would
+/// otherwise hold the coordinating thread for the OS default (minutes).
+/// Override per spec with [`FleetSpec::with_connect_timeout`].
+pub const DEFAULT_REMOTE_CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 
 impl FleetSpec {
     /// A fleet of `n` spawned loopback pools (1 ≤ n ≤ [`MAX_FLEET_POOLS`]).
@@ -112,7 +119,10 @@ impl FleetSpec {
     /// Panics when `n` is 0 or above the cap.
     pub fn loopback(n: usize) -> Self {
         assert!((1..=MAX_FLEET_POOLS).contains(&n), "fleet size {n} outside 1..={MAX_FLEET_POOLS}");
-        Self { endpoints: vec![FleetEndpoint::Loopback; n] }
+        Self {
+            endpoints: vec![FleetEndpoint::Loopback; n],
+            connect_timeout: DEFAULT_REMOTE_CONNECT_TIMEOUT,
+        }
     }
 
     /// The configured endpoints, in spec order.
@@ -128,6 +138,20 @@ impl FleetSpec {
     /// Whether the spec is empty (never true for a parsed spec).
     pub fn is_empty(&self) -> bool {
         self.endpoints.is_empty()
+    }
+
+    /// Caps each remote connect/reconnect attempt at `timeout` instead of
+    /// [`DEFAULT_REMOTE_CONNECT_TIMEOUT`] (loopback pools spawn locally
+    /// and never consult it).
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// The per-attempt remote connect timeout this spec configures.
+    pub fn connect_timeout(&self) -> std::time::Duration {
+        self.connect_timeout
     }
 }
 
@@ -166,7 +190,7 @@ impl FromStr for FleetSpec {
                 endpoints.len()
             ));
         }
-        Ok(Self { endpoints })
+        Ok(Self { endpoints, connect_timeout: DEFAULT_REMOTE_CONNECT_TIMEOUT })
     }
 }
 
@@ -185,11 +209,6 @@ struct PoolSlot {
 /// batch timescale, and probing it once per round would pay the connect
 /// timeout on every single batch of the search.
 const MAX_SPAWN_FAILURES: u8 = 3;
-
-/// Upper bound on one remote connect attempt. A LAN edge answers in
-/// milliseconds; a powered-off machine whose SYNs vanish would otherwise
-/// hold the coordinating thread for the OS default (minutes).
-const REMOTE_CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 
 /// Retries per candidate before it is written off as a deploy failure: a
 /// candidate whose plan keeps killing pools must not chew through the
@@ -214,6 +233,7 @@ pub struct EdgeFleet {
     bank_seed: u64,
     run_seed: u64,
     uplink_mbps: Option<f64>,
+    connect_timeout: std::time::Duration,
     resharded: u64,
 }
 
@@ -223,6 +243,7 @@ impl EdgeFleet {
     /// `run_seed` seeds each deployment's RNG streams exactly as a single
     /// [`EdgePool`] would be seeded.
     pub fn new(spec: FleetSpec, num_classes: usize, bank_seed: u64, run_seed: u64) -> Self {
+        let connect_timeout = spec.connect_timeout;
         let slots = spec
             .endpoints
             .into_iter()
@@ -233,7 +254,15 @@ impl EdgeFleet {
                 spawn_failures_in_a_row: 0,
             })
             .collect();
-        Self { slots, num_classes, bank_seed, run_seed, uplink_mbps: None, resharded: 0 }
+        Self {
+            slots,
+            num_classes,
+            bank_seed,
+            run_seed,
+            uplink_mbps: None,
+            connect_timeout,
+            resharded: 0,
+        }
     }
 
     /// Caps every pool's device uplink at `mbps`.
@@ -265,8 +294,8 @@ impl EdgeFleet {
     /// attempt counts against the slot and leaves it excluded for the
     /// round; [`MAX_SPAWN_FAILURES`] failures in a row exclude it for
     /// good (a later successful respawn after a mid-shard death resets
-    /// the count). Remote connects are bounded by
-    /// [`REMOTE_CONNECT_TIMEOUT`] so a dead machine cannot stall the
+    /// the count). Remote connects are bounded by the spec's
+    /// [`FleetSpec::connect_timeout`] so a dead machine cannot stall the
     /// fleet.
     fn ensure_pool(&mut self, idx: usize) {
         if self.slots[idx].pool.is_some()
@@ -278,7 +307,7 @@ impl EdgeFleet {
         let spawned = match self.slots[idx].endpoint {
             FleetEndpoint::Loopback => EdgePool::spawn(bank, self.run_seed),
             FleetEndpoint::Remote(addr) => {
-                EdgePool::connect_with_timeout(addr, bank, self.run_seed, REMOTE_CONNECT_TIMEOUT)
+                EdgePool::connect_with_timeout(addr, bank, self.run_seed, self.connect_timeout)
             }
         };
         let slot = &mut self.slots[idx];
@@ -474,6 +503,26 @@ mod tests {
         assert!("loopback:4,".parse::<FleetSpec>().is_err(), "stray comma");
         assert!("example.com".parse::<FleetSpec>().is_err(), "no port, no DNS");
         assert!(format!("loopback:{}", MAX_FLEET_POOLS + 1).parse::<FleetSpec>().is_err());
+    }
+
+    #[test]
+    fn connect_timeout_defaults_and_overrides_plumb_into_the_fleet() {
+        let spec: FleetSpec = "loopback:2,127.0.0.1:9000".parse().expect("spec");
+        assert_eq!(spec.connect_timeout(), DEFAULT_REMOTE_CONNECT_TIMEOUT);
+        assert_eq!(FleetSpec::loopback(3).connect_timeout(), DEFAULT_REMOTE_CONNECT_TIMEOUT);
+
+        let quick = spec.clone().with_connect_timeout(std::time::Duration::from_millis(250));
+        assert_eq!(quick.connect_timeout(), std::time::Duration::from_millis(250));
+        assert_eq!(quick.endpoints(), spec.endpoints(), "timeout leaves endpoints alone");
+
+        let fleet = EdgeFleet::new(quick, 2, 9, 5);
+        assert_eq!(
+            fleet.connect_timeout,
+            std::time::Duration::from_millis(250),
+            "every remote connect attempt uses the spec's timeout"
+        );
+        let default_fleet = EdgeFleet::new(FleetSpec::loopback(1), 2, 9, 5);
+        assert_eq!(default_fleet.connect_timeout, DEFAULT_REMOTE_CONNECT_TIMEOUT);
     }
 
     #[test]

@@ -66,12 +66,16 @@ pub mod throttle;
 
 pub use backend::{EngineBackend, DEPLOY_FAILURE_SENTINEL};
 pub use dispatcher::EngineDispatcher;
-pub use fleet::{EdgeFleet, FleetEndpoint, FleetOutcome, FleetSpec, MAX_FLEET_POOLS};
+pub use fleet::{
+    EdgeFleet, FleetEndpoint, FleetOutcome, FleetSpec, DEFAULT_REMOTE_CONNECT_TIMEOUT,
+    MAX_FLEET_POOLS,
+};
 pub use plan::ExecutionPlan;
 pub use pool::EdgePool;
 pub use proto::{
-    decode_frame, decode_state, encode_frame, encode_state, read_message, write_message, Frame,
-    WireState,
+    decode_frame, decode_state, encode_frame, encode_state, frame_name, read_message,
+    write_message, Frame, SessionOutcome, SessionProgress, SessionSpec, SessionState, SessionTask,
+    WireState, PROTOCOL_VERSION,
 };
 pub use runtime::{DeviceClient, EdgeServer, EngineStats};
 pub use throttle::Throttle;

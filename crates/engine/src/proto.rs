@@ -1,14 +1,25 @@
 //! Wire protocol: length-prefixed frames — compressed intermediate states
-//! as data frames, plus the control frames that drive a persistent edge.
+//! as data frames, plus the control frames that drive a persistent edge
+//! and the session frames that drive the `gcode-serve` daemon.
 //!
-//! Layout of one message: `[u32 total_len][u8 kind][body…]`. Three kinds
-//! exist (see [`Frame`]): a `State` data frame whose body is the compressed
-//! feature tensor plus the optional CSR graph (the paper's Fig. 2 point:
-//! splits after KNN must also ship graph data), a `SwapPlan` control frame
-//! carrying the next [`ExecutionPlan`] a persistent edge should serve (the
-//! paper's Sec. 3.6 dispatcher: all zoo members share one supernet
-//! `WeightBank`, so a swap ships a plan, never weights), and a bodiless
-//! `Shutdown` control frame that ends the serve loop cleanly.
+//! Layout of one message: `[u32 total_len][u8 kind][body…]`. The original
+//! three kinds carry co-inference traffic (see [`Frame`]): a `State` data
+//! frame whose body is the compressed feature tensor plus the optional CSR
+//! graph (the paper's Fig. 2 point: splits after KNN must also ship graph
+//! data), a `SwapPlan` control frame carrying the next [`ExecutionPlan`] a
+//! persistent edge should serve (the paper's Sec. 3.6 dispatcher: all zoo
+//! members share one supernet `WeightBank`, so a swap ships a plan, never
+//! weights), and a bodiless `Shutdown` control frame that ends the serve
+//! loop cleanly.
+//!
+//! The remaining kinds are the search-as-a-service session protocol spoken
+//! by `gcode_server`: a [`Frame::Hello`] handshake carrying
+//! [`PROTOCOL_VERSION`] (the server answers a mismatch with a clean
+//! [`Frame::Error`], never a decode failure), [`Frame::OpenSession`] /
+//! [`Frame::SessionOpened`] / [`Frame::Busy`] for admission,
+//! [`Frame::Submit`] / [`Frame::Poll`] / [`Frame::Progress`] /
+//! [`Frame::Result`] for running a session to its winner, and
+//! [`Frame::CloseSession`] to drop the server-side state.
 //!
 //! The byte-level layout of every frame kind is diagrammed in
 //! `docs/ARCHITECTURE.md`; this module is the implementation.
@@ -35,8 +46,11 @@
 use crate::plan::ExecutionPlan;
 use crate::EngineError;
 use gcode_compress::{compress, compress_floats, decompress, decompress_floats};
+use gcode_core::eval::{Objective, SearchReport};
+use gcode_core::search::{SearchConfig, SearchResult};
 use gcode_graph::CsrGraph;
 use gcode_tensor::Matrix;
+use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// Intermediate execution state crossing the link.
@@ -165,9 +179,95 @@ pub fn decode_state(body: &[u8]) -> Result<WireState, EngineError> {
     Ok(WireState { frame_id, features, graph, label })
 }
 
-/// One framed message on the device↔edge link: either a data frame (an
-/// intermediate [`WireState`] crossing the split, in both directions) or
-/// one of the control frames that drive a persistent edge.
+/// Version byte carried by [`Frame::Hello`]. Bump on any wire-visible
+/// change to the session protocol; the server answers a mismatched client
+/// with a [`Frame::Error`] naming both versions instead of letting the
+/// peer trip over a frame it cannot decode.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Which built-in workload a served search session runs on. The server
+/// owns the dataset/space fixtures for each task so that every client
+/// submitting the same `(task, config, objective)` gets bit-identical
+/// results — a client never ships data, only the task name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionTask {
+    /// Point-cloud classification (ModelNet40-style mini workload).
+    ModelNet40,
+    /// Text-graph classification (MR-style mini workload).
+    Mr,
+}
+
+/// Everything a client ships to open a search session: the search
+/// hyper-parameters (including the per-session seed that keeps tenants
+/// bit-reproducible), the objective, the workload, and whether the zoo
+/// winners should be deployed and measured on the server's shared warm
+/// [`crate::EdgeFleet`] after the search converges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Search hyper-parameters; `config.seed` is the per-session seed.
+    pub config: SearchConfig,
+    /// Trade-off weight and performance constraints.
+    pub objective: Objective,
+    /// Which built-in workload fixture to search on.
+    pub task: SessionTask,
+    /// Deploy the finished zoo on the shared edge fleet and attach live
+    /// measurements (and the winner's predictions) to the result.
+    pub measure_zoo: bool,
+}
+
+/// Where a served session currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionState {
+    /// Admitted and waiting for a worker slot.
+    Queued,
+    /// A worker is running the search loop.
+    Searching,
+    /// The search converged; zoo winners are being deployed on the fleet.
+    Measuring,
+    /// Finished — the next [`Frame::Poll`] returns the [`Frame::Result`].
+    Done,
+    /// Failed server-side; the progress frame carries no further data.
+    Failed,
+}
+
+/// Reply to [`Frame::Submit`] and to [`Frame::Poll`] while a session is
+/// still running: where the session is and how far along.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionProgress {
+    /// Session this progress frame describes.
+    pub session: u64,
+    /// Lifecycle state.
+    pub state: SessionState,
+    /// Candidate evaluations performed so far.
+    pub evaluated: u64,
+    /// Stage-1 trial budget (`config.iterations`) for scale.
+    pub total: u64,
+    /// Best feasible score seen so far, if any.
+    pub best_score: Option<f64>,
+}
+
+/// Terminal payload of a served session: the session's [`SearchReport`]
+/// (with fleet measurements attached when `measure_zoo` was set), the full
+/// [`SearchResult`] zoo, and the winner's deployed per-frame predictions —
+/// the values asserted bit-identical to a standalone run in the session
+/// isolation tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// Session this outcome belongs to.
+    pub session: u64,
+    /// Evaluation-side report for the run.
+    pub report: SearchReport,
+    /// The zoo, history and constraint counters.
+    pub result: SearchResult,
+    /// The winner's class predictions from its fleet deployment (empty
+    /// when `measure_zoo` was false or no candidate was feasible).
+    pub winner_predictions: Vec<usize>,
+}
+
+/// One framed message on the wire: a data frame (an intermediate
+/// [`WireState`] crossing the split, in both directions), one of the
+/// control frames that drive a persistent edge, or one of the session
+/// frames that drive the `gcode-serve` daemon.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Intermediate execution state (device→edge) or result logits
@@ -179,12 +279,54 @@ pub enum Frame {
     /// claim.
     SwapPlan(Box<ExecutionPlan>),
     /// End the serve loop cleanly (the edge replies nothing and returns).
+    /// On a `gcode-serve` connection (after [`Frame::Hello`]) this is the
+    /// administrative shutdown request for the whole daemon.
     Shutdown,
+    /// Handshake: first frame in each direction of a session connection,
+    /// carrying the sender's [`PROTOCOL_VERSION`].
+    Hello(u8),
+    /// Clean, human-readable rejection (version mismatch, unknown
+    /// session, malformed request) — the server's alternative to
+    /// hanging up with nothing on the wire.
+    Error(String),
+    /// Client → server: open a session with this spec.
+    OpenSession(Box<SessionSpec>),
+    /// Server → client: the session was admitted under this id.
+    SessionOpened(u64),
+    /// Server → client: admission refused — `running` sessions hold the
+    /// worker slots and `queued` more already wait; back off and retry.
+    Busy {
+        /// Sessions currently holding worker slots.
+        running: u32,
+        /// Admitted sessions waiting for a slot.
+        queued: u32,
+    },
+    /// Client → server: start the identified session's search.
+    Submit(u64),
+    /// Client → server: ask how the identified session is doing.
+    Poll(u64),
+    /// Server → client: session still in flight (reply to `Submit`/`Poll`).
+    Progress(SessionProgress),
+    /// Server → client: the finished session's report, zoo and winner
+    /// predictions (reply to `Poll` once the session is done).
+    Result(Box<SessionOutcome>),
+    /// Client → server: drop the session's server-side state.
+    CloseSession(u64),
 }
 
 const KIND_STATE: u8 = 0;
 const KIND_SWAP_PLAN: u8 = 1;
 const KIND_SHUTDOWN: u8 = 2;
+const KIND_HELLO: u8 = 3;
+const KIND_ERROR: u8 = 4;
+const KIND_OPEN_SESSION: u8 = 5;
+const KIND_SESSION_OPENED: u8 = 6;
+const KIND_BUSY: u8 = 7;
+const KIND_SUBMIT: u8 = 8;
+const KIND_POLL: u8 = 9;
+const KIND_PROGRESS: u8 = 10;
+const KIND_RESULT: u8 = 11;
+const KIND_CLOSE_SESSION: u8 = 12;
 
 /// Encodes a frame into a message body (pass to [`write_message`]).
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
@@ -204,7 +346,79 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body
         }
         Frame::Shutdown => vec![KIND_SHUTDOWN],
+        Frame::Hello(version) => vec![KIND_HELLO, *version],
+        Frame::Error(msg) => {
+            let mut body = vec![KIND_ERROR];
+            body.extend_from_slice(msg.as_bytes());
+            body
+        }
+        Frame::OpenSession(spec) => encode_json_frame(KIND_OPEN_SESSION, spec.as_ref()),
+        Frame::SessionOpened(id) => encode_session_id(KIND_SESSION_OPENED, *id),
+        Frame::Busy { running, queued } => {
+            let mut body = vec![KIND_BUSY];
+            body.extend_from_slice(&running.to_le_bytes());
+            body.extend_from_slice(&queued.to_le_bytes());
+            body
+        }
+        Frame::Submit(id) => encode_session_id(KIND_SUBMIT, *id),
+        Frame::Poll(id) => encode_session_id(KIND_POLL, *id),
+        Frame::Progress(progress) => encode_json_frame(KIND_PROGRESS, progress),
+        Frame::Result(outcome) => encode_json_frame(KIND_RESULT, outcome.as_ref()),
+        Frame::CloseSession(id) => encode_session_id(KIND_CLOSE_SESSION, *id),
     }
+}
+
+/// Short human-readable name of a frame's kind, for error messages.
+pub fn frame_name(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::State(_) => "state",
+        Frame::SwapPlan(_) => "swap-plan",
+        Frame::Shutdown => "shutdown",
+        Frame::Hello(_) => "hello",
+        Frame::Error(_) => "error",
+        Frame::OpenSession(_) => "open-session",
+        Frame::SessionOpened(_) => "session-opened",
+        Frame::Busy { .. } => "busy",
+        Frame::Submit(_) => "submit",
+        Frame::Poll(_) => "poll",
+        Frame::Progress(_) => "progress",
+        Frame::Result(_) => "result",
+        Frame::CloseSession(_) => "close-session",
+    }
+}
+
+/// Kind byte plus a JSON body — the encoding shared by every structured
+/// session frame (and by `SwapPlan`).
+fn encode_json_frame<T: Serialize>(kind: u8, payload: &T) -> Vec<u8> {
+    let mut body = vec![kind];
+    body.extend_from_slice(
+        serde_json::to_string(payload).expect("session payloads always serialize").as_bytes(),
+    );
+    body
+}
+
+/// Kind byte plus a little-endian u64 session id.
+fn encode_session_id(kind: u8, id: u64) -> Vec<u8> {
+    let mut body = vec![kind];
+    body.extend_from_slice(&id.to_le_bytes());
+    body
+}
+
+/// Decodes the 8-byte session id carried by `SessionOpened`, `Submit`,
+/// `Poll` and `CloseSession` bodies.
+fn decode_session_id(rest: &[u8], kind: &str) -> Result<u64, EngineError> {
+    let bytes: [u8; 8] = rest
+        .try_into()
+        .map_err(|_| EngineError::Protocol(format!("{kind} frame body must be exactly 8 bytes")))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Decodes a JSON frame body into its payload type.
+fn decode_json_frame<T: Deserialize>(rest: &[u8], kind: &str) -> Result<T, EngineError> {
+    let text = std::str::from_utf8(rest)
+        .map_err(|_| EngineError::Protocol(format!("{kind} frame body is not UTF-8")))?;
+    serde_json::from_str(text)
+        .map_err(|e| EngineError::Protocol(format!("malformed {kind} frame body: {e}")))
 }
 
 /// Decodes a message body produced by [`encode_frame`].
@@ -236,6 +450,39 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, EngineError> {
                 )))
             }
         }
+        KIND_HELLO => match rest {
+            [version] => Ok(Frame::Hello(*version)),
+            _ => Err(EngineError::Protocol(format!(
+                "hello frame body must be exactly one version byte, got {}",
+                rest.len()
+            ))),
+        },
+        KIND_ERROR => {
+            let msg = std::str::from_utf8(rest)
+                .map_err(|_| EngineError::Protocol("error frame body is not UTF-8".to_string()))?;
+            Ok(Frame::Error(msg.to_string()))
+        }
+        KIND_OPEN_SESSION => {
+            Ok(Frame::OpenSession(Box::new(decode_json_frame(rest, "open-session")?)))
+        }
+        KIND_SESSION_OPENED => Ok(Frame::SessionOpened(decode_session_id(rest, "session-opened")?)),
+        KIND_BUSY => {
+            if rest.len() != 8 {
+                return Err(EngineError::Protocol(format!(
+                    "busy frame body must be exactly 8 bytes, got {}",
+                    rest.len()
+                )));
+            }
+            let mut pos = 0usize;
+            let running = read_u32(rest, &mut pos)?;
+            let queued = read_u32(rest, &mut pos)?;
+            Ok(Frame::Busy { running, queued })
+        }
+        KIND_SUBMIT => Ok(Frame::Submit(decode_session_id(rest, "submit")?)),
+        KIND_POLL => Ok(Frame::Poll(decode_session_id(rest, "poll")?)),
+        KIND_PROGRESS => Ok(Frame::Progress(decode_json_frame(rest, "progress")?)),
+        KIND_RESULT => Ok(Frame::Result(Box::new(decode_json_frame(rest, "result")?))),
+        KIND_CLOSE_SESSION => Ok(Frame::CloseSession(decode_session_id(rest, "close-session")?)),
         other => Err(EngineError::Protocol(format!("unknown frame kind {other}"))),
     }
 }
@@ -385,6 +632,78 @@ mod tests {
         // Truncating a state frame mid-body must fail, never mis-decode.
         let body = encode_frame(&Frame::State(state_with_graph()));
         assert!(decode_frame(&body[..body.len() - 3]).is_err());
+    }
+
+    fn session_spec() -> SessionSpec {
+        SessionSpec {
+            config: SearchConfig { iterations: 24, seed: 11, ..SearchConfig::default() },
+            objective: Objective::new(0.25, 1.0, 5.0),
+            task: SessionTask::ModelNet40,
+            measure_zoo: true,
+        }
+    }
+
+    #[test]
+    fn session_frames_round_trip() {
+        let frames = [
+            Frame::Hello(PROTOCOL_VERSION),
+            Frame::Error("protocol version mismatch".to_string()),
+            Frame::OpenSession(Box::new(session_spec())),
+            Frame::SessionOpened(7),
+            Frame::Busy { running: 4, queued: 9 },
+            Frame::Submit(7),
+            Frame::Poll(u64::MAX),
+            Frame::Progress(SessionProgress {
+                session: 7,
+                state: SessionState::Searching,
+                evaluated: 12,
+                total: 24,
+                best_score: Some(0.5),
+            }),
+            Frame::CloseSession(7),
+        ];
+        for frame in frames {
+            assert_eq!(decode_frame(&encode_frame(&frame)).expect("round trip"), frame);
+        }
+    }
+
+    #[test]
+    fn result_frame_round_trips_with_report_and_zoo() {
+        let report = SearchReport {
+            backend: "serve".to_string(),
+            workers: 1,
+            cache: Default::default(),
+            unique_architectures: 3,
+            zoo_len: 1,
+            best_score: Some(0.25),
+            constraint_misses: 2,
+            trials: 24,
+            measured: None,
+            fleet: None,
+        };
+        let outcome = SessionOutcome {
+            session: 9,
+            report,
+            result: SearchResult {
+                zoo: vec![],
+                history: vec![0.1, 0.25],
+                constraint_misses: 2,
+                validity_draws: 5,
+            },
+            winner_predictions: vec![0, 3, 1],
+        };
+        let frame = Frame::Result(Box::new(outcome));
+        assert_eq!(decode_frame(&encode_frame(&frame)).expect("round trip"), frame);
+    }
+
+    #[test]
+    fn malformed_session_frames_rejected() {
+        assert!(decode_frame(&[KIND_HELLO]).is_err(), "hello needs its version byte");
+        assert!(decode_frame(&[KIND_HELLO, 1, 2]).is_err(), "hello with extra bytes");
+        assert!(decode_frame(&[KIND_SUBMIT, 1, 2, 3]).is_err(), "short session id");
+        assert!(decode_frame(&[KIND_BUSY, 0, 0]).is_err(), "short busy counters");
+        assert!(decode_frame(&[KIND_OPEN_SESSION, b'{']).is_err(), "truncated spec json");
+        assert!(decode_frame(&[KIND_RESULT, 0xFF]).is_err(), "non-UTF-8 result body");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Device client and edge server: the running halves of the engine.
 
 use crate::plan::ExecutionPlan;
-use crate::proto::{decode_frame, encode_frame, read_message, write_message, Frame, WireState};
+use crate::proto::{
+    decode_frame, encode_frame, frame_name, read_message, write_message, Frame, WireState,
+};
 use crate::EngineError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gcode_graph::datasets::Sample;
@@ -295,6 +297,15 @@ fn serve_frames(
                     label: state.label,
                 };
                 write_message(&mut writer, &encode_frame(&Frame::State(reply)))?;
+            }
+            // Session frames belong to the gcode-serve daemon, not a raw
+            // edge — rejecting them here keeps a client that dialed the
+            // wrong port from silently hanging.
+            other => {
+                return Err(EngineError::Protocol(format!(
+                    "edge serve loop cannot handle a {} frame",
+                    frame_name(&other)
+                )))
             }
         }
     }

@@ -1,0 +1,203 @@
+//! Typed client for the [`crate::SearchServer`] session protocol.
+//!
+//! One [`ServerClient`] wraps one TCP connection and performs the
+//! versioned `Hello` handshake at connect time; after that every method
+//! is a strict request/response pair, so a client can be driven from any
+//! thread that owns it. Backpressure is explicit: `OpenSession` may come
+//! back [`Admission::Busy`], and
+//! [`open_session_retry`](ServerClient::open_session_retry) wraps the
+//! standard retry-with-backoff loop around it.
+
+use crate::ServerError;
+use gcode_engine::{
+    decode_frame, encode_frame, frame_name, read_message, write_message, Frame, SessionOutcome,
+    SessionProgress, SessionSpec, PROTOCOL_VERSION,
+};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Server's answer to an `OpenSession`.
+#[derive(Debug)]
+pub enum Admission {
+    /// Admitted: the new session's id.
+    Opened(u64),
+    /// The admission window is full; retry after a backoff.
+    Busy {
+        /// Sessions currently occupying a worker.
+        running: u32,
+        /// Admitted sessions waiting for a worker.
+        queued: u32,
+    },
+}
+
+/// Server's answer to a `Poll`.
+#[derive(Debug)]
+pub enum PollReply {
+    /// Still running: lifecycle state and progress counters.
+    Progress(SessionProgress),
+    /// Finished: the full session outcome.
+    Done(Box<SessionOutcome>),
+}
+
+/// A connected, handshaken session-protocol client.
+pub struct ServerClient {
+    stream: TcpStream,
+}
+
+impl ServerClient {
+    /// Connects to a [`crate::SearchServer`] at `addr` and performs the
+    /// versioned handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Rejected`] when the server answers the handshake
+    /// with an `Error` frame (e.g. a protocol-version mismatch);
+    /// [`ServerError::Io`]/[`ServerError::Protocol`] on transport
+    /// failures.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Self { stream };
+        match client.call(&Frame::Hello(PROTOCOL_VERSION))? {
+            Frame::Hello(v) if v == PROTOCOL_VERSION => Ok(client),
+            Frame::Hello(v) => Err(ServerError::Protocol(format!(
+                "server answered the handshake with protocol v{v}, expected v{PROTOCOL_VERSION}"
+            ))),
+            Frame::Error(msg) => Err(ServerError::Rejected(msg)),
+            other => Err(ServerError::Protocol(format!(
+                "server answered the handshake with a {} frame",
+                frame_name(&other)
+            ))),
+        }
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, frame: &Frame) -> Result<Frame, ServerError> {
+        write_message(&mut self.stream, &encode_frame(frame))?;
+        match read_message(&mut self.stream)? {
+            Some(body) => Ok(decode_frame(&body)?),
+            None => Err(ServerError::Protocol(format!(
+                "server closed the connection while answering a {} frame",
+                frame_name(frame)
+            ))),
+        }
+    }
+
+    /// Asks the server to open a session for `spec`.
+    pub fn open_session(&mut self, spec: &SessionSpec) -> Result<Admission, ServerError> {
+        match self.call(&Frame::OpenSession(Box::new(spec.clone())))? {
+            Frame::SessionOpened(id) => Ok(Admission::Opened(id)),
+            Frame::Busy { running, queued } => Ok(Admission::Busy { running, queued }),
+            Frame::Error(msg) => Err(ServerError::Rejected(msg)),
+            other => Err(unexpected("OpenSession", &other)),
+        }
+    }
+
+    /// Opens a session, retrying up to `attempts` times with `backoff`
+    /// sleeps while the server answers `Busy`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Rejected`] with the last `Busy` counts once the
+    /// attempts are exhausted.
+    pub fn open_session_retry(
+        &mut self,
+        spec: &SessionSpec,
+        attempts: usize,
+        backoff: Duration,
+    ) -> Result<u64, ServerError> {
+        let mut last = (0, 0);
+        for attempt in 0..attempts.max(1) {
+            match self.open_session(spec)? {
+                Admission::Opened(id) => return Ok(id),
+                Admission::Busy { running, queued } => {
+                    last = (running, queued);
+                    if attempt + 1 < attempts.max(1) {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+        Err(ServerError::Rejected(format!(
+            "server still busy after {attempts} attempts ({} running, {} queued)",
+            last.0, last.1
+        )))
+    }
+
+    /// Starts an opened session running.
+    pub fn submit(&mut self, session: u64) -> Result<SessionProgress, ServerError> {
+        match self.call(&Frame::Submit(session))? {
+            Frame::Progress(progress) => Ok(progress),
+            Frame::Error(msg) => Err(ServerError::Rejected(msg)),
+            other => Err(unexpected("Submit", &other)),
+        }
+    }
+
+    /// Polls a session once.
+    pub fn poll(&mut self, session: u64) -> Result<PollReply, ServerError> {
+        match self.call(&Frame::Poll(session))? {
+            Frame::Progress(progress) => Ok(PollReply::Progress(progress)),
+            Frame::Result(outcome) => Ok(PollReply::Done(outcome)),
+            Frame::Error(msg) => Err(ServerError::Rejected(msg)),
+            other => Err(unexpected("Poll", &other)),
+        }
+    }
+
+    /// Polls every `poll_every` until the session finishes or `timeout`
+    /// elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Protocol`] on timeout; [`ServerError::Rejected`]
+    /// when the session failed server-side.
+    pub fn wait_result(
+        &mut self,
+        session: u64,
+        poll_every: Duration,
+        timeout: Duration,
+    ) -> Result<SessionOutcome, ServerError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.poll(session)? {
+                PollReply::Done(outcome) => return Ok(*outcome),
+                PollReply::Progress(_) => {
+                    if Instant::now() >= deadline {
+                        return Err(ServerError::Protocol(format!(
+                            "session {session} still running after {:.1}s",
+                            timeout.as_secs_f64()
+                        )));
+                    }
+                    std::thread::sleep(poll_every);
+                }
+            }
+        }
+    }
+
+    /// Closes a session, releasing its server-side record.
+    pub fn close_session(&mut self, session: u64) -> Result<(), ServerError> {
+        match self.call(&Frame::CloseSession(session))? {
+            Frame::CloseSession(id) if id == session => Ok(()),
+            Frame::Error(msg) => Err(ServerError::Rejected(msg)),
+            other => Err(unexpected("CloseSession", &other)),
+        }
+    }
+
+    /// Asks the server to shut itself down (the `gcode serve` admin
+    /// path). Tolerates the connection closing instead of an ack — the
+    /// server may win the race and tear the socket down first.
+    pub fn request_shutdown(&mut self) -> Result<(), ServerError> {
+        write_message(&mut self.stream, &encode_frame(&Frame::Shutdown))?;
+        match read_message(&mut self.stream) {
+            Ok(Some(body)) => match decode_frame(&body)? {
+                Frame::Shutdown => Ok(()),
+                Frame::Error(msg) => Err(ServerError::Rejected(msg)),
+                other => Err(unexpected("Shutdown", &other)),
+            },
+            Ok(None) | Err(_) => Ok(()),
+        }
+    }
+}
+
+fn unexpected(request: &str, reply: &Frame) -> ServerError {
+    ServerError::Protocol(format!("server answered a {request} with a {} frame", frame_name(reply)))
+}

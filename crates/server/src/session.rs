@@ -1,0 +1,310 @@
+//! The deterministic per-session search pipeline, and its standalone twin.
+//!
+//! A served session runs in two stages. Stage one is the search itself: a
+//! two-rung analytic→sim fidelity ladder over the task's design space,
+//! driven by the client's `SearchConfig` — every source of randomness is
+//! derived from `config.seed`, so the stage is bit-reproducible and
+//! completely independent of the other tenants. Stage two (when
+//! `measure_zoo` is set) deploys the finished zoo on an edge fleet and
+//! records the live measurements; predictions there are pinned by the
+//! fleet's per-slot-seeded supernet `WeightBank`, so *which* fleet
+//! measures the zoo — the server's shared one, chunk-interleaved with
+//! other tenants, or a private single pool — never changes them.
+//!
+//! [`run_standalone`] runs both stages without any server, over a private
+//! one-pool fleet: the reference a served session is asserted
+//! bit-identical against in the session-isolation tests.
+//!
+//! The server owns all workload fixtures (datasets, streams, system
+//! config, fleet seeds): a client ships a [`SessionSpec`], never data, so
+//! two clients submitting the same spec get the same answer.
+
+use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::eval::backend::{AnalyticBackend, CascadeBackend};
+use gcode_core::eval::{Evaluator, MeasuredProfile, Metrics, SearchReport, SearchSession};
+use gcode_core::search::{RandomSearch, SearchResult};
+use gcode_core::space::DesignSpace;
+use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
+use gcode_engine::{
+    EdgeFleet, ExecutionPlan, FleetOutcome, FleetSpec, SessionOutcome, SessionSpec, SessionTask,
+};
+use gcode_graph::datasets::{PointCloudDataset, Sample, TextGraphDataset};
+use gcode_hardware::SystemConfig;
+use gcode_sim::{SimBackend, SimConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Classes in the shared supernet `WeightBank` every fleet pool serves.
+/// Fleet-fixed (one bank per fleet), so it is a server constant rather
+/// than a per-task value; a 2-class text stream simply ignores the upper
+/// logits. Measured accuracy is not consumed anywhere — accuracy comes
+/// from the calibrated surrogate during the search.
+pub const SERVE_NUM_CLASSES: usize = 4;
+
+/// Seed of the shared supernet `WeightBank` on every serve-side fleet.
+pub const SERVE_BANK_SEED: u64 = 0x5EED_BA2C;
+
+/// Per-deployment RNG seed on every serve-side fleet.
+pub const SERVE_RUN_SEED: u64 = 0x5EED_0123;
+
+/// Seed of the per-task measurement streams.
+const SERVE_STREAM_SEED: u64 = 47;
+
+/// Frames per zoo deployment (stream length).
+const SERVE_STREAM_LEN: usize = 4;
+
+/// Hard cap on a client's stage-1 trial budget — admission control for
+/// the search stage itself: one tenant must not park a worker slot on a
+/// year-long search.
+pub const MAX_SESSION_ITERATIONS: usize = 20_000;
+
+/// The design-space profile a task's sessions search over (reduced-size
+/// mini workloads: the serve loop optimizes for session throughput, and
+/// the space/cost structure is what matters, not the node count).
+fn profile_of(task: SessionTask) -> WorkloadProfile {
+    match task {
+        SessionTask::ModelNet40 => WorkloadProfile::modelnet40_mini(24, 4),
+        SessionTask::Mr => WorkloadProfile {
+            num_nodes: 12,
+            in_dim: 24,
+            provides_graph: true,
+            provided_degree: 4,
+            num_classes: 2,
+        },
+    }
+}
+
+fn surrogate_of(task: SessionTask) -> SurrogateTask {
+    match task {
+        SessionTask::ModelNet40 => SurrogateTask::ModelNet40,
+        SessionTask::Mr => SurrogateTask::Mr,
+    }
+}
+
+/// The fixed measurement stream zoo winners of this task deploy against.
+/// Regenerated per call (cheap at this size) and seeded by server
+/// constants, so every session of a task measures the identical frames.
+pub(crate) fn stream_of(task: SessionTask) -> Vec<Sample> {
+    match task {
+        SessionTask::ModelNet40 => {
+            PointCloudDataset::generate(SERVE_STREAM_LEN, 24, 4, SERVE_STREAM_SEED)
+                .samples()
+                .to_vec()
+        }
+        SessionTask::Mr => TextGraphDataset::generate(SERVE_STREAM_LEN, 12, 24, SERVE_STREAM_SEED)
+            .samples()
+            .to_vec(),
+    }
+}
+
+/// Pass-through evaluator that counts candidate evaluations for the
+/// session's `Progress` frames. Every entry point delegates verbatim —
+/// including the batch-scoped `evaluate_batch_workers`, which the cascade
+/// overrides — so counting never perturbs what gets evaluated.
+struct CountingEval<'a> {
+    inner: &'a dyn Evaluator,
+    evaluated: &'a AtomicU64,
+}
+
+impl Evaluator for CountingEval<'_> {
+    fn evaluate(&self, arch: &Architecture) -> Metrics {
+        self.evaluated.fetch_add(1, Ordering::Relaxed);
+        self.inner.evaluate(arch)
+    }
+
+    fn evaluate_batch(&self, archs: &[Architecture]) -> Vec<Metrics> {
+        self.evaluated.fetch_add(archs.len() as u64, Ordering::Relaxed);
+        self.inner.evaluate_batch(archs)
+    }
+
+    fn evaluate_batch_workers(&self, archs: &[Architecture], workers: usize) -> Vec<Metrics> {
+        self.evaluated.fetch_add(archs.len() as u64, Ordering::Relaxed);
+        self.inner.evaluate_batch_workers(archs, workers)
+    }
+}
+
+/// Stage one: the deterministic search. `evaluated` is bumped per
+/// candidate so the server can answer `Poll` with live progress; pass a
+/// scratch counter when running standalone.
+pub(crate) fn run_search(
+    spec: &SessionSpec,
+    evaluated: &AtomicU64,
+) -> (SearchReport, SearchResult) {
+    let profile = profile_of(spec.task);
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let space = DesignSpace::paper(profile);
+    let s_cheap = SurrogateAccuracy::new(surrogate_of(spec.task));
+    let cheap = AnalyticBackend {
+        profile,
+        sys: sys.clone(),
+        accuracy_fn: move |a: &Architecture| s_cheap.overall_accuracy(a),
+    };
+    let s_mid = SurrogateAccuracy::new(surrogate_of(spec.task));
+    let mid = SimBackend {
+        profile,
+        sys,
+        sim: SimConfig::single_frame(),
+        accuracy_fn: move |a: &Architecture| s_mid.overall_accuracy(a),
+    };
+    let ladder =
+        CascadeBackend::ladder(vec![&cheap, &mid], spec.objective).with_keep_fracs(&[0.25]);
+    let counting = CountingEval { inner: &ladder, evaluated };
+    let mut session = SearchSession::new(&space, &counting).with_objective(spec.objective);
+    let mut config = spec.config;
+    config.iterations = config.iterations.min(MAX_SESSION_ITERATIONS);
+    let result = session.run(&RandomSearch::new(config));
+    let report = session.report("serve:analytic-sim", &result);
+    (report, result)
+}
+
+/// Lowers every zoo entry to its runnable plan, winner first.
+pub(crate) fn zoo_plans(result: &SearchResult) -> Vec<ExecutionPlan> {
+    result.zoo.iter().map(|z| ExecutionPlan::from_architecture(&z.arch)).collect()
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Folds a session's fleet outcomes (its zoo deployments, winner first)
+/// into the aggregate [`MeasuredProfile`] attached to its report, plus
+/// the winner's predictions.
+pub(crate) fn session_measurements(outcomes: &[FleetOutcome]) -> (MeasuredProfile, Vec<usize>) {
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut frames = 0u64;
+    let mut bytes_sent = 0u64;
+    let mut errors = 0u64;
+    let mut winner_predictions = Vec::new();
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok((preds, stats)) => {
+                if i == 0 {
+                    winner_predictions = preds.clone();
+                }
+                frames += stats.frames as u64;
+                bytes_sent += stats.bytes_sent as u64;
+                latencies.extend_from_slice(&stats.frame_latencies_s);
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    let profile = MeasuredProfile {
+        frames,
+        p50_s: percentile(&latencies, 50.0),
+        p95_s: percentile(&latencies, 95.0),
+        p99_s: percentile(&latencies, 99.0),
+        bytes_sent,
+        errors,
+    };
+    (profile, winner_predictions)
+}
+
+/// Runs a session spec to completion without any server: the identical
+/// search, then (when `measure_zoo` is set) the identical zoo deployment
+/// on a private one-pool fleet with the serve-side seeds. The returned
+/// outcome's zoo, scores and winner predictions are bit-identical to
+/// what a [`crate::SearchServer`] answers for the same spec — only the
+/// wall-clock side of the measured profile may differ, which is exactly
+/// what the session-isolation tests mask out before comparing.
+pub fn run_standalone(spec: &SessionSpec) -> SessionOutcome {
+    let evaluated = AtomicU64::new(0);
+    let (mut report, result) = run_search(spec, &evaluated);
+    let mut winner_predictions = Vec::new();
+    if spec.measure_zoo && !result.zoo.is_empty() {
+        let stream = stream_of(spec.task);
+        let mut fleet = EdgeFleet::new(
+            FleetSpec::loopback(1),
+            SERVE_NUM_CLASSES,
+            SERVE_BANK_SEED,
+            SERVE_RUN_SEED,
+        );
+        let outcomes = fleet.run_batch(&zoo_plans(&result), &stream);
+        let (measured, preds) = session_measurements(&outcomes);
+        report = report.with_measured(measured);
+        winner_predictions = preds;
+        let _ = fleet.shutdown();
+    }
+    SessionOutcome { session: 0, report, result, winner_predictions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcode_core::eval::Objective;
+    use gcode_core::search::SearchConfig;
+
+    fn spec(seed: u64, task: SessionTask) -> SessionSpec {
+        SessionSpec {
+            config: SearchConfig { iterations: 24, zoo_size: 3, seed, ..SearchConfig::default() },
+            objective: Objective::new(0.25, 1.0, 5.0),
+            task,
+            measure_zoo: false,
+        }
+    }
+
+    #[test]
+    fn search_stage_is_seed_reproducible_and_seed_sensitive() {
+        let scratch = AtomicU64::new(0);
+        let (r1, a) = run_search(&spec(7, SessionTask::ModelNet40), &scratch);
+        let (r2, b) = run_search(&spec(7, SessionTask::ModelNet40), &scratch);
+        assert_eq!(a, b, "same seed, same zoo");
+        assert_eq!(r1, r2, "same seed, same report");
+        let (_, c) = run_search(&spec(8, SessionTask::ModelNet40), &scratch);
+        assert_ne!(a.history, c.history, "different seed, different trajectory");
+    }
+
+    #[test]
+    fn both_tasks_produce_feasible_winners() {
+        let scratch = AtomicU64::new(0);
+        for task in [SessionTask::ModelNet40, SessionTask::Mr] {
+            let (_, result) = run_search(&spec(3, task), &scratch);
+            assert!(result.best().is_some(), "{task:?} search finds a feasible candidate");
+        }
+    }
+
+    #[test]
+    fn evaluation_counter_tracks_the_trial_budget() {
+        let evaluated = AtomicU64::new(0);
+        let s = spec(5, SessionTask::ModelNet40);
+        run_search(&s, &evaluated);
+        let n = evaluated.load(Ordering::Relaxed);
+        assert!(
+            n >= s.config.iterations as u64,
+            "stage 1 + stage 2 evaluate at least the trial budget, got {n}"
+        );
+    }
+
+    #[test]
+    fn measurement_aggregation_handles_empty_and_errors() {
+        let (profile, preds) = session_measurements(&[]);
+        assert_eq!(profile.frames, 0);
+        assert!(preds.is_empty());
+        let outcomes: Vec<FleetOutcome> =
+            vec![Err(gcode_engine::EngineError::Protocol("dead pool".to_string()))];
+        let (profile, preds) = session_measurements(&outcomes);
+        assert_eq!(profile.errors, 1);
+        assert!(preds.is_empty());
+    }
+
+    #[test]
+    fn standalone_run_measures_the_zoo_when_asked() {
+        let mut s = spec(11, SessionTask::ModelNet40);
+        s.config.iterations = 16;
+        s.config.zoo_size = 2;
+        s.measure_zoo = true;
+        let outcome = run_standalone(&s);
+        let measured = outcome.report.measured.expect("measured profile attached");
+        assert!(measured.frames > 0, "zoo deployments streamed frames");
+        assert_eq!(measured.errors, 0);
+        assert_eq!(
+            outcome.winner_predictions.len(),
+            SERVE_STREAM_LEN,
+            "one prediction per stream frame"
+        );
+    }
+}

@@ -13,7 +13,9 @@
 //! [`core::eval::backend::CascadeBackend`] that screens each batch cheaply
 //! and re-prices only the top fraction with the simulator. Search winners
 //! land in a [`core::zoo::ArchitectureZoo`], which the [`engine`] deploys
-//! over TCP.
+//! over TCP. The [`server`] crate packages the whole loop as a resident
+//! daemon (`gcode serve`): concurrent search sessions multiplexed over
+//! one shared warm [`engine::EdgeFleet`].
 //!
 //! ```
 //! use gcode::core::arch::WorkloadProfile;
@@ -43,5 +45,6 @@ pub use gcode_engine as engine;
 pub use gcode_graph as graph;
 pub use gcode_hardware as hardware;
 pub use gcode_nn as nn;
+pub use gcode_server as server;
 pub use gcode_sim as sim;
 pub use gcode_tensor as tensor;

@@ -10,6 +10,8 @@
 //!                [--workers N] [--keep-frac F[,F…]]
 //!                [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
 //!                [--seed N] [--zoo-out FILE] [--report-out FILE]
+//! gcode serve    --listen ADDR [--fleet SPEC] [--max-sessions N]
+//! gcode submit   --server ADDR [--task modelnet40|mr] [--iterations N] …
 //! gcode systems                       # list built-in device/edge pairs
 //! gcode describe --zoo FILE [--index N]
 //! gcode dispatch --zoo FILE [--latency-ms F] [--energy-j F]
@@ -24,6 +26,12 @@
 //! shards the Measured tier across N warm pairs (spawned loopback pools
 //! and/or remote pre-deployed edges), sharding each escalated batch in
 //! input order — predictions stay bit-identical for any pool count.
+//!
+//! `gcode serve` keeps that fleet resident: a daemon that multiplexes
+//! concurrent search sessions over one warm fleet, with admission
+//! control and fair round-robin measurement scheduling. `gcode submit`
+//! is the matching client — open a session, follow its progress, print
+//! the winner.
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
 use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
@@ -33,14 +41,17 @@ use gcode::core::search::{RandomSearch, SearchConfig};
 use gcode::core::space::DesignSpace;
 use gcode::core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode::core::zoo::{ArchitectureZoo, RuntimeConstraint};
-use gcode::engine::{EngineBackend, FleetSpec};
+use gcode::engine::{EngineBackend, FleetSpec, SessionSpec, SessionState, SessionTask};
 use gcode::graph::datasets::{PointCloudDataset, TextGraphDataset};
 use gcode::hardware::{Link, Processor, SystemConfig};
+use gcode::server::{PollReply, SearchServer, ServerClient, ServerConfig};
 use gcode::sim::{simulate, SimBackend, SimConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::net::ToSocketAddrs;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +68,8 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "search" => cmd_search(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
         "systems" => cmd_systems(),
         "describe" => cmd_describe(&opts),
         "dispatch" => cmd_dispatch(&opts),
@@ -80,6 +93,12 @@ const USAGE: &str = "usage:
                  [--workers N] [--keep-frac F[,F...]]
                  [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
                  [--seed N] [--zoo-out FILE] [--report-out FILE]
+  gcode serve    --listen ADDR [--fleet <loopback:N|host:port,...>]
+                 [--max-sessions N] [--queue N] [--sessions-limit N]
+  gcode submit   --server ADDR [--task <modelnet40|mr>] [--iterations N]
+                 [--zoo-size N] [--seed N] [--lambda F] [--latency-ms F]
+                 [--energy-j F] [--measure <true|false>] [--timeout-s N]
+                 [--shutdown <true|false>]
   gcode systems
   gcode describe --zoo FILE [--index N]
   gcode dispatch --zoo FILE [--latency-ms F] [--energy-j F]";
@@ -421,6 +440,144 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         let json = zoo.to_json().map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         println!("zoo ({} entries) written to {path}", zoo.len());
+    }
+    Ok(())
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let listen = opts.get("listen").ok_or("--listen is required (e.g. 127.0.0.1:7470)")?;
+    let fleet = opts
+        .get("fleet")
+        .map(String::as_str)
+        .unwrap_or("loopback:2")
+        .parse::<FleetSpec>()
+        .map_err(|e| format!("--fleet: {e}"))?;
+    let max_sessions = get_usize(opts, "max-sessions", 4)?.max(1);
+    let mut config = ServerConfig::new(fleet.clone()).with_max_sessions(max_sessions);
+    if let Some(q) = opts.get("queue") {
+        config =
+            config.with_queue_limit(q.parse().map_err(|_| format!("--queue: bad number `{q}`"))?);
+    }
+    if let Some(n) = opts.get("sessions-limit") {
+        config = config.with_sessions_limit(
+            n.parse().map_err(|_| format!("--sessions-limit: bad number `{n}`"))?,
+        );
+    }
+    let server = SearchServer::start(listen, config).map_err(|e| e.to_string())?;
+    println!(
+        "gcode-serve listening on {} ({} warm pool{}, {} concurrent session{})",
+        server.addr(),
+        fleet.endpoints().len(),
+        if fleet.endpoints().len() == 1 { "" } else { "s" },
+        max_sessions,
+        if max_sessions == 1 { "" } else { "s" },
+    );
+    println!("submit with: gcode submit --server {}", server.addr());
+    server.wait().map_err(|e| e.to_string())
+}
+
+fn cmd_submit(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("server")
+        .ok_or("--server is required (the address `gcode serve` printed)")?
+        .to_socket_addrs()
+        .map_err(|e| format!("--server: {e}"))?
+        .next()
+        .ok_or("--server: resolved to no address")?;
+    let task = match opts.get("task").map(String::as_str).unwrap_or("modelnet40") {
+        "modelnet40" => SessionTask::ModelNet40,
+        "mr" => SessionTask::Mr,
+        other => return Err(format!("unknown task `{other}` (modelnet40|mr)")),
+    };
+    let spec = SessionSpec {
+        config: SearchConfig {
+            iterations: get_usize(opts, "iterations", 200)?,
+            zoo_size: get_usize(opts, "zoo-size", 4)?,
+            seed: get_usize(opts, "seed", 0)? as u64,
+            ..SearchConfig::default()
+        },
+        objective: Objective::new(
+            get_f64(opts, "lambda", 0.25)?,
+            get_f64(opts, "latency-ms", 1000.0)? / 1e3,
+            get_f64(opts, "energy-j", 5.0)?,
+        ),
+        task,
+        measure_zoo: opts
+            .get("measure")
+            .map(String::as_str)
+            .is_none_or(|v| matches!(v, "true" | "1" | "yes")),
+    };
+    let timeout = Duration::from_secs(get_usize(opts, "timeout-s", 600)? as u64);
+
+    let mut client = ServerClient::connect(addr).map_err(|e| e.to_string())?;
+    let id = client
+        .open_session_retry(&spec, 120, Duration::from_millis(250))
+        .map_err(|e| e.to_string())?;
+    println!("session {id} opened on {addr} ({:?}, seed {})", spec.task, spec.config.seed);
+    client.submit(id).map_err(|e| e.to_string())?;
+
+    // Poll until the result lands, echoing each state transition.
+    let deadline = Instant::now() + timeout;
+    let mut last_state: Option<SessionState> = None;
+    let outcome = loop {
+        if Instant::now() >= deadline {
+            return Err(format!("session {id}: no result within {}s", timeout.as_secs()));
+        }
+        match client.poll(id).map_err(|e| e.to_string())? {
+            PollReply::Done(outcome) => break outcome,
+            PollReply::Progress(p) => {
+                if last_state != Some(p.state) {
+                    println!(
+                        "session {id}: {:?} ({} / {} evaluations)",
+                        p.state, p.evaluated, p.total
+                    );
+                    last_state = Some(p.state);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+
+    let report = &outcome.report;
+    println!(
+        "session {id} done: {} unique architectures, best score {}",
+        report.unique_architectures,
+        report.best_score.map_or("—".into(), |s| format!("{s:.3}")),
+    );
+    if let Some(m) = &report.measured {
+        println!(
+            "measured on the shared fleet: {} frames (p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms), {} bytes sent, {} errors",
+            m.frames,
+            m.p50_s * 1e3,
+            m.p95_s * 1e3,
+            m.p99_s * 1e3,
+            m.bytes_sent,
+            m.errors
+        );
+    }
+    let Some(best) = outcome.result.best() else {
+        return Err("no candidate met the constraints; relax --latency-ms/--energy-j".into());
+    };
+    println!(
+        "\nbest (score {:.3}, accuracy {:.1}%, latency {:.1} ms, energy {:.3} J):",
+        best.score,
+        best.accuracy * 100.0,
+        best.latency_s * 1e3,
+        best.energy_j
+    );
+    println!("{}", best.arch.render());
+    if let Some(path) = opts.get("zoo-out") {
+        let zoo = ArchitectureZoo::new(outcome.result.zoo.clone());
+        let json = zoo.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("zoo ({} entries) written to {path}", zoo.len());
+    }
+    // Best-effort: the result is already in hand, and a server started
+    // with --sessions-limit may tear down right after delivering it.
+    let _ = client.close_session(id);
+    if matches!(opts.get("shutdown").map(String::as_str), Some("true") | Some("1") | Some("yes")) {
+        let _ = client.request_shutdown();
+        println!("server shutdown requested");
     }
     Ok(())
 }

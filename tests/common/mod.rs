@@ -61,6 +61,9 @@ pub fn spawn_scripted_edge(classes: usize, bank_seed: u64, flaky_connections: us
                         write_message(&mut writer, &encode_frame(&Frame::State(reply)))
                             .expect("reply");
                     }
+                    // Session frames belong to the gcode-serve daemon,
+                    // not the device↔edge link this edge speaks.
+                    other => panic!("scripted edge got a session frame: {other:?}"),
                 }
             }
         }

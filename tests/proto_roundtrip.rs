@@ -1,8 +1,14 @@
 //! Round-trip tests for the engine wire protocol (`gcode_engine::proto`):
 //! state encode/decode, message framing over in-memory and socket
-//! transports, and truncated-payload error paths.
+//! transports, session control frames with their protocol-version
+//! handshake, and truncated-payload error paths.
 
-use gcode::engine::{decode_state, encode_state, read_message, write_message, WireState};
+use gcode::core::eval::Objective;
+use gcode::core::search::SearchConfig;
+use gcode::engine::{
+    decode_frame, decode_state, encode_frame, encode_state, read_message, write_message, Frame,
+    SessionSpec, SessionTask, WireState, PROTOCOL_VERSION,
+};
 use gcode::graph::CsrGraph;
 use gcode::tensor::Matrix;
 use std::io::Cursor;
@@ -105,6 +111,63 @@ fn truncated_length_prefix_is_an_error() {
     // truncation, not a clean end-of-stream.
     let result = read_message(&mut Cursor::new(vec![9u8, 0]));
     assert!(result.is_err(), "mid-header truncation must error, got {result:?}");
+}
+
+#[test]
+fn session_frames_survive_framing_round_trip() {
+    let spec = SessionSpec {
+        config: SearchConfig { iterations: 40, seed: 11, ..SearchConfig::default() },
+        objective: Objective::new(0.25, 1.0, 5.0),
+        task: SessionTask::Mr,
+        measure_zoo: true,
+    };
+    let frames = vec![
+        Frame::Hello(PROTOCOL_VERSION),
+        Frame::OpenSession(Box::new(spec)),
+        Frame::SessionOpened(3),
+        Frame::Busy { running: 8, queued: 16 },
+        Frame::Submit(3),
+        Frame::Poll(3),
+        Frame::CloseSession(3),
+        Frame::Error("protocol version mismatch".to_string()),
+    ];
+    let mut wire = Vec::new();
+    for frame in &frames {
+        write_message(&mut wire, &encode_frame(frame)).expect("write");
+    }
+    let mut cursor = Cursor::new(wire);
+    for frame in &frames {
+        let body = read_message(&mut cursor).expect("read").expect("frame present");
+        assert_eq!(&decode_frame(&body).expect("decode"), frame);
+    }
+    assert!(read_message(&mut cursor).expect("clean eof").is_none());
+}
+
+#[test]
+fn hello_frame_carries_the_protocol_version_byte() {
+    // The handshake must stay decodable by design: a v1 server can read a
+    // v9 client's Hello (and answer a clean Error frame) because the
+    // version lives in the body, not in the frame kind.
+    for version in [0u8, PROTOCOL_VERSION, PROTOCOL_VERSION + 1, u8::MAX] {
+        let decoded = decode_frame(&encode_frame(&Frame::Hello(version))).expect("decode");
+        assert_eq!(decoded, Frame::Hello(version));
+    }
+}
+
+#[test]
+fn truncated_session_frames_error_instead_of_panicking() {
+    for frame in [Frame::SessionOpened(77), Frame::Poll(77), Frame::Busy { running: 1, queued: 2 }]
+    {
+        let body = encode_frame(&frame);
+        // Cut after the kind byte but before the payload ends.
+        for cut in 1..body.len() {
+            assert!(
+                decode_frame(&body[..cut]).is_err(),
+                "truncation at byte {cut}/{} of {frame:?} must be rejected",
+                body.len()
+            );
+        }
+    }
 }
 
 #[test]
