@@ -15,7 +15,9 @@
 //!    warm pair hot-swapping plans (`SwapPlan` control frames) — deploy
 //!    throughput and p50 per mode;
 //! 8. edge fleet: Measured-tier deploy throughput as the same candidate
-//!    batch is sharded across 1 → 2 → 4 loopback pools (`EdgeFleet`);
+//!    batch is pulled off the shared morsel queue by 1 → 2 → 4 loopback
+//!    pools (`EdgeFleet`) under a 10 Mbps uplink cap, uniform and with a
+//!    10× per-candidate frame-count skew, warm cost reported separately;
 //! 9. search-as-a-service: an in-process `gcode-serve` daemon at 1, 8 and
 //!    64 concurrent tenant sessions over one warm fleet — sustained
 //!    sessions/sec and p99 time-to-winner per concurrency level.
@@ -40,8 +42,8 @@ use gcode_core::search::{RandomSearch, SearchConfig};
 use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_core::zoo::ArchitectureZoo;
-use gcode_engine::{EngineBackend, FleetSpec, SessionSpec, SessionTask};
-use gcode_graph::datasets::PointCloudDataset;
+use gcode_engine::{EdgeFleet, EngineBackend, ExecutionPlan, FleetSpec, SessionSpec, SessionTask};
+use gcode_graph::datasets::{PointCloudDataset, Sample};
 use gcode_hardware::SystemConfig;
 use gcode_nn::agg::AggMode;
 use gcode_nn::pool::PoolMode;
@@ -111,6 +113,13 @@ fn run_pool_ablation(candidates: usize, frames: usize, warmup: usize) -> PoolAbl
     }
 }
 
+/// The router uplink cap the fleet ablation measures under, in Mbit/s —
+/// the paper's constrained-bandwidth regime. Under the cap a candidate's
+/// wall is dominated by paced transfer time (sleep, not compute), which
+/// is exactly the work N pools can overlap; unthrottled loopback pools
+/// on a small host measure core count, not scheduling.
+const FLEET_UPLINK_MBPS: f64 = 10.0;
+
 /// One fleet size's deploy-throughput numbers from the scaling ablation.
 struct FleetPoint {
     pools: usize,
@@ -118,34 +127,67 @@ struct FleetPoint {
     stats: FleetStats,
 }
 
-/// Section 8 results: the same candidate batch at 1/2/4 pools.
+/// Section 8 results: the same uniform batch at 1/2/4 pools, a
+/// ~10×-skewed batch at 1 vs 4 pools, and the pool spawn/warm wall kept
+/// outside every timed window.
 struct FleetAblation {
     candidates: usize,
     points: Vec<FleetPoint>,
+    skew_candidates: usize,
+    skew_points: Vec<FleetPoint>,
+    warmup_s: f64,
 }
 
-/// Section 8 body: price one candidate batch through `EngineBackend`
-/// fleets of 1, 2 and 4 loopback pools and time each pass. Distinct
-/// candidates (no memoization anywhere on this path) and identical
-/// seeding mean every fleet size measures exactly the same work — only
-/// the sharding width changes. An untimed pass over the same batch warms
-/// every pool first, so the timed number is steady-state sharding
-/// throughput (what a long search sees per batch), not pool-spawn cost —
-/// a wider fleet would otherwise be charged more spawns than a narrow
-/// one and the curve would measure setup, not scaling.
-fn run_fleet_ablation(candidates: usize, frames: usize, warmup: usize) -> FleetAblation {
+impl FleetAblation {
+    fn speedup_4v1(points: &[FleetPoint]) -> f64 {
+        let wall =
+            |pools: usize| points.iter().find(|p| p.pools == pools).map_or(f64::NAN, |p| p.wall_s);
+        wall(1) / wall(4).max(1e-12)
+    }
+
+    /// Uniform-batch 4-pool speedup over 1 pool.
+    fn uniform_speedup_4v1(&self) -> f64 {
+        Self::speedup_4v1(&self.points)
+    }
+
+    /// Skewed-batch 4-pool speedup over 1 pool.
+    fn skew_speedup_4v1(&self) -> f64 {
+        Self::speedup_4v1(&self.skew_points)
+    }
+}
+
+/// Section 8 body: price one uniform candidate batch through
+/// `EngineBackend` fleets of 1, 2 and 4 loopback pools under the
+/// [`FLEET_UPLINK_MBPS`] router cap and time each pass, then push a
+/// skewed batch (per-candidate frame counts varying 10×, heavy streams
+/// last) directly through `EdgeFleet::run_batch_streams` at 1 vs 4
+/// pools. Distinct candidates (no memoization anywhere on this path) and
+/// identical seeding mean every fleet size measures exactly the same
+/// work — only the pool count changes. Spawning pools is setup, not
+/// scaling: every fleet is warmed before its clock starts and the total
+/// spawn/warm wall is reported separately as `fleet_warmup_s` so the
+/// cost stays visible instead of polluting the curve.
+fn run_fleet_ablation(quick: bool) -> FleetAblation {
+    let (candidates, frames) = if quick { (8, 24) } else { (16, 32) };
+    let (lights, heavies, light_frames) = if quick { (6, 4, 8) } else { (12, 12, 10) };
+
     let sys = SystemConfig::tx2_to_i7(40.0);
     let ds = PointCloudDataset::generate(6, 20, 4, 47);
     let accuracy = |a: &Architecture| 0.8 + 0.001 * a.len() as f64;
     let archs = pool_candidates(candidates);
+    let mut warmup_s = 0.0;
     let points = [1usize, 2, 4]
         .iter()
         .map(|&pools| {
             let backend = EngineBackend::new(ds.samples().to_vec(), 4, sys.clone(), accuracy)
                 .with_frames(frames)
-                .with_warmup(warmup)
+                .with_uplink_mbps(FLEET_UPLINK_MBPS)
                 .with_fleet(FleetSpec::loopback(pools));
-            backend.evaluate_batch(&archs); // warm: spawn pools untimed
+            // A pools-sized slice is enough to spawn every pool (the
+            // fleet never spawns more pools than pending candidates).
+            let warm_start = Instant::now();
+            backend.evaluate_batch(&archs[..pools]);
+            warmup_s += warm_start.elapsed().as_secs_f64();
             let start = Instant::now();
             backend.evaluate_batch(&archs);
             let wall_s = start.elapsed().as_secs_f64();
@@ -153,11 +195,50 @@ fn run_fleet_ablation(candidates: usize, frames: usize, warmup: usize) -> FleetA
             FleetPoint { pools, wall_s, stats }
         })
         .collect();
-    FleetAblation { candidates, points }
+
+    // Skewed batch: light candidates first, 10×-heavier streams last —
+    // the shape that starves a static contiguous shard (one tail shard
+    // inherits every heavy) and that the pull model balances by
+    // construction, each pool grabbing the next candidate as it frees up.
+    let skew_total = lights + heavies;
+    let skew_archs = pool_candidates(skew_total);
+    let plans: Vec<ExecutionPlan> =
+        skew_archs.iter().map(ExecutionPlan::from_architecture).collect();
+    let stream_of = |frames: usize| -> Vec<Sample> {
+        (0..frames).map(|i| ds.samples()[i % ds.samples().len()].clone()).collect()
+    };
+    let streams_owned: Vec<Vec<Sample>> = (0..skew_total)
+        .map(|i| stream_of(if i < lights { light_frames } else { 10 * light_frames }))
+        .collect();
+    let streams: Vec<&[Sample]> = streams_owned.iter().map(Vec::as_slice).collect();
+    let skew_points = [1usize, 4]
+        .iter()
+        .map(|&pools| {
+            let mut fleet = EdgeFleet::new(FleetSpec::loopback(pools), 4, 71, 23)
+                .with_uplink_mbps(FLEET_UPLINK_MBPS);
+            let warm_start = Instant::now();
+            let warmed = fleet.run_batch_streams(&plans[..pools], &streams[..pools]);
+            assert!(warmed.iter().all(Result::is_ok), "skew warm pass deploys");
+            warmup_s += warm_start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let outcomes = fleet.run_batch_streams(&plans, &streams);
+            let wall_s = start.elapsed().as_secs_f64();
+            assert!(outcomes.iter().all(Result::is_ok), "skewed batch deploys");
+            let stats = fleet.stats();
+            fleet.shutdown().expect("clean fleet shutdown");
+            FleetPoint { pools, wall_s, stats }
+        })
+        .collect();
+
+    FleetAblation { candidates, points, skew_candidates: skew_total, skew_points, warmup_s }
 }
 
 fn print_fleet_ablation(fleet: &FleetAblation) {
     header("Ablation 8 — edge fleet: Measured-tier throughput vs pool count");
+    println!(
+        "  uniform batch ({} candidates, {:.0} Mbps uplink):",
+        fleet.candidates, FLEET_UPLINK_MBPS
+    );
     let base = fleet.points[0].wall_s;
     for p in &fleet.points {
         println!(
@@ -171,6 +252,21 @@ fn print_fleet_ablation(fleet: &FleetAblation) {
             p.stats.failures()
         );
     }
+    println!("  skewed batch ({} candidates, 10x frame-count spread):", fleet.skew_candidates);
+    let skew_base = fleet.skew_points[0].wall_s;
+    for p in &fleet.skew_points {
+        println!(
+            "  {} pool{}: {:2} deployments in {:7.1} ms  ({:6.1} deploys/s, {:4.2}x vs 1 pool)  {} failures",
+            p.pools,
+            if p.pools == 1 { " " } else { "s" },
+            fleet.skew_candidates,
+            p.wall_s * 1e3,
+            fleet.skew_candidates as f64 / p.wall_s.max(1e-12),
+            skew_base / p.wall_s.max(1e-12),
+            p.stats.failures()
+        );
+    }
+    println!("  pool spawn/warm cost, outside every timed window: {:7.1} ms", fleet.warmup_s * 1e3);
 }
 
 /// One concurrency level of the search-service ablation.
@@ -295,7 +391,7 @@ fn main() {
         // emitted (search-mode fields zeroed).
         let pool = run_pool_ablation(4, 2, 1);
         print_pool_ablation(&pool);
-        let fleet = run_fleet_ablation(4, 2, 1);
+        let fleet = run_fleet_ablation(true);
         print_fleet_ablation(&fleet);
         let serve = run_serve_ablation(6, 2);
         print_serve_ablation(&serve);
@@ -529,10 +625,21 @@ fn main() {
     print_pool_ablation(&pool);
 
     // ——— 8. Edge fleet ———
-    // A batch wide and deep enough for sharding to matter: 16 candidates
-    // at 16 measured frames each keep every pool busy for whole shards.
-    let fleet = run_fleet_ablation(16, 16, 2);
+    // A batch wide and deep enough for scheduling to matter: 16 uniform
+    // candidates at 32 paced frames each keep every pool's uplink busy,
+    // and the skewed batch stresses the pull model's load balancing.
+    let fleet = run_fleet_ablation(false);
     print_fleet_ablation(&fleet);
+    assert!(
+        fleet.uniform_speedup_4v1() >= 2.0,
+        "uniform 4-pool speedup regressed below 2x: {:.2}x",
+        fleet.uniform_speedup_4v1()
+    );
+    assert!(
+        fleet.skew_speedup_4v1() >= 3.0,
+        "skewed 4-pool speedup regressed below 3x: {:.2}x",
+        fleet.skew_speedup_4v1()
+    );
 
     // ——— 9. Search-as-a-service ———
     let serve = run_serve_ablation(24, 2);
@@ -587,6 +694,10 @@ struct EvalBench {
     fleet_deploys_per_s_2: f64,
     fleet_deploys_per_s_4: f64,
     fleet_speedup_4v1: f64,
+    fleet_skew_deploys_per_s_1: f64,
+    fleet_skew_deploys_per_s_4: f64,
+    fleet_skew_speedup_4v1: f64,
+    fleet_warmup_s: f64,
     fleet_pool_failures: u64,
     serve_sessions_per_s: f64,
     serve_p99_time_to_winner_s_1: f64,
@@ -609,19 +720,31 @@ impl EvalBench {
         }
     }
 
-    /// Folds the section-8 fleet scaling numbers in.
+    /// Folds the section-8 fleet scaling numbers in: the uniform curve,
+    /// the skewed-batch speedup and the out-of-window warm cost.
     fn with_fleet(mut self, fleet: &FleetAblation) -> Self {
-        let per_s = |p: &FleetPoint| fleet.candidates as f64 / p.wall_s.max(1e-12);
+        let per_s = |candidates: usize, p: &FleetPoint| candidates as f64 / p.wall_s.max(1e-12);
         for p in &fleet.points {
             match p.pools {
-                1 => self.fleet_deploys_per_s_1 = per_s(p),
-                2 => self.fleet_deploys_per_s_2 = per_s(p),
-                4 => self.fleet_deploys_per_s_4 = per_s(p),
+                1 => self.fleet_deploys_per_s_1 = per_s(fleet.candidates, p),
+                2 => self.fleet_deploys_per_s_2 = per_s(fleet.candidates, p),
+                4 => self.fleet_deploys_per_s_4 = per_s(fleet.candidates, p),
                 other => unreachable!("unexpected fleet size {other}"),
             }
         }
         self.fleet_speedup_4v1 = self.fleet_deploys_per_s_4 / self.fleet_deploys_per_s_1.max(1e-12);
-        self.fleet_pool_failures = fleet.points.iter().map(|p| p.stats.failures()).sum();
+        for p in &fleet.skew_points {
+            match p.pools {
+                1 => self.fleet_skew_deploys_per_s_1 = per_s(fleet.skew_candidates, p),
+                4 => self.fleet_skew_deploys_per_s_4 = per_s(fleet.skew_candidates, p),
+                other => unreachable!("unexpected skew fleet size {other}"),
+            }
+        }
+        self.fleet_skew_speedup_4v1 =
+            self.fleet_skew_deploys_per_s_4 / self.fleet_skew_deploys_per_s_1.max(1e-12);
+        self.fleet_warmup_s = fleet.warmup_s;
+        self.fleet_pool_failures =
+            fleet.points.iter().chain(&fleet.skew_points).map(|p| p.stats.failures()).sum();
         self
     }
 

@@ -379,34 +379,45 @@ pub struct MeasuredProfile {
     pub errors: u64,
 }
 
-/// One pool's share of a fleet-sharded Measured run: where it pointed,
-/// how many candidates it measured, and how its lifecycle went. Produced
-/// by `gcode_engine::EdgeFleet` and carried inside [`FleetStats`].
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// One pool's share of a fleet Measured run: where it pointed, how many
+/// candidates it pulled off the shared morsel queue, and how its
+/// lifecycle went. Produced by `gcode_engine::EdgeFleet` and carried
+/// inside [`FleetStats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PoolStats {
     /// Endpoint label: `"loopback"` for a pool that spawned its own edge,
     /// or the remote `host:port` it connected to.
     pub endpoint: String,
     /// Candidates this pool successfully deployed and measured.
     pub deployments: u64,
-    /// Times this pool died (socket/protocol error mid-shard, or a failed
-    /// spawn/reconnect attempt) and was discarded for the round.
+    /// Times this pool died (socket/protocol error mid-morsel, or a failed
+    /// spawn/reconnect attempt) and was discarded.
     pub failures: u64,
     /// Times a pool was spawned/connected at this endpoint — 1 for a
     /// healthy run, +1 per respawn after a contained failure.
     pub spawns: u64,
+    /// Wall-clock seconds this pool's worker spent deploying and running
+    /// candidates (failed attempts included) — compare across pools to
+    /// see skew and steal behaviour: under the morsel scheduler busy
+    /// times stay level even when per-candidate costs differ wildly.
+    pub busy_s: f64,
+    /// Median per-candidate measurement wall time (deploy + run) over
+    /// this pool's successful deployments, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile per-candidate measurement wall time, seconds.
+    pub p95_s: f64,
 }
 
-/// Per-pool telemetry for a fleet-sharded `Fidelity::Measured` run: one
+/// Per-pool telemetry for a fleet `Fidelity::Measured` run: one
 /// [`PoolStats`] per configured endpoint plus the fleet-level recovery
 /// counters. Produced by `gcode_engine::EngineBackend::fleet_stats` and
 /// attached to a [`SearchReport`] via [`SearchReport::with_fleet`].
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FleetStats {
     /// One entry per configured fleet endpoint, in spec order.
     pub pools: Vec<PoolStats>,
-    /// Candidates re-sharded onto surviving pools after a pool died
-    /// mid-batch (each re-routed candidate counts once per extra round).
+    /// Candidates returned to the shared morsel queue after the pool
+    /// measuring them died mid-batch (one count per requeue).
     pub resharded: u64,
 }
 
@@ -453,8 +464,8 @@ pub struct SearchReport {
     /// Live-engine telemetry, present only when a `Measured`-fidelity
     /// backend took part in the run.
     pub measured: Option<MeasuredProfile>,
-    /// Per-pool fleet telemetry, present only when the Measured tier was
-    /// sharded across an edge fleet (`--fleet`).
+    /// Per-pool fleet telemetry, present only when the Measured tier ran
+    /// on an edge fleet (`--fleet`).
     pub fleet: Option<FleetStats>,
 }
 

@@ -71,11 +71,11 @@ struct Telemetry {
 ///   keyed and seeded per slot and the edge RNG restarts on every swap, so
 ///   pooled predictions are bit-identical to fresh spawns.
 /// * **Edge fleet** ([`with_fleet`](Self::with_fleet)): N persistent pools
-///   — loopback and/or remote endpoints from a [`FleetSpec`] — measuring
-///   each escalated batch concurrently, contiguous input-order shards per
-///   pool. Identical per-slot seeding on every pool keeps predictions
-///   bit-identical for any pool count; a pool death re-shards its
-///   candidates onto the survivors (see [`EdgeFleet`]).
+///   — loopback and/or remote endpoints from a [`FleetSpec`] — pulling
+///   each escalated batch's candidates off a shared morsel queue as they
+///   free up. Identical per-slot seeding on every pool keeps predictions
+///   bit-identical for any pool count; a pool death returns its candidate
+///   to the queue for the survivors (see [`EdgeFleet`]).
 ///
 /// Warmup frames prime the pipeline and are excluded from pricing and
 /// telemetry: latency is the mean *post-warmup* per-frame latency, energy
@@ -240,16 +240,18 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
         self
     }
 
-    /// Shards the Measured tier across an [`EdgeFleet`] of `spec`'s
-    /// endpoints: every escalated batch is cut into contiguous input-order
-    /// shards, one per live pool, and the shards run concurrently — the
-    /// fleet generalizes [`with_persistent_edge`](Self::with_persistent_edge)
-    /// (which it supersedes when both are set) from one warm pair to N.
+    /// Spreads the Measured tier across an [`EdgeFleet`] of `spec`'s
+    /// endpoints: every escalated batch becomes a shared morsel queue that
+    /// one worker per live pool drains, each pulling the next candidate the
+    /// moment its previous measurement finishes — the fleet generalizes
+    /// [`with_persistent_edge`](Self::with_persistent_edge) (which it
+    /// supersedes when both are set) from one warm pair to N.
     /// Predictions are bit-identical for any pool count; per-pool lifecycle
-    /// counters surface via [`fleet_stats`](Self::fleet_stats). A pool that
-    /// dies mid-batch is respawned/excluded and its candidates re-shard
-    /// onto the survivors, so one dead machine costs throughput, not
-    /// results. [`with_remote_edge`](Self::with_remote_edge) is ignored in
+    /// counters, busy time and per-candidate latency percentiles surface
+    /// via [`fleet_stats`](Self::fleet_stats). A pool that dies mid-morsel
+    /// is respawned/excluded and its candidate goes back on the queue, so
+    /// one dead machine costs throughput, not results.
+    /// [`with_remote_edge`](Self::with_remote_edge) is ignored in
     /// fleet mode — remote endpoints belong in the spec itself.
     #[must_use]
     pub fn with_fleet(mut self, spec: FleetSpec) -> Self {
@@ -396,7 +398,7 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
     /// Converts one successful deployment's raw predictions and
     /// [`EngineStats`] into [`Metrics`], accumulating the measured window
     /// into the telemetry — the shared pricing path of the single-pair,
-    /// pooled and fleet-sharded modes. Everything priced here comes from
+    /// pooled and fleet modes. Everything priced here comes from
     /// the measured window only: warmup frames primed the pipeline and
     /// must not leak into latency, traffic, energy or the live hit rate.
     fn price_measured(
@@ -441,11 +443,11 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
         }
     }
 
-    /// Fleet path: lower the whole batch to plans, let the [`EdgeFleet`]
-    /// shard it across its pools (spawning the fleet lazily on first use),
-    /// and price each outcome. Fleet-internal recoveries are invisible
-    /// here — only candidates the fleet definitively gave up on come back
-    /// as errors.
+    /// Fleet path: lower the whole batch to plans, let the [`EdgeFleet`]'s
+    /// pools pull them off the shared morsel queue (spawning the fleet
+    /// lazily on first use), and price each outcome. Fleet-internal
+    /// recoveries are invisible here — only candidates the fleet
+    /// definitively gave up on come back as errors.
     fn run_fleet_batch(&self, archs: &[Architecture]) -> Vec<Metrics> {
         let plans: Vec<ExecutionPlan> =
             archs.iter().map(ExecutionPlan::from_architecture).collect();
@@ -516,9 +518,9 @@ impl<F: Fn(&Architecture) -> f64 + Sync> Evaluator for EngineBackend<F> {
     }
 
     /// In fleet mode the fleet is its own parallel driver: the batch is
-    /// handed over whole so sharding follows pools, not `workers` — the
+    /// handed over whole so scheduling follows pools, not `workers` — the
     /// session's worker count must never change how a Measured batch is
-    /// cut. Without a fleet the default contiguous-shard driver applies.
+    /// served. Without a fleet the default contiguous-shard driver applies.
     fn evaluate_batch_workers(&self, archs: &[Architecture], workers: usize) -> Vec<Metrics> {
         if self.fleet_spec.is_some() {
             return self.run_fleet_batch(archs);

@@ -1,23 +1,33 @@
-//! Fleet-sharded Measured tier: N warm [`EdgePool`]s serving one
-//! escalated candidate batch.
+//! Fleet Measured tier: N warm [`EdgePool`]s draining one shared morsel
+//! queue of candidates.
 //!
 //! One persistent pool (PR 4) removed the per-candidate deploy cost; the
 //! fleet removes the *serialization*: an [`EdgeFleet`] owns one pool per
 //! configured endpoint ([`FleetSpec`] — spawned loopback edges, remote
-//! pre-deployed edges, or a mix), shards each batch across them in input
-//! order, and runs the shards concurrently on scoped threads. A pool per
-//! machine is the natural sharding unit for distributed measurement: every
-//! endpoint serves the same per-slot-seeded supernet `WeightBank`, so a
-//! candidate's predictions are bit-identical no matter which pool measures
-//! it — and therefore bit-identical for *any* pool count, mirroring the
-//! worker-sharding guarantee of the parallel batch driver.
+//! pre-deployed edges, or a mix) and runs each batch with a pull model.
+//! The batch becomes a queue of `(index, candidate)` morsels in input
+//! order; one worker thread per live pool pops the front morsel, measures
+//! it, and immediately pops the next — so a pool that finishes early keeps
+//! working instead of idling at a barrier, and a single slow candidate
+//! delays only the pool that holds it. This is the work-stealing shape of
+//! partition-pipeline schedulers (pipelines as schedulable tasks pulled
+//! from a shared queue), not statically sharded work.
 //!
-//! Failures stay contained per pool: a pool that dies mid-shard is
-//! discarded, its unmeasured candidates are re-sharded across the
-//! surviving pools (the dead endpoint is respawned/reconnected for the
-//! next round, or excluded if that fails), and the whole episode is
-//! counted in [`FleetStats`]. A candidate only gets the deploy-failure
-//! sentinel when it has killed pools repeatedly or no pool is left.
+//! Which pool measures a candidate is timing-dependent, but it cannot
+//! change the candidate's *predictions*: every endpoint serves the same
+//! per-slot-seeded supernet `WeightBank` and each deployment restarts its
+//! RNG stream, so results merged at input positions are bit-identical for
+//! any pool count — mirroring the worker-sharding guarantee of the
+//! parallel batch driver.
+//!
+//! Failures stay contained per pool, and recovery is incremental: a pool
+//! that dies mid-morsel is discarded, its candidate goes back on the
+//! queue for whichever pool frees up next (counted in
+//! [`FleetStats::resharded`]), and the dead endpoint is respawned
+//! (loopback) or reconnected (remote, bounded by the spec's connect
+//! timeout) *while the surviving workers keep draining the queue*. A
+//! candidate only gets the deploy-failure sentinel when it has killed
+//! pools repeatedly ([`MAX_TRIES_PER_CANDIDATE`]) or no pool is left.
 //!
 //! # Example
 //!
@@ -37,7 +47,7 @@
 //! ]);
 //! let plans = vec![ExecutionPlan::from_architecture(&arch); 4];
 //!
-//! // Two loopback pools; the four candidates shard 2 + 2 across them.
+//! // Two loopback pools pull the four candidates off the shared queue.
 //! let spec: FleetSpec = "loopback:2".parse().expect("spec");
 //! let mut fleet = EdgeFleet::new(spec, 2, 0x5EED, 0xE261);
 //! let outcomes = fleet.run_batch(&plans, ds.samples());
@@ -199,6 +209,9 @@ struct PoolSlot {
     endpoint: FleetEndpoint,
     pool: Option<EdgePool>,
     stats: PoolStats,
+    /// Wall time of every successful candidate measurement (deploy + run)
+    /// this slot served, for the [`PoolStats`] latency percentiles.
+    candidate_walls_s: Vec<f64>,
     /// Spawn/connect attempts that failed since the last success; at
     /// [`MAX_SPAWN_FAILURES`] the slot is excluded for good.
     spawn_failures_in_a_row: u8,
@@ -206,21 +219,36 @@ struct PoolSlot {
 
 /// Consecutive failed spawn/connect attempts after which a slot is
 /// permanently excluded — an endpoint that is down stays down for the
-/// batch timescale, and probing it once per round would pay the connect
-/// timeout on every single batch of the search.
+/// batch timescale, and probing it on every respawn opportunity would pay
+/// the connect timeout over and over across the search.
 const MAX_SPAWN_FAILURES: u8 = 3;
 
 /// Retries per candidate before it is written off as a deploy failure: a
 /// candidate whose plan keeps killing pools must not chew through the
 /// whole fleet.
-const MAX_TRIES_PER_CANDIDATE: u8 = 2;
+pub const MAX_TRIES_PER_CANDIDATE: u8 = 2;
+
+/// What one pool worker reports back to the coordinating thread while it
+/// drains the morsel queue.
+enum WorkerEvent {
+    /// One candidate's measurement attempt finished (either way).
+    Measured {
+        slot: usize,
+        cand: usize,
+        wall_s: f64,
+        result: Result<(Vec<usize>, EngineStats), EngineError>,
+    },
+    /// The worker stopped: queue empty (pool handed back warm) or pool
+    /// death (`None` — the broken pool was dropped in the worker).
+    Exited { slot: usize, pool: Option<EdgePool> },
+}
 
 /// One candidate's measurement through the fleet: predictions plus the
 /// run's [`EngineStats`], or the error that exhausted its retries.
 pub type FleetOutcome = Result<(Vec<usize>, EngineStats), EngineError>;
 
-/// N warm [`EdgePool`]s sharding candidate batches — the Measured tier at
-/// fleet scale.
+/// N warm [`EdgePool`]s draining candidate batches from a shared morsel
+/// queue — the Measured tier at fleet scale.
 ///
 /// Construction does no I/O: each slot's pool is spawned (loopback) or
 /// connected (remote) lazily on the first [`run_batch`](Self::run_batch)
@@ -251,6 +279,7 @@ impl EdgeFleet {
                 endpoint,
                 pool: None,
                 stats: PoolStats { endpoint: endpoint.to_string(), ..PoolStats::default() },
+                candidate_walls_s: Vec::new(),
                 spawn_failures_in_a_row: 0,
             })
             .collect();
@@ -282,10 +311,20 @@ impl EdgeFleet {
         self.slots.iter().map(|s| s.stats.spawns).sum()
     }
 
-    /// Per-pool counters plus the fleet-level recovery tally.
+    /// Per-pool counters plus the fleet-level recovery tally. The
+    /// per-candidate latency percentiles are computed here from each
+    /// slot's full measurement-wall sample.
     pub fn stats(&self) -> FleetStats {
         FleetStats {
-            pools: self.slots.iter().map(|s| s.stats.clone()).collect(),
+            pools: self
+                .slots
+                .iter()
+                .map(|s| {
+                    let (p50_s, p95_s, _) =
+                        crate::runtime::latency_percentiles(&s.candidate_walls_s);
+                    PoolStats { p50_s, p95_s, ..s.stats.clone() }
+                })
+                .collect(),
             resharded: self.resharded,
         }
     }
@@ -328,108 +367,191 @@ impl EdgeFleet {
     }
 
     /// Deploys and measures every plan in `plans`, streaming `stream`
-    /// through each, sharded across the fleet's live pools.
-    ///
-    /// Sharding is deterministic: the batch is cut into contiguous chunks
-    /// by input order, one per live pool, and results are merged back at
-    /// their input positions — so predictions are bit-identical for any
-    /// pool count. Shards run concurrently on scoped threads. When a pool
-    /// dies mid-shard its unfinished candidates are re-sharded across the
-    /// pools that survive (the dead slot respawns for the next round);
-    /// only a candidate that repeatedly kills pools, or outlives every
-    /// pool, comes back as an `Err`.
+    /// through each, with the fleet's live pools pulling candidates off a
+    /// shared morsel queue. See [`run_batch_streams`](Self::run_batch_streams)
+    /// (which this delegates to with one shared stream) for the
+    /// scheduling, determinism and failure contract.
     pub fn run_batch(&mut self, plans: &[ExecutionPlan], stream: &[Sample]) -> Vec<FleetOutcome> {
-        let mut out: Vec<Option<FleetOutcome>> = (0..plans.len()).map(|_| None).collect();
-        let mut pending: Vec<usize> = (0..plans.len()).collect();
-        let mut tries = vec![0u8; plans.len()];
-        let mut round = 0usize;
-        while !pending.is_empty() {
-            // Spawn/connect only as many pools as there are candidates to
-            // shard: a batch of one on a 64-slot fleet must not stand up
-            // 64 edges. Dead slots are ensured lazily in spec order as
-            // later (or wider) rounds need them.
-            let mut live = self.slots.iter().filter(|s| s.pool.is_some()).count();
+        let streams: Vec<&[Sample]> = vec![stream; plans.len()];
+        self.run_batch_streams(plans, &streams)
+    }
+
+    /// Deploys and measures every plan in `plans`, streaming `streams[i]`
+    /// through `plans[i]` — the per-candidate-stream variant that skewed
+    /// workloads (and multi-tenant callers whose sessions carry their own
+    /// frame streams) feed.
+    ///
+    /// Scheduling is a pull model: candidate indices queue up in input
+    /// order and one worker thread per live pool pops the next index the
+    /// moment its previous measurement finishes, so pools never idle at a
+    /// barrier while a slow shard-mate drags on. Which pool serves which
+    /// candidate is timing-dependent; predictions are not — every pool
+    /// computes bit-identical predictions for a given candidate (shared
+    /// per-slot-seeded `WeightBank`, per-deployment RNG restart), and
+    /// results are merged at input positions, so the outcome vector is
+    /// bit-identical for any pool count.
+    ///
+    /// Failure recovery is incremental: a pool that dies mid-morsel drops,
+    /// its candidate returns to the queue (counted in
+    /// [`FleetStats::resharded`]) for whichever pool frees up next, and
+    /// the dead endpoint respawns/reconnects immediately — without the
+    /// surviving workers stopping. Only a candidate that has killed
+    /// [`MAX_TRIES_PER_CANDIDATE`] pools, or outlives every pool, comes
+    /// back as an `Err`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` and `streams` have different lengths.
+    pub fn run_batch_streams(
+        &mut self,
+        plans: &[ExecutionPlan],
+        streams: &[&[Sample]],
+    ) -> Vec<FleetOutcome> {
+        assert_eq!(plans.len(), streams.len(), "one stream per plan");
+        let total = plans.len();
+        let mut out: Vec<Option<FleetOutcome>> = (0..total).map(|_| None).collect();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut tries = vec![0u8; total];
+        // Spawn/connect only as many pools as there are candidates to
+        // measure: a batch of one on a 64-slot fleet must not stand up 64
+        // edges. Slots are ensured lazily in spec order.
+        let mut live = self.slots.iter().filter(|s| s.pool.is_some()).count();
+        for idx in 0..self.slots.len() {
+            if live >= total {
+                break;
+            }
+            if self.slots[idx].pool.is_none() {
+                self.ensure_pool(idx);
+                live += usize::from(self.slots[idx].pool.is_some());
+            }
+        }
+        let queue: parking_lot::Mutex<std::collections::VecDeque<usize>> =
+            parking_lot::Mutex::new((0..total).collect());
+        let (tx, rx) = std::sync::mpsc::channel::<WorkerEvent>();
+        let mut filled = 0usize;
+        crossbeam::thread::scope(|s| {
+            // One worker per live pool, but never more workers than
+            // candidates — an excess pool stays warm in its slot.
+            let spawn_worker = |slot: usize, mut pool: EdgePool| {
+                let tx = tx.clone();
+                let queue = &queue;
+                s.spawn(move |_| {
+                    loop {
+                        let Some(cand) = queue.lock().pop_front() else { break };
+                        let start = std::time::Instant::now();
+                        let result =
+                            pool.deploy(plans[cand].clone()).and_then(|()| pool.run(streams[cand]));
+                        let wall_s = start.elapsed().as_secs_f64();
+                        let died = result.is_err();
+                        let _ = tx.send(WorkerEvent::Measured { slot, cand, wall_s, result });
+                        if died {
+                            // The broken pool drops here; the coordinator
+                            // requeues the candidate and respawns the slot.
+                            let _ = tx.send(WorkerEvent::Exited { slot, pool: None });
+                            return;
+                        }
+                    }
+                    let _ = tx.send(WorkerEvent::Exited { slot, pool: Some(pool) });
+                });
+            };
+            let mut running = 0usize;
             for idx in 0..self.slots.len() {
-                if live >= pending.len() {
+                if running >= total {
                     break;
                 }
-                if self.slots[idx].pool.is_none() {
-                    self.ensure_pool(idx);
-                    live += usize::from(self.slots[idx].pool.is_some());
+                if let Some(pool) = self.slots[idx].pool.take() {
+                    spawn_worker(idx, pool);
+                    running += 1;
                 }
             }
-            // Take at most one live pool per shard out of its slot; pools
-            // beyond the candidate count stay put.
-            let live_idx: Vec<usize> =
-                (0..self.slots.len()).filter(|&i| self.slots[i].pool.is_some()).collect();
-            let used = live_idx.len().min(pending.len());
-            if used == 0 {
-                break; // every endpoint is dead and would not come back
-            }
-            if round > 0 {
-                self.resharded += pending.len() as u64;
-            }
-            round += 1;
-            // ceil-length chunks can come out one short of `used` (5
-            // candidates over 4 pools is 3 chunks of ≤2), so cut the
-            // shards first and only take that many pools out of their
-            // slots — an unused pool must stay warm where it is.
-            let shard_len = pending.len().div_ceil(used);
-            let shards: Vec<&[usize]> = pending.chunks(shard_len).collect();
-            let taken: Vec<(usize, EdgePool)> = live_idx[..shards.len()]
-                .iter()
-                .map(|&i| (i, self.slots[i].pool.take().expect("live slot")))
-                .collect();
-            type ShardOutcome = (usize, Option<EdgePool>, Vec<(usize, FleetOutcome)>);
-            let finished: Vec<ShardOutcome> = crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = taken
-                    .into_iter()
-                    .zip(shards)
-                    .map(|((slot, mut pool), shard)| {
-                        s.spawn(move |_| {
-                            let mut outcomes = Vec::with_capacity(shard.len());
-                            let mut dead = false;
-                            for &cand in shard {
-                                let run = pool
-                                    .deploy(plans[cand].clone())
-                                    .and_then(|()| pool.run(stream));
-                                dead = run.is_err();
-                                outcomes.push((cand, run));
-                                if dead {
-                                    // The rest of the shard is re-sharded;
-                                    // the broken pool is dropped here.
-                                    break;
+            // Coordinator: merge results, requeue the victims of pool
+            // deaths, and bring replacement workers up while the rest of
+            // the fleet keeps draining the queue. Runs until every
+            // candidate is resolved AND every worker has handed its pool
+            // back (a warm pool must never be dropped on the floor).
+            while running > 0 || filled < total {
+                if running == 0 {
+                    // Queued work but no workers: every pool died at once.
+                    // Respawn what this batch still needs; if nothing
+                    // comes back the leftovers become deploy failures.
+                    let pending = total - filled;
+                    let mut revived = self.slots.iter().filter(|s| s.pool.is_some()).count();
+                    for idx in 0..self.slots.len() {
+                        if revived >= pending {
+                            break;
+                        }
+                        if self.slots[idx].pool.is_none() {
+                            self.ensure_pool(idx);
+                            revived += usize::from(self.slots[idx].pool.is_some());
+                        }
+                    }
+                    for idx in 0..self.slots.len() {
+                        if running >= pending {
+                            break;
+                        }
+                        if let Some(pool) = self.slots[idx].pool.take() {
+                            spawn_worker(idx, pool);
+                            running += 1;
+                        }
+                    }
+                    if running == 0 {
+                        break; // every endpoint is dead and would not come back
+                    }
+                }
+                match rx.recv().expect("coordinator holds a sender") {
+                    WorkerEvent::Measured { slot, cand, wall_s, result } => {
+                        self.slots[slot].stats.busy_s += wall_s;
+                        match result {
+                            Ok(ok) => {
+                                self.slots[slot].stats.deployments += 1;
+                                self.slots[slot].candidate_walls_s.push(wall_s);
+                                out[cand] = Some(Ok(ok));
+                                filled += 1;
+                            }
+                            Err(e) => {
+                                tries[cand] += 1;
+                                if tries[cand] >= MAX_TRIES_PER_CANDIDATE {
+                                    out[cand] = Some(Err(e));
+                                    filled += 1;
+                                } else {
+                                    self.resharded += 1;
+                                    queue.lock().push_back(cand);
                                 }
                             }
-                            (slot, (!dead).then_some(pool), outcomes)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("fleet shard worker")).collect()
-            })
-            .expect("fleet scope");
-            for (slot, pool, outcomes) in finished {
-                match pool {
-                    Some(pool) => self.slots[slot].pool = Some(pool),
-                    None => self.slots[slot].stats.failures += 1,
-                }
-                for (cand, run) in outcomes {
-                    match run {
-                        Ok(ok) => {
-                            self.slots[slot].stats.deployments += 1;
-                            out[cand] = Some(Ok(ok));
                         }
-                        Err(e) => {
-                            tries[cand] += 1;
-                            if tries[cand] >= MAX_TRIES_PER_CANDIDATE {
-                                out[cand] = Some(Err(e));
+                    }
+                    WorkerEvent::Exited { slot, pool: Some(pool) } => {
+                        running -= 1;
+                        self.slots[slot].pool = Some(pool);
+                        // The queue can refill after a worker saw it empty
+                        // (a death elsewhere requeued its candidate) —
+                        // put the warm pool straight back to work.
+                        if filled < total && !queue.lock().is_empty() {
+                            let pool = self.slots[slot].pool.take().expect("just returned");
+                            spawn_worker(slot, pool);
+                            running += 1;
+                        }
+                    }
+                    WorkerEvent::Exited { slot, pool: None } => {
+                        running -= 1;
+                        self.slots[slot].stats.failures += 1;
+                        // Incremental recovery: respawn/reconnect the dead
+                        // endpoint now — survivors keep draining while the
+                        // spawn (bounded by the connect timeout) runs.
+                        if filled < total && !queue.lock().is_empty() {
+                            self.ensure_pool(slot);
+                            if let Some(pool) = self.slots[slot].pool.take() {
+                                spawn_worker(slot, pool);
+                                running += 1;
                             }
                         }
                     }
                 }
             }
-            pending.retain(|&c| out[c].is_none()); // stays input-ordered
-        }
+        })
+        .expect("fleet scope");
         out.into_iter()
             .map(|o| {
                 o.unwrap_or_else(|| {

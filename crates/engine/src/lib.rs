@@ -26,9 +26,10 @@
 //! TCP connection and the shared supernet `WeightBank`, with no process
 //! spawn or weight transfer per switch (the paper's Sec. 3.6 runtime
 //! dispatcher, applied to search-time measurement as well). At fleet
-//! scale, an [`EdgeFleet`] shards each escalated batch across N such
-//! pools — spawned loopback edges or remote machines, per a parsed
-//! [`FleetSpec`] — concurrently and deterministically.
+//! scale, an [`EdgeFleet`] runs each escalated batch as a shared morsel
+//! queue drained by N such pools — spawned loopback edges or remote
+//! machines, per a parsed [`FleetSpec`] — concurrently and
+//! deterministically.
 //!
 //! The byte-level wire format and the full pool/fleet lifecycle are
 //! documented in `docs/ARCHITECTURE.md` at the repository root.

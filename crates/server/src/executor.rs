@@ -10,12 +10,18 @@
 //!
 //! Fairness: a session's zoo measurement arrives as one [`MeasureJob`]
 //! but is *executed* in `CHUNK_PLANS`-sized slices, with the scheduler
-//! rotating between sessions after every slice. A tenant with a
-//! 64-candidate zoo therefore delays a 2-candidate tenant by at most one
-//! slice, not by its whole zoo. Slicing is invisible to determinism: the
-//! fleet's per-deployment seeding makes predictions independent of how a
-//! batch is cut (the same guarantee that makes them independent of pool
-//! count).
+//! rotating between sessions after every slice. Each executor turn pulls
+//! up to one slice per fleet pool — from different sessions whenever the
+//! rotation has them — and feeds them into the fleet's shared morsel
+//! queue as one combined batch ([`EdgeFleet::run_batch_streams`], each
+//! candidate carrying its own session's stream). Pools pull candidates
+//! as they free up, so a giant tenant's slice no longer gates a small
+//! tenant's: the small zoo rides the same morsel queue and finishes as
+//! soon as any pool frees up, at most one quantum behind. Slicing and
+//! interleaving are invisible to determinism: the fleet's per-deployment
+//! seeding makes predictions independent of how a batch is cut or which
+//! pool serves it (the same guarantee that makes them independent of
+//! pool count).
 
 use crate::session::{SERVE_BANK_SEED, SERVE_NUM_CLASSES, SERVE_RUN_SEED};
 use gcode_core::eval::FleetStats;
@@ -153,8 +159,9 @@ impl FleetExecutor {
 
 /// The executor loop: block for a command when idle, drain whatever is
 /// queued without blocking when there is scheduled work, then run one
-/// scheduler turn — a [`CHUNK_PLANS`]-slice of some session's job — on
-/// the fleet.
+/// combined scheduler turn — up to one [`CHUNK_PLANS`]-slice per fleet
+/// pool, round-robin across sessions — through the fleet's shared
+/// morsel queue.
 fn run_executor(spec: FleetSpec, rx: &Receiver<FleetCommand>) {
     let mut fleet = EdgeFleet::new(spec, SERVE_NUM_CLASSES, SERVE_BANK_SEED, SERVE_RUN_SEED);
     let mut scheduler: Scheduler<std::ops::Range<usize>> = Scheduler::new();
@@ -182,13 +189,38 @@ fn run_executor(spec: FleetSpec, rx: &Receiver<FleetCommand>) {
                 Err(TryRecvError::Disconnected) => break 'serve,
             }
         }
-        if let Some((session, range)) = scheduler.next_chunk() {
-            let job = jobs.get_mut(&session).expect("scheduled job exists");
-            let outcomes = fleet.run_batch(&job.plans[range.clone()], &job.stream);
-            for (slot, outcome) in range.zip(outcomes) {
-                job.outcomes[slot] = Some(outcome);
-                job.remaining -= 1;
+        // One turn = up to one fairness quantum per pool, drawn
+        // round-robin so the quanta come from as many sessions as the
+        // rotation holds — the fleet never idles a pool while another
+        // tenant has work, yet no tenant gets more than its share of
+        // the queue per turn.
+        let mut turn: Vec<(u64, std::ops::Range<usize>)> = Vec::new();
+        while turn.len() < fleet.pools().max(1) {
+            match scheduler.next_chunk() {
+                Some(chunk) => turn.push(chunk),
+                None => break,
             }
+        }
+        if turn.is_empty() {
+            continue;
+        }
+        let mut batch_plans: Vec<ExecutionPlan> = Vec::new();
+        let mut batch_streams: Vec<Arc<Vec<Sample>>> = Vec::new();
+        let mut batch_slots: Vec<(u64, usize)> = Vec::new();
+        for (session, range) in &turn {
+            let job = jobs.get(session).expect("scheduled job exists");
+            for slot in range.clone() {
+                batch_plans.push(job.plans[slot].clone());
+                batch_streams.push(Arc::clone(&job.stream));
+                batch_slots.push((*session, slot));
+            }
+        }
+        let stream_refs: Vec<&[Sample]> = batch_streams.iter().map(|s| s.as_slice()).collect();
+        let outcomes = fleet.run_batch_streams(&batch_plans, &stream_refs);
+        for ((session, slot), outcome) in batch_slots.into_iter().zip(outcomes) {
+            let job = jobs.get_mut(&session).expect("scheduled job exists");
+            job.outcomes[slot] = Some(outcome);
+            job.remaining -= 1;
             if job.remaining == 0 {
                 let job = jobs.remove(&session).expect("finished job exists");
                 let full: Vec<FleetOutcome> =
@@ -319,6 +351,68 @@ mod tests {
         tx.send(FleetCommand::Stats(stats_tx)).expect("executor accepts stats");
         let stats = stats_rx.recv().expect("stats roundtrip");
         assert_eq!(stats.deployments(), plans.len() as u64);
+        executor.shutdown();
+    }
+
+    #[test]
+    fn giant_tenant_zoo_does_not_gate_a_small_tenants_reply() {
+        use crate::session::run_search;
+        use crate::session::{stream_of, zoo_plans};
+        use gcode_core::eval::Objective;
+        use gcode_core::search::SearchConfig;
+        use gcode_engine::{SessionSpec, SessionTask};
+        use std::sync::atomic::AtomicU64;
+
+        let spec = SessionSpec {
+            config: SearchConfig {
+                iterations: 12,
+                zoo_size: 2,
+                seed: 3,
+                ..SearchConfig::default()
+            },
+            objective: Objective::new(0.25, 1.0, 5.0),
+            task: SessionTask::ModelNet40,
+            measure_zoo: true,
+        };
+        let (_, result) = run_search(&spec, &AtomicU64::new(0));
+        let plans = zoo_plans(&result);
+        assert!(!plans.is_empty());
+        let giant: Vec<ExecutionPlan> =
+            plans.iter().cycle().take(8 * CHUNK_PLANS).cloned().collect();
+        let small: Vec<ExecutionPlan> = plans.iter().take(2).cloned().collect();
+        let stream = Arc::new(stream_of(SessionTask::ModelNet40));
+
+        let executor = FleetExecutor::spawn(FleetSpec::loopback(2)).expect("executor spawns");
+        let tx = executor.sender();
+        // Both tenants reply into ONE channel, so recv order is completion
+        // order. The giant zoo is submitted first; round-robin slicing plus
+        // the shared morsel queue must still answer the small tenant while
+        // the giant one is mid-flight.
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        tx.send(FleetCommand::Measure(MeasureJob {
+            session: 1,
+            plans: giant.clone(),
+            stream: Arc::clone(&stream),
+            reply: reply_tx.clone(),
+        }))
+        .expect("executor accepts the giant job");
+        tx.send(FleetCommand::Measure(MeasureJob {
+            session: 2,
+            plans: small.clone(),
+            stream,
+            reply: reply_tx,
+        }))
+        .expect("executor accepts the small job");
+        let first = reply_rx.recv().expect("first job completes");
+        assert_eq!(
+            first.len(),
+            small.len(),
+            "small tenant's time-to-winner is not gated by the giant zoo"
+        );
+        assert!(first.iter().all(Result::is_ok));
+        let second = reply_rx.recv().expect("giant job completes");
+        assert_eq!(second.len(), giant.len());
+        assert!(second.iter().all(Result::is_ok));
         executor.shutdown();
     }
 

@@ -1,9 +1,10 @@
-//! Fleet-sharded measurement: the Measured tier of an
-//! `analytic → sim → engine` ladder sharded across an `EdgeFleet` of
-//! warm loopback pools. Each escalated batch is cut into contiguous
-//! input-order shards, one per pool, and the shards run concurrently —
-//! predictions are bit-identical for any pool count, so the fleet only
-//! changes wall-clock time, never results.
+//! Fleet measurement: the Measured tier of an
+//! `analytic → sim → engine` ladder served by an `EdgeFleet` of
+//! warm loopback pools. Each escalated batch becomes a shared morsel
+//! queue of candidates that the pools drain concurrently, fast pools
+//! pulling more work as they free up — predictions are bit-identical
+//! for any pool count, so the fleet only changes wall-clock time,
+//! never results.
 //!
 //! ```sh
 //! cargo run --release --example fleet_search
@@ -39,7 +40,7 @@ fn main() {
         sim: SimConfig::single_frame(),
         accuracy_fn: move |a: &Architecture| s2.overall_accuracy(a),
     };
-    // Top rung: the live engine, sharded over four warm loopback pools.
+    // Top rung: the live engine, drained by four warm loopback pools.
     // On a LAN deployment the spec would name machines instead, e.g.
     // "10.0.0.7:9000,10.0.0.8:9000" — a pool per machine.
     let spec: FleetSpec = "loopback:4".parse().expect("fleet spec");
@@ -69,7 +70,7 @@ fn main() {
     }
     let fleet = engine.fleet_stats().expect("fleet configured");
     println!(
-        "edge fleet: {} pools, {} deployments, {} failures, {} re-sharded",
+        "edge fleet: {} pools, {} deployments, {} failures, {} requeued",
         fleet.pools.len(),
         fleet.deployments(),
         fleet.failures(),

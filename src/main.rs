@@ -23,9 +23,10 @@
 //! `--persistent-edge` keeps *one* warm pair for the whole search and
 //! hot-swaps each candidate's plan onto it (`SwapPlan` control frames)
 //! instead of spawning/tearing down a pair per candidate. `--fleet`
-//! shards the Measured tier across N warm pairs (spawned loopback pools
-//! and/or remote pre-deployed edges), sharding each escalated batch in
-//! input order — predictions stay bit-identical for any pool count.
+//! spreads the Measured tier across N warm pairs (spawned loopback pools
+//! and/or remote pre-deployed edges) that pull each escalated batch's
+//! candidates off a shared morsel queue, with results merged at input
+//! positions — predictions stay bit-identical for any pool count.
 //!
 //! `gcode serve` keeps that fleet resident: a daemon that multiplexes
 //! concurrent search sessions over one warm fleet, with admission
@@ -220,7 +221,7 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| format!("--fleet: {e}"))?;
     let tiers = tier_names(opts)?;
     if fleet_spec.is_some() && !tiers.iter().any(|t| t == "engine") {
-        return Err("--fleet shards the Measured tier; add the `engine` tier (e.g. \
+        return Err("--fleet drives the Measured tier; add the `engine` tier (e.g. \
                     --backend engine or --tiers analytic,sim,engine)"
             .into());
     }
@@ -397,7 +398,7 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         );
         if let Some(fleet) = e.fleet_stats() {
             println!(
-                "edge fleet: {} pools, {} deployments, {} pool failures, {} candidates re-sharded",
+                "edge fleet: {} pools, {} deployments, {} pool failures, {} candidates requeued",
                 fleet.pools.len(),
                 fleet.deployments(),
                 fleet.failures(),
@@ -405,8 +406,14 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
             );
             for p in &fleet.pools {
                 println!(
-                    "  {:<22} {:>4} deployments  {} spawns  {} failures",
-                    p.endpoint, p.deployments, p.spawns, p.failures
+                    "  {:<22} {:>4} deployments  {} spawns  {} failures  busy {:.2} s  cand p50 {:.1} ms  p95 {:.1} ms",
+                    p.endpoint,
+                    p.deployments,
+                    p.spawns,
+                    p.failures,
+                    p.busy_s,
+                    p.p50_s * 1e3,
+                    p.p95_s * 1e3
                 );
             }
             report = report.with_fleet(fleet);

@@ -1,7 +1,8 @@
-//! Fleet-sharded Measured tier integration: sharding a candidate batch
-//! across N warm pools must be invisible in the results — bit-identical
-//! predictions for any pool count, matching a fresh spawn per candidate —
-//! and a pool dying mid-batch must cost throughput, never candidates.
+//! Fleet Measured-tier integration: N warm pools pulling a candidate
+//! batch off the shared morsel queue must be invisible in the results —
+//! bit-identical predictions for any pool count (uniform or skewed
+//! per-candidate streams), matching a fresh spawn per candidate — and a
+//! pool dying mid-batch must cost throughput, never candidates.
 
 mod common;
 
@@ -75,6 +76,52 @@ fn fleet_predictions_are_bit_identical_for_any_pool_count() {
         assert_eq!(stats.deployments(), plans.len() as u64);
         assert_eq!(stats.failures(), 0);
         assert_eq!(stats.resharded, 0);
+        fleet.shutdown().expect("every pool joins cleanly");
+    }
+}
+
+#[test]
+fn fleet_predictions_are_bit_identical_under_skewed_streams_for_any_pool_count() {
+    let ds = PointCloudDataset::generate(5, 18, 4, 13);
+    let archs: Vec<Architecture> =
+        [8usize, 16, 32, 8, 24, 16, 48, 32].iter().map(|&d| split_arch(d)).collect();
+    let plans: Vec<ExecutionPlan> = archs.iter().map(ExecutionPlan::from_architecture).collect();
+    // ~10× frame-count spread with the heavy streams last — the shape
+    // that starves a static contiguous shard; the morsel queue must
+    // balance it without changing a single prediction.
+    let frame_counts = [2usize, 3, 2, 4, 2, 3, 16, 20];
+    let streams_owned: Vec<Vec<Sample>> = frame_counts
+        .iter()
+        .map(|&n| (0..n).map(|i| ds.samples()[i % ds.samples().len()].clone()).collect())
+        .collect();
+    let streams: Vec<&[Sample]> = streams_owned.iter().map(Vec::as_slice).collect();
+    let fresh: Vec<Vec<usize>> =
+        archs.iter().zip(&streams).map(|(a, s)| run_fresh(a, 4, s)).collect();
+
+    for pools in [1usize, 2, 3, 4] {
+        let mut fleet = EdgeFleet::new(FleetSpec::loopback(pools), 4, BANK_SEED, RUN_SEED);
+        let outcomes = fleet.run_batch_streams(&plans, &streams);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let (preds, stats) = outcome.as_ref().expect("healthy fleet measures everything");
+            assert_eq!(stats.frames, frame_counts[i], "candidate {i} ran its own stream");
+            assert_eq!(
+                preds, &fresh[i],
+                "skewed candidate {i} on a {pools}-pool fleet must reproduce fresh-spawn predictions"
+            );
+        }
+        // Steal behaviour is observable: whichever pools measured work
+        // report wall-clock busy time and per-candidate percentiles.
+        let stats = fleet.stats();
+        assert_eq!(stats.deployments(), plans.len() as u64);
+        assert_eq!(stats.failures(), 0);
+        assert_eq!(stats.resharded, 0);
+        for p in stats.pools.iter().filter(|p| p.deployments > 0) {
+            assert!(p.busy_s > 0.0, "a measuring pool accrues busy time");
+            assert!(p.p50_s > 0.0, "a measuring pool has a latency median");
+            assert!(p.p95_s >= p.p50_s, "p95 dominates p50");
+        }
+        let busy: f64 = stats.pools.iter().map(|p| p.busy_s).sum();
+        assert!(busy > 0.0, "fleet busy time is non-zero");
         fleet.shutdown().expect("every pool joins cleanly");
     }
 }
