@@ -20,12 +20,17 @@
 //!    10× per-candidate frame-count skew, warm cost reported separately;
 //! 9. search-as-a-service: an in-process `gcode-serve` daemon at 1, 8 and
 //!    64 concurrent tenant sessions over one warm fleet — sustained
-//!    sessions/sec and p99 time-to-winner per concurrency level.
+//!    sessions/sec and p99 time-to-winner per concurrency level;
+//! 10. plan wire encoding and the persistent evaluation cache: hot-swap
+//!     throughput and bytes-per-plan of the legacy JSON `SwapPlan` vs the
+//!     binary columnar encoding vs one batched `SwapPlanBatch` deploy,
+//!     all over the same capped uplink, plus cold-search vs warm-restart
+//!     wall time against one `--cache-file` log.
 //!
-//! Sections 5–9 also emit a `BENCH_eval.json` perf artifact (wall time,
+//! Sections 5–10 also emit a `BENCH_eval.json` perf artifact (wall time,
 //! evaluation counts and deploy throughput per mode; schema documented in
 //! `docs/BENCHMARKS.md`) next to the working directory. `--quick` runs
-//! only sections 7–9 at tiny frame counts and still emits the artifact —
+//! only sections 7–10 at tiny frame counts and still emits the artifact —
 //! the CI smoke path.
 
 use gcode_baselines::models;
@@ -33,6 +38,7 @@ use gcode_bench::{
     header, print_row, run_gcode_search, run_gcode_search_reported, table_search_config,
 };
 use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::cachelog::open_shared;
 use gcode_core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
 use gcode_core::eval::FleetStats;
 use gcode_core::eval::{Evaluator, Objective, SearchSession};
@@ -42,11 +48,15 @@ use gcode_core::search::{RandomSearch, SearchConfig};
 use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_core::zoo::ArchitectureZoo;
-use gcode_engine::{EdgeFleet, EngineBackend, ExecutionPlan, FleetSpec, SessionSpec, SessionTask};
+use gcode_engine::{
+    encode_frame, encode_legacy_swap_plan, EdgeFleet, EdgePool, EngineBackend, ExecutionPlan,
+    FleetSpec, Frame, SessionSpec, SessionTask,
+};
 use gcode_graph::datasets::{PointCloudDataset, Sample};
 use gcode_hardware::SystemConfig;
 use gcode_nn::agg::AggMode;
 use gcode_nn::pool::PoolMode;
+use gcode_nn::seq::WeightBank;
 use gcode_server::{SearchServer, ServerClient, ServerConfig};
 use gcode_sim::{simulate, simulate_adaptive, BandwidthTrace, SimBackend, SimConfig};
 use std::time::{Duration, Instant};
@@ -361,6 +371,168 @@ fn print_serve_ablation(serve: &ServeAblation) {
     }
 }
 
+/// Section 10 numbers: the wire economics of plan deploys (JSON vs
+/// binary vs batched) and the persistent evaluation cache (cold search
+/// vs warm restart).
+struct WireCacheAblation {
+    plans: usize,
+    json_wall_s: f64,
+    binary_wall_s: f64,
+    batched_wall_s: f64,
+    json_bytes_per_plan: f64,
+    binary_bytes_per_plan: f64,
+    cache_candidates: usize,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    warm_log_hits: u64,
+}
+
+impl WireCacheAblation {
+    fn json_swaps_per_s(&self) -> f64 {
+        self.plans as f64 / self.json_wall_s.max(1e-12)
+    }
+    fn binary_swaps_per_s(&self) -> f64 {
+        self.plans as f64 / self.binary_wall_s.max(1e-12)
+    }
+    fn batched_deploys_per_s(&self) -> f64 {
+        self.plans as f64 / self.batched_wall_s.max(1e-12)
+    }
+}
+
+/// Section 10 body. Swap throughput: the same plan list hot-swapped onto
+/// one warm [`EdgePool`] per encoding, every control frame paced by the
+/// [`FLEET_UPLINK_MBPS`] router cap — so wire bytes, the thing the
+/// columnar encoding shrinks, cost real wall time. The batched pass
+/// deploys the whole list through `SwapPlanBatch` frames on the already
+/// warm binary pair. Cache: the same candidate list priced twice on a
+/// live persistent-edge [`EngineBackend`] against one cache-log file —
+/// the first pass deploys and writes through, the second must answer
+/// every candidate from the file without spawning a pair.
+fn run_wire_cache_ablation(quick: bool) -> WireCacheAblation {
+    let plan_count = if quick { 12 } else { 32 };
+    let plans: Vec<ExecutionPlan> =
+        pool_candidates(plan_count).iter().map(ExecutionPlan::from_architecture).collect();
+
+    // Framed wire size per encoding (+4 for the length prefix).
+    let json_bytes: usize = plans.iter().map(|p| encode_legacy_swap_plan(p).len() + 4).sum();
+    let binary_bytes: usize =
+        plans.iter().map(|p| encode_frame(&Frame::SwapPlan(Box::new(p.clone()))).len() + 4).sum();
+
+    let mut json_pool = EdgePool::spawn(WeightBank::new(4, 5), 9)
+        .expect("json pool spawns")
+        .with_uplink_mbps(FLEET_UPLINK_MBPS)
+        .with_json_swaps();
+    let start = Instant::now();
+    for p in &plans {
+        json_pool.deploy(p.clone()).expect("json swap");
+    }
+    let json_wall_s = start.elapsed().as_secs_f64();
+    json_pool.shutdown().expect("clean json pool shutdown");
+
+    let mut binary_pool = EdgePool::spawn(WeightBank::new(4, 5), 9)
+        .expect("binary pool spawns")
+        .with_uplink_mbps(FLEET_UPLINK_MBPS);
+    let start = Instant::now();
+    for p in &plans {
+        binary_pool.deploy(p.clone()).expect("binary swap");
+    }
+    let binary_wall_s = start.elapsed().as_secs_f64();
+
+    // Batched deploy on the same warm pair: the full queue in one control
+    // round-trip per 64-plan chunk (frame budget 0 — deploy cost only).
+    let entries: Vec<(ExecutionPlan, u32)> = plans.iter().map(|p| (p.clone(), 0)).collect();
+    let start = Instant::now();
+    binary_pool.deploy_batch(entries).expect("batched deploy");
+    let batched_wall_s = start.elapsed().as_secs_f64();
+    binary_pool.shutdown().expect("clean binary pool shutdown");
+
+    // Cold vs warm against one cache file, on the live engine.
+    let dir = std::env::temp_dir().join("gcode-ablation-cache");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("warm-restart-{}.gclg", if quick { "quick" } else { "full" }));
+    let _ = std::fs::remove_file(&path);
+    let sys = SystemConfig::tx2_to_i7(40.0);
+    let ds = PointCloudDataset::generate(6, 20, 4, 47);
+    let accuracy = |a: &Architecture| 0.8 + 0.001 * a.len() as f64;
+    let archs = pool_candidates(if quick { 6 } else { 12 });
+    let frames = if quick { 2 } else { 4 };
+
+    let cold = EngineBackend::new(ds.samples().to_vec(), 4, sys.clone(), accuracy)
+        .with_frames(frames)
+        .with_warmup(1)
+        .with_persistent_edge()
+        .with_cache_log(open_shared(&path).expect("cache file opens"));
+    let start = Instant::now();
+    for a in &archs {
+        cold.evaluate(a);
+    }
+    let cold_wall_s = start.elapsed().as_secs_f64();
+
+    let warm = EngineBackend::new(ds.samples().to_vec(), 4, sys, accuracy)
+        .with_frames(frames)
+        .with_warmup(1)
+        .with_persistent_edge()
+        .with_cache_log(open_shared(&path).expect("cache file reopens"));
+    let start = Instant::now();
+    for a in &archs {
+        warm.evaluate(a);
+    }
+    let warm_wall_s = start.elapsed().as_secs_f64();
+    let warm_log_hits = warm.log_hits();
+    assert_eq!(
+        warm_log_hits as usize,
+        archs.len(),
+        "a warm restart must replay every candidate from the cache file"
+    );
+    assert_eq!(warm.pool_spawns(), 0, "a fully warm restart never spawns a pair");
+    let _ = std::fs::remove_file(&path);
+
+    WireCacheAblation {
+        plans: plan_count,
+        json_wall_s,
+        binary_wall_s,
+        batched_wall_s,
+        json_bytes_per_plan: json_bytes as f64 / plan_count as f64,
+        binary_bytes_per_plan: binary_bytes as f64 / plan_count as f64,
+        cache_candidates: archs.len(),
+        cold_wall_s,
+        warm_wall_s,
+        warm_log_hits,
+    }
+}
+
+fn print_wire_cache_ablation(w: &WireCacheAblation) {
+    header("Ablation 10 — plan wire encoding and the persistent evaluation cache");
+    println!(
+        "  hot-swap encoding ({} plans over one warm pair, {:.0} Mbps uplink):",
+        w.plans, FLEET_UPLINK_MBPS
+    );
+    println!(
+        "    JSON v1 swaps:   {:7.1} deploys/s  ({:6.1} bytes/plan framed)",
+        w.json_swaps_per_s(),
+        w.json_bytes_per_plan
+    );
+    println!(
+        "    binary v2 swaps: {:7.1} deploys/s  ({:6.1} bytes/plan framed, {:.2}x smaller)",
+        w.binary_swaps_per_s(),
+        w.binary_bytes_per_plan,
+        w.json_bytes_per_plan / w.binary_bytes_per_plan.max(1e-12)
+    );
+    println!(
+        "    batched binary:  {:7.1} deploys/s  ({:.2}x vs per-plan JSON round-trips)",
+        w.batched_deploys_per_s(),
+        w.batched_deploys_per_s() / w.json_swaps_per_s().max(1e-12)
+    );
+    println!("  persistent cache ({} candidates on the live engine):", w.cache_candidates);
+    println!(
+        "    cold search {:7.1} ms  →  warm restart {:7.1} ms  ({} replayed from file, {:.1}x faster)",
+        w.cold_wall_s * 1e3,
+        w.warm_wall_s * 1e3,
+        w.warm_log_hits,
+        w.cold_wall_s / w.warm_wall_s.max(1e-12)
+    );
+}
+
 fn print_pool_ablation(pool: &PoolAblation) {
     header("Ablation 7 — persistent edge pool: per-candidate spawn vs hot-swap");
     println!(
@@ -387,7 +559,7 @@ fn print_pool_ablation(pool: &PoolAblation) {
 
 fn main() {
     if std::env::args().any(|a| a == "--quick") {
-        // CI smoke: sections 7–9 only, tiny budgets, artifact still
+        // CI smoke: sections 7–10 only, tiny budgets, artifact still
         // emitted (search-mode fields zeroed).
         let pool = run_pool_ablation(4, 2, 1);
         print_pool_ablation(&pool);
@@ -395,7 +567,11 @@ fn main() {
         print_fleet_ablation(&fleet);
         let serve = run_serve_ablation(6, 2);
         print_serve_ablation(&serve);
-        write_bench(&EvalBench::with_pool(&pool).with_fleet(&fleet).with_serve(&serve));
+        let wire = run_wire_cache_ablation(true);
+        print_wire_cache_ablation(&wire);
+        write_bench(
+            &EvalBench::with_pool(&pool).with_fleet(&fleet).with_serve(&serve).with_wire(&wire),
+        );
         return;
     }
     let profile = WorkloadProfile::modelnet40();
@@ -645,6 +821,22 @@ fn main() {
     let serve = run_serve_ablation(24, 2);
     print_serve_ablation(&serve);
 
+    // ——— 10. Wire encoding + persistent cache ———
+    let wire = run_wire_cache_ablation(false);
+    print_wire_cache_ablation(&wire);
+    assert!(
+        wire.binary_bytes_per_plan < wire.json_bytes_per_plan,
+        "binary plan encoding regressed: {:.1} bytes/plan vs JSON's {:.1}",
+        wire.binary_bytes_per_plan,
+        wire.json_bytes_per_plan
+    );
+    assert!(
+        wire.batched_deploys_per_s() >= 1.3 * wire.json_swaps_per_s(),
+        "batched binary deploys regressed below 1.3x the JSON baseline: {:.1}/s vs {:.1}/s",
+        wire.batched_deploys_per_s(),
+        wire.json_swaps_per_s()
+    );
+
     // ——— Perf artifact ———
     let tiers = ladder.tier_stats();
     write_bench(&EvalBench {
@@ -658,7 +850,7 @@ fn main() {
         measured_p50_s: measured.p50_s,
         measured_p95_s: measured.p95_s,
         measured_p99_s: measured.p99_s,
-        ..EvalBench::with_pool(&pool).with_fleet(&fleet).with_serve(&serve)
+        ..EvalBench::with_pool(&pool).with_fleet(&fleet).with_serve(&serve).with_wire(&wire)
     });
 }
 
@@ -703,6 +895,13 @@ struct EvalBench {
     serve_p99_time_to_winner_s_1: f64,
     serve_p99_time_to_winner_s_8: f64,
     serve_p99_time_to_winner_s_64: f64,
+    swap_round_trips_per_s_json: f64,
+    swap_round_trips_per_s_binary: f64,
+    swap_bytes_per_plan_json: f64,
+    swap_bytes_per_plan_binary: f64,
+    batched_deploys_per_s: f64,
+    cold_wall_s: f64,
+    warm_restart_wall_s: f64,
 }
 
 impl EvalBench {
@@ -763,6 +962,20 @@ impl EvalBench {
                 other => unreachable!("unexpected serve concurrency {other}"),
             }
         }
+        self
+    }
+
+    /// Folds the section-10 numbers in: swap throughput and wire bytes
+    /// per encoding, batched deploy throughput, and the cold-vs-warm
+    /// cache walls.
+    fn with_wire(mut self, wire: &WireCacheAblation) -> Self {
+        self.swap_round_trips_per_s_json = wire.json_swaps_per_s();
+        self.swap_round_trips_per_s_binary = wire.binary_swaps_per_s();
+        self.swap_bytes_per_plan_json = wire.json_bytes_per_plan;
+        self.swap_bytes_per_plan_binary = wire.binary_bytes_per_plan;
+        self.batched_deploys_per_s = wire.batched_deploys_per_s();
+        self.cold_wall_s = wire.cold_wall_s;
+        self.warm_restart_wall_s = wire.warm_wall_s;
         self
     }
 }

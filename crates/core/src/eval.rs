@@ -50,6 +50,7 @@
 pub mod backend;
 
 use crate::arch::Architecture;
+use crate::cachelog::{self, SharedCacheLog};
 use crate::search::{ScoredArch, SearchResult};
 use crate::space::DesignSpace;
 use serde::{Deserialize, Serialize};
@@ -172,6 +173,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that required a fresh evaluation.
     pub misses: u64,
+    /// Subset of `hits` answered from the persistent
+    /// [`CacheLog`](crate::cachelog::CacheLog) rather than this session's
+    /// in-memory memo — non-zero only on warm restarts.
+    pub log_hits: u64,
 }
 
 impl CacheStats {
@@ -218,6 +223,7 @@ pub struct SearchSession<'a> {
     workers: usize,
     cache: HashMap<Architecture, Metrics>,
     stats: CacheStats,
+    log: Option<(SharedCacheLog, u64)>,
 }
 
 impl<'a> SearchSession<'a> {
@@ -232,6 +238,7 @@ impl<'a> SearchSession<'a> {
             workers: 1,
             cache: HashMap::new(),
             stats: CacheStats::default(),
+            log: None,
         }
     }
 
@@ -248,6 +255,23 @@ impl<'a> SearchSession<'a> {
     #[must_use]
     pub fn with_memoization(mut self, enabled: bool) -> Self {
         self.memoize = enabled;
+        self
+    }
+
+    /// Attaches a persistent [`CacheLog`](crate::cachelog::CacheLog): memo
+    /// misses consult the log before the evaluator (counted in
+    /// [`CacheStats::log_hits`]), and fresh evaluations are written
+    /// through, so a later session over the same log starts warm.
+    ///
+    /// `tag` is the backend fidelity namespace — it must encode everything
+    /// that affects the metrics (backend kind, seeds, frame counts, uplink
+    /// caps, workload), because log entries are shared across processes,
+    /// not just across sessions. The objective is hashed into the key
+    /// automatically. The log is ignored while memoization is disabled,
+    /// matching the memo cache's semantics.
+    #[must_use]
+    pub fn with_cache_log(mut self, log: SharedCacheLog, tag: &str) -> Self {
+        self.log = Some((log, cachelog::tag_key(tag)));
         self
     }
 
@@ -285,6 +309,27 @@ impl<'a> SearchSession<'a> {
         self.cache.len()
     }
 
+    /// Consults the attached cache log for `arch` under the session's tag
+    /// and objective. `None` when no log is attached or the entry is
+    /// absent.
+    fn log_lookup(&self, arch: &Architecture) -> Option<Metrics> {
+        let (log, tag) = self.log.as_ref()?;
+        let objective = cachelog::objective_key(&self.objective);
+        log.lock().ok()?.get(cachelog::arch_key(arch), *tag, objective)
+    }
+
+    /// Writes a fresh evaluation through to the attached cache log, if any.
+    /// Append failures are swallowed inside the log — durability loss never
+    /// kills a search.
+    fn log_store(&self, arch: &Architecture, m: Metrics) {
+        if let Some((log, tag)) = &self.log {
+            let objective = cachelog::objective_key(&self.objective);
+            if let Ok(mut log) = log.lock() {
+                log.put(cachelog::arch_key(arch), *tag, objective, m);
+            }
+        }
+    }
+
     /// Evaluates one architecture through the cache.
     pub fn evaluate(&mut self, arch: &Architecture) -> Metrics {
         if !self.memoize {
@@ -295,9 +340,16 @@ impl<'a> SearchSession<'a> {
             self.stats.hits += 1;
             return *m;
         }
+        if let Some(m) = self.log_lookup(arch) {
+            self.stats.hits += 1;
+            self.stats.log_hits += 1;
+            self.cache.insert(arch.clone(), m);
+            return m;
+        }
         let m = self.evaluator.evaluate(arch);
         self.stats.misses += 1;
         self.cache.insert(arch.clone(), m);
+        self.log_store(arch, m);
         m
     }
 
@@ -315,6 +367,10 @@ impl<'a> SearchSession<'a> {
         for arch in archs {
             if self.cache.contains_key(arch) || pending.contains(arch) {
                 self.stats.hits += 1;
+            } else if let Some(m) = self.log_lookup(arch) {
+                self.stats.hits += 1;
+                self.stats.log_hits += 1;
+                self.cache.insert(arch.clone(), m);
             } else {
                 self.stats.misses += 1;
                 pending.insert(arch);
@@ -325,6 +381,7 @@ impl<'a> SearchSession<'a> {
             let metrics = self.evaluator.evaluate_batch_workers(&fresh, self.workers);
             debug_assert_eq!(metrics.len(), fresh.len(), "evaluator broke batch contract");
             for (arch, m) in fresh.into_iter().zip(metrics) {
+                self.log_store(&arch, m);
                 self.cache.insert(arch, m);
             }
         }
@@ -377,6 +434,12 @@ pub struct MeasuredProfile {
     /// Candidate deployments that failed (socket/protocol errors) and were
     /// priced with the infeasible sentinel instead.
     pub errors: u64,
+    /// Candidates actually deployed on an engine during this run.
+    pub deployed: u64,
+    /// Candidates whose measurements were served from a persistent
+    /// [`CacheLog`](crate::cachelog::CacheLog) instead of a deployment —
+    /// non-zero only on warm restarts over a `--cache-file`.
+    pub cached: u64,
 }
 
 /// One pool's share of a fleet Measured run: where it pointed, how many
@@ -552,7 +615,7 @@ mod tests {
         let second = session.evaluate(&a);
         assert_eq!(first, second);
         assert_eq!(eval.count(), 1);
-        assert_eq!(session.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(session.cache_stats(), CacheStats { hits: 1, misses: 1, log_hits: 0 });
         assert_eq!(session.cache_len(), 1);
     }
 
@@ -608,5 +671,73 @@ mod tests {
     #[test]
     fn hit_rate_handles_empty_session() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_log_makes_a_second_session_start_warm() {
+        let dir = std::env::temp_dir().join("gcode-cachelog-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("eval-warm.gclg");
+        let _ = std::fs::remove_file(&path);
+        let space = crate::space::DesignSpace::paper(WorkloadProfile::modelnet40());
+        let batch = vec![arch(16), arch(32), arch(64)];
+
+        // Cold session: every candidate reaches the evaluator, and every
+        // fresh evaluation is written through to the log.
+        let cold_eval = Counting::new();
+        let log = crate::cachelog::open_shared(&path).expect("open log");
+        let mut cold = SearchSession::new(&space, &cold_eval).with_cache_log(log, "sim|seed4");
+        let cold_metrics = cold.evaluate_batch(&batch);
+        assert_eq!(cold_eval.count(), 3);
+        assert_eq!(cold.cache_stats().log_hits, 0);
+        drop(cold);
+
+        // Warm session (fresh process): zero evaluator calls, bit-identical
+        // metrics, all lookups satisfied from the log.
+        let warm_eval = Counting::new();
+        let log = crate::cachelog::open_shared(&path).expect("reopen log");
+        let mut warm = SearchSession::new(&space, &warm_eval).with_cache_log(log, "sim|seed4");
+        let one = warm.evaluate(&batch[0]);
+        let rest = warm.evaluate_batch(&batch);
+        assert_eq!(warm_eval.count(), 0, "warm restart re-evaluates nothing");
+        assert_eq!(warm.cache_stats().log_hits, 3);
+        assert_eq!(one.latency_s.to_bits(), cold_metrics[0].latency_s.to_bits());
+        for (w, c) in rest.iter().zip(&cold_metrics) {
+            assert_eq!(w.accuracy.to_bits(), c.accuracy.to_bits());
+            assert_eq!(w.latency_s.to_bits(), c.latency_s.to_bits());
+            assert_eq!(w.energy_j.to_bits(), c.energy_j.to_bits());
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn cache_log_namespaces_by_tag_and_objective() {
+        let dir = std::env::temp_dir().join("gcode-cachelog-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("eval-namespace.gclg");
+        let _ = std::fs::remove_file(&path);
+        let space = crate::space::DesignSpace::paper(WorkloadProfile::modelnet40());
+        let a = arch(16);
+
+        let eval = Counting::new();
+        let log = crate::cachelog::open_shared(&path).expect("open log");
+        let mut first = SearchSession::new(&space, &eval).with_cache_log(log.clone(), "sim|seed4");
+        first.evaluate(&a);
+        assert_eq!(eval.count(), 1);
+
+        // A different fidelity tag must not see the entry…
+        let mut other_tag = SearchSession::new(&space, &eval).with_cache_log(log.clone(), "engine");
+        other_tag.evaluate(&a);
+        assert_eq!(eval.count(), 2);
+        assert_eq!(other_tag.cache_stats().log_hits, 0);
+
+        // …and neither must a different objective under the same tag.
+        let mut other_obj = SearchSession::new(&space, &eval)
+            .with_cache_log(log, "sim|seed4")
+            .with_objective(Objective::new(0.9, 0.5, 3.0));
+        other_obj.evaluate(&a);
+        assert_eq!(eval.count(), 3);
+        assert_eq!(other_obj.cache_stats().log_hits, 0);
+        std::fs::remove_file(&path).expect("cleanup");
     }
 }

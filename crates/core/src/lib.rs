@@ -48,6 +48,7 @@
 //! ```
 
 pub mod arch;
+pub mod cachelog;
 pub mod cost;
 pub mod ea;
 pub mod estimate;

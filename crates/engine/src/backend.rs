@@ -17,6 +17,7 @@ use crate::pool::EdgePool;
 use crate::runtime::{latency_percentiles, DeviceClient, EdgeServer, EngineStats};
 use crate::EngineError;
 use gcode_core::arch::Architecture;
+use gcode_core::cachelog::{self, SharedCacheLog};
 use gcode_core::eval::backend::{shard_batch, EvalBackend, Fidelity};
 use gcode_core::eval::{Evaluator, FleetStats, MeasuredProfile, Metrics, PoolStats};
 use gcode_graph::datasets::Sample;
@@ -49,6 +50,9 @@ struct Telemetry {
     /// Persistent pools spawned (0 unless `with_persistent_edge`; 1 for a
     /// whole healthy search — respawns after contained failures add more).
     pool_spawns: u64,
+    /// Candidates priced from the persistent cache log instead of a live
+    /// deployment — non-zero only on warm restarts.
+    log_hits: u64,
 }
 
 /// [`EvalBackend`] that measures candidates on the live TCP engine —
@@ -139,6 +143,7 @@ pub struct EngineBackend<F: Fn(&Architecture) -> f64 + Sync> {
     persistent: bool,
     fleet_spec: Option<FleetSpec>,
     accuracy_fn: F,
+    cache_log: Option<SharedCacheLog>,
     telemetry: Mutex<Telemetry>,
     pool: Mutex<Option<EdgePool>>,
     fleet: Mutex<Option<EdgeFleet>>,
@@ -177,6 +182,7 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
             persistent: false,
             fleet_spec: None,
             accuracy_fn,
+            cache_log: None,
             telemetry: Mutex::new(Telemetry::default()),
             pool: Mutex::new(None),
             fleet: Mutex::new(None),
@@ -259,6 +265,83 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
         self
     }
 
+    /// Attaches a persistent [`CacheLog`](gcode_core::cachelog::CacheLog):
+    /// before deploying a candidate the backend consults the log, and every
+    /// fresh successful measurement is written through, so a later process
+    /// over the same log re-prices repeated candidates without a single
+    /// deployment — zero pool spawns, zero socket traffic, bit-exact `f64`
+    /// metrics. Failed deployments (sentinel metrics) are never stored, so
+    /// a transient socket error is retried on the next run rather than
+    /// cached forever.
+    ///
+    /// The log key's fidelity tag is derived from the backend configuration
+    /// (seeds, frame counts, uplink cap, endpoint, a dataset fingerprint),
+    /// so differently-configured backends sharing one log file never serve
+    /// each other's numbers. The accuracy function is the one input the tag
+    /// cannot see — callers swapping accuracy models should use distinct
+    /// log files.
+    #[must_use]
+    pub fn with_cache_log(mut self, log: SharedCacheLog) -> Self {
+        self.cache_log = Some(log);
+        self
+    }
+
+    /// The log-key fidelity tag for this configuration, computed per
+    /// lookup so builder-method order never matters. Covers every knob
+    /// that shapes the measured numbers plus a shape/label fingerprint of
+    /// the frame stream.
+    fn fidelity_tag(&self) -> u64 {
+        let mut fingerprint = 0xCBF2_9CE4_8422_2325u64;
+        for s in &self.samples {
+            for v in [s.features.rows() as u64, s.features.cols() as u64, s.label as u64] {
+                fingerprint ^= v;
+                fingerprint = fingerprint.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let uplink = match self.uplink_mbps {
+            Some(mbps) => format!("{mbps}"),
+            None => "none".to_string(),
+        };
+        let endpoint = match (&self.fleet_spec, self.remote_edge) {
+            (Some(spec), _) => format!("fleet:{}", spec.endpoints().len()),
+            (None, Some(addr)) => addr.to_string(),
+            (None, None) => "loopback".to_string(),
+        };
+        cachelog::tag_key(&format!(
+            "engine|classes{}|bank{:#x}|run{:#x}|frames{}|warmup{}|uplink{uplink}|{endpoint}|data{fingerprint:#x}",
+            self.num_classes, self.bank_seed, self.run_seed, self.frames, self.warmup,
+        ))
+    }
+
+    /// Consults the cache log for a candidate's stored metrics.
+    fn log_lookup(&self, arch: &Architecture) -> Option<Metrics> {
+        let log = self.cache_log.as_ref()?;
+        let m = log.lock().ok()?.get(cachelog::arch_key(arch), self.fidelity_tag(), 0);
+        if m.is_some() {
+            self.telemetry.lock().log_hits += 1;
+        }
+        m
+    }
+
+    /// Writes a fresh successful measurement through to the cache log.
+    /// Sentinel-priced failures are deliberately not persisted.
+    fn log_store(&self, arch: &Architecture, m: Metrics) {
+        if m.latency_s >= DEPLOY_FAILURE_SENTINEL {
+            return;
+        }
+        if let Some(log) = &self.cache_log {
+            if let Ok(mut log) = log.lock() {
+                log.put(cachelog::arch_key(arch), self.fidelity_tag(), 0, m);
+            }
+        }
+    }
+
+    /// Candidates priced from the persistent cache log instead of a live
+    /// deployment.
+    pub fn log_hits(&self) -> u64 {
+        self.telemetry.lock().log_hits
+    }
+
     /// Percentiles and traffic accumulated over every *measured* frame so
     /// far — the payload a `SearchReport` surfaces for Measured runs.
     /// Warmup frames contribute nothing here: their latencies, bytes and
@@ -273,6 +356,8 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
             p99_s,
             bytes_sent: t.bytes_sent,
             errors: t.errors,
+            deployed: t.deployments,
+            cached: t.log_hits,
         }
     }
 
@@ -449,33 +534,44 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
     /// recoveries are invisible here — only candidates the fleet
     /// definitively gave up on come back as errors.
     fn run_fleet_batch(&self, archs: &[Architecture]) -> Vec<Metrics> {
-        let plans: Vec<ExecutionPlan> =
-            archs.iter().map(ExecutionPlan::from_architecture).collect();
-        let stream = self.stream();
-        let mut guard = self.fleet.lock();
-        let fleet = guard.get_or_insert_with(|| {
-            let spec = self.fleet_spec.clone().expect("fleet batch requires a spec");
-            let mut fleet = EdgeFleet::new(spec, self.num_classes, self.bank_seed, self.run_seed);
-            if let Some(mbps) = self.uplink_mbps {
-                fleet = fleet.with_uplink_mbps(mbps);
+        // Cache-log partition: candidates with stored metrics never reach
+        // the morsel queue, and a fully-cached batch never even spawns the
+        // fleet — a warm restart deploys nothing.
+        let mut results: Vec<Option<Metrics>> = archs.iter().map(|a| self.log_lookup(a)).collect();
+        let uncached: Vec<usize> = (0..archs.len()).filter(|&i| results[i].is_none()).collect();
+        if !uncached.is_empty() {
+            let plans: Vec<ExecutionPlan> =
+                uncached.iter().map(|&i| ExecutionPlan::from_architecture(&archs[i])).collect();
+            let stream = self.stream();
+            let mut guard = self.fleet.lock();
+            let fleet = guard.get_or_insert_with(|| {
+                let spec = self.fleet_spec.clone().expect("fleet batch requires a spec");
+                let mut fleet =
+                    EdgeFleet::new(spec, self.num_classes, self.bank_seed, self.run_seed);
+                if let Some(mbps) = self.uplink_mbps {
+                    fleet = fleet.with_uplink_mbps(mbps);
+                }
+                fleet
+            });
+            let spawns_before = fleet.spawns();
+            let outcomes = fleet.run_batch(&plans, &stream);
+            let spawned = fleet.spawns() - spawns_before;
+            drop(guard);
+            if spawned > 0 {
+                self.telemetry.lock().pool_spawns += spawned;
             }
-            fleet
-        });
-        let spawns_before = fleet.spawns();
-        let outcomes = fleet.run_batch(&plans, &stream);
-        let spawned = fleet.spawns() - spawns_before;
-        drop(guard);
-        if spawned > 0 {
-            self.telemetry.lock().pool_spawns += spawned;
+            for (&i, outcome) in uncached.iter().zip(outcomes) {
+                let m = match outcome {
+                    Ok((predictions, stats)) => {
+                        self.price_measured(&archs[i], &predictions, &stats)
+                    }
+                    Err(_) => self.price_failure(),
+                };
+                self.log_store(&archs[i], m);
+                results[i] = Some(m);
+            }
         }
-        archs
-            .iter()
-            .zip(outcomes)
-            .map(|(arch, outcome)| match outcome {
-                Ok((predictions, stats)) => self.price_measured(arch, &predictions, &stats),
-                Err(_) => self.price_failure(),
-            })
-            .collect()
+        results.into_iter().map(|m| m.expect("every batch slot was filled")).collect()
     }
 }
 
@@ -504,8 +600,15 @@ impl<F: Fn(&Architecture) -> f64 + Sync> Evaluator for EngineBackend<F> {
                 .pop()
                 .expect("one metric for one candidate");
         }
+        if let Some(m) = self.log_lookup(arch) {
+            return m;
+        }
         match self.run_candidate(arch) {
-            Ok((predictions, stats)) => self.price_measured(arch, &predictions, &stats),
+            Ok((predictions, stats)) => {
+                let m = self.price_measured(arch, &predictions, &stats);
+                self.log_store(arch, m);
+                m
+            }
             Err(_) => self.price_failure(),
         }
     }
@@ -604,6 +707,51 @@ mod tests {
         let m2 = b.evaluate(&split_arch());
         assert!(m2.latency_s < DEPLOY_FAILURE_SENTINEL);
         assert_eq!(b.deployments(), 2);
+    }
+
+    #[test]
+    fn cache_log_warm_restart_deploys_nothing_and_is_bit_identical() {
+        let dir = std::env::temp_dir().join("gcode-cachelog-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("backend-warm.gclg");
+        let _ = std::fs::remove_file(&path);
+        let local = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 4 }),
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+
+        // Cold process: real deployments, written through to the log.
+        let log = gcode_core::cachelog::open_shared(&path).expect("open log");
+        let cold = backend().with_frames(2).with_persistent_edge().with_cache_log(log);
+        let cold_split = cold.evaluate(&split_arch());
+        let cold_local = cold.evaluate(&local);
+        assert_eq!(cold.deployments(), 2);
+        assert_eq!(cold.log_hits(), 0);
+        drop(cold);
+
+        // Warm process: same configuration, same log — every candidate is
+        // priced from the log with bit-exact metrics and no engine at all.
+        let log = gcode_core::cachelog::open_shared(&path).expect("reopen log");
+        let warm = backend().with_frames(2).with_persistent_edge().with_cache_log(log);
+        let warm_split = warm.evaluate(&split_arch());
+        let warm_local = warm.evaluate(&local);
+        assert_eq!(warm.deployments(), 0, "warm restart deploys nothing");
+        assert_eq!(warm.pool_spawns(), 0, "no pool was even spawned");
+        assert_eq!(warm.log_hits(), 2);
+        for (w, c) in [(warm_split, cold_split), (warm_local, cold_local)] {
+            assert_eq!(w.accuracy.to_bits(), c.accuracy.to_bits());
+            assert_eq!(w.latency_s.to_bits(), c.latency_s.to_bits());
+            assert_eq!(w.energy_j.to_bits(), c.energy_j.to_bits());
+        }
+
+        // A differently-configured backend must not see those entries.
+        let log = gcode_core::cachelog::open_shared(&path).expect("reopen log");
+        let other = backend().with_frames(3).with_persistent_edge().with_cache_log(log);
+        other.evaluate(&split_arch());
+        assert_eq!(other.log_hits(), 0, "frames count is part of the fidelity tag");
+        assert_eq!(other.deployments(), 1);
+        std::fs::remove_file(&path).expect("cleanup");
     }
 
     #[test]

@@ -228,6 +228,14 @@ const MAX_SPAWN_FAILURES: u8 = 3;
 /// whole fleet.
 pub const MAX_TRIES_PER_CANDIDATE: u8 = 2;
 
+/// Morsel chunk a worker pops per batched deploy while the queue is deep.
+/// Chunking amortizes the deploy control traffic (one `SwapPlanBatch`
+/// round-trip per chunk instead of one `SwapPlan` per candidate), but near
+/// the tail of the queue workers fall back to single-candidate morsels —
+/// otherwise one pool could hoard the last stragglers while its
+/// fleet-mates idle, exactly the skew the morsel queue exists to absorb.
+const DEPLOY_CHUNK: usize = 2;
+
 /// What one pool worker reports back to the coordinating thread while it
 /// drains the morsel queue.
 enum WorkerEvent {
@@ -427,6 +435,7 @@ impl EdgeFleet {
                 live += usize::from(self.slots[idx].pool.is_some());
             }
         }
+        let fleet_width = self.slots.iter().filter(|s| s.pool.is_some()).count().max(1);
         let queue: parking_lot::Mutex<std::collections::VecDeque<usize>> =
             parking_lot::Mutex::new((0..total).collect());
         let (tx, rx) = std::sync::mpsc::channel::<WorkerEvent>();
@@ -439,18 +448,76 @@ impl EdgeFleet {
                 let queue = &queue;
                 s.spawn(move |_| {
                     loop {
-                        let Some(cand) = queue.lock().pop_front() else { break };
-                        let start = std::time::Instant::now();
-                        let result =
-                            pool.deploy(plans[cand].clone()).and_then(|()| pool.run(streams[cand]));
-                        let wall_s = start.elapsed().as_secs_f64();
-                        let died = result.is_err();
-                        let _ = tx.send(WorkerEvent::Measured { slot, cand, wall_s, result });
-                        if died {
-                            // The broken pool drops here; the coordinator
-                            // requeues the candidate and respawns the slot.
-                            let _ = tx.send(WorkerEvent::Exited { slot, pool: None });
-                            return;
+                        // Pop a chunk while the queue is deep enough that
+                        // every pool keeps at least one chunk of work;
+                        // near the tail, fall back to single morsels.
+                        let chunk: Vec<usize> = {
+                            let mut q = queue.lock();
+                            let take =
+                                if q.len() > fleet_width * DEPLOY_CHUNK { DEPLOY_CHUNK } else { 1 };
+                            (0..take).filter_map(|_| q.pop_front()).collect()
+                        };
+                        if chunk.is_empty() {
+                            break;
+                        }
+                        if chunk.len() > 1 {
+                            // One SwapPlanBatch round-trip deploys the
+                            // whole chunk; each run pops its queued plan.
+                            let entries: Vec<(ExecutionPlan, u32)> = chunk
+                                .iter()
+                                .map(|&cand| {
+                                    let plan = plans[cand].clone();
+                                    let frames =
+                                        if plan.offloaded { streams[cand].len() as u32 } else { 0 };
+                                    (plan, frames)
+                                })
+                                .collect();
+                            let start = std::time::Instant::now();
+                            if let Err(e) = pool.deploy_batch(entries) {
+                                // Charge the failure to the chunk's first
+                                // candidate; its mates go back to the
+                                // front of the queue untainted.
+                                let mut q = queue.lock();
+                                for &cand in chunk[1..].iter().rev() {
+                                    q.push_front(cand);
+                                }
+                                drop(q);
+                                let wall_s = start.elapsed().as_secs_f64();
+                                let _ = tx.send(WorkerEvent::Measured {
+                                    slot,
+                                    cand: chunk[0],
+                                    wall_s,
+                                    result: Err(e),
+                                });
+                                let _ = tx.send(WorkerEvent::Exited { slot, pool: None });
+                                return;
+                            }
+                        }
+                        for (i, &cand) in chunk.iter().enumerate() {
+                            let start = std::time::Instant::now();
+                            let result = if chunk.len() > 1 {
+                                pool.run(streams[cand])
+                            } else {
+                                pool.deploy(plans[cand].clone())
+                                    .and_then(|()| pool.run(streams[cand]))
+                            };
+                            let wall_s = start.elapsed().as_secs_f64();
+                            let died = result.is_err();
+                            let _ = tx.send(WorkerEvent::Measured { slot, cand, wall_s, result });
+                            if died {
+                                // The broken pool drops here; unfinished
+                                // chunk-mates return to the queue for
+                                // whichever pool frees up next, and the
+                                // coordinator requeues the victim and
+                                // respawns the slot.
+                                let mut q = queue.lock();
+                                for &mate in chunk[i + 1..].iter().rev() {
+                                    q.push_front(mate);
+                                }
+                                drop(q);
+                                let _ = tx.send(WorkerEvent::Exited { slot, pool: None });
+                                return;
+                            }
                         }
                     }
                     let _ = tx.send(WorkerEvent::Exited { slot, pool: Some(pool) });

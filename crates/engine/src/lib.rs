@@ -74,9 +74,10 @@ pub use fleet::{
 pub use plan::ExecutionPlan;
 pub use pool::EdgePool;
 pub use proto::{
-    decode_frame, decode_state, encode_frame, encode_state, frame_name, read_message,
-    write_message, Frame, SessionOutcome, SessionProgress, SessionSpec, SessionState, SessionTask,
-    WireState, PROTOCOL_VERSION,
+    decode_frame, decode_plan, decode_state, encode_frame, encode_legacy_swap_plan, encode_plan,
+    encode_state, frame_name, plan_wire_id, read_message, write_message, Frame, PlanBatch,
+    SessionOutcome, SessionProgress, SessionSpec, SessionState, SessionTask, WireState,
+    MAX_BATCH_PLANS, PLAN_WIRE_VERSION, PROTOCOL_VERSION,
 };
 pub use runtime::{DeviceClient, EdgeServer, EngineStats};
 pub use throttle::Throttle;

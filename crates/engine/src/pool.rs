@@ -12,6 +12,7 @@
 //! spawned pair would.
 
 use crate::plan::ExecutionPlan;
+use crate::proto::{PlanBatch, MAX_BATCH_PLANS};
 use crate::runtime::{DeviceClient, EdgeServer, EngineStats};
 use crate::EngineError;
 use gcode_graph::datasets::Sample;
@@ -129,6 +130,14 @@ impl EdgePool {
         self
     }
 
+    /// Ships every [`deploy`](Self::deploy) in the legacy v1 JSON
+    /// encoding — see [`DeviceClient::with_json_swaps`].
+    #[must_use]
+    pub fn with_json_swaps(mut self) -> Self {
+        self.client = self.client.with_json_swaps();
+        self
+    }
+
     /// Hot-swaps `plan` onto the warm pair (one `SwapPlan` control frame;
     /// no reconnect, no weight transfer).
     ///
@@ -138,6 +147,30 @@ impl EdgePool {
     pub fn deploy(&mut self, plan: ExecutionPlan) -> Result<(), EngineError> {
         self.client.swap_plan(plan)?;
         self.swaps += 1;
+        Ok(())
+    }
+
+    /// Deploys a whole queue of `(plan, declared state frames)` entries
+    /// with one control round-trip per [`MAX_BATCH_PLANS`]-sized chunk
+    /// instead of one `SwapPlan` frame per candidate — the following
+    /// [`run`](Self::run) calls pop the queue in order. See
+    /// [`DeviceClient::deploy_batch`] for the frame-budget contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection is gone or the edge rejects a
+    /// chunk; entries past the failed chunk are not deployed.
+    pub fn deploy_batch(&mut self, entries: Vec<(ExecutionPlan, u32)>) -> Result<(), EngineError> {
+        let mut entries = entries.into_iter().peekable();
+        while entries.peek().is_some() {
+            let mut batch = PlanBatch::default();
+            for (plan, frames) in entries.by_ref().take(MAX_BATCH_PLANS) {
+                batch.plans.push(plan);
+                batch.frames.push(frames);
+            }
+            self.swaps += batch.plans.len() as u64;
+            self.client.deploy_batch(batch)?;
+        }
         Ok(())
     }
 
@@ -239,6 +272,71 @@ mod tests {
         pool.deploy(ExecutionPlan::from_architecture(&arch(8))).expect("swap");
         let (_, stats) = pool.run(ds.samples()).expect("run");
         assert!(stats.bytes_sent > 0);
+        pool.shutdown().expect("clean");
+    }
+
+    #[test]
+    fn batched_deploy_matches_individual_swaps_bit_identically() {
+        let ds = PointCloudDataset::generate(4, 14, 2, 3);
+        let dims = [8usize, 16, 32];
+
+        // Reference: one SwapPlan control frame per candidate.
+        let mut pool = EdgePool::spawn(WeightBank::new(2, 5), 9).expect("pool");
+        let mut reference = Vec::new();
+        for &dim in &dims {
+            pool.deploy(ExecutionPlan::from_architecture(&arch(dim))).expect("swap");
+            reference.push(pool.run(ds.samples()).expect("run").0);
+        }
+        pool.shutdown().expect("clean");
+
+        // Batched: one SwapPlanBatch round-trip, then three runs popping
+        // the queue — predictions must be bit-identical.
+        let mut pool = EdgePool::spawn(WeightBank::new(2, 5), 9).expect("pool");
+        let entries: Vec<(ExecutionPlan, u32)> = dims
+            .iter()
+            .map(|&dim| (ExecutionPlan::from_architecture(&arch(dim)), ds.samples().len() as u32))
+            .collect();
+        pool.deploy_batch(entries).expect("batched deploy");
+        for expected in &reference {
+            let (preds, stats) = pool.run(ds.samples()).expect("run");
+            assert_eq!(&preds, expected, "batched deploy must match individual swaps");
+            assert!(stats.bytes_sent > 0);
+        }
+        assert_eq!(pool.swaps(), 3);
+        pool.shutdown().expect("clean");
+    }
+
+    #[test]
+    fn batched_deploy_skips_local_plans_and_polices_frame_budgets() {
+        let ds = PointCloudDataset::generate(3, 12, 2, 7);
+        let local = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 4 }),
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let mut pool = EdgePool::spawn(WeightBank::new(2, 5), 9).expect("pool");
+        // Offloaded, local (zero declared frames), offloaded again: the
+        // edge must skip the local entry when auto-advancing.
+        pool.deploy_batch(vec![
+            (ExecutionPlan::from_architecture(&arch(8)), 3),
+            (ExecutionPlan::from_architecture(&local), 0),
+            (ExecutionPlan::from_architecture(&arch(16)), 3),
+        ])
+        .expect("batched deploy");
+        let (_, stats) = pool.run(ds.samples()).expect("offloaded run");
+        assert!(stats.bytes_sent > 0);
+        let (_, stats) = pool.run(ds.samples()).expect("local run");
+        assert_eq!(stats.bytes_sent, 0, "local plan never touches the wire");
+        let (_, stats) = pool.run(ds.samples()).expect("offloaded run");
+        assert!(stats.bytes_sent > 0);
+        pool.shutdown().expect("clean");
+
+        // A run whose sample count disagrees with its declared budget
+        // fails locally before desynchronizing the edge.
+        let mut pool = EdgePool::spawn(WeightBank::new(2, 5), 9).expect("pool");
+        pool.deploy_batch(vec![(ExecutionPlan::from_architecture(&arch(8)), 99)])
+            .expect("batched deploy");
+        assert!(pool.run(ds.samples()).is_err(), "declared 99 frames, streaming 3");
         pool.shutdown().expect("clean");
     }
 

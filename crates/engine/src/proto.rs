@@ -12,6 +12,17 @@
 //! weights), and a bodiless `Shutdown` control frame that ends the serve
 //! loop cleanly.
 //!
+//! Since protocol v2 a `SwapPlan` body is the binary columnar plan
+//! encoding ([`encode_plan`]) rather than JSON — a fixed header (codec
+//! version, FNV-1a integrity id, op counts, slot offset, flags) followed
+//! by one contiguous tag column and one contiguous parameter column
+//! across all ops — and deploys can be batched:
+//! [`Frame::SwapPlanBatch`] ships up to [`MAX_BATCH_PLANS`] plans per
+//! round-trip, answered by one [`Frame::AckBatch`], with the edge
+//! auto-advancing through the queue as each plan's declared `State`
+//! frames are served. The legacy JSON kind is still decoded for one
+//! release ([`encode_legacy_swap_plan`]).
+//!
 //! The remaining kinds are the search-as-a-service session protocol spoken
 //! by `gcode_server`: a [`Frame::Hello`] handshake carrying
 //! [`PROTOCOL_VERSION`] (the server answers a mismatch with a clean
@@ -45,10 +56,14 @@
 
 use crate::plan::ExecutionPlan;
 use crate::EngineError;
+use bytes::{BufMut, BytesMut};
 use gcode_compress::{compress, compress_floats, decompress, decompress_floats};
 use gcode_core::eval::{Objective, SearchReport};
 use gcode_core::search::{SearchConfig, SearchResult};
 use gcode_graph::CsrGraph;
+use gcode_nn::agg::AggMode;
+use gcode_nn::pool::PoolMode;
+use gcode_nn::seq::LayerSpec;
 use gcode_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -183,7 +198,26 @@ pub fn decode_state(body: &[u8]) -> Result<WireState, EngineError> {
 /// change to the session protocol; the server answers a mismatched client
 /// with a [`Frame::Error`] naming both versions instead of letting the
 /// peer trip over a frame it cannot decode.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// History: v1 shipped `SwapPlan` as JSON (kind 1); v2 switched plan
+/// deploys to the binary columnar encoding (kind 13) and added batched
+/// deploys (`SwapPlanBatch`/`AckBatch`, kinds 14/15). A v2 decoder still
+/// accepts the legacy JSON kind for one release — see
+/// [`encode_legacy_swap_plan`].
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Version byte leading every binary-encoded plan (and the
+/// `SwapPlanBatch` body). Independent of [`PROTOCOL_VERSION`]: it gates
+/// the *plan codec* layout, so a decoder can reject a plan blob from a
+/// future layout with a clean error instead of misreading columns.
+pub const PLAN_WIRE_VERSION: u8 = 1;
+
+/// Most plans one [`Frame::SwapPlanBatch`] may carry. Bounds the decode
+/// allocation on the edge (a corrupted count cannot drive a huge
+/// reservation) and keeps one batch comfortably under
+/// [`MAX_MESSAGE_LEN`]; [`crate::EdgePool::deploy_batch`] chunks longer
+/// deploy lists transparently.
+pub const MAX_BATCH_PLANS: usize = 64;
 
 /// Which built-in workload a served search session runs on. The server
 /// owns the dataset/space fixtures for each task so that every client
@@ -264,6 +298,27 @@ pub struct SessionOutcome {
     pub winner_predictions: Vec<usize>,
 }
 
+/// A batched deploy: up to [`MAX_BATCH_PLANS`] plans shipped in one
+/// frame, each annotated with the number of `State` frames the device
+/// will stream for it. The edge acks the whole batch once
+/// ([`Frame::AckBatch`]) and then auto-advances through the queue: after
+/// serving `frames[i]` data frames under plan `i` it activates plan
+/// `i + 1` (resetting its RNG exactly as a single `SwapPlan` would), so
+/// `K` candidate deploys cost one control round-trip instead of `K`
+/// control frames.
+///
+/// A `frames` entry of `0` marks a plan that generates no edge traffic
+/// (a non-offloaded candidate the device prices locally); the edge skips
+/// it when advancing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanBatch {
+    /// Plans in deploy order.
+    pub plans: Vec<ExecutionPlan>,
+    /// `State` frames the device will send for each plan (same length as
+    /// `plans`).
+    pub frames: Vec<u32>,
+}
+
 /// One framed message on the wire: a data frame (an intermediate
 /// [`WireState`] crossing the split, in both directions), one of the
 /// control frames that drive a persistent edge, or one of the session
@@ -312,6 +367,12 @@ pub enum Frame {
     Result(Box<SessionOutcome>),
     /// Client → server: drop the session's server-side state.
     CloseSession(u64),
+    /// Device → edge: deploy a queue of plans in one round-trip; the edge
+    /// answers with one [`Frame::AckBatch`] and auto-advances through the
+    /// queue as each plan's declared `State` frames are served.
+    SwapPlanBatch(Box<PlanBatch>),
+    /// Edge → device: the batch landed; body is the accepted plan count.
+    AckBatch(u32),
 }
 
 const KIND_STATE: u8 = 0;
@@ -327,6 +388,206 @@ const KIND_POLL: u8 = 9;
 const KIND_PROGRESS: u8 = 10;
 const KIND_RESULT: u8 = 11;
 const KIND_CLOSE_SESSION: u8 = 12;
+const KIND_SWAP_PLAN_BINARY: u8 = 13;
+const KIND_SWAP_PLAN_BATCH: u8 = 14;
+const KIND_ACK_BATCH: u8 = 15;
+
+/// Columnar [`LayerSpec`] tags, one byte per op. The parameter column
+/// holds `k` / `out_dim` for the parameterized ops and the mode index
+/// (design-space order) for `Aggregate`/`GlobalPool`.
+const TAG_BUILD_KNN: u8 = 0;
+const TAG_BUILD_RANDOM: u8 = 1;
+const TAG_AGGREGATE: u8 = 2;
+const TAG_COMBINE: u8 = 3;
+const TAG_GLOBAL_POOL: u8 = 4;
+const TAG_IDENTITY: u8 = 5;
+
+/// Fixed-header bytes of a binary plan: version byte, integrity id, op
+/// counts, slot offset, flags. The two columns (one tag byte + one u32
+/// parameter per op) follow.
+const PLAN_HEADER_LEN: usize = 1 + 8 + 2 + 2 + 4 + 1;
+
+fn spec_column_entry(spec: &LayerSpec) -> (u8, u32) {
+    match spec {
+        LayerSpec::BuildKnn { k } => (TAG_BUILD_KNN, *k as u32),
+        LayerSpec::BuildRandom { k } => (TAG_BUILD_RANDOM, *k as u32),
+        LayerSpec::Aggregate(mode) => {
+            let idx = match mode {
+                AggMode::Add => 0,
+                AggMode::Mean => 1,
+                AggMode::Max => 2,
+            };
+            (TAG_AGGREGATE, idx)
+        }
+        LayerSpec::Combine { out_dim } => (TAG_COMBINE, *out_dim as u32),
+        LayerSpec::GlobalPool(mode) => {
+            let idx = match mode {
+                PoolMode::Sum => 0,
+                PoolMode::Mean => 1,
+                PoolMode::Max => 2,
+            };
+            (TAG_GLOBAL_POOL, idx)
+        }
+        LayerSpec::Identity => (TAG_IDENTITY, 0),
+    }
+}
+
+fn spec_from_column(tag: u8, param: u32) -> Result<LayerSpec, EngineError> {
+    match tag {
+        TAG_BUILD_KNN => Ok(LayerSpec::BuildKnn { k: param as usize }),
+        TAG_BUILD_RANDOM => Ok(LayerSpec::BuildRandom { k: param as usize }),
+        TAG_AGGREGATE => match param {
+            0 => Ok(LayerSpec::Aggregate(AggMode::Add)),
+            1 => Ok(LayerSpec::Aggregate(AggMode::Mean)),
+            2 => Ok(LayerSpec::Aggregate(AggMode::Max)),
+            other => Err(EngineError::Protocol(format!("unknown aggregate mode index {other}"))),
+        },
+        TAG_COMBINE => Ok(LayerSpec::Combine { out_dim: param as usize }),
+        TAG_GLOBAL_POOL => match param {
+            0 => Ok(LayerSpec::GlobalPool(PoolMode::Sum)),
+            1 => Ok(LayerSpec::GlobalPool(PoolMode::Mean)),
+            2 => Ok(LayerSpec::GlobalPool(PoolMode::Max)),
+            other => Err(EngineError::Protocol(format!("unknown pool mode index {other}"))),
+        },
+        TAG_IDENTITY => {
+            if param == 0 {
+                Ok(LayerSpec::Identity)
+            } else {
+                Err(EngineError::Protocol(format!("identity op carries parameter {param}")))
+            }
+        }
+        other => Err(EngineError::Protocol(format!("unknown layer-spec tag {other}"))),
+    }
+}
+
+/// FNV-1a over `bytes` — the stable (build- and process-independent)
+/// hash behind [`plan_wire_id`] and the plan blob's integrity check.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Serializes the non-id portion of a binary plan: counts, offset, flags,
+/// then the tag column and the parameter column (device ops first, edge
+/// ops after — one contiguous array per field across all ops).
+fn encode_plan_columns(plan: &ExecutionPlan) -> BytesMut {
+    let ops = plan.device_specs.len() + plan.edge_specs.len();
+    let mut cols = BytesMut::with_capacity(PLAN_HEADER_LEN - 9 + 5 * ops);
+    cols.put_u16_le(plan.device_specs.len() as u16);
+    cols.put_u16_le(plan.edge_specs.len() as u16);
+    cols.put_u32_le(plan.edge_slot_offset as u32);
+    cols.put_u8(u8::from(plan.offloaded));
+    for spec in plan.device_specs.iter().chain(&plan.edge_specs) {
+        cols.put_u8(spec_column_entry(spec).0);
+    }
+    for spec in plan.device_specs.iter().chain(&plan.edge_specs) {
+        cols.put_u32_le(spec_column_entry(spec).1);
+    }
+    cols
+}
+
+/// Stable 64-bit identity of a plan: the FNV-1a hash of its columnar
+/// encoding. Doubles as the wire-level integrity check ([`decode_plan`]
+/// recomputes it, so a bit-flipped blob is rejected instead of deploying
+/// a scrambled plan) and as a persistent cache key for deployed-plan
+/// measurements (`gcode-serve`'s warm-restart cache).
+pub fn plan_wire_id(plan: &ExecutionPlan) -> u64 {
+    fnv1a(&encode_plan_columns(plan))
+}
+
+/// Encodes a plan into the length-delimited binary columnar layout:
+///
+/// ```text
+/// [u8 PLAN_WIRE_VERSION][u64 plan id][u16 device ops][u16 edge ops]
+/// [u32 edge_slot_offset][u8 flags (bit0 = offloaded)]
+/// [u8 tag × ops][u32 param × ops]        (device column, then edge)
+/// ```
+///
+/// Strictly smaller than the legacy JSON body for every plan (asserted
+/// in the round-trip tests) and decodable without a parser pass.
+pub fn encode_plan(plan: &ExecutionPlan) -> Vec<u8> {
+    let cols = encode_plan_columns(plan);
+    let mut buf = BytesMut::with_capacity(9 + cols.len());
+    buf.put_u8(PLAN_WIRE_VERSION);
+    buf.put_u64_le(fnv1a(&cols));
+    buf.put_slice(&cols);
+    buf.into_vec()
+}
+
+/// Decodes a binary columnar plan produced by [`encode_plan`],
+/// recomputing the integrity id.
+///
+/// # Errors
+///
+/// [`EngineError::Protocol`] on a codec-version mismatch, truncated or
+/// oversized buffer, unknown tag/mode, or an id mismatch (bit corruption).
+pub fn decode_plan(buf: &[u8]) -> Result<ExecutionPlan, EngineError> {
+    if buf.len() < PLAN_HEADER_LEN {
+        return Err(EngineError::Protocol(format!(
+            "binary plan needs at least {PLAN_HEADER_LEN} bytes, got {}",
+            buf.len()
+        )));
+    }
+    if buf[0] != PLAN_WIRE_VERSION {
+        return Err(EngineError::Protocol(format!(
+            "plan codec version mismatch: decoder speaks v{PLAN_WIRE_VERSION}, blob is v{}",
+            buf[0]
+        )));
+    }
+    let id = u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes"));
+    let cols = &buf[9..];
+    if fnv1a(cols) != id {
+        return Err(EngineError::Protocol(
+            "plan integrity check failed (corrupt blob)".to_string(),
+        ));
+    }
+    let device_ops = u16::from_le_bytes(cols[0..2].try_into().expect("2 bytes")) as usize;
+    let edge_ops = u16::from_le_bytes(cols[2..4].try_into().expect("2 bytes")) as usize;
+    let mut pos = 4usize;
+    let edge_slot_offset = read_u32(cols, &mut pos)? as usize;
+    let flags = cols[pos];
+    if flags > 1 {
+        return Err(EngineError::Protocol(format!("unknown plan flag bits {flags:#04x}")));
+    }
+    pos += 1;
+    let ops = device_ops + edge_ops;
+    if cols.len() != pos + 5 * ops {
+        return Err(EngineError::Protocol(format!(
+            "binary plan length mismatch: {ops} ops need {} column bytes, got {}",
+            5 * ops,
+            cols.len() - pos
+        )));
+    }
+    let (tags, params) = cols[pos..].split_at(ops);
+    let mut specs = Vec::with_capacity(ops);
+    for (i, &tag) in tags.iter().enumerate() {
+        let param = u32::from_le_bytes(params[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        specs.push(spec_from_column(tag, param)?);
+    }
+    let edge_specs = specs.split_off(device_ops);
+    Ok(ExecutionPlan {
+        device_specs: specs,
+        edge_specs,
+        edge_slot_offset,
+        offloaded: flags & 1 == 1,
+    })
+}
+
+/// Encodes a `SwapPlan` in the legacy v1 JSON framing (kind byte 1). A
+/// v2 decoder still accepts it for one release — the compatibility
+/// escape hatch for mixed-version fleets, and the baseline the ablation
+/// prices the binary encoding against.
+pub fn encode_legacy_swap_plan(plan: &ExecutionPlan) -> Vec<u8> {
+    let mut body = vec![KIND_SWAP_PLAN];
+    body.extend_from_slice(
+        serde_json::to_string(plan).expect("ExecutionPlan always serializes").as_bytes(),
+    );
+    body
+}
 
 /// Encodes a frame into a message body (pass to [`write_message`]).
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
@@ -337,12 +598,36 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body
         }
         Frame::SwapPlan(plan) => {
-            let mut body = vec![KIND_SWAP_PLAN];
-            body.extend_from_slice(
-                serde_json::to_string(plan.as_ref())
-                    .expect("ExecutionPlan always serializes")
-                    .as_bytes(),
+            let mut body = vec![KIND_SWAP_PLAN_BINARY];
+            body.extend_from_slice(&encode_plan(plan));
+            body
+        }
+        Frame::SwapPlanBatch(batch) => {
+            assert_eq!(
+                batch.plans.len(),
+                batch.frames.len(),
+                "PlanBatch plans/frames must be parallel arrays"
             );
+            assert!(
+                batch.plans.len() <= MAX_BATCH_PLANS,
+                "batch of {} plans exceeds MAX_BATCH_PLANS ({MAX_BATCH_PLANS})",
+                batch.plans.len()
+            );
+            let mut buf = BytesMut::new();
+            buf.put_u8(KIND_SWAP_PLAN_BATCH);
+            buf.put_u8(PLAN_WIRE_VERSION);
+            buf.put_u16_le(batch.plans.len() as u16);
+            for (plan, frames) in batch.plans.iter().zip(&batch.frames) {
+                let blob = encode_plan(plan);
+                buf.put_u32_le(*frames);
+                buf.put_u32_le(blob.len() as u32);
+                buf.put_slice(&blob);
+            }
+            buf.into_vec()
+        }
+        Frame::AckBatch(count) => {
+            let mut body = vec![KIND_ACK_BATCH];
+            body.extend_from_slice(&count.to_le_bytes());
             body
         }
         Frame::Shutdown => vec![KIND_SHUTDOWN],
@@ -384,6 +669,8 @@ pub fn frame_name(frame: &Frame) -> &'static str {
         Frame::Progress(_) => "progress",
         Frame::Result(_) => "result",
         Frame::CloseSession(_) => "close-session",
+        Frame::SwapPlanBatch(_) => "swap-plan-batch",
+        Frame::AckBatch(_) => "ack-batch",
     }
 }
 
@@ -483,6 +770,53 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, EngineError> {
         KIND_PROGRESS => Ok(Frame::Progress(decode_json_frame(rest, "progress")?)),
         KIND_RESULT => Ok(Frame::Result(Box::new(decode_json_frame(rest, "result")?))),
         KIND_CLOSE_SESSION => Ok(Frame::CloseSession(decode_session_id(rest, "close-session")?)),
+        KIND_SWAP_PLAN_BINARY => Ok(Frame::SwapPlan(Box::new(decode_plan(rest)?))),
+        KIND_SWAP_PLAN_BATCH => {
+            if rest.len() < 3 {
+                return Err(EngineError::Protocol(
+                    "swap-plan-batch frame shorter than its header".to_string(),
+                ));
+            }
+            if rest[0] != PLAN_WIRE_VERSION {
+                return Err(EngineError::Protocol(format!(
+                    "plan codec version mismatch: decoder speaks v{PLAN_WIRE_VERSION}, batch is v{}",
+                    rest[0]
+                )));
+            }
+            let count = u16::from_le_bytes(rest[1..3].try_into().expect("2 bytes")) as usize;
+            if count > MAX_BATCH_PLANS {
+                return Err(EngineError::Protocol(format!(
+                    "batch of {count} plans exceeds the {MAX_BATCH_PLANS}-plan cap"
+                )));
+            }
+            let mut pos = 3usize;
+            let mut batch =
+                PlanBatch { plans: Vec::with_capacity(count), frames: Vec::with_capacity(count) };
+            for _ in 0..count {
+                let frames = read_u32(rest, &mut pos)?;
+                let plan_len = read_u32(rest, &mut pos)? as usize;
+                let end = pos + plan_len;
+                if end > rest.len() {
+                    return Err(EngineError::Protocol("truncated batched plan".to_string()));
+                }
+                batch.plans.push(decode_plan(&rest[pos..end])?);
+                batch.frames.push(frames);
+                pos = end;
+            }
+            if pos != rest.len() {
+                return Err(EngineError::Protocol(format!(
+                    "swap-plan-batch frame carries {} trailing bytes",
+                    rest.len() - pos
+                )));
+            }
+            Ok(Frame::SwapPlanBatch(Box::new(batch)))
+        }
+        KIND_ACK_BATCH => {
+            let bytes: [u8; 4] = rest.try_into().map_err(|_| {
+                EngineError::Protocol("ack-batch frame body must be exactly 4 bytes".to_string())
+            })?;
+            Ok(Frame::AckBatch(u32::from_le_bytes(bytes)))
+        }
         other => Err(EngineError::Protocol(format!("unknown frame kind {other}"))),
     }
 }
@@ -704,6 +1038,114 @@ mod tests {
         assert!(decode_frame(&[KIND_BUSY, 0, 0]).is_err(), "short busy counters");
         assert!(decode_frame(&[KIND_OPEN_SESSION, b'{']).is_err(), "truncated spec json");
         assert!(decode_frame(&[KIND_RESULT, 0xFF]).is_err(), "non-UTF-8 result body");
+    }
+
+    fn split_plan() -> ExecutionPlan {
+        ExecutionPlan {
+            device_specs: vec![
+                LayerSpec::BuildKnn { k: 20 },
+                LayerSpec::Aggregate(AggMode::Max),
+                LayerSpec::Combine { out_dim: 64 },
+            ],
+            edge_specs: vec![
+                LayerSpec::BuildRandom { k: 10 },
+                LayerSpec::Aggregate(AggMode::Mean),
+                LayerSpec::Combine { out_dim: 40 },
+                LayerSpec::GlobalPool(PoolMode::Mean),
+            ],
+            edge_slot_offset: 3,
+            offloaded: true,
+        }
+    }
+
+    #[test]
+    fn binary_plan_round_trips() {
+        let plan = split_plan();
+        let blob = encode_plan(&plan);
+        assert_eq!(decode_plan(&blob).expect("round trip"), plan);
+        // The wire id is the id embedded in the blob.
+        assert_eq!(
+            u64::from_le_bytes(blob[1..9].try_into().expect("8 bytes")),
+            plan_wire_id(&plan)
+        );
+    }
+
+    fn local_plan() -> ExecutionPlan {
+        ExecutionPlan {
+            device_specs: vec![LayerSpec::BuildKnn { k: 4 }, LayerSpec::GlobalPool(PoolMode::Sum)],
+            edge_specs: Vec::new(),
+            edge_slot_offset: 2,
+            offloaded: false,
+        }
+    }
+
+    #[test]
+    fn binary_plan_beats_json_size() {
+        for plan in [split_plan(), local_plan()] {
+            let binary = encode_plan(&plan);
+            let json = serde_json::to_string(&plan).expect("serializes");
+            assert!(
+                binary.len() < json.len(),
+                "binary plan ({} B) must be strictly smaller than JSON ({} B)",
+                binary.len(),
+                json.len()
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_json_swap_plan_still_decodes() {
+        let plan = split_plan();
+        let body = encode_legacy_swap_plan(&plan);
+        assert_eq!(body[0], KIND_SWAP_PLAN, "legacy encoding keeps the v1 kind byte");
+        assert_eq!(decode_frame(&body).expect("legacy decode"), Frame::SwapPlan(Box::new(plan)));
+    }
+
+    #[test]
+    fn corrupted_plan_blob_rejected() {
+        let blob = encode_plan(&split_plan());
+        // Flip one bit in every byte position: the integrity id (or, for
+        // flips inside the id/version itself, the mismatch check) must
+        // reject each corruption — never decode a scrambled plan.
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x10;
+            assert!(decode_plan(&bad).is_err(), "bit flip at byte {i} must be rejected");
+        }
+        assert!(decode_plan(&blob[..blob.len() - 1]).is_err(), "truncated blob");
+        assert!(decode_plan(&[]).is_err(), "empty blob");
+    }
+
+    #[test]
+    fn batch_frame_round_trips() {
+        let batch = PlanBatch { plans: vec![split_plan(), local_plan()], frames: vec![8, 0] };
+        let frame = Frame::SwapPlanBatch(Box::new(batch));
+        assert_eq!(decode_frame(&encode_frame(&frame)).expect("batch"), frame);
+
+        let ack = Frame::AckBatch(2);
+        assert_eq!(decode_frame(&encode_frame(&ack)).expect("ack"), ack);
+    }
+
+    #[test]
+    fn malformed_batch_frames_rejected() {
+        let frame = Frame::SwapPlanBatch(Box::new(PlanBatch {
+            plans: vec![split_plan()],
+            frames: vec![4],
+        }));
+        let body = encode_frame(&frame);
+        assert!(decode_frame(&body[..body.len() - 2]).is_err(), "truncated batched plan");
+        assert!(decode_frame(&[KIND_SWAP_PLAN_BATCH]).is_err(), "missing batch header");
+
+        // A count past the cap must be rejected before any allocation.
+        let mut oversized = vec![KIND_SWAP_PLAN_BATCH, PLAN_WIRE_VERSION];
+        oversized.extend_from_slice(&(MAX_BATCH_PLANS as u16 + 1).to_le_bytes());
+        assert!(decode_frame(&oversized).is_err(), "oversized batch count");
+
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert!(decode_frame(&trailing).is_err(), "trailing batch bytes");
+
+        assert!(decode_frame(&[KIND_ACK_BATCH, 1, 2]).is_err(), "short ack body");
     }
 
     #[test]

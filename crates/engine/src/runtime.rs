@@ -2,7 +2,8 @@
 
 use crate::plan::ExecutionPlan;
 use crate::proto::{
-    decode_frame, encode_frame, frame_name, read_message, write_message, Frame, WireState,
+    decode_frame, encode_frame, encode_legacy_swap_plan, frame_name, read_message, write_message,
+    Frame, PlanBatch, WireState, MAX_BATCH_PLANS,
 };
 use crate::EngineError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -10,6 +11,8 @@ use gcode_graph::datasets::Sample;
 use gcode_nn::seq::{classify, forward_features, GraphInput, WeightBank};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -19,7 +22,7 @@ use std::time::Instant;
 /// frame `f`'s latency runs from the moment its device prefix starts to
 /// the moment its result arrives back — queueing included, which is what a
 /// deployed client experiences.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Frames processed.
     pub frames: usize,
@@ -254,11 +257,37 @@ enum ServeOutcome {
     Shutdown,
 }
 
+/// Activates the next batched plan owing edge traffic: entries declaring
+/// zero `State` frames (non-offloaded candidates the device prices
+/// locally) are skipped, and the RNG stream restarts exactly as a single
+/// `SwapPlan` would, so a batched deploy computes bit-for-bit what K
+/// individual swaps would.
+fn advance_batch(
+    plan: &mut Option<ExecutionPlan>,
+    pending: &mut VecDeque<(ExecutionPlan, u32)>,
+    remaining: &mut Option<u32>,
+    rng: &mut ChaCha8Rng,
+    seed: u64,
+) {
+    while let Some((next, frames)) = pending.pop_front() {
+        if frames == 0 {
+            continue;
+        }
+        *plan = Some(next);
+        *remaining = Some(frames);
+        *rng = ChaCha8Rng::seed_from_u64(seed ^ 0xED6E);
+        return;
+    }
+    *remaining = Some(0);
+}
+
 /// Serves one device connection frame by frame. `plan` is the initially
 /// active plan (`None` for a persistent edge awaiting its first
 /// `SwapPlan`); a `SwapPlan` frame replaces it in place and restarts the
 /// edge RNG stream, so a swapped-in candidate computes exactly what a
-/// freshly spawned edge would.
+/// freshly spawned edge would. A `SwapPlanBatch` queues several plans at
+/// once: the edge acks the whole batch, then auto-advances through the
+/// queue as each plan's declared frame budget drains.
 fn serve_frames(
     stream: TcpStream,
     mut plan: Option<ExecutionPlan>,
@@ -266,6 +295,11 @@ fn serve_frames(
     seed: u64,
 ) -> Result<ServeOutcome, EngineError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xED6E);
+    // Batched deploys still queued behind the active plan, plus how many
+    // `State` frames the active plan may still serve before advancing
+    // (`None` = unbounded, the single-`SwapPlan` mode).
+    let mut pending: VecDeque<(ExecutionPlan, u32)> = VecDeque::new();
+    let mut remaining: Option<u32> = None;
     stream.set_nodelay(true)?;
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
@@ -275,8 +309,27 @@ fn serve_frames(
             Frame::SwapPlan(next) => {
                 plan = Some(*next);
                 rng = ChaCha8Rng::seed_from_u64(seed ^ 0xED6E);
+                pending.clear();
+                remaining = None;
+            }
+            Frame::SwapPlanBatch(batch) => {
+                write_message(
+                    &mut writer,
+                    &encode_frame(&Frame::AckBatch(batch.plans.len() as u32)),
+                )?;
+                // Append, don't replace: a deploy longer than one batch
+                // frame arrives as consecutive chunks.
+                pending.extend(batch.plans.into_iter().zip(batch.frames));
+                if remaining.is_none() || remaining == Some(0) {
+                    advance_batch(&mut plan, &mut pending, &mut remaining, &mut rng, seed);
+                }
             }
             Frame::State(state) => {
+                if remaining == Some(0) {
+                    return Err(EngineError::Protocol(
+                        "state frame arrived beyond the batch's declared frame budget".to_string(),
+                    ));
+                }
                 let active = plan.as_ref().ok_or_else(|| {
                     EngineError::Protocol(
                         "state frame arrived before any plan was deployed".to_string(),
@@ -297,6 +350,12 @@ fn serve_frames(
                     label: state.label,
                 };
                 write_message(&mut writer, &encode_frame(&Frame::State(reply)))?;
+                if let Some(rem) = remaining.as_mut() {
+                    *rem -= 1;
+                    if *rem == 0 {
+                        advance_batch(&mut plan, &mut pending, &mut remaining, &mut rng, seed);
+                    }
+                }
             }
             // Session frames belong to the gcode-serve daemon, not a raw
             // edge — rejecting them here keeps a client that dialed the
@@ -320,6 +379,10 @@ pub struct DeviceClient {
     seed: u64,
     uplink_mbps: Option<f64>,
     session: bool,
+    json_swaps: bool,
+    // Local mirror of a batched deploy: each run pops the next
+    // `(plan, declared frames)` entry instead of sending a SwapPlan.
+    pending_plans: VecDeque<(ExecutionPlan, u32)>,
 }
 
 impl DeviceClient {
@@ -337,7 +400,16 @@ impl DeviceClient {
     ) -> Result<Self, EngineError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { plan, bank, stream: Some(stream), seed, uplink_mbps: None, session: false })
+        Ok(Self {
+            plan,
+            bank,
+            stream: Some(stream),
+            seed,
+            uplink_mbps: None,
+            session: false,
+            json_swaps: false,
+            pending_plans: VecDeque::new(),
+        })
     }
 
     /// Like [`connect`](Self::connect), but gives up after `timeout`
@@ -358,7 +430,16 @@ impl DeviceClient {
     ) -> Result<Self, EngineError> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_nodelay(true)?;
-        Ok(Self { plan, bank, stream: Some(stream), seed, uplink_mbps: None, session: false })
+        Ok(Self {
+            plan,
+            bank,
+            stream: Some(stream),
+            seed,
+            uplink_mbps: None,
+            session: false,
+            json_swaps: false,
+            pending_plans: VecDeque::new(),
+        })
     }
 
     /// Caps the uplink at `mbps`, emulating the paper's router bandwidth
@@ -383,22 +464,118 @@ impl DeviceClient {
         self
     }
 
+    /// Ships `SwapPlan` control frames in the legacy v1 JSON encoding
+    /// instead of the binary columnar one — the compatibility mode for a
+    /// not-yet-upgraded edge, and the baseline the ablation prices the
+    /// binary encoding against. Batched deploys have no JSON form and are
+    /// unaffected.
+    #[must_use]
+    pub fn with_json_swaps(mut self) -> Self {
+        self.json_swaps = true;
+        self
+    }
+
+    /// Paces a control frame against the emulated uplink: swap and batch
+    /// frames cross the same capped router as data frames, so their bytes
+    /// must cost wire time too — that is exactly the saving the binary
+    /// encoding buys.
+    fn pace_control(&self, wire_bytes: usize) {
+        if let Some(mbps) = self.uplink_mbps {
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                wire_bytes as f64 * 8.0 / (mbps * 1e6),
+            ));
+        }
+    }
+
     /// Hot-swaps the active plan on both halves: sends a `SwapPlan`
     /// control frame to the edge (which keeps its process, socket and
     /// shared [`WeightBank`], restarting only its RNG stream) and adopts
     /// the plan locally. The shared supernet bank means no weight transfer
     /// accompanies the switch — the paper's Sec. 3.6 dispatcher claim.
+    /// Any queued batched deploy is discarded on both halves.
     ///
     /// # Errors
     ///
     /// Returns an error if the connection is gone or the send fails.
     pub fn swap_plan(&mut self, plan: ExecutionPlan) -> Result<(), EngineError> {
+        let body = if self.json_swaps {
+            encode_legacy_swap_plan(&plan)
+        } else {
+            encode_frame(&Frame::SwapPlan(Box::new(plan.clone())))
+        };
+        self.pace_control(body.len() + 4);
         let stream = self
             .stream
             .as_mut()
             .ok_or_else(|| EngineError::Protocol("client connection closed".to_string()))?;
-        write_message(stream, &encode_frame(&Frame::SwapPlan(Box::new(plan.clone()))))?;
+        write_message(stream, &body)?;
         self.plan = plan;
+        self.pending_plans.clear();
+        Ok(())
+    }
+
+    /// Deploys a whole queue of plans in one control round-trip: ships a
+    /// `SwapPlanBatch` frame, blocks for the edge's `AckBatch` (the socket
+    /// is quiescent between runs, so the next message is the ack), and
+    /// mirrors the queue locally — each following
+    /// [`run_pipelined`](Self::run_pipelined) pops the next entry instead
+    /// of sending its own `SwapPlan`. Each entry declares how many `State`
+    /// frames its run will stream (`0` for a non-offloaded plan); the edge
+    /// uses the budgets to auto-advance, and a run whose sample count
+    /// disagrees with its declaration fails locally before desynchronizing
+    /// the edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a malformed batch (mismatched arrays, more than
+    /// [`MAX_BATCH_PLANS`] plans), a lost connection, or an unexpected
+    /// reply.
+    pub fn deploy_batch(&mut self, batch: PlanBatch) -> Result<(), EngineError> {
+        if batch.plans.len() != batch.frames.len() {
+            return Err(EngineError::Protocol(format!(
+                "batch ships {} plans but {} frame budgets",
+                batch.plans.len(),
+                batch.frames.len()
+            )));
+        }
+        if batch.plans.is_empty() {
+            return Ok(());
+        }
+        if batch.plans.len() > MAX_BATCH_PLANS {
+            return Err(EngineError::Protocol(format!(
+                "batch of {} plans exceeds the {MAX_BATCH_PLANS}-plan cap; chunk the deploy",
+                batch.plans.len()
+            )));
+        }
+        let expected = batch.plans.len();
+        let frame = Frame::SwapPlanBatch(Box::new(batch));
+        let body = encode_frame(&frame);
+        self.pace_control(body.len() + 4);
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| EngineError::Protocol("client connection closed".to_string()))?;
+        write_message(&mut *stream, &body)?;
+        let reply = read_message(stream)?.ok_or_else(|| {
+            EngineError::Protocol("edge closed before acking the batch".to_string())
+        })?;
+        match decode_frame(&reply)? {
+            Frame::AckBatch(n) if n as usize == expected => {}
+            Frame::AckBatch(n) => {
+                return Err(EngineError::Protocol(format!(
+                    "edge acked {n} of {expected} batched plans"
+                )))
+            }
+            Frame::Error(msg) => return Err(EngineError::Protocol(msg)),
+            other => {
+                return Err(EngineError::Protocol(format!(
+                    "expected an ack-batch reply, got a {} frame",
+                    frame_name(&other)
+                )))
+            }
+        }
+        let Frame::SwapPlanBatch(batch) = frame else { unreachable!("constructed above") };
+        self.pending_plans.extend(batch.plans.into_iter().zip(batch.frames));
         Ok(())
     }
 
@@ -437,6 +614,16 @@ impl DeviceClient {
         samples: &[Sample],
     ) -> Result<(Vec<usize>, EngineStats), EngineError> {
         let start = Instant::now();
+        if let Some((plan, declared)) = self.pending_plans.pop_front() {
+            let expected = if plan.offloaded { samples.len() as u32 } else { 0 };
+            if declared != expected {
+                self.pending_plans.clear();
+                return Err(EngineError::Protocol(format!(
+                    "batched plan declared {declared} state frames but this run streams {expected}"
+                )));
+            }
+            self.plan = plan;
+        }
         if !self.plan.offloaded {
             return self.run_local(samples, start);
         }

@@ -21,13 +21,16 @@
 
 use crate::executor::{FleetCommand, FleetExecutor, MeasureJob};
 use crate::session::{
-    run_search, session_measurements, stream_of, zoo_plans, MAX_SESSION_ITERATIONS,
+    decode_measurement, encode_measurement, measurement_context, run_search, session_measurements,
+    stream_of, zoo_plans, MAX_SESSION_ITERATIONS,
 };
 use crate::ServerError;
+use gcode_core::cachelog::{open_shared, SharedCacheLog};
 use gcode_core::eval::FleetStats;
 use gcode_engine::{
-    decode_frame, encode_frame, frame_name, read_message, write_message, FleetSpec, Frame,
-    SessionOutcome, SessionProgress, SessionSpec, SessionState, PROTOCOL_VERSION,
+    decode_frame, encode_frame, frame_name, plan_wire_id, read_message, write_message,
+    FleetOutcome, FleetSpec, Frame, SessionOutcome, SessionProgress, SessionSpec, SessionState,
+    PROTOCOL_VERSION,
 };
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -43,13 +46,14 @@ pub struct ServerConfig {
     max_sessions: usize,
     queue_limit: usize,
     sessions_limit: Option<u64>,
+    cache_file: Option<std::path::PathBuf>,
 }
 
 impl ServerConfig {
     /// A server over `fleet` with the default admission bounds: 4
     /// concurrently running sessions plus a queue of 8.
     pub fn new(fleet: FleetSpec) -> Self {
-        Self { fleet, max_sessions: 4, queue_limit: 8, sessions_limit: None }
+        Self { fleet, max_sessions: 4, queue_limit: 8, sessions_limit: None, cache_file: None }
     }
 
     /// Sets the number of concurrently *running* sessions (worker
@@ -76,6 +80,19 @@ impl ServerConfig {
     #[must_use]
     pub fn with_sessions_limit(mut self, n: u64) -> Self {
         self.sessions_limit = Some(n.max(1));
+        self
+    }
+
+    /// Persists zoo measurements in an append-only
+    /// [`CacheLog`](gcode_core::cachelog::CacheLog) at `path`: each
+    /// deployed plan's predictions and [`gcode_engine::EngineStats`] are
+    /// stored keyed by the plan's wire id and the task's fixture
+    /// namespace, so a restarted server (or a re-submitted session) serves
+    /// repeat measurements without a single fleet deployment. Sessions
+    /// report the split via `MeasuredProfile::{deployed, cached}`.
+    #[must_use]
+    pub fn with_cache_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_file = Some(path.into());
         self
     }
 }
@@ -193,6 +210,7 @@ impl SearchServer {
     pub fn start(listen: &str, config: ServerConfig) -> Result<Self, ServerError> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
+        let cache = config.cache_file.as_ref().map(open_shared).transpose()?;
         let executor = FleetExecutor::spawn(config.fleet.clone())?;
         let executor_tx = executor.sender();
         let (work_tx, work_rx) = std::sync::mpsc::channel::<Arc<SessionEntry>>();
@@ -218,9 +236,10 @@ impl SearchServer {
                 let shared = Arc::clone(&shared);
                 let work_rx = Arc::clone(&work_rx);
                 let fleet_tx = executor.sender();
+                let cache = cache.clone();
                 std::thread::Builder::new()
                     .name(format!("gcode-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &work_rx, &fleet_tx))
+                    .spawn(move || worker_loop(&shared, &work_rx, &fleet_tx, cache.as_ref()))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
         let accept = {
@@ -507,6 +526,7 @@ fn worker_loop(
     shared: &Arc<Shared>,
     work_rx: &Arc<Mutex<Receiver<Arc<SessionEntry>>>>,
     fleet_tx: &Sender<FleetCommand>,
+    cache: Option<&SharedCacheLog>,
 ) {
     loop {
         // Hold the receiver lock only while blocking for the next
@@ -519,7 +539,7 @@ fn worker_loop(
             }
         };
         shared.active.fetch_add(1, Ordering::SeqCst);
-        let terminal = run_session(&entry, fleet_tx);
+        let terminal = run_session(&entry, fleet_tx, cache);
         *entry.phase.lock().expect("phase lock") = terminal;
         shared.active.fetch_sub(1, Ordering::SeqCst);
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -527,32 +547,67 @@ fn worker_loop(
 }
 
 /// Runs one session's pipeline and returns its terminal phase.
-fn run_session(entry: &Arc<SessionEntry>, fleet_tx: &Sender<FleetCommand>) -> SessionPhase {
+fn run_session(
+    entry: &Arc<SessionEntry>,
+    fleet_tx: &Sender<FleetCommand>,
+    cache: Option<&SharedCacheLog>,
+) -> SessionPhase {
     *entry.phase.lock().expect("phase lock") = SessionPhase::Searching;
     let (mut report, result) = run_search(&entry.spec, &entry.evaluated);
     let mut winner_predictions = Vec::new();
     if entry.spec.measure_zoo && !result.zoo.is_empty() {
         *entry.phase.lock().expect("phase lock") = SessionPhase::Measuring;
-        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        let job = MeasureJob {
-            session: entry.id,
-            plans: zoo_plans(&result),
-            stream: Arc::new(stream_of(entry.spec.task)),
-            reply: reply_tx,
-        };
-        if fleet_tx.send(FleetCommand::Measure(job)).is_err() {
-            return SessionPhase::Failed("fleet executor is shut down".to_string());
-        }
-        match reply_rx.recv() {
-            Ok(outcomes) => {
-                let (measured, preds) = session_measurements(&outcomes);
-                report = report.with_measured(measured);
-                winner_predictions = preds;
+        let plans = zoo_plans(&result);
+        // Measurement cache: a plan whose deployment is already on record
+        // (same wire id, same task fixtures) never reaches the fleet; only
+        // the rest become a MeasureJob — a fully-cached zoo skips the
+        // Measuring queue outright.
+        let context = measurement_context(entry.spec.task);
+        let mut outcomes: Vec<Option<FleetOutcome>> = plans
+            .iter()
+            .map(|plan| {
+                let log = cache?.lock().ok()?;
+                let blob = log.get_blob((plan_wire_id(plan), context))?;
+                decode_measurement(blob).map(|(preds, stats)| Ok((preds, stats)))
+            })
+            .collect();
+        let cached = outcomes.iter().filter(|o| o.is_some()).count() as u64;
+        let uncached: Vec<usize> = (0..plans.len()).filter(|&i| outcomes[i].is_none()).collect();
+        if !uncached.is_empty() {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            let job = MeasureJob {
+                session: entry.id,
+                plans: uncached.iter().map(|&i| plans[i].clone()).collect(),
+                stream: Arc::new(stream_of(entry.spec.task)),
+                reply: reply_tx,
+            };
+            if fleet_tx.send(FleetCommand::Measure(job)).is_err() {
+                return SessionPhase::Failed("fleet executor is shut down".to_string());
             }
-            Err(_) => {
-                return SessionPhase::Failed("fleet executor shut down mid-measurement".to_string())
+            let Ok(fresh) = reply_rx.recv() else {
+                return SessionPhase::Failed(
+                    "fleet executor shut down mid-measurement".to_string(),
+                );
+            };
+            for (&i, outcome) in uncached.iter().zip(fresh) {
+                if let (Some(log), Ok((preds, stats))) = (cache, &outcome) {
+                    if let Ok(mut log) = log.lock() {
+                        log.put_blob(
+                            (plan_wire_id(&plans[i]), context),
+                            &encode_measurement(preds, stats),
+                        );
+                    }
+                }
+                outcomes[i] = Some(outcome);
             }
         }
+        let outcomes: Vec<FleetOutcome> =
+            outcomes.into_iter().map(|o| o.expect("every zoo slot measured")).collect();
+        let (mut measured, preds) = session_measurements(&outcomes);
+        measured.deployed -= cached;
+        measured.cached = cached;
+        report = report.with_measured(measured);
+        winner_predictions = preds;
     }
     SessionPhase::Done(Box::new(SessionOutcome {
         session: entry.id,

@@ -26,7 +26,8 @@ use gcode_core::search::{RandomSearch, SearchResult};
 use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_engine::{
-    EdgeFleet, ExecutionPlan, FleetOutcome, FleetSpec, SessionOutcome, SessionSpec, SessionTask,
+    EdgeFleet, EngineStats, ExecutionPlan, FleetOutcome, FleetSpec, SessionOutcome, SessionSpec,
+    SessionTask,
 };
 use gcode_graph::datasets::{PointCloudDataset, Sample, TextGraphDataset};
 use gcode_hardware::SystemConfig;
@@ -178,6 +179,7 @@ pub(crate) fn session_measurements(outcomes: &[FleetOutcome]) -> (MeasuredProfil
     let mut frames = 0u64;
     let mut bytes_sent = 0u64;
     let mut errors = 0u64;
+    let mut deployed = 0u64;
     let mut winner_predictions = Vec::new();
     for (i, outcome) in outcomes.iter().enumerate() {
         match outcome {
@@ -185,6 +187,7 @@ pub(crate) fn session_measurements(outcomes: &[FleetOutcome]) -> (MeasuredProfil
                 if i == 0 {
                     winner_predictions = preds.clone();
                 }
+                deployed += 1;
                 frames += stats.frames as u64;
                 bytes_sent += stats.bytes_sent as u64;
                 latencies.extend_from_slice(&stats.frame_latencies_s);
@@ -193,6 +196,9 @@ pub(crate) fn session_measurements(outcomes: &[FleetOutcome]) -> (MeasuredProfil
         }
     }
     latencies.sort_by(f64::total_cmp);
+    // `deployed` counts every successful outcome here; a caller that
+    // served some outcomes from a measurement cache moves those counts
+    // from `deployed` to `cached` afterwards.
     let profile = MeasuredProfile {
         frames,
         p50_s: percentile(&latencies, 50.0),
@@ -200,8 +206,33 @@ pub(crate) fn session_measurements(outcomes: &[FleetOutcome]) -> (MeasuredProfil
         p99_s: percentile(&latencies, 99.0),
         bytes_sent,
         errors,
+        deployed,
+        cached: 0,
     };
     (profile, winner_predictions)
+}
+
+/// The measurement-cache namespace of one task: everything that pins what
+/// a plan's deployment on the serve fleet produces — the task's stream,
+/// the fleet seeds, the bank width. Two servers whose fixtures agree may
+/// share a cache file; any constant change above starts a fresh
+/// namespace.
+pub(crate) fn measurement_context(task: SessionTask) -> u64 {
+    gcode_core::cachelog::tag_key(&format!(
+        "serve:{task:?}|classes{SERVE_NUM_CLASSES}|bank{SERVE_BANK_SEED:#x}|run{SERVE_RUN_SEED:#x}|stream{SERVE_STREAM_SEED}x{SERVE_STREAM_LEN}"
+    ))
+}
+
+/// Serializes one successful plan measurement for a cache-log blob
+/// record.
+pub(crate) fn encode_measurement(predictions: &[usize], stats: &EngineStats) -> Vec<u8> {
+    serde_json::to_string(&(predictions, stats)).expect("measurement serializes").into_bytes()
+}
+
+/// Deserializes a cached plan measurement; `None` on any decode failure
+/// (e.g. a blob written by an older build), which simply re-measures.
+pub(crate) fn decode_measurement(blob: &[u8]) -> Option<(Vec<usize>, EngineStats)> {
+    serde_json::from_str(std::str::from_utf8(blob).ok()?).ok()
 }
 
 /// Runs a session spec to completion without any server: the identical

@@ -5,6 +5,8 @@
 pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8);
+    /// Appends a `u16` little-endian.
+    fn put_u16_le(&mut self, v: u16);
     /// Appends a `u32` little-endian.
     fn put_u32_le(&mut self, v: u32);
     /// Appends a `u64` little-endian.
@@ -61,6 +63,10 @@ impl BufMut for BytesMut {
         self.data.push(v);
     }
 
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn put_u32_le(&mut self, v: u32) {
         self.data.extend_from_slice(&v.to_le_bytes());
     }
@@ -90,9 +96,10 @@ mod tests {
     fn writes_little_endian() {
         let mut b = BytesMut::with_capacity(8);
         b.put_u8(0xAB);
+        b.put_u16_le(0x0506);
         b.put_u32_le(0x0102_0304);
         b.put_slice(&[9, 9]);
-        assert_eq!(b.to_vec(), vec![0xAB, 4, 3, 2, 1, 9, 9]);
-        assert_eq!(b.len(), 7);
+        assert_eq!(b.to_vec(), vec![0xAB, 6, 5, 4, 3, 2, 1, 9, 9]);
+        assert_eq!(b.len(), 9);
     }
 }

@@ -9,8 +9,8 @@
 //!                [--fleet loopback:N|host:port,host:port,…]
 //!                [--workers N] [--keep-frac F[,F…]]
 //!                [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
-//!                [--seed N] [--zoo-out FILE] [--report-out FILE]
-//! gcode serve    --listen ADDR [--fleet SPEC] [--max-sessions N]
+//!                [--seed N] [--cache-file FILE] [--zoo-out FILE] [--report-out FILE]
+//! gcode serve    --listen ADDR [--fleet SPEC] [--max-sessions N] [--cache-file FILE]
 //! gcode submit   --server ADDR [--task modelnet40|mr] [--iterations N] …
 //! gcode systems                       # list built-in device/edge pairs
 //! gcode describe --zoo FILE [--index N]
@@ -33,6 +33,14 @@
 //! control and fair round-robin measurement scheduling. `gcode submit`
 //! is the matching client — open a session, follow its progress, print
 //! the winner.
+//!
+//! `--cache-file` makes evaluation results outlive the process: an
+//! append-only log of `candidate × fidelity-tag × objective → metrics`
+//! records. A repeated search (same seed and configuration) replays
+//! every Measured-tier price from the file — zero new deployments,
+//! bit-identical winner. Under `gcode serve` the same flag caches the
+//! per-plan fleet measurements, so a restarted daemon answers repeat
+//! sessions without touching the fleet.
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
 use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
@@ -93,9 +101,10 @@ const USAGE: &str = "usage:
                  [--fleet <loopback:N|host:port,...>]
                  [--workers N] [--keep-frac F[,F...]]
                  [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
-                 [--seed N] [--zoo-out FILE] [--report-out FILE]
+                 [--seed N] [--cache-file FILE] [--zoo-out FILE] [--report-out FILE]
   gcode serve    --listen ADDR [--fleet <loopback:N|host:port,...>]
                  [--max-sessions N] [--queue N] [--sessions-limit N]
+                 [--cache-file FILE]
   gcode submit   --server ADDR [--task <modelnet40|mr>] [--iterations N]
                  [--zoo-size N] [--seed N] [--lambda F] [--latency-ms F]
                  [--energy-j F] [--measure <true|false>] [--timeout-s N]
@@ -225,6 +234,13 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
                     --backend engine or --tiers analytic,sim,engine)"
             .into());
     }
+    // The persistent evaluation cache: consulted by the search session on
+    // memo misses and by the engine tier before any live deployment, and
+    // written through on every fresh price.
+    let cache_log = opts
+        .get("cache-file")
+        .map(|p| gcode::core::cachelog::open_shared(p).map_err(|e| format!("--cache-file: {e}")))
+        .transpose()?;
     let space = DesignSpace::paper(profile);
 
     // Build each requested tier once; all share the calibrated surrogate
@@ -312,6 +328,9 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
                 if let Some(spec) = &fleet_spec {
                     engine = engine.with_fleet(spec.clone());
                 }
+                if let Some(log) = &cache_log {
+                    engine = engine.with_cache_log(log.clone());
+                }
                 engine_backend = Some(engine);
             }
             other => return Err(format!("unknown tier `{other}` (analytic|predictor|sim|engine)")),
@@ -366,6 +385,22 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     let mut session =
         SearchSession::new(&space, backend).with_objective(objective).with_workers(workers);
+    if let Some(log) = &cache_log {
+        // The tag namespaces records by everything that shapes a metric at
+        // this fidelity, including the seed: cascade tiers price a culled
+        // candidate with the cheap tier, so replay is only bit-exact when
+        // the batch composition — hence the whole run configuration —
+        // matches the one that wrote the records.
+        let tag = format!(
+            "cli|{}|{}|mbps{mbps}|{task:?}|seed{}|frames{frames}|warmup{warmup}|keep{:?}|adaptive{adaptive}|persistent{persistent_edge}|fleet{}",
+            tiers.join(","),
+            sys.label(),
+            cfg.seed,
+            keep_fracs,
+            fleet_spec.as_ref().map_or(0, |s| s.endpoints().len()),
+        );
+        session = session.with_cache_log(log.clone(), &tag);
+    }
     let result = session.run(&RandomSearch::new(cfg));
     let mut report = session.report(backend.name(), &result);
     println!(
@@ -375,6 +410,12 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         report.cache.lookups(),
         report.cache.hit_rate() * 100.0
     );
+    if report.cache.log_hits > 0 {
+        println!(
+            "  {} of those hits replayed from the cache file (warm restart)",
+            report.cache.log_hits
+        );
+    }
     if let Some(ladder) = &ladder {
         println!("fidelity ladder (bottom → top):");
         for t in ladder.tier_stats() {
@@ -388,13 +429,15 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         let profile = e.measured_profile();
         report = report.with_measured(profile);
         println!(
-            "measured on the live engine: {} frames (p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms), {} bytes sent, {} failed deployments",
+            "measured on the live engine: {} frames (p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms), {} bytes sent, {} failed deployments ({} newly deployed, {} from cache)",
             profile.frames,
             profile.p50_s * 1e3,
             profile.p95_s * 1e3,
             profile.p99_s * 1e3,
             profile.bytes_sent,
-            profile.errors
+            profile.errors,
+            profile.deployed,
+            profile.cached
         );
         if let Some(fleet) = e.fleet_stats() {
             println!(
@@ -470,6 +513,10 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             n.parse().map_err(|_| format!("--sessions-limit: bad number `{n}`"))?,
         );
     }
+    let cache_file = opts.get("cache-file");
+    if let Some(path) = cache_file {
+        config = config.with_cache_file(path);
+    }
     let server = SearchServer::start(listen, config).map_err(|e| e.to_string())?;
     println!(
         "gcode-serve listening on {} ({} warm pool{}, {} concurrent session{})",
@@ -479,6 +526,9 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         max_sessions,
         if max_sessions == 1 { "" } else { "s" },
     );
+    if let Some(path) = cache_file {
+        println!("measurement cache: {path} (repeat sessions replay without deploying)");
+    }
     println!("submit with: gcode submit --server {}", server.addr());
     server.wait().map_err(|e| e.to_string())
 }
@@ -553,13 +603,15 @@ fn cmd_submit(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     if let Some(m) = &report.measured {
         println!(
-            "measured on the shared fleet: {} frames (p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms), {} bytes sent, {} errors",
+            "measured on the shared fleet: {} frames (p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms), {} bytes sent, {} errors ({} newly deployed, {} from cache)",
             m.frames,
             m.p50_s * 1e3,
             m.p95_s * 1e3,
             m.p99_s * 1e3,
             m.bytes_sent,
-            m.errors
+            m.errors,
+            m.deployed,
+            m.cached
         );
     }
     let Some(best) = outcome.result.best() else {

@@ -1,0 +1,114 @@
+//! End-to-end tests for the persistent evaluation cache (`--cache-file`):
+//! a warm restart replays every metric bit-identically without touching
+//! the backend, corruption of the log's tail is contained to the bad
+//! records, and running with the cache produces byte-for-byte the same
+//! search outcome as running without it.
+
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::cachelog::open_shared;
+use gcode::core::eval::backend::AnalyticBackend;
+use gcode::core::eval::{Objective, SearchSession};
+use gcode::core::search::{RandomSearch, SearchConfig, SearchResult};
+use gcode::core::space::DesignSpace;
+use gcode::hardware::SystemConfig;
+use std::path::{Path, PathBuf};
+
+fn tmp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gcode-cache-persistence-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Runs the reference search once, optionally against a cache file.
+/// Returns the result plus `(log_hits, misses)` from the session cache.
+fn run_search(cache: Option<&Path>) -> (SearchResult, u64, u64) {
+    let space = DesignSpace::paper(WorkloadProfile::modelnet40());
+    let backend = AnalyticBackend {
+        profile: space.profile,
+        sys: SystemConfig::tx2_to_i7(40.0),
+        accuracy_fn: |a: &Architecture| 0.8 + (a.len() as f64) * 0.01,
+    };
+    let mut session =
+        SearchSession::new(&space, &backend).with_objective(Objective::new(0.25, 1.0, 5.0));
+    if let Some(path) = cache {
+        let log = open_shared(path).expect("cache file opens");
+        session = session.with_cache_log(log, "cache-persistence-test");
+    }
+    let cfg = SearchConfig { iterations: 60, zoo_size: 4, seed: 21, ..SearchConfig::default() };
+    let result = session.run(&RandomSearch::new(cfg));
+    let stats = session.cache_stats();
+    (result, stats.log_hits, stats.misses)
+}
+
+#[test]
+fn caching_changes_nothing_and_a_warm_restart_recomputes_nothing() {
+    let path = tmp_file("warm.gclg");
+    let (baseline, baseline_log_hits, baseline_misses) = run_search(None);
+    assert_eq!(baseline_log_hits, 0, "no cache file, no log hits");
+    assert!(baseline_misses > 0, "the baseline actually evaluated");
+
+    // Cold run against an empty cache: every lookup misses the file, so
+    // the outcome must be byte-for-byte the cache-off outcome.
+    let (cold, cold_log_hits, cold_misses) = run_search(Some(&path));
+    assert_eq!(cold_log_hits, 0, "an empty cache answers nothing");
+    assert_eq!(cold_misses, baseline_misses);
+    assert_eq!(cold, baseline, "writing through the cache must not perturb the search");
+
+    // Warm run: every unique candidate replays from the file and the
+    // outcome — scores, zoo, history — is still bit-identical.
+    let (warm, warm_log_hits, warm_misses) = run_search(Some(&path));
+    assert_eq!(warm_misses, 0, "a warm restart recomputes nothing");
+    assert_eq!(warm_log_hits, baseline_misses, "every unique candidate replayed");
+    assert_eq!(warm, baseline, "cache replay is bit-exact");
+}
+
+#[test]
+fn truncated_cache_tail_is_contained_and_the_search_still_matches() {
+    let path = tmp_file("truncated.gclg");
+    let (baseline, _, baseline_misses) = run_search(None);
+    run_search(Some(&path));
+
+    // Chop mid-record: a crash during the last append leaves a partial
+    // record that replay must clip away, keeping the valid prefix.
+    let bytes = std::fs::read(&path).expect("log bytes");
+    assert!(bytes.len() > 32, "log holds records");
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("truncate tail");
+
+    let (damaged, log_hits, misses) = run_search(Some(&path));
+    assert_eq!(damaged, baseline, "a clipped tail must not change any metric");
+    assert!(log_hits > 0, "the surviving prefix still answers lookups");
+    assert!(misses >= 1, "the clipped record is re-evaluated, not resurrected");
+    assert_eq!(log_hits + misses, baseline_misses);
+
+    // The re-evaluated candidate was re-appended; the next run is fully warm.
+    let (healed, healed_hits, healed_misses) = run_search(Some(&path));
+    assert_eq!(healed, baseline);
+    assert_eq!(healed_misses, 0, "the log healed itself on the previous run");
+    assert_eq!(healed_hits, baseline_misses);
+}
+
+#[test]
+fn bit_flipped_cache_tail_is_contained_and_the_search_still_matches() {
+    let path = tmp_file("bitflip.gclg");
+    let (baseline, _, baseline_misses) = run_search(None);
+    run_search(Some(&path));
+
+    // Flip one bit inside the last record's body: the checksum must
+    // reject it (and everything after it) rather than replay a wrong
+    // metric into the search.
+    let mut bytes = std::fs::read(&path).expect("log bytes");
+    let n = bytes.len();
+    bytes[n - 10] ^= 0x04;
+    std::fs::write(&path, &bytes).expect("plant bit flip");
+
+    let log = open_shared(&path).expect("damaged log still opens");
+    assert!(log.lock().unwrap().recovered_bytes() > 0, "the bad tail was clipped");
+    drop(log);
+
+    let (damaged, log_hits, misses) = run_search(Some(&path));
+    assert_eq!(damaged, baseline, "a bit-flipped tail must never leak a wrong metric");
+    assert!(log_hits > 0, "records before the flip still replay");
+    assert_eq!(log_hits + misses, baseline_misses);
+}

@@ -1,17 +1,39 @@
 //! Round-trip tests for the engine wire protocol (`gcode_engine::proto`):
 //! state encode/decode, message framing over in-memory and socket
 //! transports, session control frames with their protocol-version
-//! handshake, and truncated-payload error paths.
+//! handshake, binary columnar plan frames (including batched deploys),
+//! and truncated-payload error paths.
 
+use gcode::core::arch::WorkloadProfile;
 use gcode::core::eval::Objective;
 use gcode::core::search::SearchConfig;
+use gcode::core::space::DesignSpace;
 use gcode::engine::{
-    decode_frame, decode_state, encode_frame, encode_state, read_message, write_message, Frame,
-    SessionSpec, SessionTask, WireState, PROTOCOL_VERSION,
+    decode_frame, decode_state, encode_frame, encode_legacy_swap_plan, encode_state, read_message,
+    write_message, ExecutionPlan, Frame, PlanBatch, SessionSpec, SessionTask, WireState,
+    MAX_BATCH_PLANS, PROTOCOL_VERSION,
 };
 use gcode::graph::CsrGraph;
 use gcode::tensor::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::io::Cursor;
+
+/// A seeded spread of real plans: architectures sampled from both paper
+/// design spaces, lowered and split exactly as a deploy would.
+fn sampled_plans(seed: u64, count: usize) -> Vec<ExecutionPlan> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let spaces = [
+        DesignSpace::paper(WorkloadProfile::modelnet40()),
+        DesignSpace::paper(WorkloadProfile::mr()),
+    ];
+    (0..count)
+        .map(|i| {
+            let arch = spaces[i % spaces.len()].sample_valid(&mut rng, 100_000).0;
+            ExecutionPlan::from_architecture(&arch)
+        })
+        .collect()
+}
 
 fn dense_state() -> WireState {
     let values: Vec<f32> = (0..256).map(|i| (i as f32 * 0.02).sin()).collect();
@@ -168,6 +190,136 @@ fn truncated_session_frames_error_instead_of_panicking() {
             );
         }
     }
+}
+
+#[test]
+fn binary_plan_codec_is_symmetric_across_sampled_plans() {
+    // Property-style sweep: 64 seeded real plans, each must survive the
+    // columnar encode/decode bit-exactly — and always come out smaller
+    // than the legacy JSON encoding it replaced.
+    for (i, plan) in sampled_plans(0x9A7_5EED, 64).iter().enumerate() {
+        let binary = encode_frame(&Frame::SwapPlan(Box::new(plan.clone())));
+        match decode_frame(&binary).expect("binary plan decodes") {
+            Frame::SwapPlan(decoded) => {
+                assert_eq!(*decoded, *plan, "plan {i}: decode(encode(plan)) != plan")
+            }
+            other => panic!("plan {i}: wrong frame kind {other:?}"),
+        }
+        let json = encode_legacy_swap_plan(plan);
+        assert!(
+            binary.len() < json.len(),
+            "plan {i}: binary ({}) must beat JSON ({}) on the wire",
+            binary.len(),
+            json.len()
+        );
+    }
+}
+
+#[test]
+fn legacy_json_swap_plan_still_decodes_under_v2() {
+    for plan in sampled_plans(0x1E6_ACE, 8) {
+        let body = encode_legacy_swap_plan(&plan);
+        match decode_frame(&body).expect("legacy JSON plan decodes") {
+            Frame::SwapPlan(decoded) => assert_eq!(*decoded, plan),
+            other => panic!("wrong frame kind {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_a_binary_plan_frame_errors() {
+    let plan = sampled_plans(7, 1).remove(0);
+    let body = encode_frame(&Frame::SwapPlan(Box::new(plan)));
+    for cut in 1..body.len() {
+        assert!(
+            decode_frame(&body[..cut]).is_err(),
+            "truncation at byte {cut}/{} must be rejected",
+            body.len()
+        );
+    }
+}
+
+#[test]
+fn corrupted_binary_plan_bytes_are_rejected_not_misread() {
+    // The trailing 8-byte FNV column hash turns silent bit rot into a
+    // clean decode error: flip any single byte past the kind byte and the
+    // frame must fail to decode (never yield a *different* valid plan).
+    let plan = sampled_plans(11, 1).remove(0);
+    let body = encode_frame(&Frame::SwapPlan(Box::new(plan.clone())));
+    for i in 1..body.len() {
+        let mut bad = body.clone();
+        bad[i] ^= 0x40;
+        if let Ok(Frame::SwapPlan(decoded)) = decode_frame(&bad) {
+            assert_eq!(*decoded, plan, "byte {i}: corruption decoded to a different plan");
+        }
+    }
+}
+
+#[test]
+fn plan_batches_survive_framing_round_trip() {
+    let plans = sampled_plans(0xBA7C4, 5);
+    let frames: Vec<u32> = (0..plans.len() as u32).map(|i| i % 3).collect();
+    let batch = PlanBatch { plans, frames };
+    let frame = Frame::SwapPlanBatch(Box::new(batch.clone()));
+    let mut wire = Vec::new();
+    write_message(&mut wire, &encode_frame(&frame)).expect("write");
+    write_message(&mut wire, &encode_frame(&Frame::AckBatch(5))).expect("write");
+    let mut cursor = Cursor::new(wire);
+    let body = read_message(&mut cursor).expect("read").expect("batch present");
+    assert_eq!(decode_frame(&body).expect("decode"), frame);
+    let body = read_message(&mut cursor).expect("read").expect("ack present");
+    assert_eq!(decode_frame(&body).expect("decode"), Frame::AckBatch(5));
+}
+
+#[test]
+fn every_truncation_of_a_plan_batch_errors() {
+    let plans = sampled_plans(0x72C, 2);
+    let batch = PlanBatch { frames: vec![1; plans.len()], plans };
+    let body = encode_frame(&Frame::SwapPlanBatch(Box::new(batch)));
+    for cut in 1..body.len() {
+        assert!(
+            decode_frame(&body[..cut]).is_err(),
+            "truncation at byte {cut}/{} must be rejected",
+            body.len()
+        );
+    }
+    let ack = encode_frame(&Frame::AckBatch(9));
+    for cut in 1..ack.len() {
+        assert!(decode_frame(&ack[..cut]).is_err(), "truncated AckBatch must be rejected");
+    }
+}
+
+#[test]
+fn oversized_and_garbage_plan_batches_are_refused_at_decode() {
+    // MAX_BATCH_PLANS bounds the edge-side allocation; a count past it in
+    // a decoded header must error before any plan bytes are trusted. The
+    // encoder refuses such batches outright (it panics on a programming
+    // error), so the hostile header is crafted by hand here.
+    let mut wire = sampled_plans(13, 1)
+        .first()
+        .map(|p| {
+            encode_frame(&Frame::SwapPlanBatch(Box::new(PlanBatch {
+                plans: vec![p.clone()],
+                frames: vec![1],
+            })))
+        })
+        .expect("one plan");
+    wire[2..4].copy_from_slice(&((MAX_BATCH_PLANS as u16) + 1).to_le_bytes());
+    assert!(
+        decode_frame(&wire).is_err(),
+        "a batch past MAX_BATCH_PLANS must be rejected at decode"
+    );
+
+    // A future plan-codec version byte is a clean error, not a misread.
+    let mut versioned = wire.clone();
+    versioned[2..4].copy_from_slice(&1u16.to_le_bytes());
+    versioned[1] = 99;
+    assert!(decode_frame(&versioned).is_err(), "future codec version must be rejected");
+
+    // Pure garbage after the kind byte never decodes.
+    let mut garbage = vec![wire[0]];
+    garbage.extend((0..64u8).map(|i| i.wrapping_mul(37).wrapping_add(11)));
+    assert!(decode_frame(&garbage).is_err(), "garbage batch body must be rejected");
 }
 
 #[test]

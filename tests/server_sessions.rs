@@ -106,6 +106,59 @@ fn eight_concurrent_tenants_stay_bit_identical_over_one_shared_fleet() {
 }
 
 #[test]
+fn measurement_cache_makes_a_restarted_server_deploy_nothing() {
+    let dir = std::env::temp_dir().join("gcode-cachelog-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("serve-warm.gclg");
+    let _ = std::fs::remove_file(&path);
+    let spec = spec(7, SessionTask::ModelNet40);
+
+    // Cold server: the zoo is measured on the fleet and persisted.
+    let server = SearchServer::start(
+        "127.0.0.1:0",
+        ServerConfig::new(FleetSpec::loopback(1)).with_max_sessions(2).with_cache_file(&path),
+    )
+    .expect("cold server starts");
+    let mut client = ServerClient::connect(server.addr()).expect("handshake");
+    let cold = run_served(&mut client, &spec);
+    let cold_measured = cold.report.measured.expect("measured profile");
+    assert!(cold_measured.deployed > 0, "cold run deploys the zoo");
+    assert_eq!(cold_measured.cached, 0);
+    server.shutdown().expect("clean shutdown");
+
+    // Restarted server over the same cache file: the identical session is
+    // answered without a single fleet deployment, bit-identically.
+    let server = SearchServer::start(
+        "127.0.0.1:0",
+        ServerConfig::new(FleetSpec::loopback(1)).with_max_sessions(2).with_cache_file(&path),
+    )
+    .expect("warm server starts");
+    let mut client = ServerClient::connect(server.addr()).expect("handshake");
+    let warm = run_served(&mut client, &spec);
+    let warm_measured = warm.report.measured.expect("measured profile");
+    assert_eq!(warm_measured.deployed, 0, "warm restart deploys nothing");
+    assert_eq!(warm_measured.cached, cold_measured.deployed, "every plan came from the cache");
+    let stats = server.fleet_stats().expect("stats");
+    assert_eq!(stats.deployments(), 0, "the warm fleet never measured anything");
+    server.shutdown().expect("clean shutdown");
+
+    // Replayed measurements are the cold run's bytes: masking only the
+    // deployed/cached split (and the server-assigned id), the outcomes —
+    // zoo, scores, predictions, even the wall-clock latency percentiles —
+    // match bit for bit.
+    let mask = |mut o: SessionOutcome| {
+        o.session = 0;
+        if let Some(m) = o.report.measured.as_mut() {
+            m.deployed = 0;
+            m.cached = 0;
+        }
+        o
+    };
+    assert_eq!(mask(warm), mask(cold), "cache replay is bit-exact");
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
 fn admission_answers_busy_and_recovers_when_a_slot_frees() {
     let server = SearchServer::start(
         "127.0.0.1:0",
