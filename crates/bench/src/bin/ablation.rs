@@ -22,15 +22,20 @@
 //!    64 concurrent tenant sessions over one warm fleet — sustained
 //!    sessions/sec and p99 time-to-winner per concurrency level;
 //! 10. plan wire encoding and the persistent evaluation cache: hot-swap
-//!     throughput and bytes-per-plan of the legacy JSON `SwapPlan` vs the
-//!     binary columnar encoding vs one batched `SwapPlanBatch` deploy,
-//!     all over the same capped uplink, plus cold-search vs warm-restart
-//!     wall time against one `--cache-file` log.
+//!     throughput and bytes-per-plan of the binary columnar encoding vs
+//!     one batched `SwapPlanBatch` deploy over the same capped uplink
+//!     (the retired JSON `SwapPlan` appears only as a static byte-size
+//!     reference), plus cold-search vs warm-restart wall time against one
+//!     `--cache-file` log;
+//! 11. the plan-optimizer pipeline: the same candidate list priced on the
+//!     live engine with `--optimize on` vs `off` under a 10 Mbps uplink
+//!     cap — deploys/s, p50/p95 deltas, per-pass counters and wire bytes
+//!     per plan (optimized plans must never be larger).
 //!
-//! Sections 5–10 also emit a `BENCH_eval.json` perf artifact (wall time,
+//! Sections 5–11 also emit a `BENCH_eval.json` perf artifact (wall time,
 //! evaluation counts and deploy throughput per mode; schema documented in
 //! `docs/BENCHMARKS.md`) next to the working directory. `--quick` runs
-//! only sections 7–10 at tiny frame counts and still emits the artifact —
+//! only sections 7–11 at tiny frame counts and still emits the artifact —
 //! the CI smoke path.
 
 use gcode_baselines::models;
@@ -49,8 +54,8 @@ use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_core::zoo::ArchitectureZoo;
 use gcode_engine::{
-    encode_frame, encode_legacy_swap_plan, EdgeFleet, EdgePool, EngineBackend, ExecutionPlan,
-    FleetSpec, Frame, SessionSpec, SessionTask,
+    encode_frame, lower_and_optimize, EdgeFleet, EdgePool, EngineBackend, ExecutionPlan, FleetSpec,
+    Frame, OptimizeOptions, SessionSpec, SessionTask,
 };
 use gcode_graph::datasets::{PointCloudDataset, Sample};
 use gcode_hardware::SystemConfig;
@@ -371,12 +376,12 @@ fn print_serve_ablation(serve: &ServeAblation) {
     }
 }
 
-/// Section 10 numbers: the wire economics of plan deploys (JSON vs
-/// binary vs batched) and the persistent evaluation cache (cold search
-/// vs warm restart).
+/// Section 10 numbers: the wire economics of plan deploys (binary
+/// per-plan vs batched, with the retired JSON encoding's byte size as a
+/// static reference) and the persistent evaluation cache (cold search vs
+/// warm restart).
 struct WireCacheAblation {
     plans: usize,
-    json_wall_s: f64,
     binary_wall_s: f64,
     batched_wall_s: f64,
     json_bytes_per_plan: f64,
@@ -388,9 +393,6 @@ struct WireCacheAblation {
 }
 
 impl WireCacheAblation {
-    fn json_swaps_per_s(&self) -> f64 {
-        self.plans as f64 / self.json_wall_s.max(1e-12)
-    }
     fn binary_swaps_per_s(&self) -> f64 {
         self.plans as f64 / self.binary_wall_s.max(1e-12)
     }
@@ -400,34 +402,29 @@ impl WireCacheAblation {
 }
 
 /// Section 10 body. Swap throughput: the same plan list hot-swapped onto
-/// one warm [`EdgePool`] per encoding, every control frame paced by the
+/// one warm [`EdgePool`], every control frame paced by the
 /// [`FLEET_UPLINK_MBPS`] router cap — so wire bytes, the thing the
 /// columnar encoding shrinks, cost real wall time. The batched pass
 /// deploys the whole list through `SwapPlanBatch` frames on the already
-/// warm binary pair. Cache: the same candidate list priced twice on a
-/// live persistent-edge [`EngineBackend`] against one cache-log file —
-/// the first pass deploys and writes through, the second must answer
-/// every candidate from the file without spawning a pair.
+/// warm pair. The retired JSON `SwapPlan` (kind 1) no longer ships, so it
+/// appears only as a static serde-JSON byte size for scale. Cache: the
+/// same candidate list priced twice on a live persistent-edge
+/// [`EngineBackend`] against one cache-log file — the first pass deploys
+/// and writes through, the second must answer every candidate from the
+/// file without spawning a pair.
 fn run_wire_cache_ablation(quick: bool) -> WireCacheAblation {
     let plan_count = if quick { 12 } else { 32 };
     let plans: Vec<ExecutionPlan> =
         pool_candidates(plan_count).iter().map(ExecutionPlan::from_architecture).collect();
 
-    // Framed wire size per encoding (+4 for the length prefix).
-    let json_bytes: usize = plans.iter().map(|p| encode_legacy_swap_plan(p).len() + 4).sum();
+    // Framed wire size (+4 for the length prefix; JSON +1 for its kind
+    // byte — a reference figure, the path itself is gone).
+    let json_bytes: usize = plans
+        .iter()
+        .map(|p| serde_json::to_string(p).expect("plan serializes").len() + 1 + 4)
+        .sum();
     let binary_bytes: usize =
         plans.iter().map(|p| encode_frame(&Frame::SwapPlan(Box::new(p.clone()))).len() + 4).sum();
-
-    let mut json_pool = EdgePool::spawn(WeightBank::new(4, 5), 9)
-        .expect("json pool spawns")
-        .with_uplink_mbps(FLEET_UPLINK_MBPS)
-        .with_json_swaps();
-    let start = Instant::now();
-    for p in &plans {
-        json_pool.deploy(p.clone()).expect("json swap");
-    }
-    let json_wall_s = start.elapsed().as_secs_f64();
-    json_pool.shutdown().expect("clean json pool shutdown");
 
     let mut binary_pool = EdgePool::spawn(WeightBank::new(4, 5), 9)
         .expect("binary pool spawns")
@@ -489,7 +486,6 @@ fn run_wire_cache_ablation(quick: bool) -> WireCacheAblation {
 
     WireCacheAblation {
         plans: plan_count,
-        json_wall_s,
         binary_wall_s,
         batched_wall_s,
         json_bytes_per_plan: json_bytes as f64 / plan_count as f64,
@@ -508,9 +504,8 @@ fn print_wire_cache_ablation(w: &WireCacheAblation) {
         w.plans, FLEET_UPLINK_MBPS
     );
     println!(
-        "    JSON v1 swaps:   {:7.1} deploys/s  ({:6.1} bytes/plan framed)",
-        w.json_swaps_per_s(),
-        w.json_bytes_per_plan
+        "    retired JSON v1: {:>7}              ({:6.1} bytes/plan framed, size reference only)",
+        "—", w.json_bytes_per_plan
     );
     println!(
         "    binary v2 swaps: {:7.1} deploys/s  ({:6.1} bytes/plan framed, {:.2}x smaller)",
@@ -519,9 +514,9 @@ fn print_wire_cache_ablation(w: &WireCacheAblation) {
         w.json_bytes_per_plan / w.binary_bytes_per_plan.max(1e-12)
     );
     println!(
-        "    batched binary:  {:7.1} deploys/s  ({:.2}x vs per-plan JSON round-trips)",
+        "    batched binary:  {:7.1} deploys/s  ({:.2}x vs per-plan binary round-trips)",
         w.batched_deploys_per_s(),
-        w.batched_deploys_per_s() / w.json_swaps_per_s().max(1e-12)
+        w.batched_deploys_per_s() / w.binary_swaps_per_s().max(1e-12)
     );
     println!("  persistent cache ({} candidates on the live engine):", w.cache_candidates);
     println!(
@@ -530,6 +525,143 @@ fn print_wire_cache_ablation(w: &WireCacheAblation) {
         w.warm_wall_s * 1e3,
         w.warm_log_hits,
         w.cold_wall_s / w.warm_wall_s.max(1e-12)
+    );
+}
+
+/// Section 11 numbers: the plan-optimizer pipeline priced on the live
+/// engine — optimizer on vs off over the same candidates and uplink cap.
+struct OptimizerAblation {
+    candidates: usize,
+    on_wall_s: f64,
+    off_wall_s: f64,
+    on_p50_s: f64,
+    off_p50_s: f64,
+    on_p95_s: f64,
+    off_p95_s: f64,
+    on_bytes_per_plan: f64,
+    off_bytes_per_plan: f64,
+    ops_elided: u64,
+    ops_fused: u64,
+    splits_moved: u64,
+    modeled_bytes_saved: u64,
+}
+
+impl OptimizerAblation {
+    fn on_deploys_per_s(&self) -> f64 {
+        self.candidates as f64 / self.on_wall_s.max(1e-12)
+    }
+    fn off_deploys_per_s(&self) -> f64 {
+        self.candidates as f64 / self.off_wall_s.max(1e-12)
+    }
+}
+
+/// Candidates the optimizer can visibly bite on: an `Identity` op to
+/// elide, an adjacent same-side `Aggregate`+`Combine` pair per side to
+/// fuse (the pair straddling the split must be left alone), and a split
+/// the cost model may re-place.
+fn optimizer_candidates(n: usize) -> Vec<Architecture> {
+    (0..n)
+        .map(|i| {
+            Architecture::new(vec![
+                Op::Sample(SampleFn::Knn { k: 4 + i % 3 }),
+                Op::Identity,
+                Op::Aggregate(AggMode::Max),
+                Op::Combine { dim: 8 + 8 * (i % 4) },
+                Op::Communicate,
+                Op::Aggregate(AggMode::Mean),
+                Op::Combine { dim: 16 },
+                Op::GlobalPool(PoolMode::Max),
+            ])
+        })
+        .collect()
+}
+
+/// Section 11 body: price the same candidate list on a warm
+/// persistent-edge pair twice — optimizer pipeline on, then off — under
+/// the [`FLEET_UPLINK_MBPS`] cap, and read the per-pass counters back.
+/// The wire-size comparison is static: the same candidates lowered both
+/// ways through `lower_and_optimize` and framed.
+fn run_optimizer_ablation(quick: bool) -> OptimizerAblation {
+    let candidates = if quick { 6 } else { 16 };
+    let frames = if quick { 2 } else { 4 };
+    let archs = optimizer_candidates(candidates);
+    let sys = SystemConfig::tx2_to_1060(FLEET_UPLINK_MBPS);
+    let ds = PointCloudDataset::generate(6, 20, 4, 47);
+    let accuracy = |a: &Architecture| 0.8 + 0.001 * a.len() as f64;
+
+    let framed =
+        |plan: &ExecutionPlan| encode_frame(&Frame::SwapPlan(Box::new(plan.clone()))).len() + 4;
+    let mut on_bytes = 0usize;
+    let mut off_bytes = 0usize;
+    for a in &archs {
+        let (opt, _) = lower_and_optimize(a, &OptimizeOptions::default());
+        on_bytes += framed(&opt);
+        off_bytes += framed(&ExecutionPlan::from_architecture(a));
+    }
+
+    let run = |optimize: bool| {
+        let backend = EngineBackend::new(ds.samples().to_vec(), 4, sys.clone(), accuracy)
+            .with_frames(frames)
+            .with_warmup(1)
+            .with_uplink_mbps(FLEET_UPLINK_MBPS)
+            .with_persistent_edge()
+            .with_optimize(optimize);
+        let start = Instant::now();
+        for a in &archs {
+            backend.evaluate(a);
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+        let profile = backend.measured_profile();
+        (wall_s, profile.p50_s, profile.p95_s, backend.optimizer_stats())
+    };
+    let (on_wall_s, on_p50_s, on_p95_s, stats) = run(true);
+    let (off_wall_s, off_p50_s, off_p95_s, _) = run(false);
+
+    OptimizerAblation {
+        candidates,
+        on_wall_s,
+        off_wall_s,
+        on_p50_s,
+        off_p50_s,
+        on_p95_s,
+        off_p95_s,
+        on_bytes_per_plan: on_bytes as f64 / candidates as f64,
+        off_bytes_per_plan: off_bytes as f64 / candidates as f64,
+        ops_elided: stats.ops_elided(),
+        ops_fused: stats.ops_fused(),
+        splits_moved: stats.splits_moved(),
+        modeled_bytes_saved: stats.modeled_bytes_saved(),
+    }
+}
+
+fn print_optimizer_ablation(o: &OptimizerAblation) {
+    header("Ablation 11 — plan optimizer on/off on the live engine (10 Mbps uplink)");
+    println!(
+        "  optimizer on:  {:2} candidates in {:7.1} ms  ({:6.1} deploys/s)  p50 {:.3} ms  p95 {:.3} ms  ({:5.1} wire bytes/plan)",
+        o.candidates,
+        o.on_wall_s * 1e3,
+        o.on_deploys_per_s(),
+        o.on_p50_s * 1e3,
+        o.on_p95_s * 1e3,
+        o.on_bytes_per_plan
+    );
+    println!(
+        "  optimizer off: {:2} candidates in {:7.1} ms  ({:6.1} deploys/s)  p50 {:.3} ms  p95 {:.3} ms  ({:5.1} wire bytes/plan)",
+        o.candidates,
+        o.off_wall_s * 1e3,
+        o.off_deploys_per_s(),
+        o.off_p50_s * 1e3,
+        o.off_p95_s * 1e3,
+        o.off_bytes_per_plan
+    );
+    println!(
+        "  passes: {} ops elided, {} fused, {} splits moved, {} modeled bytes saved; p50 delta {:+.3} ms, p95 delta {:+.3} ms",
+        o.ops_elided,
+        o.ops_fused,
+        o.splits_moved,
+        o.modeled_bytes_saved,
+        (o.on_p50_s - o.off_p50_s) * 1e3,
+        (o.on_p95_s - o.off_p95_s) * 1e3
     );
 }
 
@@ -559,7 +691,7 @@ fn print_pool_ablation(pool: &PoolAblation) {
 
 fn main() {
     if std::env::args().any(|a| a == "--quick") {
-        // CI smoke: sections 7–10 only, tiny budgets, artifact still
+        // CI smoke: sections 7–11 only, tiny budgets, artifact still
         // emitted (search-mode fields zeroed).
         let pool = run_pool_ablation(4, 2, 1);
         print_pool_ablation(&pool);
@@ -569,8 +701,18 @@ fn main() {
         print_serve_ablation(&serve);
         let wire = run_wire_cache_ablation(true);
         print_wire_cache_ablation(&wire);
+        let opt = run_optimizer_ablation(true);
+        print_optimizer_ablation(&opt);
+        assert!(
+            opt.ops_elided > 0,
+            "the quick candidates carry Identity ops the pipeline must elide"
+        );
         write_bench(
-            &EvalBench::with_pool(&pool).with_fleet(&fleet).with_serve(&serve).with_wire(&wire),
+            &EvalBench::with_pool(&pool)
+                .with_fleet(&fleet)
+                .with_serve(&serve)
+                .with_wire(&wire)
+                .with_opt(&opt),
         );
         return;
     }
@@ -831,10 +973,21 @@ fn main() {
         wire.json_bytes_per_plan
     );
     assert!(
-        wire.batched_deploys_per_s() >= 1.3 * wire.json_swaps_per_s(),
-        "batched binary deploys regressed below 1.3x the JSON baseline: {:.1}/s vs {:.1}/s",
+        wire.batched_deploys_per_s() >= 1.3 * wire.binary_swaps_per_s(),
+        "batched deploys regressed below 1.3x the per-plan binary baseline: {:.1}/s vs {:.1}/s",
         wire.batched_deploys_per_s(),
-        wire.json_swaps_per_s()
+        wire.binary_swaps_per_s()
+    );
+
+    // ——— 11. Plan optimizer on/off ———
+    let opt = run_optimizer_ablation(false);
+    print_optimizer_ablation(&opt);
+    assert!(opt.ops_elided > 0, "the candidates carry Identity ops the pipeline must elide");
+    assert!(
+        opt.on_bytes_per_plan <= opt.off_bytes_per_plan,
+        "optimized plans must never be larger on the wire: {:.1} vs {:.1} bytes/plan",
+        opt.on_bytes_per_plan,
+        opt.off_bytes_per_plan
     );
 
     // ——— Perf artifact ———
@@ -850,7 +1003,11 @@ fn main() {
         measured_p50_s: measured.p50_s,
         measured_p95_s: measured.p95_s,
         measured_p99_s: measured.p99_s,
-        ..EvalBench::with_pool(&pool).with_fleet(&fleet).with_serve(&serve).with_wire(&wire)
+        ..EvalBench::with_pool(&pool)
+            .with_fleet(&fleet)
+            .with_serve(&serve)
+            .with_wire(&wire)
+            .with_opt(&opt)
     });
 }
 
@@ -895,13 +1052,20 @@ struct EvalBench {
     serve_p99_time_to_winner_s_1: f64,
     serve_p99_time_to_winner_s_8: f64,
     serve_p99_time_to_winner_s_64: f64,
-    swap_round_trips_per_s_json: f64,
     swap_round_trips_per_s_binary: f64,
     swap_bytes_per_plan_json: f64,
     swap_bytes_per_plan_binary: f64,
     batched_deploys_per_s: f64,
     cold_wall_s: f64,
     warm_restart_wall_s: f64,
+    opt_deploys_per_s_on: f64,
+    opt_deploys_per_s_off: f64,
+    opt_p50_delta_s: f64,
+    opt_p95_delta_s: f64,
+    opt_ops_elided: u64,
+    opt_ops_fused: u64,
+    opt_splits_moved: u64,
+    opt_modeled_bytes_saved: u64,
 }
 
 impl EvalBench {
@@ -969,13 +1133,26 @@ impl EvalBench {
     /// per encoding, batched deploy throughput, and the cold-vs-warm
     /// cache walls.
     fn with_wire(mut self, wire: &WireCacheAblation) -> Self {
-        self.swap_round_trips_per_s_json = wire.json_swaps_per_s();
         self.swap_round_trips_per_s_binary = wire.binary_swaps_per_s();
         self.swap_bytes_per_plan_json = wire.json_bytes_per_plan;
         self.swap_bytes_per_plan_binary = wire.binary_bytes_per_plan;
         self.batched_deploys_per_s = wire.batched_deploys_per_s();
         self.cold_wall_s = wire.cold_wall_s;
         self.warm_restart_wall_s = wire.warm_wall_s;
+        self
+    }
+
+    /// Folds the section-11 optimizer on/off numbers in: deploy
+    /// throughput per mode, latency deltas, and the per-pass counters.
+    fn with_opt(mut self, opt: &OptimizerAblation) -> Self {
+        self.opt_deploys_per_s_on = opt.on_deploys_per_s();
+        self.opt_deploys_per_s_off = opt.off_deploys_per_s();
+        self.opt_p50_delta_s = opt.on_p50_s - opt.off_p50_s;
+        self.opt_p95_delta_s = opt.on_p95_s - opt.off_p95_s;
+        self.opt_ops_elided = opt.ops_elided;
+        self.opt_ops_fused = opt.ops_fused;
+        self.opt_splits_moved = opt.splits_moved;
+        self.opt_modeled_bytes_saved = opt.modeled_bytes_saved;
         self
     }
 }

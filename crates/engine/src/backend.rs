@@ -12,14 +12,17 @@
 //! metrics.
 
 use crate::fleet::{EdgeFleet, FleetSpec};
+use crate::optimizer::{lower_and_optimize, OptimizeOptions, PassManager};
 use crate::plan::ExecutionPlan;
 use crate::pool::EdgePool;
 use crate::runtime::{latency_percentiles, DeviceClient, EdgeServer, EngineStats};
 use crate::EngineError;
-use gcode_core::arch::Architecture;
+use gcode_core::arch::{Architecture, WorkloadProfile};
 use gcode_core::cachelog::{self, SharedCacheLog};
 use gcode_core::eval::backend::{shard_batch, EvalBackend, Fidelity};
-use gcode_core::eval::{Evaluator, FleetStats, MeasuredProfile, Metrics, PoolStats};
+use gcode_core::eval::{
+    Evaluator, FleetStats, MeasuredProfile, Metrics, OptimizerStats, PoolStats,
+};
 use gcode_graph::datasets::Sample;
 use gcode_hardware::SystemConfig;
 use gcode_nn::seq::WeightBank;
@@ -142,9 +145,11 @@ pub struct EngineBackend<F: Fn(&Architecture) -> f64 + Sync> {
     remote_edge: Option<SocketAddr>,
     persistent: bool,
     fleet_spec: Option<FleetSpec>,
+    optimize: bool,
     accuracy_fn: F,
     cache_log: Option<SharedCacheLog>,
     telemetry: Mutex<Telemetry>,
+    optimizer_stats: Mutex<OptimizerStats>,
     pool: Mutex<Option<EdgePool>>,
     fleet: Mutex<Option<EdgeFleet>>,
 }
@@ -181,12 +186,25 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
             remote_edge: None,
             persistent: false,
             fleet_spec: None,
+            optimize: true,
             accuracy_fn,
             cache_log: None,
             telemetry: Mutex::new(Telemetry::default()),
+            optimizer_stats: Mutex::new(OptimizerStats::default()),
             pool: Mutex::new(None),
             fleet: Mutex::new(None),
         }
+    }
+
+    /// Switches the plan-optimizer pipeline on or off (on by default).
+    /// Optimized plans are bit-identical in output to raw lowerings —
+    /// every pass preserves slot-keyed weights and per-kernel float-op
+    /// order — but carry a nonzero fingerprint, so optimized and raw
+    /// measurements never collide in a shared cache log.
+    #[must_use]
+    pub fn with_optimize(mut self, enabled: bool) -> Self {
+        self.optimize = enabled;
+        self
     }
 
     /// Sets how many frames are measured per candidate (at least 1;
@@ -286,10 +304,66 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
         self
     }
 
+    /// The workload shape the optimizer's cost-guided split rewrite prices
+    /// against, derived from the frame stream this backend actually drives.
+    fn workload_profile(&self) -> WorkloadProfile {
+        let s = &self.samples[0];
+        let (provides_graph, provided_degree) = match &s.graph {
+            Some(g) => (true, (g.num_edges() / g.num_nodes().max(1)).max(1)),
+            None => (false, 0),
+        };
+        WorkloadProfile {
+            num_nodes: s.features.rows(),
+            in_dim: s.features.cols(),
+            provides_graph,
+            provided_degree,
+            num_classes: self.num_classes,
+        }
+    }
+
+    fn optimize_options(&self) -> OptimizeOptions {
+        OptimizeOptions {
+            enabled: self.optimize,
+            profile: Some(self.workload_profile()),
+            uplink_mbps: self.uplink_mbps.unwrap_or(self.sys.link.bandwidth_mbps),
+        }
+    }
+
+    /// The single lower-and-optimize entry point: every candidate this
+    /// backend deploys — fresh pair, pooled or fleet — passes through here,
+    /// so pass counters accumulate no matter the deployment mode.
+    fn lower_plan(&self, arch: &Architecture) -> ExecutionPlan {
+        let (plan, stats) = lower_and_optimize(arch, &self.optimize_options());
+        if self.optimize {
+            self.optimizer_stats.lock().absorb(&stats);
+        }
+        plan
+    }
+
+    /// Fingerprint stamped on emitted plans: the standard pipeline's hash
+    /// when optimization is on, `0` (raw) when off.
+    fn optimizer_fingerprint(&self) -> u64 {
+        if self.optimize {
+            PassManager::standard().fingerprint()
+        } else {
+            0
+        }
+    }
+
+    /// Accumulated per-pass optimizer counters across every candidate this
+    /// backend has lowered (all deployment modes). All-zero when
+    /// [`with_optimize`](Self::with_optimize)`(false)` disabled the
+    /// pipeline.
+    pub fn optimizer_stats(&self) -> OptimizerStats {
+        self.optimizer_stats.lock().clone()
+    }
+
     /// The log-key fidelity tag for this configuration, computed per
     /// lookup so builder-method order never matters. Covers every knob
     /// that shapes the measured numbers plus a shape/label fingerprint of
-    /// the frame stream.
+    /// the frame stream and the optimizer fingerprint — optimized and raw
+    /// plans execute the same logits but different wire bytes and op
+    /// counts, so their measurements must never collide in a shared log.
     fn fidelity_tag(&self) -> u64 {
         let mut fingerprint = 0xCBF2_9CE4_8422_2325u64;
         for s in &self.samples {
@@ -308,8 +382,9 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
             (None, None) => "loopback".to_string(),
         };
         cachelog::tag_key(&format!(
-            "engine|classes{}|bank{:#x}|run{:#x}|frames{}|warmup{}|uplink{uplink}|{endpoint}|data{fingerprint:#x}",
+            "engine|classes{}|bank{:#x}|run{:#x}|frames{}|warmup{}|uplink{uplink}|{endpoint}|data{fingerprint:#x}|opt{:#x}",
             self.num_classes, self.bank_seed, self.run_seed, self.frames, self.warmup,
+            self.optimizer_fingerprint(),
         ))
     }
 
@@ -415,7 +490,7 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
     /// pair is torn down either way, a broken pool is discarded so the
     /// next candidate respawns one.
     fn run_candidate(&self, arch: &Architecture) -> Result<(Vec<usize>, EngineStats), EngineError> {
-        let plan = ExecutionPlan::from_architecture(arch);
+        let plan = self.lower_plan(arch);
         let stream = self.stream();
         if self.persistent {
             return self.run_pooled(plan, &stream);
@@ -541,7 +616,7 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
         let uncached: Vec<usize> = (0..archs.len()).filter(|&i| results[i].is_none()).collect();
         if !uncached.is_empty() {
             let plans: Vec<ExecutionPlan> =
-                uncached.iter().map(|&i| ExecutionPlan::from_architecture(&archs[i])).collect();
+                uncached.iter().map(|&i| self.lower_plan(&archs[i])).collect();
             let stream = self.stream();
             let mut guard = self.fleet.lock();
             let fleet = guard.get_or_insert_with(|| {
@@ -752,6 +827,30 @@ mod tests {
         assert_eq!(other.log_hits(), 0, "frames count is part of the fidelity tag");
         assert_eq!(other.deployments(), 1);
         std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn optimizer_on_and_off_disagree_only_on_fidelity_tag() {
+        // Same configuration, optimizer toggled: the live predictions are
+        // bit-identical (the optimizer's contract), but the cache-log tags
+        // must differ so shared-log measurements never collide.
+        let arch = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 4 }),
+            Op::Identity,
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 8 },
+            Op::Communicate,
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let on = backend().with_frames(3);
+        let off = backend().with_frames(3).with_optimize(false);
+        assert_ne!(on.fidelity_tag(), off.fidelity_tag());
+
+        let (preds_on, _) = on.run_candidate(&arch).expect("optimized deploy");
+        let (preds_off, _) = off.run_candidate(&arch).expect("raw deploy");
+        assert_eq!(preds_on, preds_off, "optimized predictions must be bit-identical to raw");
+        assert!(on.optimizer_stats().ops_elided() > 0, "the Identity op must be elided");
+        assert_eq!(off.optimizer_stats(), Default::default());
     }
 
     #[test]

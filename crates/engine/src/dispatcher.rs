@@ -13,6 +13,7 @@
 //! picked plan onto the warm pair via one `SwapPlan` control frame — the
 //! edge process, TCP connection and weights all survive the switch.
 
+use crate::optimizer::{lower_and_optimize, OptimizeOptions};
 use crate::plan::ExecutionPlan;
 use crate::pool::EdgePool;
 use crate::runtime::EngineStats;
@@ -104,11 +105,19 @@ impl EngineDispatcher {
         self.bank.clone()
     }
 
+    /// Lowers one zoo pick through the optimizer pipeline. The dispatcher
+    /// has no workload profile at hand, so the cost-guided split rewrite
+    /// self-skips; the elision and fusion passes still shrink the deployed
+    /// plan without touching its logits.
+    fn lower(arch: &gcode_core::arch::Architecture) -> ExecutionPlan {
+        lower_and_optimize(arch, &OptimizeOptions { profile: None, ..OptimizeOptions::default() }).0
+    }
+
     /// Picks the architecture for `constraint` and returns its deployment
     /// plan together with the zoo entry, or `None` for an empty zoo.
     pub fn dispatch(&self, constraint: RuntimeConstraint) -> Option<(ExecutionPlan, &ScoredArch)> {
         let entry = self.zoo.dispatch(constraint)?;
-        Some((ExecutionPlan::from_architecture(&entry.arch), entry))
+        Some((Self::lower(&entry.arch), entry))
     }
 
     /// Picks the architecture for `constraint` and hot-swaps its plan onto
@@ -131,7 +140,7 @@ impl EngineDispatcher {
         let Some(entry) = self.zoo.dispatch(constraint) else {
             return Ok(None);
         };
-        pool.deploy(ExecutionPlan::from_architecture(&entry.arch))?;
+        pool.deploy(Self::lower(&entry.arch))?;
         Ok(Some(entry.clone()))
     }
 

@@ -248,7 +248,7 @@ enum WorkerEvent {
     },
     /// The worker stopped: queue empty (pool handed back warm) or pool
     /// death (`None` — the broken pool was dropped in the worker).
-    Exited { slot: usize, pool: Option<EdgePool> },
+    Exited { slot: usize, pool: Option<Box<EdgePool>> },
 }
 
 /// One candidate's measurement through the fleet: predictions plus the
@@ -520,7 +520,7 @@ impl EdgeFleet {
                             }
                         }
                     }
-                    let _ = tx.send(WorkerEvent::Exited { slot, pool: Some(pool) });
+                    let _ = tx.send(WorkerEvent::Exited { slot, pool: Some(Box::new(pool)) });
                 });
             };
             let mut running = 0usize;
@@ -591,7 +591,7 @@ impl EdgeFleet {
                     }
                     WorkerEvent::Exited { slot, pool: Some(pool) } => {
                         running -= 1;
-                        self.slots[slot].pool = Some(pool);
+                        self.slots[slot].pool = Some(*pool);
                         // The queue can refill after a worker saw it empty
                         // (a death elsewhere requeued its candidate) —
                         // put the warm pool straight back to work.

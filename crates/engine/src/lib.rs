@@ -59,6 +59,7 @@
 pub mod backend;
 pub mod dispatcher;
 pub mod fleet;
+pub mod optimizer;
 pub mod plan;
 pub mod pool;
 pub mod proto;
@@ -71,13 +72,16 @@ pub use fleet::{
     EdgeFleet, FleetEndpoint, FleetOutcome, FleetSpec, DEFAULT_REMOTE_CONNECT_TIMEOUT,
     MAX_FLEET_POOLS,
 };
+pub use optimizer::{
+    lower_and_optimize, OptimizeOptions, PassManager, PlanIr, PlanOptimizer, OPTIMIZER_VERSION,
+};
 pub use plan::ExecutionPlan;
 pub use pool::EdgePool;
 pub use proto::{
-    decode_frame, decode_plan, decode_state, encode_frame, encode_legacy_swap_plan, encode_plan,
-    encode_state, frame_name, plan_wire_id, read_message, write_message, Frame, PlanBatch,
-    SessionOutcome, SessionProgress, SessionSpec, SessionState, SessionTask, WireState,
-    MAX_BATCH_PLANS, PLAN_WIRE_VERSION, PROTOCOL_VERSION,
+    decode_frame, decode_plan, decode_state, encode_frame, encode_plan, encode_state, frame_name,
+    plan_wire_id, read_message, write_message, Frame, PlanBatch, SessionOutcome, SessionProgress,
+    SessionSpec, SessionState, SessionTask, WireState, MAX_BATCH_PLANS, PLAN_WIRE_VERSION,
+    PROTOCOL_VERSION,
 };
 pub use runtime::{DeviceClient, EdgeServer, EngineStats};
 pub use throttle::Throttle;

@@ -1,0 +1,764 @@
+//! Cost-guided plan optimizer pipeline between lowering and deploy.
+//!
+//! [`ExecutionPlan::from_architecture`] emits plans exactly as the
+//! architecture encodes them: identity ops and `Communicate` residue ride
+//! along to the edge, and the split point is wherever the sequence
+//! happened to put its first `Communicate`. This module inserts an
+//! explicit rewrite stage between lowering and deploy, the way a SQL
+//! engine runs filter pushdown and join reordering between logical
+//! planning and execution:
+//!
+//! 1. lowering produces a [`PlanIr`] — the lowered ops annotated with the
+//!    **weight slot** each op held in the raw lowering (the `WeightBank`
+//!    per-slot seeding contract);
+//! 2. a [`PassManager`] runs an ordered list of [`Pass`]es that rewrite
+//!    the IR;
+//! 3. legalization ([`PlanIr::legalize`]) emits today's [`ExecutionPlan`]
+//!    extended with an `optimizer_fingerprint` identifying the pipeline.
+//!
+//! # The slot invariant
+//!
+//! Every pass must preserve **bit-exact logits**: surviving ops keep the
+//! weight slot they held in the unoptimized lowering (elision leaves slot
+//! gaps instead of renumbering), fused kernels run the same float ops in
+//! the same order as the ops they replace, and no rewrite may move a
+//! `BuildRandom` between the device and edge sides (the two sides draw
+//! from different RNG streams). Winner selection is therefore
+//! bit-identical with the optimizer on or off — the optimizer changes
+//! how much a deploy ships and where the cut sits, never what the model
+//! computes.
+//!
+//! # Standard pipeline
+//!
+//! * [`ElideIdentity`] — drops `Identity` ops (lowered `Op::Identity` and
+//!   residual `Communicate`s), which carry no weights and no compute.
+//! * [`DeadTailElimination`] — drops trailing ops that cannot affect the
+//!   classifier (graph builds with no consumer). Trailing `BuildRandom`
+//!   is kept: it advances the RNG stream that later frames observe.
+//! * [`FuseAggregateCombine`] — merges adjacent `Aggregate` + `Combine`
+//!   on the same side into one [`LayerSpec::FusedAggregateCombine`]
+//!   keyed by the `Combine`'s slot. Pairs straddling the split boundary
+//!   are left alone.
+//! * [`SplitRewrite`] — re-chooses the cut by pricing every candidate
+//!   partition with `gcode_core::cost::trace` under the configured
+//!   uplink, keeping the original cut on ties and never moving a
+//!   `BuildRandom` across the boundary.
+
+use crate::plan::ExecutionPlan;
+use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::estimate::breakdown_from_trace;
+use gcode_core::eval::{OptimizerStats, PassStats};
+use gcode_core::op::{Op, OpKind, SampleFn};
+use gcode_hardware::SystemConfig;
+use gcode_nn::seq::LayerSpec;
+use std::sync::Mutex;
+
+/// Version of the pass pipeline, folded into every fingerprint so cached
+/// measurements of plans produced by an older optimizer never collide
+/// with newer ones.
+pub const OPTIMIZER_VERSION: u32 = 1;
+
+/// Wire bytes one op occupies in the binary plan encoding (tag + param +
+/// slot columns) — the modeled saving of removing or fusing an op.
+const WIRE_BYTES_PER_OP: u64 = 9;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One IR operation: the runnable spec, the weight slot it keys in the
+/// `WeightBank`, and the architecture op(s) it covers (two for a fused
+/// kernel) — kept so the cost model can price the op faithfully.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrOp {
+    /// Weight slot in the unoptimized lowering.
+    pub slot: usize,
+    /// Runnable form (may be a fused kernel).
+    pub spec: LayerSpec,
+    /// Architecture ops this IR op covers, in execution order.
+    pub ops: Vec<Op>,
+}
+
+impl IrOp {
+    fn draws_rng(&self) -> bool {
+        self.ops.iter().any(|op| matches!(op, Op::Sample(SampleFn::Random { .. })))
+    }
+}
+
+/// Plan intermediate representation: the lowered ops (boundary
+/// `Communicate` excluded) plus the device/edge split position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanIr {
+    /// IR ops in execution order. The first `Communicate` of the source
+    /// architecture is not represented — the split position carries it.
+    pub ops: Vec<IrOp>,
+    /// Index into `ops` where the edge part begins; `None` for an
+    /// unsplit (device-only) plan.
+    pub split: Option<usize>,
+    /// Slot count of the raw lowering (= source architecture length),
+    /// preserved so legalization can reproduce `edge_slot_offset` for
+    /// plans with an empty edge part.
+    pub total_slots: usize,
+}
+
+impl PlanIr {
+    /// Lowers an architecture into IR: one IR op per architecture op,
+    /// slots numbered by position, with the first `Communicate` removed
+    /// and recorded as the split position.
+    pub fn from_architecture(arch: &Architecture) -> Self {
+        let lowered = arch.lower();
+        let first_comm = arch.ops().iter().position(|op| op.kind() == OpKind::Communicate);
+        let mut ops = Vec::with_capacity(arch.len());
+        for (slot, (op, spec)) in arch.ops().iter().zip(&lowered).enumerate() {
+            if Some(slot) == first_comm {
+                continue;
+            }
+            ops.push(IrOp { slot, spec: *spec, ops: vec![*op] });
+        }
+        Self { ops, split: first_comm, total_slots: arch.len() }
+    }
+
+    /// Number of IR ops on each side, `(device, edge)`.
+    pub fn op_counts(&self) -> (usize, usize) {
+        let split = self.split.unwrap_or(self.ops.len());
+        (split, self.ops.len() - split)
+    }
+
+    /// Emits the final [`ExecutionPlan`]. A fingerprint of `0` marks a
+    /// raw (unoptimized) lowering.
+    pub fn legalize(&self, optimizer_fingerprint: u64) -> ExecutionPlan {
+        let split = self.split.unwrap_or(self.ops.len());
+        let (device, edge) = self.ops.split_at(split);
+        ExecutionPlan {
+            device_specs: device.iter().map(|o| o.spec).collect(),
+            edge_specs: edge.iter().map(|o| o.spec).collect(),
+            device_slots: device.iter().map(|o| o.slot).collect(),
+            edge_slots: edge.iter().map(|o| o.slot).collect(),
+            edge_slot_offset: edge.first().map_or(self.total_slots, |o| o.slot),
+            offloaded: self.split.is_some(),
+            optimizer_fingerprint,
+        }
+    }
+
+    /// The architecture ops the IR currently covers, flattened in
+    /// execution order with every `Communicate` neutralized to
+    /// `Identity` (both are compute-free; candidate pricing re-inserts
+    /// its own single `Communicate` at the cut under test).
+    fn pricing_ops(&self) -> Vec<Op> {
+        self.ops
+            .iter()
+            .flat_map(|o| o.ops.iter())
+            .map(|op| if op.kind() == OpKind::Communicate { Op::Identity } else { *op })
+            .collect()
+    }
+}
+
+/// Workload facts the passes may consult. The cost-guided split rewrite
+/// is skipped when no profile is available (e.g. the live dispatcher,
+/// which swaps plans without workload context).
+#[derive(Debug, Clone)]
+pub struct PassContext {
+    /// Workload shape for cost tracing, if known.
+    pub profile: Option<WorkloadProfile>,
+    /// Configured device→edge uplink in Mbps.
+    pub uplink_mbps: f64,
+}
+
+/// One rewrite pass over the [`PlanIr`].
+pub trait Pass: Send + Sync {
+    /// Stable pass name — hashed into the pipeline fingerprint.
+    fn name(&self) -> &'static str;
+
+    /// Rewrites the IR in place, returning what changed.
+    fn run(&self, ir: &mut PlanIr, ctx: &PassContext) -> PassStats;
+}
+
+fn stats_for(pass: &dyn Pass) -> PassStats {
+    PassStats { pass: pass.name().to_string(), ..PassStats::default() }
+}
+
+/// Drops `Identity` ops: lowered `Op::Identity` and the residue of
+/// non-boundary `Communicate`s. Identities hold no weights, touch no
+/// features and draw no RNG, so removal is unconditionally bit-exact.
+#[derive(Debug, Default)]
+pub struct ElideIdentity;
+
+impl Pass for ElideIdentity {
+    fn name(&self) -> &'static str {
+        "elide-identity"
+    }
+
+    fn run(&self, ir: &mut PlanIr, _ctx: &PassContext) -> PassStats {
+        let mut stats = stats_for(self);
+        let split = ir.split.unwrap_or(ir.ops.len());
+        let mut removed_before_split = 0usize;
+        let mut kept = Vec::with_capacity(ir.ops.len());
+        for (i, op) in ir.ops.iter().enumerate() {
+            if matches!(op.spec, LayerSpec::Identity) {
+                if i < split {
+                    removed_before_split += 1;
+                }
+                stats.ops_elided += 1;
+                stats.modeled_bytes_saved += WIRE_BYTES_PER_OP;
+            } else {
+                kept.push(op.clone());
+            }
+        }
+        ir.ops = kept;
+        if let Some(s) = ir.split {
+            ir.split = Some(s - removed_before_split);
+        }
+        stats
+    }
+}
+
+/// Removes trailing ops that cannot affect the classifier: graph builds
+/// (`BuildKnn`) and identities at the very end of the plan feed nothing.
+/// Trailing `BuildRandom` is **kept** — it advances the per-side RNG
+/// stream, which later frames of the same run observe.
+#[derive(Debug, Default)]
+pub struct DeadTailElimination;
+
+impl Pass for DeadTailElimination {
+    fn name(&self) -> &'static str {
+        "dead-tail"
+    }
+
+    fn run(&self, ir: &mut PlanIr, _ctx: &PassContext) -> PassStats {
+        let mut stats = stats_for(self);
+        while let Some(last) = ir.ops.last() {
+            let dead = matches!(last.spec, LayerSpec::Identity | LayerSpec::BuildKnn { .. });
+            if !dead {
+                break;
+            }
+            ir.ops.pop();
+            stats.ops_elided += 1;
+            stats.modeled_bytes_saved += WIRE_BYTES_PER_OP;
+        }
+        if let Some(s) = ir.split {
+            ir.split = Some(s.min(ir.ops.len()));
+        }
+        stats
+    }
+}
+
+/// Fuses adjacent `Aggregate` + `Combine` on the same side into one
+/// [`LayerSpec::FusedAggregateCombine`] carrying the `Combine`'s weight
+/// slot. The fused kernel executes the identical float ops in the
+/// identical order, so logits are bit-exact; pairs straddling the split
+/// boundary are never fused (the cut must stay expressible).
+#[derive(Debug, Default)]
+pub struct FuseAggregateCombine;
+
+impl Pass for FuseAggregateCombine {
+    fn name(&self) -> &'static str {
+        "fuse-aggregate-combine"
+    }
+
+    fn run(&self, ir: &mut PlanIr, _ctx: &PassContext) -> PassStats {
+        let mut stats = stats_for(self);
+        let split = ir.split.unwrap_or(ir.ops.len());
+        let mut new_split = split;
+        let mut out: Vec<IrOp> = Vec::with_capacity(ir.ops.len());
+        let mut i = 0;
+        while i < ir.ops.len() {
+            let straddles_boundary = i + 1 == split;
+            if i + 1 < ir.ops.len() && !straddles_boundary {
+                if let (LayerSpec::Aggregate(mode), LayerSpec::Combine { out_dim }) =
+                    (ir.ops[i].spec, ir.ops[i + 1].spec)
+                {
+                    let mut covered = ir.ops[i].ops.clone();
+                    covered.extend_from_slice(&ir.ops[i + 1].ops);
+                    out.push(IrOp {
+                        slot: ir.ops[i + 1].slot,
+                        spec: LayerSpec::FusedAggregateCombine { mode, out_dim },
+                        ops: covered,
+                    });
+                    if i + 1 < split {
+                        new_split -= 1;
+                    }
+                    stats.ops_fused += 1;
+                    stats.modeled_bytes_saved += WIRE_BYTES_PER_OP;
+                    i += 2;
+                    continue;
+                }
+            }
+            out.push(ir.ops[i].clone());
+            i += 1;
+        }
+        ir.ops = out;
+        if ir.split.is_some() {
+            ir.split = Some(new_split);
+        }
+        stats
+    }
+}
+
+/// Re-chooses the device/edge cut of an offloaded plan by pricing every
+/// candidate partition — `cost::trace` over the covered ops with a
+/// `Communicate` inserted at the candidate boundary, timed on the
+/// modeled system under the configured uplink. The cheapest strictly
+/// better cut wins; ties keep the original. Cuts that would move a
+/// `BuildRandom` between sides are illegal (the sides draw from
+/// different RNG streams), as are cuts leaving either side empty.
+/// Requires a [`PassContext::profile`]; a fused IR op is atomic — the
+/// cut cannot land inside it.
+#[derive(Debug, Default)]
+pub struct SplitRewrite;
+
+impl Pass for SplitRewrite {
+    fn name(&self) -> &'static str {
+        "split-rewrite"
+    }
+
+    fn run(&self, ir: &mut PlanIr, ctx: &PassContext) -> PassStats {
+        let mut stats = stats_for(self);
+        let (Some(current), Some(profile)) = (ir.split, ctx.profile) else {
+            return stats;
+        };
+        if ir.ops.len() < 2 {
+            return stats;
+        }
+        let sys = SystemConfig::tx2_to_1060(ctx.uplink_mbps);
+        let flat = ir.pricing_ops();
+        // Flattened architecture-op index of each IR boundary (fused IR
+        // ops cover two architecture ops).
+        let mut bounds = vec![0usize; ir.ops.len() + 1];
+        for (i, op) in ir.ops.iter().enumerate() {
+            bounds[i + 1] = bounds[i] + op.ops.len();
+        }
+        let price = |cut: usize| -> (f64, usize) {
+            let mut ops = flat.clone();
+            ops.insert(bounds[cut], Op::Communicate);
+            let arch = Architecture::new(ops);
+            let traced = gcode_core::cost::trace(&arch, &profile);
+            let transfer: usize = traced.iter().map(|t| t.transfer_bytes).sum();
+            (breakdown_from_trace(&traced, &arch, &sys).total_s(), transfer)
+        };
+        let (current_cost, current_bytes) = price(current);
+        let mut best: Option<(usize, f64, usize)> = None;
+        for cut in 1..ir.ops.len() {
+            if cut == current {
+                continue;
+            }
+            let (lo, hi) = (cut.min(current), cut.max(current));
+            if ir.ops[lo..hi].iter().any(IrOp::draws_rng) {
+                continue;
+            }
+            let (cost, bytes) = price(cut);
+            let improves = match best {
+                None => cost < current_cost,
+                Some((_, best_cost, _)) => cost < best_cost,
+            };
+            if improves && cost < current_cost {
+                best = Some((cut, cost, bytes));
+            }
+        }
+        if let Some((cut, _, bytes)) = best {
+            ir.split = Some(cut);
+            stats.splits_moved = 1;
+            stats.modeled_bytes_saved += (current_bytes.saturating_sub(bytes)) as u64;
+        }
+        stats
+    }
+}
+
+/// Ordered list of passes plus the fingerprint identifying them.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// The standard pipeline: identity elision, dead-tail elimination,
+    /// aggregate/combine fusion, cost-guided split rewrite.
+    pub fn standard() -> Self {
+        Self {
+            passes: vec![
+                Box::new(ElideIdentity),
+                Box::new(DeadTailElimination),
+                Box::new(FuseAggregateCombine),
+                Box::new(SplitRewrite),
+            ],
+        }
+    }
+
+    /// A pipeline over an explicit pass list (for tests and ablations).
+    pub fn with_passes(passes: Vec<Box<dyn Pass>>) -> Self {
+        Self { passes }
+    }
+
+    /// FNV-1a hash of the optimizer version and the ordered pass names.
+    /// Never `0` — that value is reserved for raw lowerings.
+    pub fn fingerprint(&self) -> u64 {
+        let mut tag = format!("gcode-plan-optimizer/v{OPTIMIZER_VERSION}");
+        for pass in &self.passes {
+            tag.push('|');
+            tag.push_str(pass.name());
+        }
+        fnv1a(tag.as_bytes()).max(1)
+    }
+
+    /// Runs every pass in order, returning per-pass counters.
+    pub fn run(&self, ir: &mut PlanIr, ctx: &PassContext) -> Vec<PassStats> {
+        self.passes.iter().map(|p| p.run(ir, ctx)).collect()
+    }
+}
+
+/// Configuration for [`lower_and_optimize`] / [`PlanOptimizer`].
+#[derive(Debug, Clone)]
+pub struct OptimizeOptions {
+    /// Master switch: `false` reproduces `ExecutionPlan::from_architecture`
+    /// exactly (fingerprint `0`).
+    pub enabled: bool,
+    /// Workload shape for the cost-guided split rewrite; `None` skips
+    /// that pass (the elision/fusion passes run regardless).
+    pub profile: Option<WorkloadProfile>,
+    /// Modeled device→edge uplink in Mbps for split pricing.
+    pub uplink_mbps: f64,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        Self { enabled: true, profile: None, uplink_mbps: 40.0 }
+    }
+}
+
+/// Lowers one architecture through the standard pipeline. This is **the**
+/// lowering entry point — the engine backend, the dispatcher and the
+/// server session all route through it (or through a shared
+/// [`PlanOptimizer`] wrapping it), so no layer can skip the pipeline
+/// silently.
+pub fn lower_and_optimize(
+    arch: &Architecture,
+    opts: &OptimizeOptions,
+) -> (ExecutionPlan, OptimizerStats) {
+    if !opts.enabled {
+        return (ExecutionPlan::from_architecture(arch), OptimizerStats::default());
+    }
+    let manager = PassManager::standard();
+    let ctx = PassContext { profile: opts.profile, uplink_mbps: opts.uplink_mbps };
+    let mut ir = PlanIr::from_architecture(arch);
+    let passes = manager.run(&mut ir, &ctx);
+    let plan = ir.legalize(manager.fingerprint());
+    (plan, OptimizerStats { plans_optimized: 1, passes })
+}
+
+/// Stateful wrapper around [`lower_and_optimize`] that accumulates
+/// [`OptimizerStats`] across every plan it lowers. Interior mutability
+/// (a mutex over the counters) lets one optimizer serve concurrent
+/// lowering calls from `&self` evaluation paths.
+pub struct PlanOptimizer {
+    opts: OptimizeOptions,
+    stats: Mutex<OptimizerStats>,
+}
+
+impl PlanOptimizer {
+    /// Creates an optimizer with the given options.
+    pub fn new(opts: OptimizeOptions) -> Self {
+        Self { opts, stats: Mutex::new(OptimizerStats::default()) }
+    }
+
+    /// Whether the pipeline is enabled.
+    pub fn enabled(&self) -> bool {
+        self.opts.enabled
+    }
+
+    /// Fingerprint the emitted plans will carry: the standard pipeline's
+    /// hash when enabled, `0` (raw) when disabled.
+    pub fn fingerprint(&self) -> u64 {
+        if self.opts.enabled {
+            PassManager::standard().fingerprint()
+        } else {
+            0
+        }
+    }
+
+    /// Lowers an architecture, accumulating pass counters.
+    pub fn lower(&self, arch: &Architecture) -> ExecutionPlan {
+        let (plan, stats) = lower_and_optimize(arch, &self.opts);
+        if self.opts.enabled {
+            self.stats.lock().expect("optimizer stats poisoned").absorb(&stats);
+        }
+        plan
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> OptimizerStats {
+        self.stats.lock().expect("optimizer stats poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcode_nn::agg::AggMode;
+    use gcode_nn::pool::PoolMode;
+
+    fn ctx() -> PassContext {
+        PassContext { profile: None, uplink_mbps: 40.0 }
+    }
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile::modelnet40_mini(24, 4)
+    }
+
+    #[test]
+    fn ir_round_trips_raw_plans() {
+        let archs = vec![
+            Architecture::new(vec![
+                Op::Sample(SampleFn::Knn { k: 8 }),
+                Op::Communicate,
+                Op::Aggregate(AggMode::Max),
+                Op::GlobalPool(PoolMode::Max),
+            ]),
+            Architecture::new(vec![
+                Op::Sample(SampleFn::Knn { k: 8 }),
+                Op::Aggregate(AggMode::Mean),
+                Op::GlobalPool(PoolMode::Sum),
+            ]),
+            Architecture::new(vec![Op::Communicate, Op::GlobalPool(PoolMode::Max)]),
+            Architecture::new(vec![Op::GlobalPool(PoolMode::Max), Op::Communicate]),
+        ];
+        for arch in archs {
+            let ir = PlanIr::from_architecture(&arch);
+            assert_eq!(ir.legalize(0), ExecutionPlan::from_architecture(&arch), "{arch}");
+        }
+    }
+
+    #[test]
+    fn elide_identity_drops_identities_and_residual_communicates() {
+        let arch = Architecture::new(vec![
+            Op::Identity,
+            Op::Combine { dim: 16 },
+            Op::Communicate,
+            Op::Combine { dim: 32 },
+            Op::Communicate, // residue: lowers to Identity inside the edge part
+            Op::GlobalPool(PoolMode::Sum),
+        ]);
+        let mut ir = PlanIr::from_architecture(&arch);
+        let stats = ElideIdentity.run(&mut ir, &ctx());
+        assert_eq!(stats.ops_elided, 2);
+        let plan = ir.legalize(1);
+        assert_eq!(plan.device_specs, vec![LayerSpec::Combine { out_dim: 16 }]);
+        assert_eq!(plan.device_slots, vec![1]);
+        assert_eq!(
+            plan.edge_specs,
+            vec![LayerSpec::Combine { out_dim: 32 }, LayerSpec::GlobalPool(PoolMode::Sum)]
+        );
+        assert_eq!(plan.edge_slots, vec![3, 5]);
+        assert!(plan.offloaded);
+    }
+
+    #[test]
+    fn elide_identity_without_communicate() {
+        let arch = Architecture::new(vec![
+            Op::Identity,
+            Op::Combine { dim: 16 },
+            Op::Identity,
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let mut ir = PlanIr::from_architecture(&arch);
+        let stats = ElideIdentity.run(&mut ir, &ctx());
+        assert_eq!(stats.ops_elided, 2);
+        let plan = ir.legalize(1);
+        assert!(!plan.offloaded);
+        assert_eq!(plan.device_slots, vec![1, 3]);
+        assert!(plan.edge_specs.is_empty());
+    }
+
+    #[test]
+    fn dead_tail_strips_trailing_graph_builds_but_keeps_build_random() {
+        let arch = Architecture::new(vec![
+            Op::Combine { dim: 16 },
+            Op::GlobalPool(PoolMode::Max),
+            Op::Combine { dim: 8 },
+            Op::Sample(SampleFn::Knn { k: 4 }),
+        ]);
+        let mut ir = PlanIr::from_architecture(&arch);
+        let stats = DeadTailElimination.run(&mut ir, &ctx());
+        assert_eq!(stats.ops_elided, 1);
+        assert_eq!(ir.ops.len(), 3);
+
+        // A trailing BuildRandom advances the RNG stream — never removed.
+        let rng_tail = Architecture::new(vec![
+            Op::Combine { dim: 16 },
+            Op::GlobalPool(PoolMode::Max),
+            Op::Sample(SampleFn::Random { k: 4 }),
+        ]);
+        let mut ir = PlanIr::from_architecture(&rng_tail);
+        let stats = DeadTailElimination.run(&mut ir, &ctx());
+        assert_eq!(stats.ops_elided, 0);
+        assert_eq!(ir.ops.len(), 3);
+    }
+
+    #[test]
+    fn fusion_fuses_same_side_pairs_with_combine_slot() {
+        let arch = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 8 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 32 },
+            Op::Communicate,
+            Op::Aggregate(AggMode::Mean),
+            Op::Combine { dim: 16 },
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let mut ir = PlanIr::from_architecture(&arch);
+        let stats = FuseAggregateCombine.run(&mut ir, &ctx());
+        assert_eq!(stats.ops_fused, 2);
+        let plan = ir.legalize(1);
+        assert_eq!(
+            plan.device_specs,
+            vec![
+                LayerSpec::BuildKnn { k: 8 },
+                LayerSpec::FusedAggregateCombine { mode: AggMode::Max, out_dim: 32 },
+            ]
+        );
+        // The fused kernel keys the Combine's weight slot.
+        assert_eq!(plan.device_slots, vec![0, 2]);
+        assert_eq!(
+            plan.edge_specs,
+            vec![
+                LayerSpec::FusedAggregateCombine { mode: AggMode::Mean, out_dim: 16 },
+                LayerSpec::GlobalPool(PoolMode::Max),
+            ]
+        );
+        assert_eq!(plan.edge_slots, vec![5, 6]);
+    }
+
+    #[test]
+    fn fusion_never_fires_across_the_split_boundary() {
+        let arch = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 8 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Communicate,
+            Op::Combine { dim: 32 },
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let mut ir = PlanIr::from_architecture(&arch);
+        let stats = FuseAggregateCombine.run(&mut ir, &ctx());
+        assert_eq!(stats.ops_fused, 0);
+        let plan = ir.legalize(1);
+        assert_eq!(plan.device_specs[1], LayerSpec::Aggregate(AggMode::Max));
+        assert_eq!(plan.edge_specs[0], LayerSpec::Combine { out_dim: 32 });
+    }
+
+    #[test]
+    fn split_rewrite_needs_profile_and_existing_split() {
+        let arch = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 8 }),
+            Op::Communicate,
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        // No profile → skipped.
+        let mut ir = PlanIr::from_architecture(&arch);
+        let stats = SplitRewrite.run(&mut ir, &ctx());
+        assert_eq!(stats.splits_moved, 0);
+        // No split (device-only) → skipped even with a profile.
+        let local = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 8 }),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let mut ir = PlanIr::from_architecture(&local);
+        let with_profile = PassContext { profile: Some(profile()), uplink_mbps: 10.0 };
+        let stats = SplitRewrite.run(&mut ir, &with_profile);
+        assert_eq!(stats.splits_moved, 0);
+        assert_eq!(ir.split, None);
+    }
+
+    #[test]
+    fn split_rewrite_moves_cut_before_transfer_inflating_knn() {
+        // The architecture splits right after a KNN build — shipping the
+        // graph plus features. Cutting *before* the Sample is modeled
+        // cheaper under a thin uplink (the edge rebuilds nothing: the
+        // Sample itself moves to the edge).
+        let arch = Architecture::new(vec![
+            Op::Combine { dim: 16 },
+            Op::Sample(SampleFn::Knn { k: 12 }),
+            Op::Communicate,
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let mut ir = PlanIr::from_architecture(&arch);
+        let cx = PassContext { profile: Some(WorkloadProfile::modelnet40()), uplink_mbps: 10.0 };
+        let stats = SplitRewrite.run(&mut ir, &cx);
+        assert_eq!(stats.splits_moved, 1);
+        assert!(stats.modeled_bytes_saved > 0);
+        let new_split = ir.split.expect("still offloaded");
+        assert!(new_split < 2, "cut should move before the KNN, got {new_split}");
+    }
+
+    #[test]
+    fn split_rewrite_never_moves_build_random_across_sides() {
+        let arch = Architecture::new(vec![
+            Op::Combine { dim: 16 },
+            Op::Sample(SampleFn::Random { k: 12 }),
+            Op::Communicate,
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let mut ir = PlanIr::from_architecture(&arch);
+        let cx = PassContext { profile: Some(WorkloadProfile::modelnet40()), uplink_mbps: 10.0 };
+        SplitRewrite.run(&mut ir, &cx);
+        // Any legal move keeps the BuildRandom on the device side.
+        let split = ir.split.expect("still offloaded");
+        assert!(split >= 2, "BuildRandom must stay on the device side, split={split}");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_nonzero_and_pass_order_sensitive() {
+        let standard = PassManager::standard();
+        assert_ne!(standard.fingerprint(), 0);
+        assert_eq!(standard.fingerprint(), PassManager::standard().fingerprint());
+        let reordered =
+            PassManager::with_passes(vec![Box::new(FuseAggregateCombine), Box::new(ElideIdentity)]);
+        assert_ne!(standard.fingerprint(), reordered.fingerprint());
+    }
+
+    #[test]
+    fn lower_and_optimize_disabled_matches_raw_lowering() {
+        let arch = Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 8 }),
+            Op::Communicate,
+            Op::Aggregate(AggMode::Max),
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let opts = OptimizeOptions { enabled: false, ..OptimizeOptions::default() };
+        let (plan, stats) = lower_and_optimize(&arch, &opts);
+        assert_eq!(plan, ExecutionPlan::from_architecture(&arch));
+        assert_eq!(stats, OptimizerStats::default());
+    }
+
+    #[test]
+    fn plan_optimizer_accumulates_stats_and_stamps_fingerprint() {
+        let opt = PlanOptimizer::new(OptimizeOptions {
+            enabled: true,
+            profile: Some(profile()),
+            uplink_mbps: 10.0,
+        });
+        let arch = Architecture::new(vec![
+            Op::Identity,
+            Op::Sample(SampleFn::Knn { k: 8 }),
+            Op::Aggregate(AggMode::Max),
+            Op::Combine { dim: 16 },
+            Op::Communicate,
+            Op::Identity,
+            Op::GlobalPool(PoolMode::Max),
+        ]);
+        let plan = opt.lower(&arch);
+        assert_eq!(plan.optimizer_fingerprint, opt.fingerprint());
+        assert_ne!(plan.optimizer_fingerprint, 0);
+        let stats = opt.stats();
+        assert_eq!(stats.plans_optimized, 1);
+        assert_eq!(stats.ops_elided(), 2);
+        assert_eq!(stats.ops_fused(), 1);
+        opt.lower(&arch);
+        assert_eq!(opt.stats().plans_optimized, 2);
+        assert_eq!(opt.stats().ops_elided(), 4);
+    }
+}

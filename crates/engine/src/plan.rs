@@ -13,49 +13,78 @@ use serde::{Deserialize, Serialize};
 /// keeps every op at its original slot index so split execution shares the
 /// exact weights a monolithic forward would use.
 ///
+/// Every op carries its **explicit weight slot** (`device_slots`/
+/// `edge_slots`): a raw lowering uses the contiguous range `0..n`, while
+/// the plan optimizer (`crate::optimizer`) may elide or fuse ops, leaving
+/// gaps — surviving ops keep the slot they held in the unoptimized
+/// lowering, which is what keeps optimized logits bit-identical to raw
+/// ones. `optimizer_fingerprint` records which pass pipeline produced the
+/// plan (`0` = raw lowering) and is folded into the wire identity
+/// (`crate::proto::plan_wire_id`) so optimized and raw measurements never
+/// collide in a shared cache.
+///
 /// Serializable so a `SwapPlan` control frame can carry the next plan to a
 /// persistent edge over the wire (`crate::proto::Frame::SwapPlan`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionPlan {
-    /// Layers executed on the device before transmission (slots `0..n`).
+    /// Layers executed on the device before transmission.
     pub device_specs: Vec<LayerSpec>,
     /// Layers executed on the edge after reception.
     pub edge_specs: Vec<LayerSpec>,
-    /// Slot index of `edge_specs[0]` in the full lowered architecture.
+    /// Weight slot of each device op in the unoptimized lowering.
+    pub device_slots: Vec<usize>,
+    /// Weight slot of each edge op in the unoptimized lowering.
+    pub edge_slots: Vec<usize>,
+    /// Slot index where the edge part starts in the full lowered
+    /// architecture (the wire/split semantics; individual ops execute by
+    /// their explicit slot).
     pub edge_slot_offset: usize,
     /// Whether anything is offloaded at all.
     pub offloaded: bool,
+    /// Hash of the optimizer pass list + version that produced this plan;
+    /// `0` for a raw lowering.
+    pub optimizer_fingerprint: u64,
 }
 
 impl ExecutionPlan {
+    /// Assembles a raw (unoptimized) plan: contiguous weight slots on both
+    /// sides, fingerprint `0`.
+    pub fn raw(
+        device_specs: Vec<LayerSpec>,
+        edge_specs: Vec<LayerSpec>,
+        edge_slot_offset: usize,
+        offloaded: bool,
+    ) -> Self {
+        let device_slots = (0..device_specs.len()).collect();
+        let edge_slots = (edge_slot_offset..edge_slot_offset + edge_specs.len()).collect();
+        Self {
+            device_specs,
+            edge_specs,
+            device_slots,
+            edge_slots,
+            edge_slot_offset,
+            offloaded,
+            optimizer_fingerprint: 0,
+        }
+    }
+
     /// Builds a plan by splitting at the first `Communicate` op.
     pub fn from_architecture(arch: &Architecture) -> Self {
         let lowered = arch.lower();
         let first_comm = arch.ops().iter().position(|op| op.kind() == OpKind::Communicate);
         match first_comm {
-            None => Self {
-                device_specs: lowered,
-                edge_specs: Vec::new(),
-                edge_slot_offset: arch.len(),
-                offloaded: false,
-            },
-            Some(i) => Self {
-                device_specs: lowered[..i].to_vec(),
-                edge_specs: lowered[i + 1..].to_vec(),
-                edge_slot_offset: i + 1,
-                offloaded: true,
-            },
+            None => Self::raw(lowered, Vec::new(), arch.len(), false),
+            Some(i) => {
+                let device_specs = lowered[..i].to_vec();
+                let edge_specs = lowered[i + 1..].to_vec();
+                Self::raw(device_specs, edge_specs, i + 1, true)
+            }
         }
     }
 
     /// Device-only plan for an unsplit architecture.
     pub fn device_only(arch: &Architecture) -> Self {
-        Self {
-            device_specs: arch.lower(),
-            edge_specs: Vec::new(),
-            edge_slot_offset: arch.len(),
-            offloaded: false,
-        }
+        Self::raw(arch.lower(), Vec::new(), arch.len(), false)
     }
 
     /// Number of ops on each side, `(device, edge)`.
@@ -135,5 +164,19 @@ mod tests {
         for (i, spec) in plan.edge_specs.iter().enumerate() {
             assert_eq!(*spec, lowered[plan.edge_slot_offset + i]);
         }
+    }
+
+    #[test]
+    fn raw_plans_carry_contiguous_slots_and_zero_fingerprint() {
+        let plan = ExecutionPlan::from_architecture(&split_arch());
+        assert_eq!(plan.device_slots, vec![0]);
+        assert_eq!(plan.edge_slots, vec![2, 3]);
+        assert_eq!(plan.optimizer_fingerprint, 0);
+        let local = ExecutionPlan::device_only(&Architecture::new(vec![
+            Op::Sample(SampleFn::Knn { k: 4 }),
+            Op::GlobalPool(PoolMode::Max),
+        ]));
+        assert_eq!(local.device_slots, vec![0, 1]);
+        assert!(local.edge_slots.is_empty());
     }
 }

@@ -69,12 +69,7 @@ pub struct EdgePool {
 /// An inert plan for the moment between connecting and the first
 /// [`EdgePool::deploy`]: nothing offloaded, nothing executed.
 fn placeholder_plan() -> ExecutionPlan {
-    ExecutionPlan {
-        device_specs: Vec::new(),
-        edge_specs: Vec::new(),
-        edge_slot_offset: 0,
-        offloaded: false,
-    }
+    ExecutionPlan::raw(Vec::new(), Vec::new(), 0, false)
 }
 
 impl EdgePool {
@@ -127,14 +122,6 @@ impl EdgePool {
     #[must_use]
     pub fn with_uplink_mbps(mut self, mbps: f64) -> Self {
         self.client = self.client.with_uplink_mbps(mbps);
-        self
-    }
-
-    /// Ships every [`deploy`](Self::deploy) in the legacy v1 JSON
-    /// encoding — see [`DeviceClient::with_json_swaps`].
-    #[must_use]
-    pub fn with_json_swaps(mut self) -> Self {
-        self.client = self.client.with_json_swaps();
         self
     }
 

@@ -14,14 +14,15 @@
 //!
 //! Since protocol v2 a `SwapPlan` body is the binary columnar plan
 //! encoding ([`encode_plan`]) rather than JSON — a fixed header (codec
-//! version, FNV-1a integrity id, op counts, slot offset, flags) followed
-//! by one contiguous tag column and one contiguous parameter column
+//! version, FNV-1a integrity id, op counts, slot offset, flags,
+//! optimizer fingerprint) followed by one contiguous tag column, one
+//! contiguous parameter column and one contiguous weight-slot column
 //! across all ops — and deploys can be batched:
 //! [`Frame::SwapPlanBatch`] ships up to [`MAX_BATCH_PLANS`] plans per
 //! round-trip, answered by one [`Frame::AckBatch`], with the edge
 //! auto-advancing through the queue as each plan's declared `State`
-//! frames are served. The legacy JSON kind is still decoded for one
-//! release ([`encode_legacy_swap_plan`]).
+//! frames are served. The legacy JSON kind (1) shipped by protocol v1 is
+//! no longer decoded — its one-release compatibility window has closed.
 //!
 //! The remaining kinds are the search-as-a-service session protocol spoken
 //! by `gcode_server`: a [`Frame::Hello`] handshake carrying
@@ -201,16 +202,22 @@ pub fn decode_state(body: &[u8]) -> Result<WireState, EngineError> {
 ///
 /// History: v1 shipped `SwapPlan` as JSON (kind 1); v2 switched plan
 /// deploys to the binary columnar encoding (kind 13) and added batched
-/// deploys (`SwapPlanBatch`/`AckBatch`, kinds 14/15). A v2 decoder still
-/// accepts the legacy JSON kind for one release — see
-/// [`encode_legacy_swap_plan`].
+/// deploys (`SwapPlanBatch`/`AckBatch`, kinds 14/15). The legacy JSON
+/// kind was decoded for one release after the switch; that window has
+/// closed and kind 1 is now rejected.
 pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Version byte leading every binary-encoded plan (and the
 /// `SwapPlanBatch` body). Independent of [`PROTOCOL_VERSION`]: it gates
 /// the *plan codec* layout, so a decoder can reject a plan blob from a
 /// future layout with a clean error instead of misreading columns.
-pub const PLAN_WIRE_VERSION: u8 = 1;
+///
+/// History: plan codec v1 carried two columns (tag, parameter) and no
+/// optimizer metadata; v2 adds the per-op weight-slot column and the
+/// `optimizer_fingerprint` header field, both inside the hashed region,
+/// so optimized and raw encodings of the same architecture get distinct
+/// [`plan_wire_id`]s.
+pub const PLAN_WIRE_VERSION: u8 = 2;
 
 /// Most plans one [`Frame::SwapPlanBatch`] may carry. Bounds the decode
 /// allocation on the edge (a corrupted count cannot drive a huge
@@ -376,7 +383,10 @@ pub enum Frame {
 }
 
 const KIND_STATE: u8 = 0;
-const KIND_SWAP_PLAN: u8 = 1;
+/// Reserved: protocol v1's JSON `SwapPlan`. No longer encoded or
+/// decoded; the byte stays reserved so it is never reassigned to a frame
+/// an old peer would misread.
+const KIND_SWAP_PLAN_LEGACY_JSON: u8 = 1;
 const KIND_SHUTDOWN: u8 = 2;
 const KIND_HELLO: u8 = 3;
 const KIND_ERROR: u8 = 4;
@@ -394,31 +404,48 @@ const KIND_ACK_BATCH: u8 = 15;
 
 /// Columnar [`LayerSpec`] tags, one byte per op. The parameter column
 /// holds `k` / `out_dim` for the parameterized ops and the mode index
-/// (design-space order) for `Aggregate`/`GlobalPool`.
+/// (design-space order) for `Aggregate`/`GlobalPool`; a fused
+/// aggregate+combine kernel packs its aggregation-mode index into the
+/// parameter's top byte and `out_dim` into the low 24 bits.
 const TAG_BUILD_KNN: u8 = 0;
 const TAG_BUILD_RANDOM: u8 = 1;
 const TAG_AGGREGATE: u8 = 2;
 const TAG_COMBINE: u8 = 3;
 const TAG_GLOBAL_POOL: u8 = 4;
 const TAG_IDENTITY: u8 = 5;
+const TAG_FUSED_AGGREGATE_COMBINE: u8 = 6;
+
+/// Widest `out_dim` the fused-kernel parameter packing can carry.
+const FUSED_OUT_DIM_MAX: u32 = (1 << 24) - 1;
 
 /// Fixed-header bytes of a binary plan: version byte, integrity id, op
-/// counts, slot offset, flags. The two columns (one tag byte + one u32
-/// parameter per op) follow.
-const PLAN_HEADER_LEN: usize = 1 + 8 + 2 + 2 + 4 + 1;
+/// counts, slot offset, flags, optimizer fingerprint. The three columns
+/// (one tag byte + one u32 parameter + one u32 weight slot per op)
+/// follow.
+const PLAN_HEADER_LEN: usize = 1 + 8 + 2 + 2 + 4 + 1 + 8;
+
+fn agg_mode_index(mode: AggMode) -> u32 {
+    match mode {
+        AggMode::Add => 0,
+        AggMode::Mean => 1,
+        AggMode::Max => 2,
+    }
+}
+
+fn agg_mode_from_index(idx: u32) -> Result<AggMode, EngineError> {
+    match idx {
+        0 => Ok(AggMode::Add),
+        1 => Ok(AggMode::Mean),
+        2 => Ok(AggMode::Max),
+        other => Err(EngineError::Protocol(format!("unknown aggregate mode index {other}"))),
+    }
+}
 
 fn spec_column_entry(spec: &LayerSpec) -> (u8, u32) {
     match spec {
         LayerSpec::BuildKnn { k } => (TAG_BUILD_KNN, *k as u32),
         LayerSpec::BuildRandom { k } => (TAG_BUILD_RANDOM, *k as u32),
-        LayerSpec::Aggregate(mode) => {
-            let idx = match mode {
-                AggMode::Add => 0,
-                AggMode::Mean => 1,
-                AggMode::Max => 2,
-            };
-            (TAG_AGGREGATE, idx)
-        }
+        LayerSpec::Aggregate(mode) => (TAG_AGGREGATE, agg_mode_index(*mode)),
         LayerSpec::Combine { out_dim } => (TAG_COMBINE, *out_dim as u32),
         LayerSpec::GlobalPool(mode) => {
             let idx = match mode {
@@ -429,6 +456,13 @@ fn spec_column_entry(spec: &LayerSpec) -> (u8, u32) {
             (TAG_GLOBAL_POOL, idx)
         }
         LayerSpec::Identity => (TAG_IDENTITY, 0),
+        LayerSpec::FusedAggregateCombine { mode, out_dim } => {
+            assert!(
+                (*out_dim as u32) <= FUSED_OUT_DIM_MAX,
+                "fused out_dim {out_dim} exceeds the 24-bit parameter packing"
+            );
+            (TAG_FUSED_AGGREGATE_COMBINE, (agg_mode_index(*mode) << 24) | *out_dim as u32)
+        }
     }
 }
 
@@ -436,12 +470,7 @@ fn spec_from_column(tag: u8, param: u32) -> Result<LayerSpec, EngineError> {
     match tag {
         TAG_BUILD_KNN => Ok(LayerSpec::BuildKnn { k: param as usize }),
         TAG_BUILD_RANDOM => Ok(LayerSpec::BuildRandom { k: param as usize }),
-        TAG_AGGREGATE => match param {
-            0 => Ok(LayerSpec::Aggregate(AggMode::Add)),
-            1 => Ok(LayerSpec::Aggregate(AggMode::Mean)),
-            2 => Ok(LayerSpec::Aggregate(AggMode::Max)),
-            other => Err(EngineError::Protocol(format!("unknown aggregate mode index {other}"))),
-        },
+        TAG_AGGREGATE => Ok(LayerSpec::Aggregate(agg_mode_from_index(param)?)),
         TAG_COMBINE => Ok(LayerSpec::Combine { out_dim: param as usize }),
         TAG_GLOBAL_POOL => match param {
             0 => Ok(LayerSpec::GlobalPool(PoolMode::Sum)),
@@ -456,6 +485,10 @@ fn spec_from_column(tag: u8, param: u32) -> Result<LayerSpec, EngineError> {
                 Err(EngineError::Protocol(format!("identity op carries parameter {param}")))
             }
         }
+        TAG_FUSED_AGGREGATE_COMBINE => Ok(LayerSpec::FusedAggregateCombine {
+            mode: agg_mode_from_index(param >> 24)?,
+            out_dim: (param & FUSED_OUT_DIM_MAX) as usize,
+        }),
         other => Err(EngineError::Protocol(format!("unknown layer-spec tag {other}"))),
     }
 }
@@ -471,21 +504,28 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Serializes the non-id portion of a binary plan: counts, offset, flags,
-/// then the tag column and the parameter column (device ops first, edge
-/// ops after — one contiguous array per field across all ops).
+/// Serializes the non-id portion of a binary plan: counts, offset,
+/// flags, optimizer fingerprint, then the tag column, the parameter
+/// column and the weight-slot column (device ops first, edge ops after —
+/// one contiguous array per field across all ops). The fingerprint and
+/// the slots live inside this hashed region, so optimized and raw
+/// lowerings of the same architecture can never share a wire id.
 fn encode_plan_columns(plan: &ExecutionPlan) -> BytesMut {
     let ops = plan.device_specs.len() + plan.edge_specs.len();
-    let mut cols = BytesMut::with_capacity(PLAN_HEADER_LEN - 9 + 5 * ops);
+    let mut cols = BytesMut::with_capacity(PLAN_HEADER_LEN - 9 + 9 * ops);
     cols.put_u16_le(plan.device_specs.len() as u16);
     cols.put_u16_le(plan.edge_specs.len() as u16);
     cols.put_u32_le(plan.edge_slot_offset as u32);
     cols.put_u8(u8::from(plan.offloaded));
+    cols.put_u64_le(plan.optimizer_fingerprint);
     for spec in plan.device_specs.iter().chain(&plan.edge_specs) {
         cols.put_u8(spec_column_entry(spec).0);
     }
     for spec in plan.device_specs.iter().chain(&plan.edge_specs) {
         cols.put_u32_le(spec_column_entry(spec).1);
+    }
+    for &slot in plan.device_slots.iter().chain(&plan.edge_slots) {
+        cols.put_u32_le(slot as u32);
     }
     cols
 }
@@ -504,11 +544,13 @@ pub fn plan_wire_id(plan: &ExecutionPlan) -> u64 {
 /// ```text
 /// [u8 PLAN_WIRE_VERSION][u64 plan id][u16 device ops][u16 edge ops]
 /// [u32 edge_slot_offset][u8 flags (bit0 = offloaded)]
-/// [u8 tag × ops][u32 param × ops]        (device column, then edge)
+/// [u64 optimizer_fingerprint]
+/// [u8 tag × ops][u32 param × ops][u32 slot × ops]   (device, then edge)
 /// ```
 ///
-/// Strictly smaller than the legacy JSON body for every plan (asserted
-/// in the round-trip tests) and decodable without a parser pass.
+/// Strictly smaller than the equivalent JSON serialization for every
+/// plan (asserted in the round-trip tests) and decodable without a
+/// parser pass.
 pub fn encode_plan(plan: &ExecutionPlan) -> Vec<u8> {
     let cols = encode_plan_columns(plan);
     let mut buf = BytesMut::with_capacity(9 + cols.len());
@@ -554,39 +596,38 @@ pub fn decode_plan(buf: &[u8]) -> Result<ExecutionPlan, EngineError> {
         return Err(EngineError::Protocol(format!("unknown plan flag bits {flags:#04x}")));
     }
     pos += 1;
+    let optimizer_fingerprint = u64::from_le_bytes(cols[pos..pos + 8].try_into().expect("8 bytes"));
+    pos += 8;
     let ops = device_ops + edge_ops;
-    if cols.len() != pos + 5 * ops {
+    if cols.len() != pos + 9 * ops {
         return Err(EngineError::Protocol(format!(
             "binary plan length mismatch: {ops} ops need {} column bytes, got {}",
-            5 * ops,
+            9 * ops,
             cols.len() - pos
         )));
     }
-    let (tags, params) = cols[pos..].split_at(ops);
+    let (tags, rest) = cols[pos..].split_at(ops);
+    let (params, slot_col) = rest.split_at(4 * ops);
     let mut specs = Vec::with_capacity(ops);
+    let mut slots = Vec::with_capacity(ops);
     for (i, &tag) in tags.iter().enumerate() {
         let param = u32::from_le_bytes(params[4 * i..4 * i + 4].try_into().expect("4 bytes"));
         specs.push(spec_from_column(tag, param)?);
+        slots
+            .push(u32::from_le_bytes(slot_col[4 * i..4 * i + 4].try_into().expect("4 bytes"))
+                as usize);
     }
     let edge_specs = specs.split_off(device_ops);
+    let edge_slots = slots.split_off(device_ops);
     Ok(ExecutionPlan {
         device_specs: specs,
         edge_specs,
+        device_slots: slots,
+        edge_slots,
         edge_slot_offset,
         offloaded: flags & 1 == 1,
+        optimizer_fingerprint,
     })
-}
-
-/// Encodes a `SwapPlan` in the legacy v1 JSON framing (kind byte 1). A
-/// v2 decoder still accepts it for one release — the compatibility
-/// escape hatch for mixed-version fleets, and the baseline the ablation
-/// prices the binary encoding against.
-pub fn encode_legacy_swap_plan(plan: &ExecutionPlan) -> Vec<u8> {
-    let mut body = vec![KIND_SWAP_PLAN];
-    body.extend_from_slice(
-        serde_json::to_string(plan).expect("ExecutionPlan always serializes").as_bytes(),
-    );
-    body
 }
 
 /// Encodes a frame into a message body (pass to [`write_message`]).
@@ -720,13 +761,11 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, EngineError> {
         .ok_or_else(|| EngineError::Protocol("empty frame (missing kind byte)".to_string()))?;
     match kind {
         KIND_STATE => Ok(Frame::State(decode_state(rest)?)),
-        KIND_SWAP_PLAN => {
-            let text = std::str::from_utf8(rest)
-                .map_err(|_| EngineError::Protocol("swap-plan body is not UTF-8".to_string()))?;
-            let plan: ExecutionPlan = serde_json::from_str(text)
-                .map_err(|e| EngineError::Protocol(format!("malformed swap-plan body: {e}")))?;
-            Ok(Frame::SwapPlan(Box::new(plan)))
-        }
+        KIND_SWAP_PLAN_LEGACY_JSON => Err(EngineError::Protocol(
+            "legacy JSON swap-plan (kind 1) is no longer supported; \
+             re-encode with encode_plan (kind 13)"
+                .to_string(),
+        )),
         KIND_SHUTDOWN => {
             if rest.is_empty() {
                 Ok(Frame::Shutdown)
@@ -941,12 +980,12 @@ mod tests {
         let state = Frame::State(state_with_graph());
         assert_eq!(decode_frame(&encode_frame(&state)).expect("state"), state);
 
-        let plan = ExecutionPlan {
-            device_specs: vec![gcode_nn::seq::LayerSpec::BuildKnn { k: 4 }],
-            edge_specs: vec![gcode_nn::seq::LayerSpec::Identity],
-            edge_slot_offset: 2,
-            offloaded: true,
-        };
+        let plan = ExecutionPlan::raw(
+            vec![gcode_nn::seq::LayerSpec::BuildKnn { k: 4 }],
+            vec![gcode_nn::seq::LayerSpec::Identity],
+            2,
+            true,
+        );
         let swap = Frame::SwapPlan(Box::new(plan));
         assert_eq!(decode_frame(&encode_frame(&swap)).expect("swap"), swap);
 
@@ -961,7 +1000,10 @@ mod tests {
         assert!(decode_frame(&[]).is_err(), "empty body");
         assert!(decode_frame(&[99]).is_err(), "unknown kind");
         assert!(decode_frame(&[super::KIND_STATE]).is_err(), "state with no body");
-        assert!(decode_frame(&[super::KIND_SWAP_PLAN, b'{']).is_err(), "truncated plan json");
+        assert!(
+            decode_frame(&[super::KIND_SWAP_PLAN_LEGACY_JSON, b'{']).is_err(),
+            "legacy JSON swap-plan kind is rejected"
+        );
         assert!(decode_frame(&[super::KIND_SHUTDOWN, 0]).is_err(), "shutdown with a body");
         // Truncating a state frame mid-body must fail, never mis-decode.
         let body = encode_frame(&Frame::State(state_with_graph()));
@@ -1014,6 +1056,7 @@ mod tests {
             trials: 24,
             measured: None,
             fleet: None,
+            optimizer: None,
         };
         let outcome = SessionOutcome {
             session: 9,
@@ -1041,21 +1084,21 @@ mod tests {
     }
 
     fn split_plan() -> ExecutionPlan {
-        ExecutionPlan {
-            device_specs: vec![
+        ExecutionPlan::raw(
+            vec![
                 LayerSpec::BuildKnn { k: 20 },
                 LayerSpec::Aggregate(AggMode::Max),
                 LayerSpec::Combine { out_dim: 64 },
             ],
-            edge_specs: vec![
+            vec![
                 LayerSpec::BuildRandom { k: 10 },
                 LayerSpec::Aggregate(AggMode::Mean),
                 LayerSpec::Combine { out_dim: 40 },
                 LayerSpec::GlobalPool(PoolMode::Mean),
             ],
-            edge_slot_offset: 3,
-            offloaded: true,
-        }
+            3,
+            true,
+        )
     }
 
     #[test]
@@ -1071,11 +1114,31 @@ mod tests {
     }
 
     fn local_plan() -> ExecutionPlan {
+        ExecutionPlan::raw(
+            vec![LayerSpec::BuildKnn { k: 4 }, LayerSpec::GlobalPool(PoolMode::Sum)],
+            Vec::new(),
+            2,
+            false,
+        )
+    }
+
+    /// An optimizer-shaped plan: gapped slots, a fused op, and a nonzero
+    /// fingerprint — everything the v2 columns exist to carry.
+    fn optimized_plan() -> ExecutionPlan {
         ExecutionPlan {
-            device_specs: vec![LayerSpec::BuildKnn { k: 4 }, LayerSpec::GlobalPool(PoolMode::Sum)],
-            edge_specs: Vec::new(),
-            edge_slot_offset: 2,
-            offloaded: false,
+            device_specs: vec![
+                LayerSpec::BuildKnn { k: 20 },
+                LayerSpec::FusedAggregateCombine { mode: AggMode::Max, out_dim: 64 },
+            ],
+            edge_specs: vec![
+                LayerSpec::FusedAggregateCombine { mode: AggMode::Mean, out_dim: 40 },
+                LayerSpec::GlobalPool(PoolMode::Mean),
+            ],
+            device_slots: vec![0, 2],
+            edge_slots: vec![6, 7],
+            edge_slot_offset: 6,
+            offloaded: true,
+            optimizer_fingerprint: 0xBEEF_CAFE_F00D_1234,
         }
     }
 
@@ -1094,11 +1157,35 @@ mod tests {
     }
 
     #[test]
-    fn legacy_json_swap_plan_still_decodes() {
-        let plan = split_plan();
-        let body = encode_legacy_swap_plan(&plan);
-        assert_eq!(body[0], KIND_SWAP_PLAN, "legacy encoding keeps the v1 kind byte");
-        assert_eq!(decode_frame(&body).expect("legacy decode"), Frame::SwapPlan(Box::new(plan)));
+    fn legacy_json_swap_plan_is_rejected() {
+        // PR 8 kept the JSON decode path for one release; that release has
+        // shipped. A well-formed v1 body must now be refused outright.
+        let mut body = vec![KIND_SWAP_PLAN_LEGACY_JSON];
+        body.extend_from_slice(
+            serde_json::to_string(&split_plan()).expect("serializes").as_bytes(),
+        );
+        let err = decode_frame(&body).expect_err("legacy kind must be rejected");
+        assert!(err.to_string().contains("no longer supported"), "got: {err}");
+    }
+
+    #[test]
+    fn optimized_plan_round_trips_with_slots_and_fingerprint() {
+        let plan = optimized_plan();
+        let blob = encode_plan(&plan);
+        let back = decode_plan(&blob).expect("round trip");
+        assert_eq!(back, plan);
+        assert_eq!(back.device_slots, vec![0, 2]);
+        assert_eq!(back.edge_slots, vec![6, 7]);
+        assert_eq!(back.optimizer_fingerprint, 0xBEEF_CAFE_F00D_1234);
+
+        // The fingerprint lives in the hashed column region: an otherwise
+        // identical raw plan must get a different wire id, so optimized
+        // and raw measurements never collide in a shared cache.
+        let raw = ExecutionPlan { optimizer_fingerprint: 0, ..plan.clone() };
+        assert_ne!(plan_wire_id(&plan), plan_wire_id(&raw));
+        // Slot assignments are identity-bearing too.
+        let shifted = ExecutionPlan { device_slots: vec![0, 3], ..plan.clone() };
+        assert_ne!(plan_wire_id(&plan), plan_wire_id(&shifted));
     }
 
     #[test]

@@ -2,13 +2,13 @@
 
 use crate::plan::ExecutionPlan;
 use crate::proto::{
-    decode_frame, encode_frame, encode_legacy_swap_plan, frame_name, read_message, write_message,
-    Frame, PlanBatch, WireState, MAX_BATCH_PLANS,
+    decode_frame, encode_frame, frame_name, read_message, write_message, Frame, PlanBatch,
+    WireState, MAX_BATCH_PLANS,
 };
 use crate::EngineError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gcode_graph::datasets::Sample;
-use gcode_nn::seq::{classify, forward_features, GraphInput, WeightBank};
+use gcode_nn::seq::{classify, forward_features_slotted, GraphInput, WeightBank};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -335,9 +335,9 @@ fn serve_frames(
                         "state frame arrived before any plan was deployed".to_string(),
                     )
                 })?;
-                let (h, _) = forward_features(
+                let (h, _) = forward_features_slotted(
                     &active.edge_specs,
-                    active.edge_slot_offset,
+                    &active.edge_slots,
                     GraphInput { features: &state.features, graph: state.graph.as_ref() },
                     bank,
                     &mut rng,
@@ -379,7 +379,6 @@ pub struct DeviceClient {
     seed: u64,
     uplink_mbps: Option<f64>,
     session: bool,
-    json_swaps: bool,
     // Local mirror of a batched deploy: each run pops the next
     // `(plan, declared frames)` entry instead of sending a SwapPlan.
     pending_plans: VecDeque<(ExecutionPlan, u32)>,
@@ -407,7 +406,6 @@ impl DeviceClient {
             seed,
             uplink_mbps: None,
             session: false,
-            json_swaps: false,
             pending_plans: VecDeque::new(),
         })
     }
@@ -437,7 +435,6 @@ impl DeviceClient {
             seed,
             uplink_mbps: None,
             session: false,
-            json_swaps: false,
             pending_plans: VecDeque::new(),
         })
     }
@@ -464,17 +461,6 @@ impl DeviceClient {
         self
     }
 
-    /// Ships `SwapPlan` control frames in the legacy v1 JSON encoding
-    /// instead of the binary columnar one — the compatibility mode for a
-    /// not-yet-upgraded edge, and the baseline the ablation prices the
-    /// binary encoding against. Batched deploys have no JSON form and are
-    /// unaffected.
-    #[must_use]
-    pub fn with_json_swaps(mut self) -> Self {
-        self.json_swaps = true;
-        self
-    }
-
     /// Paces a control frame against the emulated uplink: swap and batch
     /// frames cross the same capped router as data frames, so their bytes
     /// must cost wire time too — that is exactly the saving the binary
@@ -498,11 +484,7 @@ impl DeviceClient {
     ///
     /// Returns an error if the connection is gone or the send fails.
     pub fn swap_plan(&mut self, plan: ExecutionPlan) -> Result<(), EngineError> {
-        let body = if self.json_swaps {
-            encode_legacy_swap_plan(&plan)
-        } else {
-            encode_frame(&Frame::SwapPlan(Box::new(plan.clone())))
-        };
+        let body = encode_frame(&Frame::SwapPlan(Box::new(plan.clone())));
         self.pace_control(body.len() + 4);
         let stream = self
             .stream
@@ -680,9 +662,9 @@ impl DeviceClient {
         let mut starts_s = Vec::with_capacity(samples.len());
         for (frame_id, sample) in samples.iter().enumerate() {
             starts_s.push(start.elapsed().as_secs_f64());
-            let (h, graph) = forward_features(
+            let (h, graph) = forward_features_slotted(
                 &self.plan.device_specs,
-                0,
+                &self.plan.device_slots,
                 GraphInput { features: &sample.features, graph: sample.graph.as_ref() },
                 &mut self.bank,
                 &mut rng,
@@ -755,9 +737,9 @@ impl DeviceClient {
         let mut correct = 0usize;
         for sample in samples {
             let frame_start = start.elapsed().as_secs_f64();
-            let (h, _) = forward_features(
+            let (h, _) = forward_features_slotted(
                 &self.plan.device_specs,
-                0,
+                &self.plan.device_slots,
                 GraphInput { features: &sample.features, graph: sample.graph.as_ref() },
                 &mut self.bank,
                 &mut rng,
@@ -905,12 +887,7 @@ mod tests {
 
         // One persistent pair, three hot swaps (A → B → A again).
         let server = EdgeServer::spawn_persistent(bank.clone(), seed).expect("spawn");
-        let placeholder = ExecutionPlan {
-            device_specs: Vec::new(),
-            edge_specs: Vec::new(),
-            edge_slot_offset: 0,
-            offloaded: false,
-        };
+        let placeholder = ExecutionPlan::raw(Vec::new(), Vec::new(), 0, false);
         let mut client = DeviceClient::connect(server.addr(), placeholder, bank, seed)
             .expect("connect")
             .with_session();

@@ -45,6 +45,18 @@ pub enum LayerSpec {
     GlobalPool(PoolMode),
     /// Pass-through (`Identity`; also how `Communicate` lowers).
     Identity,
+    /// An `Aggregate` immediately followed by a `Combine`, fused into one
+    /// executable step by the plan optimizer. Executes the exact float-op
+    /// sequence of the unfused pair — aggregate over the live (or default
+    /// k-NN) graph, then linear + ReLU — and keys its weights by the
+    /// *Combine's* original slot, so fused and unfused plans share weights
+    /// bit-for-bit.
+    FusedAggregateCombine {
+        /// Neighbor aggregation of the fused `Aggregate` half.
+        mode: AggMode,
+        /// Output feature width of the fused `Combine` half.
+        out_dim: usize,
+    },
 }
 
 /// Shared weight store for the supernet.
@@ -151,10 +163,32 @@ pub fn forward_features(
     bank: &mut WeightBank,
     rng: &mut impl Rng,
 ) -> (Matrix, Option<CsrGraph>) {
+    let slots: Vec<usize> = (0..specs.len()).map(|i| slot_offset + i).collect();
+    forward_features_slotted(specs, &slots, input, bank, rng)
+}
+
+/// [`forward_features`] with an explicit weight slot per op instead of a
+/// contiguous range. This is what optimized plans execute: rewrite passes
+/// may remove or fuse ops, leaving gaps in the slot sequence, and every
+/// surviving op must keep the slot it held in the *unoptimized* lowering
+/// so it resolves the exact same [`WeightBank`] weights. A
+/// [`LayerSpec::FusedAggregateCombine`] op carries its Combine half's
+/// original slot.
+///
+/// # Panics
+///
+/// Panics if `specs` and `slots` have different lengths.
+pub fn forward_features_slotted(
+    specs: &[LayerSpec],
+    slots: &[usize],
+    input: GraphInput<'_>,
+    bank: &mut WeightBank,
+    rng: &mut impl Rng,
+) -> (Matrix, Option<CsrGraph>) {
+    assert_eq!(specs.len(), slots.len(), "one weight slot per op");
     let mut h = input.features.clone();
     let mut graph: Option<CsrGraph> = input.graph.cloned();
-    for (local_slot, spec) in specs.iter().enumerate() {
-        let slot = slot_offset + local_slot;
+    for (spec, &slot) in specs.iter().zip(slots) {
         match *spec {
             LayerSpec::BuildKnn { k } => graph = Some(knn_graph(&h, k)),
             LayerSpec::BuildRandom { k } => graph = Some(random_graph(h.rows(), k, rng)),
@@ -172,6 +206,15 @@ pub fn forward_features(
                 graph = None;
             }
             LayerSpec::Identity => {}
+            LayerSpec::FusedAggregateCombine { mode, out_dim } => {
+                // Same float-op order as the unfused Aggregate + Combine
+                // pair, with the Combine's slot keying the weights.
+                let g = graph.clone().unwrap_or_else(|| knn_graph(&h, default_k(h.rows())));
+                h = aggregate(&g, &h, mode).0;
+                graph = Some(g);
+                let lin = bank.combine_mut(slot, h.cols(), out_dim);
+                h = ops::relu(&lin.forward(&h));
+            }
         }
     }
     (h, graph)
@@ -286,6 +329,26 @@ fn run(
                 if record.is_some() {
                     caches.push(StepCache::Identity);
                 }
+            }
+            LayerSpec::FusedAggregateCombine { mode, out_dim } => {
+                // The train/monolithic path never sees fused ops (only the
+                // plan optimizer emits them), but stays total: aggregate
+                // then combine at this positional slot, two caches.
+                let g = graph.clone().unwrap_or_else(|| knn_graph(&h, default_k(h.rows())));
+                let (out, cache) = aggregate(&g, &h, mode);
+                h = out;
+                if record.is_some() {
+                    caches.push(StepCache::Agg { graph: g.clone(), cache });
+                }
+                graph = Some(g);
+                let key = (slot, h.cols(), out_dim);
+                let lin = bank.combine_mut(key.0, key.1, key.2);
+                let pre = lin.forward(&h);
+                let out = ops::relu(&pre);
+                if record.is_some() {
+                    caches.push(StepCache::Combine { key, x: h.clone(), pre });
+                }
+                h = out;
             }
         }
     }
@@ -475,6 +538,81 @@ mod tests {
             &mut rng(),
         );
         assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn slotted_execution_with_gaps_matches_contiguous_weights() {
+        let ds = PointCloudDataset::generate(1, 16, 3, 8);
+        let s = &ds.samples()[0];
+        let full = vec![
+            LayerSpec::BuildKnn { k: 4 },
+            LayerSpec::Aggregate(AggMode::Max),
+            LayerSpec::Combine { out_dim: 16 },
+            LayerSpec::Identity,
+            LayerSpec::Combine { out_dim: 8 },
+        ];
+        // The same plan with the Identity removed, keeping original slots.
+        let elided = vec![
+            LayerSpec::BuildKnn { k: 4 },
+            LayerSpec::Aggregate(AggMode::Max),
+            LayerSpec::Combine { out_dim: 16 },
+            LayerSpec::Combine { out_dim: 8 },
+        ];
+        let mut bank1 = WeightBank::new(3, 11);
+        let mut bank2 = WeightBank::new(3, 11);
+        let (h1, _) = forward_features(
+            &full,
+            0,
+            GraphInput { features: &s.features, graph: None },
+            &mut bank1,
+            &mut rng(),
+        );
+        let (h2, _) = forward_features_slotted(
+            &elided,
+            &[0, 1, 2, 4],
+            GraphInput { features: &s.features, graph: None },
+            &mut bank2,
+            &mut rng(),
+        );
+        assert_eq!(h1, h2, "slot-gapped execution must reuse the same weights");
+        assert_eq!(classify(&h1, &mut bank1), classify(&h2, &mut bank2));
+    }
+
+    #[test]
+    fn fused_aggregate_combine_is_bit_exact_with_the_pair() {
+        let ds = PointCloudDataset::generate(1, 14, 2, 9);
+        let s = &ds.samples()[0];
+        let unfused = vec![
+            LayerSpec::BuildKnn { k: 4 },
+            LayerSpec::Aggregate(AggMode::Mean),
+            LayerSpec::Combine { out_dim: 12 },
+            LayerSpec::GlobalPool(PoolMode::Max),
+        ];
+        // Fused op carries the Combine's slot (2); the pool keeps slot 3.
+        let fused = vec![
+            LayerSpec::BuildKnn { k: 4 },
+            LayerSpec::FusedAggregateCombine { mode: AggMode::Mean, out_dim: 12 },
+            LayerSpec::GlobalPool(PoolMode::Max),
+        ];
+        let mut bank1 = WeightBank::new(2, 13);
+        let mut bank2 = WeightBank::new(2, 13);
+        let (h1, g1) = forward_features(
+            &unfused,
+            0,
+            GraphInput { features: &s.features, graph: None },
+            &mut bank1,
+            &mut rng(),
+        );
+        let (h2, g2) = forward_features_slotted(
+            &fused,
+            &[0, 2, 3],
+            GraphInput { features: &s.features, graph: None },
+            &mut bank2,
+            &mut rng(),
+        );
+        assert_eq!(h1, h2, "fusion must preserve the float-op order exactly");
+        assert_eq!(g1.is_some(), g2.is_some());
+        assert_eq!(classify(&h1, &mut bank1), classify(&h2, &mut bank2));
     }
 
     #[test]

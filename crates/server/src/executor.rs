@@ -330,7 +330,7 @@ mod tests {
             measure_zoo: true,
         };
         let (_, result) = run_search(&spec, &AtomicU64::new(0));
-        let plans = zoo_plans(&result);
+        let plans = zoo_plans(&result, SessionTask::ModelNet40);
         assert!(!plans.is_empty());
 
         let executor = FleetExecutor::spawn(FleetSpec::loopback(1)).expect("executor spawns");
@@ -375,7 +375,7 @@ mod tests {
             measure_zoo: true,
         };
         let (_, result) = run_search(&spec, &AtomicU64::new(0));
-        let plans = zoo_plans(&result);
+        let plans = zoo_plans(&result, SessionTask::ModelNet40);
         assert!(!plans.is_empty());
         let giant: Vec<ExecutionPlan> =
             plans.iter().cycle().take(8 * CHUNK_PLANS).cloned().collect();

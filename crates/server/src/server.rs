@@ -557,7 +557,7 @@ fn run_session(
     let mut winner_predictions = Vec::new();
     if entry.spec.measure_zoo && !result.zoo.is_empty() {
         *entry.phase.lock().expect("phase lock") = SessionPhase::Measuring;
-        let plans = zoo_plans(&result);
+        let plans = zoo_plans(&result, entry.spec.task);
         // Measurement cache: a plan whose deployment is already on record
         // (same wire id, same task fixtures) never reaches the fleet; only
         // the rest become a MeasureJob — a fully-cached zoo skips the

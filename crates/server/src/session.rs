@@ -157,9 +157,17 @@ pub(crate) fn run_search(
     (report, result)
 }
 
-/// Lowers every zoo entry to its runnable plan, winner first.
-pub(crate) fn zoo_plans(result: &SearchResult) -> Vec<ExecutionPlan> {
-    result.zoo.iter().map(|z| ExecutionPlan::from_architecture(&z.arch)).collect()
+/// Lowers every zoo entry to its runnable plan, winner first, through the
+/// optimizer pipeline (`gcode_engine::lower_and_optimize`): the task's
+/// workload profile prices the cost-guided split rewrite, and the emitted
+/// plans carry the pipeline fingerprint, so cached measurements of
+/// optimized plans can never be confused with raw ones.
+pub(crate) fn zoo_plans(result: &SearchResult, task: SessionTask) -> Vec<ExecutionPlan> {
+    let opts = gcode_engine::OptimizeOptions {
+        profile: Some(profile_of(task)),
+        ..gcode_engine::OptimizeOptions::default()
+    };
+    result.zoo.iter().map(|z| gcode_engine::lower_and_optimize(&z.arch, &opts).0).collect()
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
@@ -254,7 +262,7 @@ pub fn run_standalone(spec: &SessionSpec) -> SessionOutcome {
             SERVE_BANK_SEED,
             SERVE_RUN_SEED,
         );
-        let outcomes = fleet.run_batch(&zoo_plans(&result), &stream);
+        let outcomes = fleet.run_batch(&zoo_plans(&result, spec.task), &stream);
         let (measured, preds) = session_measurements(&outcomes);
         report = report.with_measured(measured);
         winner_predictions = preds;

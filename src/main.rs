@@ -98,7 +98,7 @@ const USAGE: &str = "usage:
                  [--backend <analytic|sim|cascade|engine|ladder>]
                  [--tiers <analytic,predictor,sim,engine>] [--adaptive-keep <true|false>]
                  [--frames N] [--warmup N] [--persistent-edge <true|false>]
-                 [--fleet <loopback:N|host:port,...>]
+                 [--optimize <on|off>] [--fleet <loopback:N|host:port,...>]
                  [--workers N] [--keep-frac F[,F...]]
                  [--iterations N] [--lambda F] [--latency-ms F] [--energy-j F]
                  [--seed N] [--cache-file FILE] [--zoo-out FILE] [--report-out FILE]
@@ -223,6 +223,11 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         opts.get("persistent-edge").map(String::as_str),
         Some("true") | Some("1") | Some("yes")
     );
+    let optimize = match opts.get("optimize").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("--optimize: `{other}` (on|off)")),
+    };
     let fleet_spec = opts
         .get("fleet")
         .map(|s| s.parse::<FleetSpec>())
@@ -321,7 +326,8 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
                     })
                     .with_frames(frames)
                     .with_warmup(warmup)
-                    .with_uplink_mbps(mbps);
+                    .with_uplink_mbps(mbps)
+                    .with_optimize(optimize);
                 if persistent_edge {
                     engine = engine.with_persistent_edge();
                 }
@@ -392,7 +398,7 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
         // the batch composition — hence the whole run configuration —
         // matches the one that wrote the records.
         let tag = format!(
-            "cli|{}|{}|mbps{mbps}|{task:?}|seed{}|frames{frames}|warmup{warmup}|keep{:?}|adaptive{adaptive}|persistent{persistent_edge}|fleet{}",
+            "cli|{}|{}|mbps{mbps}|{task:?}|seed{}|frames{frames}|warmup{warmup}|keep{:?}|adaptive{adaptive}|persistent{persistent_edge}|optimize{optimize}|fleet{}",
             tiers.join(","),
             sys.label(),
             cfg.seed,
@@ -467,6 +473,26 @@ fn cmd_search(opts: &HashMap<String, String>) -> Result<(), String> {
                 e.pool_spawns(),
                 if e.pool_spawns() == 1 { "" } else { "s" }
             );
+        }
+        if optimize {
+            let opt = e.optimizer_stats();
+            println!(
+                "plan optimizer: {} plans through the pipeline ({} ops elided, {} fused, {} splits moved, {} modeled bytes saved)",
+                opt.plans_optimized,
+                opt.ops_elided(),
+                opt.ops_fused(),
+                opt.splits_moved(),
+                opt.modeled_bytes_saved()
+            );
+            for p in &opt.passes {
+                println!(
+                    "  {:<24} elided {:>4}  fused {:>4}  splits moved {:>4}  modeled bytes saved {}",
+                    p.pass, p.ops_elided, p.ops_fused, p.splits_moved, p.modeled_bytes_saved
+                );
+            }
+            report = report.with_optimizer(opt);
+        } else {
+            println!("plan optimizer: off (raw lowerings, fingerprint 0)");
         }
     }
     if let Some(path) = opts.get("report-out") {

@@ -1,0 +1,187 @@
+//! The plan optimizer's contract, enforced end-to-end: every pass is a
+//! pure plan-shape rewrite — optimized and raw lowerings of the same
+//! architecture must compute bit-identical logits on the deployed
+//! runtime, and a fidelity-ladder search must crown the identical
+//! winner with the optimizer on or off.
+
+use gcode::core::arch::{Architecture, WorkloadProfile};
+use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend, Fidelity};
+use gcode::core::eval::{Objective, SearchSession};
+use gcode::core::search::{RandomSearch, ScoredArch, SearchConfig};
+use gcode::core::space::DesignSpace;
+use gcode::engine::{
+    lower_and_optimize, DeviceClient, EdgeServer, EngineBackend, ExecutionPlan, OptimizeOptions,
+};
+use gcode::graph::datasets::PointCloudDataset;
+use gcode::hardware::SystemConfig;
+use gcode::nn::seq::{classify, forward_features_slotted, GraphInput, WeightBank};
+use gcode::sim::{SimBackend, SimConfig};
+use gcode::tensor::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const NUM_CLASSES: usize = 4;
+const BANK_SEED: u64 = 55;
+const RUN_SEED: u64 = 9;
+
+fn mini_profile() -> WorkloadProfile {
+    WorkloadProfile::modelnet40_mini(24, 4)
+}
+
+/// Deterministic surrogate accuracy with per-architecture spread (FNV-1a
+/// of the display form), so ladder winners are decided by accuracy alone
+/// and never by measured-latency noise.
+fn accuracy(a: &Architecture) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{a}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    0.7 + (h % 65_536) as f64 / 655_360.0
+}
+
+/// Runs a plan's full device→edge pipeline in process, with the
+/// runtime's exact RNG stream discipline (device `seed ^ 0xDE71CE`, edge
+/// `seed ^ 0xED6E`), returning the raw logits of every frame.
+fn logits_in_process(plan: &ExecutionPlan, ds: &PointCloudDataset) -> Vec<Matrix> {
+    let mut bank = WeightBank::new(NUM_CLASSES, BANK_SEED);
+    let mut dev_rng = ChaCha8Rng::seed_from_u64(RUN_SEED ^ 0xDE71CE);
+    let mut edge_rng = ChaCha8Rng::seed_from_u64(RUN_SEED ^ 0xED6E);
+    ds.samples()
+        .iter()
+        .map(|s| {
+            let (h, graph) = forward_features_slotted(
+                &plan.device_specs,
+                &plan.device_slots,
+                GraphInput { features: &s.features, graph: None },
+                &mut bank,
+                &mut dev_rng,
+            );
+            let (h, _) = forward_features_slotted(
+                &plan.edge_specs,
+                &plan.edge_slots,
+                GraphInput { features: &h, graph: graph.as_ref() },
+                &mut bank,
+                &mut edge_rng,
+            );
+            classify(&h, &mut bank)
+        })
+        .collect()
+}
+
+/// Deploys a plan onto a fresh loopback pair and streams the dataset,
+/// returning the edge-reported predictions.
+fn predictions_on_loopback(plan: &ExecutionPlan, ds: &PointCloudDataset) -> Vec<usize> {
+    let bank = WeightBank::new(NUM_CLASSES, BANK_SEED);
+    let server = EdgeServer::spawn(plan.clone(), bank.clone(), RUN_SEED).expect("edge");
+    let mut client =
+        DeviceClient::connect(server.addr(), plan.clone(), bank, RUN_SEED).expect("device");
+    let (preds, _) = client.run_pipelined(ds.samples()).expect("stream");
+    drop(client);
+    if plan.offloaded {
+        server.join().expect("clean shutdown");
+    }
+    preds
+}
+
+/// The tentpole acceptance gate: 64 seeded paper-space architectures,
+/// each lowered raw and through the full pass pipeline, must agree
+/// bit-for-bit on every logit (in-process, both RNG streams) and on
+/// every deployed prediction (real loopback TCP runtime).
+#[test]
+fn sixty_four_seeded_archs_are_bit_exact_optimized_vs_raw() {
+    let profile = mini_profile();
+    let space = DesignSpace::paper(profile);
+    let ds = PointCloudDataset::generate(3, 24, NUM_CLASSES, 101);
+    let opts = OptimizeOptions { enabled: true, profile: Some(profile), uplink_mbps: 10.0 };
+
+    let mut rewritten = 0usize;
+    let mut elided = 0u64;
+    let mut fused = 0u64;
+    let mut moved = 0u64;
+    for seed in 0..64u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (arch, _) = space.sample_valid(&mut rng, 100_000);
+        let raw = ExecutionPlan::from_architecture(&arch);
+        let (opt, stats) = lower_and_optimize(&arch, &opts);
+        assert_eq!(raw.optimizer_fingerprint, 0, "raw lowering must carry fingerprint 0");
+        assert_ne!(opt.optimizer_fingerprint, 0, "optimized plan must carry its fingerprint");
+
+        let raw_logits = logits_in_process(&raw, &ds);
+        let opt_logits = logits_in_process(&opt, &ds);
+        assert_eq!(raw_logits, opt_logits, "seed {seed}: optimizer changed logits for {arch}");
+
+        let raw_preds = predictions_on_loopback(&raw, &ds);
+        let opt_preds = predictions_on_loopback(&opt, &ds);
+        assert_eq!(raw_preds, opt_preds, "seed {seed}: deployed predictions diverged for {arch}");
+
+        if stats.ops_elided() + stats.ops_fused() + stats.splits_moved() > 0 {
+            rewritten += 1;
+        }
+        elided += stats.ops_elided();
+        fused += stats.ops_fused();
+        moved += stats.splits_moved();
+    }
+    // The suite must exercise real rewrites, not 64 no-op pipelines: the
+    // paper space samples Identity into most 8-op architectures.
+    assert!(
+        rewritten >= 16,
+        "only {rewritten}/64 architectures were rewritten ({elided} elided, {fused} fused, \
+         {moved} splits moved) — the sweep is not exercising the passes"
+    );
+    assert!(elided > 0, "no identity/dead-tail elisions across 64 sampled architectures");
+}
+
+/// Optimizer-on must reproduce the optimizer-off ladder winner exactly:
+/// same architecture, same accuracy, through the full analytic → sim →
+/// live-engine cascade.
+#[test]
+fn ladder_crowns_the_identical_winner_with_optimizer_on_and_off() {
+    let profile = mini_profile();
+    let ds = PointCloudDataset::generate(4, 24, NUM_CLASSES, 23);
+    // λ = 0 keeps measured wall-clock out of the score (feasibility
+    // bounds stay active); the winner is decided by the deterministic
+    // accuracy surrogate, which the optimizer must not perturb.
+    let objective = Objective::new(0.0, 1.0, 10.0);
+    let cfg = SearchConfig { iterations: 40, seed: 11, ..SearchConfig::default() };
+
+    let run = |optimize: bool| -> (ScoredArch, u64) {
+        let space = DesignSpace::paper(profile);
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let cheap = AnalyticBackend { profile, sys: sys.clone(), accuracy_fn: accuracy };
+        let mid = SimBackend {
+            profile,
+            sys: sys.clone(),
+            sim: SimConfig::single_frame(),
+            accuracy_fn: accuracy,
+        };
+        let engine = EngineBackend::new(
+            ds.samples().to_vec(),
+            NUM_CLASSES,
+            sys,
+            accuracy as fn(&Architecture) -> f64,
+        )
+        .with_frames(2)
+        .with_warmup(1)
+        .with_optimize(optimize);
+        let ladder = CascadeBackend::ladder(vec![&cheap, &mid, &engine], objective)
+            .with_keep_fracs(&[0.25, 0.5]);
+        assert_eq!(ladder.fidelity(), Fidelity::Measured);
+        let mut session = SearchSession::new(&space, &ladder).with_objective(objective);
+        let result = session.run(&RandomSearch::new(cfg));
+        let best = result.best().expect("ladder search finds a winner").clone();
+        (best, engine.optimizer_stats().plans_optimized)
+    };
+
+    let (on, plans_optimized) = run(true);
+    let (off, raw_plans_optimized) = run(false);
+    assert_eq!(
+        on.arch, off.arch,
+        "optimizer flipped the ladder winner: on={} off={}",
+        on.arch, off.arch
+    );
+    assert_eq!(on.accuracy, off.accuracy, "winner accuracy must be bit-equal");
+    assert_eq!(on.score, off.score, "winner score must be bit-equal under λ = 0");
+    assert!(plans_optimized > 0, "the optimizer-on ladder never ran the pipeline");
+    assert_eq!(raw_plans_optimized, 0, "the optimizer-off ladder must lower raw");
+}

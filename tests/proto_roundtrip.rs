@@ -9,9 +9,9 @@ use gcode::core::eval::Objective;
 use gcode::core::search::SearchConfig;
 use gcode::core::space::DesignSpace;
 use gcode::engine::{
-    decode_frame, decode_state, encode_frame, encode_legacy_swap_plan, encode_state, read_message,
-    write_message, ExecutionPlan, Frame, PlanBatch, SessionSpec, SessionTask, WireState,
-    MAX_BATCH_PLANS, PROTOCOL_VERSION,
+    decode_frame, decode_state, encode_frame, encode_state, read_message, write_message,
+    ExecutionPlan, Frame, PlanBatch, SessionSpec, SessionTask, WireState, MAX_BATCH_PLANS,
+    PROTOCOL_VERSION,
 };
 use gcode::graph::CsrGraph;
 use gcode::tensor::Matrix;
@@ -196,7 +196,8 @@ fn truncated_session_frames_error_instead_of_panicking() {
 fn binary_plan_codec_is_symmetric_across_sampled_plans() {
     // Property-style sweep: 64 seeded real plans, each must survive the
     // columnar encode/decode bit-exactly — and always come out smaller
-    // than the legacy JSON encoding it replaced.
+    // than the retired JSON encoding it replaced (computed statically;
+    // a kind-1 frame was one kind byte plus the serialized plan).
     for (i, plan) in sampled_plans(0x9A7_5EED, 64).iter().enumerate() {
         let binary = encode_frame(&Frame::SwapPlan(Box::new(plan.clone())));
         match decode_frame(&binary).expect("binary plan decodes") {
@@ -205,24 +206,29 @@ fn binary_plan_codec_is_symmetric_across_sampled_plans() {
             }
             other => panic!("plan {i}: wrong frame kind {other:?}"),
         }
-        let json = encode_legacy_swap_plan(plan);
+        let json_len = 1 + serde_json::to_string(plan).expect("serializable").len();
         assert!(
-            binary.len() < json.len(),
-            "plan {i}: binary ({}) must beat JSON ({}) on the wire",
+            binary.len() < json_len,
+            "plan {i}: binary ({}) must beat the retired JSON form ({json_len}) on the wire",
             binary.len(),
-            json.len()
         );
     }
 }
 
 #[test]
-fn legacy_json_swap_plan_still_decodes_under_v2() {
+fn legacy_json_swap_plan_kind_is_rejected() {
+    // The one-release decode window for the v1 JSON plan frame has
+    // closed: a well-formed legacy body must be refused with an error
+    // that names the replacement, never silently adopted.
     for plan in sampled_plans(0x1E6_ACE, 8) {
-        let body = encode_legacy_swap_plan(&plan);
-        match decode_frame(&body).expect("legacy JSON plan decodes") {
-            Frame::SwapPlan(decoded) => assert_eq!(*decoded, plan),
-            other => panic!("wrong frame kind {other:?}"),
-        }
+        let mut body = vec![1u8];
+        body.extend_from_slice(serde_json::to_string(&plan).expect("serializable").as_bytes());
+        let err = decode_frame(&body).expect_err("legacy kind 1 must be rejected");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("no longer supported") && msg.contains("13"),
+            "rejection must point at the binary encoding, got: {msg}"
+        );
     }
 }
 
