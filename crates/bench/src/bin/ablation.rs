@@ -30,12 +30,19 @@
 //! 11. the plan-optimizer pipeline: the same candidate list priced on the
 //!     live engine with `--optimize on` vs `off` under a 10 Mbps uplink
 //!     cap — deploys/s, p50/p95 deltas, per-pass counters and wire bytes
-//!     per plan (optimized plans must never be larger).
+//!     per plan (optimized plans must never be larger);
+//! 12. trace-driven scenario replay: a four-segment `ScenarioTrace`
+//!     (steady → 10× arrival burst → 10→1 Mbps uplink degrade →
+//!     mid-stream constraint flip) replayed on one warm dispatcher pool.
+//!     Deadlines and arrival rates are derived from a probed per-frame
+//!     service time, so the burst outruns the service rate on any host —
+//!     the burst segment's deadline hit rate must land strictly below
+//!     the steady segment's.
 //!
-//! Sections 5–11 also emit a `BENCH_eval.json` perf artifact (wall time,
+//! Sections 5–12 also emit a `BENCH_eval.json` perf artifact (wall time,
 //! evaluation counts and deploy throughput per mode; schema documented in
 //! `docs/BENCHMARKS.md`) next to the working directory. `--quick` runs
-//! only sections 7–11 at tiny frame counts and still emits the artifact —
+//! only sections 7–12 at tiny frame counts and still emits the artifact —
 //! the CI smoke path.
 
 use gcode_baselines::models;
@@ -54,8 +61,8 @@ use gcode_core::space::DesignSpace;
 use gcode_core::surrogate::{SurrogateAccuracy, SurrogateTask};
 use gcode_core::zoo::ArchitectureZoo;
 use gcode_engine::{
-    encode_frame, lower_and_optimize, EdgeFleet, EdgePool, EngineBackend, ExecutionPlan, FleetSpec,
-    Frame, OptimizeOptions, SessionSpec, SessionTask,
+    encode_frame, lower_and_optimize, EdgeFleet, EdgePool, EngineBackend, EngineDispatcher,
+    ExecutionPlan, FleetSpec, Frame, OptimizeOptions, ScenarioRunner, SessionSpec, SessionTask,
 };
 use gcode_graph::datasets::{PointCloudDataset, Sample};
 use gcode_hardware::SystemConfig;
@@ -333,6 +340,7 @@ fn run_serve_ablation(iterations: usize, zoo_size: usize) -> ServeAblation {
                                     SessionTask::Mr
                                 },
                                 measure_zoo: true,
+                                scenario: None,
                             };
                             let mut client = ServerClient::connect(addr).expect("handshake");
                             let id = client
@@ -665,6 +673,172 @@ fn print_optimizer_ablation(o: &OptimizerAblation) {
     );
 }
 
+/// Section 12 numbers: per-segment deadline economics of one replayed
+/// [`ScenarioTrace`](gcode_core::eval::scenario::ScenarioTrace).
+struct ScenarioAblation {
+    /// Probed per-frame service time every rate below is derived from.
+    service_p50_s: f64,
+    /// The trace-wide sojourn deadline, `12.5×` the probed service time.
+    deadline_s: f64,
+    steady_hit_rate: f64,
+    burst_hit_rate: f64,
+    degraded_hit_rate: f64,
+    flip_hit_rate: f64,
+    /// Frame-weighted measured accuracy across every segment.
+    measured_accuracy: f64,
+    /// Plan hot-swaps over the whole trace (initial deploy + flip = 2).
+    swap_count: u64,
+    reports: Vec<gcode_core::eval::scenario::ScenarioReport>,
+}
+
+/// Section 12 body: build a four-segment trace — steady cadence, a 10×
+/// arrival burst, a 10→1 Mbps uplink degrade, and a latency-constraint
+/// flip onto the local design — and replay it on one warm dispatcher
+/// pool over real held-out samples.
+///
+/// The physics are host-independent by construction: a short probe run
+/// measures the warm pair's real per-frame service time `s`, then the
+/// steady segment arrives every `5s` (no queueing), the burst every
+/// `0.5s` (queue grows ~`0.5s` per frame), and the deadline sits at
+/// `12.5s`. The burst backlog blows through the deadline within a dozen
+/// frames on any machine, so its hit rate lands strictly below steady's.
+fn run_scenario_ablation(quick: bool) -> ScenarioAblation {
+    use gcode_core::eval::scenario::{ArrivalSpec, ScenarioSegment, ScenarioTrace};
+    use gcode_core::search::ScoredArch;
+    use gcode_core::zoo::RuntimeConstraint;
+
+    let (steady_frames, burst_frames) = if quick { (16, 128) } else { (32, 256) };
+
+    let entry = |latency_s: f64, accuracy: f64, split: bool| {
+        let mut ops = vec![Op::Sample(SampleFn::Knn { k: 8 }), Op::Aggregate(AggMode::Max)];
+        if split {
+            ops.push(Op::Communicate);
+        }
+        ops.push(Op::Combine { dim: 16 });
+        ops.push(Op::GlobalPool(PoolMode::Max));
+        ScoredArch {
+            arch: Architecture::new(ops),
+            score: accuracy,
+            accuracy,
+            latency_s,
+            energy_j: latency_s,
+        }
+    };
+    let zoo = ArchitectureZoo::new(vec![
+        entry(0.080, 0.93, true),  // accurate co-inference design
+        entry(0.010, 0.90, false), // fast local design
+    ]);
+    let ds = PointCloudDataset::generate(8, 24, 4, 47);
+    let mut dispatcher = EngineDispatcher::new(zoo, WeightBank::new(4, 12));
+    dispatcher.attach_pool(34).expect("scenario pool spawns");
+
+    // Probe the warm pair's real service time on the plan the trace
+    // opens with; a 16-frame median rides out spawn-adjacent jitter.
+    dispatcher.dispatch_live(RuntimeConstraint::none()).expect("probe deploy");
+    let probe: Vec<Sample> =
+        (0..16).map(|i| ds.samples()[i % ds.samples().len()].clone()).collect();
+    let (_, stats) = dispatcher.run_live(&probe).expect("probe stream");
+    let mut lat = stats.frame_latencies_s.clone();
+    lat.sort_by(f64::total_cmp);
+    let service_p50_s = lat[lat.len() / 2].max(50e-6);
+
+    let deadline_s = 12.5 * service_p50_s;
+    let steady_fps = 1.0 / (5.0 * service_p50_s);
+    let trace = ScenarioTrace::new("ablation-12", 47)
+        .with_segment(
+            ScenarioSegment::new(
+                "steady",
+                0.0,
+                steady_frames,
+                ArrivalSpec::Periodic { fps: steady_fps },
+                deadline_s,
+            )
+            .with_uplink_mbps(FLEET_UPLINK_MBPS),
+        )
+        .with_segment(ScenarioSegment::new(
+            "burst-10x",
+            10.0,
+            burst_frames,
+            ArrivalSpec::Periodic { fps: 10.0 * steady_fps },
+            deadline_s,
+        ))
+        .with_segment(
+            ScenarioSegment::new(
+                "uplink-degraded",
+                20.0,
+                steady_frames,
+                ArrivalSpec::Periodic { fps: steady_fps },
+                deadline_s,
+            )
+            .with_uplink_mbps(1.0),
+        )
+        .with_segment(
+            ScenarioSegment::new(
+                "constraint-flip",
+                30.0,
+                steady_frames,
+                ArrivalSpec::Periodic { fps: steady_fps },
+                deadline_s,
+            )
+            .with_constraint(RuntimeConstraint::latency(0.020)),
+        );
+
+    let reports =
+        ScenarioRunner::new(&mut dispatcher, ds.samples()).run(&trace).expect("trace replays");
+    dispatcher.detach_pool().expect("scenario pool shuts down");
+
+    let hit = |label: &str| {
+        reports
+            .iter()
+            .find(|r| r.label == label)
+            .unwrap_or_else(|| panic!("segment `{label}` missing from scenario reports"))
+            .deadline_hit_rate
+    };
+    let total_frames: u64 = reports.iter().map(|r| r.frames).sum();
+    let measured_accuracy =
+        reports.iter().map(|r| r.measured_accuracy * r.frames as f64).sum::<f64>()
+            / total_frames.max(1) as f64;
+    ScenarioAblation {
+        service_p50_s,
+        deadline_s,
+        steady_hit_rate: hit("steady"),
+        burst_hit_rate: hit("burst-10x"),
+        degraded_hit_rate: hit("uplink-degraded"),
+        flip_hit_rate: hit("constraint-flip"),
+        measured_accuracy,
+        swap_count: reports.iter().map(|r| r.swaps).sum(),
+        reports,
+    }
+}
+
+fn print_scenario_ablation(s: &ScenarioAblation) {
+    header("Ablation 12 — scenario replay: steady → 10x burst → degraded uplink → constraint flip");
+    println!(
+        "  probed service p50 {:.3} ms → deadline {:.3} ms, steady {:.0} fps, burst {:.0} fps",
+        s.service_p50_s * 1e3,
+        s.deadline_s * 1e3,
+        1.0 / (5.0 * s.service_p50_s),
+        10.0 / (5.0 * s.service_p50_s)
+    );
+    for r in &s.reports {
+        println!(
+            "  [{:15}] {:3} frames  {} swap(s)  deadline hit {:5.1}%  acc {:5.1}%  p95 {:.3} ms",
+            r.label,
+            r.frames,
+            r.swaps,
+            r.deadline_hit_rate * 100.0,
+            r.measured_accuracy * 100.0,
+            r.p95_s * 1e3
+        );
+    }
+    println!(
+        "  burst deadline hit rate lands strictly below steady: {:.1}% < {:.1}%  ({} swaps total)",
+        s.burst_hit_rate * 100.0,
+        s.steady_hit_rate * 100.0,
+        s.swap_count
+    );
+}
+
 fn print_pool_ablation(pool: &PoolAblation) {
     header("Ablation 7 — persistent edge pool: per-candidate spawn vs hot-swap");
     println!(
@@ -691,7 +865,7 @@ fn print_pool_ablation(pool: &PoolAblation) {
 
 fn main() {
     if std::env::args().any(|a| a == "--quick") {
-        // CI smoke: sections 7–11 only, tiny budgets, artifact still
+        // CI smoke: sections 7–12 only, tiny budgets, artifact still
         // emitted (search-mode fields zeroed).
         let pool = run_pool_ablation(4, 2, 1);
         print_pool_ablation(&pool);
@@ -707,12 +881,21 @@ fn main() {
             opt.ops_elided > 0,
             "the quick candidates carry Identity ops the pipeline must elide"
         );
+        let scen = run_scenario_ablation(true);
+        print_scenario_ablation(&scen);
+        assert!(
+            scen.burst_hit_rate < scen.steady_hit_rate,
+            "burst deadline hit rate must land strictly below steady: {:.3} vs {:.3}",
+            scen.burst_hit_rate,
+            scen.steady_hit_rate
+        );
         write_bench(
             &EvalBench::with_pool(&pool)
                 .with_fleet(&fleet)
                 .with_serve(&serve)
                 .with_wire(&wire)
-                .with_opt(&opt),
+                .with_opt(&opt)
+                .with_scenario(&scen),
         );
         return;
     }
@@ -990,6 +1173,17 @@ fn main() {
         opt.off_bytes_per_plan
     );
 
+    // ——— 12. Scenario replay ———
+    let scen = run_scenario_ablation(false);
+    print_scenario_ablation(&scen);
+    assert!(
+        scen.burst_hit_rate < scen.steady_hit_rate,
+        "burst deadline hit rate must land strictly below steady: {:.3} vs {:.3}",
+        scen.burst_hit_rate,
+        scen.steady_hit_rate
+    );
+    assert!(scen.swap_count >= 2, "the trace must deploy once and swap on the constraint flip");
+
     // ——— Perf artifact ———
     let tiers = ladder.tier_stats();
     write_bench(&EvalBench {
@@ -1008,6 +1202,7 @@ fn main() {
             .with_serve(&serve)
             .with_wire(&wire)
             .with_opt(&opt)
+            .with_scenario(&scen)
     });
 }
 
@@ -1066,6 +1261,12 @@ struct EvalBench {
     opt_ops_fused: u64,
     opt_splits_moved: u64,
     opt_modeled_bytes_saved: u64,
+    scenario_deadline_hit_rate_steady: f64,
+    scenario_deadline_hit_rate_burst: f64,
+    scenario_deadline_hit_rate_degraded: f64,
+    scenario_deadline_hit_rate_flip: f64,
+    scenario_measured_accuracy: f64,
+    scenario_swap_count: u64,
 }
 
 impl EvalBench {
@@ -1153,6 +1354,19 @@ impl EvalBench {
         self.opt_ops_fused = opt.ops_fused;
         self.opt_splits_moved = opt.splits_moved;
         self.opt_modeled_bytes_saved = opt.modeled_bytes_saved;
+        self
+    }
+
+    /// Folds the section-12 scenario replay numbers in: per-segment
+    /// deadline hit rates, frame-weighted measured accuracy, and the
+    /// trace's total plan hot-swaps.
+    fn with_scenario(mut self, scen: &ScenarioAblation) -> Self {
+        self.scenario_deadline_hit_rate_steady = scen.steady_hit_rate;
+        self.scenario_deadline_hit_rate_burst = scen.burst_hit_rate;
+        self.scenario_deadline_hit_rate_degraded = scen.degraded_hit_rate;
+        self.scenario_deadline_hit_rate_flip = scen.flip_hit_rate;
+        self.scenario_measured_accuracy = scen.measured_accuracy;
+        self.scenario_swap_count = scen.swap_count;
         self
     }
 }

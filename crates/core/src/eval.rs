@@ -48,6 +48,7 @@
 //! ```
 
 pub mod backend;
+pub mod scenario;
 
 use crate::arch::Architecture;
 use crate::cachelog::{self, SharedCacheLog};
@@ -411,6 +412,7 @@ impl<'a> SearchSession<'a> {
             measured: None,
             fleet: None,
             optimizer: None,
+            scenarios: None,
         }
     }
 }
@@ -603,6 +605,10 @@ pub struct SearchReport {
     /// Plan-optimizer pass telemetry, present only when the Measured tier
     /// lowered plans through the optimizer pipeline (`--optimize on`).
     pub optimizer: Option<OptimizerStats>,
+    /// Per-segment scenario-replay outcomes, present only when a
+    /// [`scenario::ScenarioTrace`] was replayed against the run's zoo
+    /// (`gcode replay --trace`, or a `Submit`ted session carrying one).
+    pub scenarios: Option<Vec<scenario::ScenarioReport>>,
 }
 
 impl SearchReport {
@@ -624,6 +630,13 @@ impl SearchReport {
     #[must_use]
     pub fn with_optimizer(mut self, optimizer: OptimizerStats) -> Self {
         self.optimizer = Some(optimizer);
+        self
+    }
+
+    /// Attaches per-segment scenario-replay outcomes to the report.
+    #[must_use]
+    pub fn with_scenarios(mut self, scenarios: Vec<scenario::ScenarioReport>) -> Self {
+        self.scenarios = Some(scenarios);
         self
     }
 }

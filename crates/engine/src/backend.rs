@@ -50,6 +50,11 @@ struct Telemetry {
     deployments: u64,
     /// Measured-window frames whose live prediction matched the label.
     stream_correct: u64,
+    /// Stream hits of the most recent deployment only — assigned, not
+    /// accumulated, so per-candidate hit rates never blur together.
+    last_correct: u64,
+    /// Measured frames of the most recent deployment only.
+    last_frames: u64,
     /// Persistent pools spawned (0 unless `with_persistent_edge`; 1 for a
     /// whole healthy search — respawns after contained failures add more).
     pool_spawns: u64,
@@ -146,6 +151,7 @@ pub struct EngineBackend<F: Fn(&Architecture) -> f64 + Sync> {
     persistent: bool,
     fleet_spec: Option<FleetSpec>,
     optimize: bool,
+    measured_accuracy: bool,
     accuracy_fn: F,
     cache_log: Option<SharedCacheLog>,
     telemetry: Mutex<Telemetry>,
@@ -187,6 +193,7 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
             persistent: false,
             fleet_spec: None,
             optimize: true,
+            measured_accuracy: false,
             accuracy_fn,
             cache_log: None,
             telemetry: Mutex::new(Telemetry::default()),
@@ -204,6 +211,28 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
     #[must_use]
     pub fn with_optimize(mut self, enabled: bool) -> Self {
         self.optimize = enabled;
+        self
+    }
+
+    /// Switches accuracy pricing from the modeled `accuracy_fn` to the
+    /// *measured* stream hit rate: every candidate is driven with
+    /// `dataset` (a held-out split, replacing the constructor's samples),
+    /// and [`Metrics::accuracy`] becomes the fraction of post-warmup
+    /// frames whose live prediction matched its label. The cache-log
+    /// fidelity tag carries the pricing mode (`acc:measured` vs
+    /// `acc:modeled`), so logs shared across both modes never serve each
+    /// other's accuracy numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dataset` is empty — measured accuracy needs labeled
+    /// frames to score against.
+    #[must_use]
+    pub fn with_measured_accuracy(mut self, dataset: Vec<Sample>) -> Self {
+        assert!(!dataset.is_empty(), "measured accuracy needs a held-out dataset");
+        self.frames = dataset.len();
+        self.samples = dataset;
+        self.measured_accuracy = true;
         self
     }
 
@@ -381,8 +410,9 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
             (None, Some(addr)) => addr.to_string(),
             (None, None) => "loopback".to_string(),
         };
+        let acc = if self.measured_accuracy { "measured" } else { "modeled" };
         cachelog::tag_key(&format!(
-            "engine|classes{}|bank{:#x}|run{:#x}|frames{}|warmup{}|uplink{uplink}|{endpoint}|data{fingerprint:#x}|opt{:#x}",
+            "engine|classes{}|bank{:#x}|run{:#x}|frames{}|warmup{}|uplink{uplink}|{endpoint}|data{fingerprint:#x}|opt{:#x}|acc:{acc}",
             self.num_classes, self.bank_seed, self.run_seed, self.frames, self.warmup,
             self.optimizer_fingerprint(),
         ))
@@ -468,8 +498,22 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
     }
 
     /// Fraction of measured frames whose live prediction matched its
-    /// label, across every successful deployment (warmup excluded).
+    /// label for the *most recent* deployment (warmup excluded). This is
+    /// per-candidate by construction — the counters are reset on every
+    /// deployment, so a weak candidate's hit rate is never averaged into
+    /// a strong one's. (The lifetime aggregate across all deployments is
+    /// still available as
+    /// [`lifetime_stream_accuracy`](Self::lifetime_stream_accuracy).)
     pub fn stream_accuracy(&self) -> f64 {
+        let t = self.telemetry.lock();
+        t.last_correct as f64 / t.last_frames.max(1) as f64
+    }
+
+    /// Stream hit rate accumulated over every deployment this backend has
+    /// measured — the old (pre-fix) meaning of
+    /// [`stream_accuracy`](Self::stream_accuracy), kept for callers that
+    /// want the whole-search aggregate rather than a per-candidate rate.
+    pub fn lifetime_stream_accuracy(&self) -> f64 {
         let t = self.telemetry.lock();
         t.stream_correct as f64 / (t.latencies_s.len().max(1)) as f64
     }
@@ -584,12 +628,21 @@ impl<F: Fn(&Architecture) -> f64 + Sync> EngineBackend<F> {
             .skip(cut)
             .filter(|&(i, &p)| p == self.samples[i % self.samples.len()].label)
             .count();
+        let measured_frames = (stats.frames - cut).max(1);
         let mut t = self.telemetry.lock();
         t.latencies_s.extend_from_slice(measured);
         t.bytes_sent += measured_bytes as u64;
         t.deployments += 1;
         t.stream_correct += correct as u64;
-        Metrics { accuracy: (self.accuracy_fn)(arch), latency_s: mean_s, energy_j }
+        t.last_correct = correct as u64;
+        t.last_frames = measured_frames as u64;
+        drop(t);
+        let accuracy = if self.measured_accuracy {
+            correct as f64 / measured_frames as f64
+        } else {
+            (self.accuracy_fn)(arch)
+        };
+        Metrics { accuracy, latency_s: mean_s, energy_j }
     }
 
     /// Sentinel metrics for a candidate whose deployment failed, with the

@@ -109,7 +109,7 @@ impl EngineDispatcher {
     /// has no workload profile at hand, so the cost-guided split rewrite
     /// self-skips; the elision and fusion passes still shrink the deployed
     /// plan without touching its logits.
-    fn lower(arch: &gcode_core::arch::Architecture) -> ExecutionPlan {
+    pub(crate) fn lower(arch: &gcode_core::arch::Architecture) -> ExecutionPlan {
         lower_and_optimize(arch, &OptimizeOptions { profile: None, ..OptimizeOptions::default() }).0
     }
 
@@ -158,6 +158,22 @@ impl EngineDispatcher {
             EngineError::Protocol("no live pool attached; call attach_pool first".to_string())
         })?;
         pool.run(samples)
+    }
+
+    /// Re-caps the live pool's device uplink at `mbps` — the scenario
+    /// runner's per-segment link degradation. Takes effect on the next
+    /// [`run_live`](Self::run_live).
+    ///
+    /// # Errors
+    ///
+    /// Errors if no pool is attached ([`attach_pool`](Self::attach_pool)
+    /// first).
+    pub fn set_uplink_mbps(&mut self, mbps: f64) -> Result<(), EngineError> {
+        let pool = self.pool.as_mut().ok_or_else(|| {
+            EngineError::Protocol("no live pool attached; call attach_pool first".to_string())
+        })?;
+        pool.set_uplink_mbps(mbps);
+        Ok(())
     }
 
     /// Plans hot-swapped onto the live pool so far (0 with no pool).

@@ -309,6 +309,18 @@ impl EdgeFleet {
         self
     }
 
+    /// Re-caps the fleet's device uplink at `mbps` — scenario replay's
+    /// per-segment link degradation. Live pools pick the cap up on their
+    /// next run; pools spawned later inherit it.
+    pub fn set_uplink_mbps(&mut self, mbps: f64) {
+        self.uplink_mbps = Some(mbps);
+        for slot in &mut self.slots {
+            if let Some(pool) = slot.pool.as_mut() {
+                pool.set_uplink_mbps(mbps);
+            }
+        }
+    }
+
     /// Number of configured pool slots (live or not).
     pub fn pools(&self) -> usize {
         self.slots.len()

@@ -64,6 +64,7 @@ pub mod plan;
 pub mod pool;
 pub mod proto;
 pub mod runtime;
+pub mod scenario;
 pub mod throttle;
 
 pub use backend::{EngineBackend, DEPLOY_FAILURE_SENTINEL};
@@ -84,6 +85,7 @@ pub use proto::{
     PROTOCOL_VERSION,
 };
 pub use runtime::{DeviceClient, EdgeServer, EngineStats};
+pub use scenario::{replay_on_fleet, ScenarioRunner};
 pub use throttle::Throttle;
 
 /// Errors surfaced by the engine.

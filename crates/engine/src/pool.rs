@@ -125,6 +125,13 @@ impl EdgePool {
         self
     }
 
+    /// Re-caps the device uplink on the warm pair — scenario replay's
+    /// per-segment link degradation. Takes effect on the next
+    /// [`run`](Self::run) (the client rebuilds its token bucket per run).
+    pub fn set_uplink_mbps(&mut self, mbps: f64) {
+        self.client.set_uplink_mbps(mbps);
+    }
+
     /// Hot-swaps `plan` onto the warm pair (one `SwapPlan` control frame;
     /// no reconnect, no weight transfer).
     ///

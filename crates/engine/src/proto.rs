@@ -59,6 +59,7 @@ use crate::plan::ExecutionPlan;
 use crate::EngineError;
 use bytes::{BufMut, BytesMut};
 use gcode_compress::{compress, compress_floats, decompress, decompress_floats};
+use gcode_core::eval::scenario::ScenarioTrace;
 use gcode_core::eval::{Objective, SearchReport};
 use gcode_core::search::{SearchConfig, SearchResult};
 use gcode_graph::CsrGraph;
@@ -254,6 +255,13 @@ pub struct SessionSpec {
     /// Deploy the finished zoo on the shared edge fleet and attach live
     /// measurements (and the winner's predictions) to the result.
     pub measure_zoo: bool,
+    /// Scenario trace to replay against the finished zoo on a
+    /// session-private pool after the measurement stage; per-segment
+    /// [`ScenarioReport`](gcode_core::eval::scenario::ScenarioReport)s are
+    /// attached to the result's report. Absent in older clients' specs —
+    /// the JSON framing reads a missing field as `None`, so the protocol
+    /// version is unchanged.
+    pub scenario: Option<ScenarioTrace>,
 }
 
 /// Where a served session currently is in its lifecycle.
@@ -1016,6 +1024,7 @@ mod tests {
             objective: Objective::new(0.25, 1.0, 5.0),
             task: SessionTask::ModelNet40,
             measure_zoo: true,
+            scenario: None,
         }
     }
 
@@ -1057,6 +1066,7 @@ mod tests {
             measured: None,
             fleet: None,
             optimizer: None,
+            scenarios: None,
         };
         let outcome = SessionOutcome {
             session: 9,

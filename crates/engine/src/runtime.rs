@@ -449,6 +449,15 @@ impl DeviceClient {
         self
     }
 
+    /// Re-caps the uplink mid-session (scenario replay's per-segment
+    /// degradation). Safe between runs because the token bucket is rebuilt
+    /// from this field at the start of every
+    /// [`run_pipelined`](Self::run_pipelined); control-frame pacing reads
+    /// it live.
+    pub fn set_uplink_mbps(&mut self, mbps: f64) {
+        self.uplink_mbps = Some(mbps);
+    }
+
     /// Switches to session mode: [`run_pipelined`](Self::run_pipelined)
     /// keeps the connection open afterwards instead of closing it, so one
     /// warm device/edge pair serves many candidates —

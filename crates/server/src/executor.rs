@@ -328,6 +328,7 @@ mod tests {
             objective: Objective::new(0.25, 1.0, 5.0),
             task: SessionTask::ModelNet40,
             measure_zoo: true,
+            scenario: None,
         };
         let (_, result) = run_search(&spec, &AtomicU64::new(0));
         let plans = zoo_plans(&result, SessionTask::ModelNet40);
@@ -373,6 +374,7 @@ mod tests {
             objective: Objective::new(0.25, 1.0, 5.0),
             task: SessionTask::ModelNet40,
             measure_zoo: true,
+            scenario: None,
         };
         let (_, result) = run_search(&spec, &AtomicU64::new(0));
         let plans = zoo_plans(&result, SessionTask::ModelNet40);

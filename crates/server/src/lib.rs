@@ -51,6 +51,7 @@
 //!     objective: Objective::new(0.25, 1.0, 5.0),
 //!     task: SessionTask::ModelNet40,
 //!     measure_zoo: true,
+//!     scenario: None,
 //! };
 //! let mut client = ServerClient::connect(server.addr())?;
 //! let id = client.open_session_retry(&spec, 100, Duration::from_millis(20))?;

@@ -21,8 +21,8 @@
 
 use crate::executor::{FleetCommand, FleetExecutor, MeasureJob};
 use crate::session::{
-    decode_measurement, encode_measurement, measurement_context, run_search, session_measurements,
-    stream_of, zoo_plans, MAX_SESSION_ITERATIONS,
+    decode_measurement, encode_measurement, measurement_context, run_scenario_stage, run_search,
+    session_measurements, stream_of, zoo_plans, MAX_SESSION_ITERATIONS,
 };
 use crate::ServerError;
 use gcode_core::cachelog::{open_shared, SharedCacheLog};
@@ -608,6 +608,12 @@ fn run_session(
         measured.cached = cached;
         report = report.with_measured(measured);
         winner_predictions = preds;
+    }
+    // Scenario stage: replayed on a session-private pool (it re-caps
+    // uplinks and swaps plans mid-trace — state no shared-fleet tenant
+    // may ever observe), so it bypasses the executor entirely.
+    if let Some(scenarios) = run_scenario_stage(&entry.spec, &result) {
+        report = report.with_scenarios(scenarios);
     }
     SessionPhase::Done(Box::new(SessionOutcome {
         session: entry.id,

@@ -243,11 +243,42 @@ pub(crate) fn decode_measurement(blob: &[u8]) -> Option<(Vec<usize>, EngineStats
     serde_json::from_str(std::str::from_utf8(blob).ok()?).ok()
 }
 
+/// Stage three (when the spec carries a [`ScenarioTrace`]): replay the
+/// trace against the finished zoo on a *session-private* one-pool fleet
+/// seeded with the serve-side constants, driving the task's fixed
+/// measurement stream. Private because a scenario mutates fleet state
+/// between segments (uplink re-caps, plan swaps) — it must never touch
+/// the shared tenant fleet. The per-slot seeding contract makes the
+/// reports' prediction-derived fields bit-identical between a served
+/// session and [`run_standalone`], for any pool count.
+///
+/// Returns `None` when the spec has no trace, the zoo is empty, or the
+/// replay failed (a scenario is a best-effort addendum to the report —
+/// it never fails the session that carried it).
+pub(crate) fn run_scenario_stage(
+    spec: &SessionSpec,
+    result: &SearchResult,
+) -> Option<Vec<gcode_core::eval::scenario::ScenarioReport>> {
+    let trace = spec.scenario.as_ref()?;
+    if result.zoo.is_empty() {
+        return None;
+    }
+    let zoo = gcode_core::zoo::ArchitectureZoo::new(result.zoo.clone());
+    let stream = stream_of(spec.task);
+    let mut fleet =
+        EdgeFleet::new(FleetSpec::loopback(1), SERVE_NUM_CLASSES, SERVE_BANK_SEED, SERVE_RUN_SEED);
+    let reports = gcode_engine::replay_on_fleet(&zoo, &mut fleet, &stream, trace).ok();
+    let _ = fleet.shutdown();
+    reports
+}
+
 /// Runs a session spec to completion without any server: the identical
 /// search, then (when `measure_zoo` is set) the identical zoo deployment
-/// on a private one-pool fleet with the serve-side seeds. The returned
-/// outcome's zoo, scores and winner predictions are bit-identical to
-/// what a [`crate::SearchServer`] answers for the same spec — only the
+/// on a private one-pool fleet with the serve-side seeds, then (when the
+/// spec carries a scenario trace) the identical scenario replay. The
+/// returned outcome's zoo, scores, winner predictions and scenario
+/// reports' deterministic views are bit-identical to what a
+/// [`crate::SearchServer`] answers for the same spec — only the
 /// wall-clock side of the measured profile may differ, which is exactly
 /// what the session-isolation tests mask out before comparing.
 pub fn run_standalone(spec: &SessionSpec) -> SessionOutcome {
@@ -268,6 +299,9 @@ pub fn run_standalone(spec: &SessionSpec) -> SessionOutcome {
         winner_predictions = preds;
         let _ = fleet.shutdown();
     }
+    if let Some(scenarios) = run_scenario_stage(spec, &result) {
+        report = report.with_scenarios(scenarios);
+    }
     SessionOutcome { session: 0, report, result, winner_predictions }
 }
 
@@ -283,6 +317,7 @@ mod tests {
             objective: Objective::new(0.25, 1.0, 5.0),
             task,
             measure_zoo: false,
+            scenario: None,
         }
     }
 

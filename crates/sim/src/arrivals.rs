@@ -10,6 +10,7 @@
 
 use crate::{build_stages, SimConfig, Stage};
 use gcode_core::arch::{Architecture, WorkloadProfile};
+use gcode_core::eval::scenario::ArrivalSpec;
 use gcode_hardware::SystemConfig;
 use rand::Rng;
 use rand::SeedableRng;
@@ -37,6 +38,30 @@ impl ArrivalProcess {
     fn mean_rate(&self) -> f64 {
         match *self {
             ArrivalProcess::Periodic { fps } | ArrivalProcess::Poisson { fps, .. } => fps,
+        }
+    }
+}
+
+// The scenario-trace format (`gcode_core::eval::scenario`) carries its
+// own arrival enum because core cannot depend on this crate; the two
+// mirror each other field-for-field, so conversion is lossless in both
+// directions and a converted Poisson process reproduces
+// [`simulate_open_loop`] statistics exactly (property-tested below).
+
+impl From<ArrivalProcess> for ArrivalSpec {
+    fn from(p: ArrivalProcess) -> Self {
+        match p {
+            ArrivalProcess::Periodic { fps } => ArrivalSpec::Periodic { fps },
+            ArrivalProcess::Poisson { fps, seed } => ArrivalSpec::Poisson { fps, seed },
+        }
+    }
+}
+
+impl From<ArrivalSpec> for ArrivalProcess {
+    fn from(s: ArrivalSpec) -> Self {
+        match s {
+            ArrivalSpec::Periodic { fps } => ArrivalProcess::Periodic { fps },
+            ArrivalSpec::Poisson { fps, seed } => ArrivalProcess::Poisson { fps, seed },
         }
     }
 }
@@ -135,7 +160,9 @@ pub fn simulate_open_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gcode_core::eval::scenario::{ScenarioSegment, ScenarioTrace};
     use gcode_core::op::{Op, SampleFn};
+    use gcode_core::zoo::RuntimeConstraint;
     use gcode_nn::agg::AggMode;
     use gcode_nn::pool::PoolMode;
 
@@ -212,6 +239,101 @@ mod tests {
         let poisson = run(2);
         // Same mean rate, bursty arrivals: queueing can only get worse.
         assert!(poisson.p95_sojourn_s >= periodic.p95_sojourn_s * 0.99);
+    }
+
+    /// One seeded random trace for the property tests below: 1–5 segments
+    /// with random starts, rates, frame counts, and optional uplink /
+    /// constraint changes.
+    fn random_trace(rng: &mut ChaCha8Rng, i: usize) -> ScenarioTrace {
+        let n = rng.gen_range(1..6usize);
+        let mut trace = ScenarioTrace::new(format!("random-{i}"), rng.gen_range(0..u64::MAX));
+        for s in 0..n {
+            let fps = rng.gen_range(1.0..500.0);
+            let arrivals = if rng.gen_bool(0.5) {
+                ArrivalSpec::Periodic { fps }
+            } else {
+                ArrivalSpec::Poisson { fps, seed: rng.gen_range(0..u64::MAX) }
+            };
+            let mut seg = ScenarioSegment::new(
+                format!("seg-{s}"),
+                rng.gen_range(0.0..120.0),
+                rng.gen_range(1..64usize),
+                arrivals,
+                rng.gen_range(0.001..0.5),
+            );
+            if rng.gen_bool(0.3) {
+                seg = seg.with_uplink_mbps(rng.gen_range(0.5..100.0));
+            }
+            if rng.gen_bool(0.3) {
+                seg = seg.with_constraint(if rng.gen_bool(0.5) {
+                    RuntimeConstraint::latency(rng.gen_range(0.001..0.2))
+                } else {
+                    RuntimeConstraint::energy(rng.gen_range(0.01..2.0))
+                });
+            }
+            trace = trace.with_segment(seg);
+        }
+        trace
+    }
+
+    #[test]
+    fn trace_json_round_trip_is_lossless_over_random_traces() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x7ACE);
+        for i in 0..64 {
+            let trace = random_trace(&mut rng, i);
+            let json = trace.to_json().expect("serialize");
+            let back = ScenarioTrace::from_json(&json).expect("parse");
+            assert_eq!(back, trace, "trace {i} did not survive the JSON round trip");
+        }
+    }
+
+    #[test]
+    fn normalized_traces_have_monotone_segment_timestamps() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xB057);
+        for i in 0..64 {
+            let trace = random_trace(&mut rng, i).normalized();
+            assert!(trace.is_normalized(), "trace {i} not monotone after normalization");
+            assert!(
+                trace.segments.windows(2).all(|w| w[0].start_s <= w[1].start_s),
+                "trace {i} segments out of order"
+            );
+        }
+    }
+
+    #[test]
+    fn converted_poisson_segments_reproduce_open_loop_statistics() {
+        let sys = SystemConfig::tx2_to_i7(40.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0x0155);
+        for _ in 0..8 {
+            let process = ArrivalProcess::Poisson {
+                fps: rng.gen_range(5.0..200.0),
+                seed: rng.gen_range(0..u64::MAX),
+            };
+            let spec: ArrivalSpec = process.into();
+            let back: ArrivalProcess = spec.into();
+            assert_eq!(back, process, "conversion must be lossless");
+            let direct =
+                simulate_open_loop(&arch(), &pc(), &sys, &SimConfig::default(), process, 200);
+            let converted =
+                simulate_open_loop(&arch(), &pc(), &sys, &SimConfig::default(), back, 200);
+            assert_eq!(direct, converted, "converted process changed open-loop statistics");
+        }
+    }
+
+    #[test]
+    fn spec_gap_stream_matches_open_loop_arrival_gaps() {
+        // `ArrivalSpec::arrival_times` documents the same gap algorithm as
+        // `simulate_open_loop`; offsets start at the segment boundary, so
+        // spec arrival `i + 1` equals the simulator's arrival `i`.
+        let spec = ArrivalSpec::Poisson { fps: 30.0, seed: 99 };
+        let times = spec.arrival_times(64);
+        let mut sim_rng = ChaCha8Rng::seed_from_u64(99);
+        let mut t = 0.0;
+        for i in 0..63 {
+            let u: f64 = sim_rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / 30.0;
+            assert_eq!(times[i + 1], t, "gap {i} diverged from the simulator's draw");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! gcode systems                       # list built-in device/edge pairs
 //! gcode describe --zoo FILE [--index N]
 //! gcode dispatch --zoo FILE [--latency-ms F] [--energy-j F]
+//! gcode replay   --trace FILE [--zoo FILE] [--pools N] [--report-out FILE]
 //! ```
 //!
 //! `--tiers` builds a fidelity ladder (implies `--backend ladder`); the
@@ -34,6 +35,13 @@
 //! is the matching client — open a session, follow its progress, print
 //! the winner.
 //!
+//! `gcode replay` replays a serialized scenario trace (arrival bursts,
+//! uplink degradations, runtime-constraint flips at absolute timestamps)
+//! against a zoo on a warm deployed pair — or, with `--pools N`, an
+//! [`engine::EdgeFleet`](gcode::engine::EdgeFleet) — and prints one
+//! measured report per segment. The same trace rides `gcode submit
+//! --trace` to be replayed server-side against the freshly searched zoo.
+//!
 //! `--cache-file` makes evaluation results outlive the process: an
 //! append-only log of `candidate × fidelity-tag × objective → metrics`
 //! records. A repeated search (same seed and configuration) replays
@@ -44,6 +52,7 @@
 
 use gcode::core::arch::{Architecture, WorkloadProfile};
 use gcode::core::eval::backend::{AnalyticBackend, CascadeBackend, EvalBackend};
+use gcode::core::eval::scenario::ScenarioTrace;
 use gcode::core::eval::{Objective, SearchSession};
 use gcode::core::predictor::{LatencyPredictor, PredictorConfig, PredictorEvaluator};
 use gcode::core::search::{RandomSearch, SearchConfig};
@@ -82,6 +91,7 @@ fn main() -> ExitCode {
         "systems" => cmd_systems(),
         "describe" => cmd_describe(&opts),
         "dispatch" => cmd_dispatch(&opts),
+        "replay" => cmd_replay(&opts),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -108,7 +118,8 @@ const USAGE: &str = "usage:
   gcode submit   --server ADDR [--task <modelnet40|mr>] [--iterations N]
                  [--zoo-size N] [--seed N] [--lambda F] [--latency-ms F]
                  [--energy-j F] [--measure <true|false>] [--timeout-s N]
-                 [--shutdown <true|false>]
+                 [--shutdown <true|false>] [--trace FILE]
+  gcode replay   --trace FILE [--zoo FILE] [--pools N] [--seed N] [--report-out FILE]
   gcode systems
   gcode describe --zoo FILE [--index N]
   gcode dispatch --zoo FILE [--latency-ms F] [--energy-j F]";
@@ -589,6 +600,7 @@ fn cmd_submit(opts: &HashMap<String, String>) -> Result<(), String> {
             .get("measure")
             .map(String::as_str)
             .is_none_or(|v| matches!(v, "true" | "1" | "yes")),
+        scenario: opts.get("trace").map(|path| load_trace(path)).transpose()?,
     };
     let timeout = Duration::from_secs(get_usize(opts, "timeout-s", 600)? as u64);
 
@@ -639,6 +651,21 @@ fn cmd_submit(opts: &HashMap<String, String>) -> Result<(), String> {
             m.deployed,
             m.cached
         );
+    }
+    if let Some(scenarios) = &report.scenarios {
+        println!("scenario replay ({} segments):", scenarios.len());
+        for r in scenarios {
+            println!(
+                "  [{:8.3}s] {:<24} {:4} frames  {} swap(s)  acc {:5.1}%  deadline {:5.1}%  {} drop(s)",
+                r.start_s,
+                r.label,
+                r.frames,
+                r.swaps,
+                r.measured_accuracy * 100.0,
+                r.deadline_hit_rate * 100.0,
+                r.drops,
+            );
+        }
     }
     let Some(best) = outcome.result.best() else {
         return Err("no candidate met the constraints; relax --latency-ms/--energy-j".into());
@@ -728,5 +755,97 @@ fn cmd_dispatch(opts: &HashMap<String, String>) -> Result<(), String> {
         pick.energy_j
     );
     println!("{}", pick.arch.render());
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<ScenarioTrace, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = ScenarioTrace::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+    trace.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(trace)
+}
+
+/// Fallback zoo for `gcode replay` without `--zoo`: the dispatcher
+/// pairing from the paper's runtime story — an accurate co-inference
+/// design and a fast on-device one, so constraint flips in the trace
+/// visibly switch plans.
+fn builtin_replay_zoo() -> ArchitectureZoo {
+    use gcode::core::op::{Op, SampleFn};
+    use gcode::core::search::ScoredArch;
+    use gcode::nn::{agg::AggMode, pool::PoolMode};
+    let entry = |latency_s: f64, accuracy: f64, split: bool| {
+        let mut ops = vec![Op::Sample(SampleFn::Knn { k: 8 }), Op::Aggregate(AggMode::Max)];
+        if split {
+            ops.push(Op::Communicate);
+        }
+        ops.push(Op::Combine { dim: 16 });
+        ops.push(Op::GlobalPool(PoolMode::Max));
+        ScoredArch {
+            arch: Architecture::new(ops),
+            score: accuracy,
+            accuracy,
+            latency_s,
+            energy_j: latency_s,
+        }
+    };
+    ArchitectureZoo::new(vec![entry(0.080, 0.93, true), entry(0.010, 0.90, false)])
+}
+
+fn cmd_replay(opts: &HashMap<String, String>) -> Result<(), String> {
+    use gcode::engine::{replay_on_fleet, EdgeFleet, EngineDispatcher};
+    use gcode::nn::seq::WeightBank;
+
+    let trace = load_trace(opts.get("trace").ok_or("--trace is required")?)?;
+    let zoo = match opts.get("zoo") {
+        Some(_) => load_zoo(opts)?,
+        None => builtin_replay_zoo(),
+    };
+    let pools = get_usize(opts, "pools", 1)?;
+    let seed = get_usize(opts, "seed", 0)? as u64;
+    let num_classes = 4;
+    let ds = PointCloudDataset::generate(8, 24, num_classes, seed ^ 0xF4);
+
+    println!(
+        "replaying `{}` ({} segments, {} frames) over {pools} pool(s), zoo of {}",
+        trace.name,
+        trace.segments.len(),
+        trace.total_frames(),
+        zoo.len(),
+    );
+    let reports = if pools <= 1 {
+        let mut dispatcher = EngineDispatcher::new(zoo, WeightBank::new(num_classes, seed));
+        dispatcher.attach_pool(seed).map_err(|e| e.to_string())?;
+        let mut runner = gcode::engine::ScenarioRunner::new(&mut dispatcher, ds.samples());
+        let reports = runner.run(&trace).map_err(|e| e.to_string())?;
+        dispatcher.detach_pool().map_err(|e| e.to_string())?;
+        reports
+    } else {
+        let mut fleet = EdgeFleet::new(FleetSpec::loopback(pools), num_classes, seed, seed);
+        let reports =
+            replay_on_fleet(&zoo, &mut fleet, ds.samples(), &trace).map_err(|e| e.to_string())?;
+        fleet.shutdown().map_err(|e| e.to_string())?;
+        reports
+    };
+
+    for r in &reports {
+        println!(
+            "  [{:8.3}s] {:<24} {:4} frames  {} swap(s)  acc {:5.1}%  deadline {:5.1}%  {} drop(s)  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms",
+            r.start_s,
+            r.label,
+            r.frames,
+            r.swaps,
+            r.measured_accuracy * 100.0,
+            r.deadline_hit_rate * 100.0,
+            r.drops,
+            r.p50_s * 1e3,
+            r.p95_s * 1e3,
+            r.p99_s * 1e3,
+        );
+    }
+    if let Some(path) = opts.get("report-out") {
+        let json = serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("segment reports written to {path}");
+    }
     Ok(())
 }

@@ -142,6 +142,7 @@ fn session_frames_survive_framing_round_trip() {
         objective: Objective::new(0.25, 1.0, 5.0),
         task: SessionTask::Mr,
         measure_zoo: true,
+        scenario: None,
     };
     let frames = vec![
         Frame::Hello(PROTOCOL_VERSION),

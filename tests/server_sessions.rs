@@ -18,6 +18,7 @@ fn spec(seed: u64, task: SessionTask) -> SessionSpec {
         objective: Objective::new(0.25, 1.0, 5.0),
         task,
         measure_zoo: true,
+        scenario: None,
     }
 }
 
